@@ -1,0 +1,90 @@
+//! FOX cost-awareness ablation (§III-A3, evaluated separately in the
+//! paper's prior work [21]): Chamulteon with FOX disabled versus FOX under
+//! EC2 hourly and GCP per-minute billing, on the Wikipedia/Docker
+//! scenario.
+//!
+//! FOX should *reduce billed instance time wasted on re-provisioning*
+//! (instances are kept until their paid interval is nearly exhausted) at
+//! the price of extra physical over-provisioning.
+//!
+//! Run with: `cargo bench -p chamulteon-bench --bench ablation_fox`
+
+use chamulteon::ChargingModel;
+use chamulteon_bench::setups::wikipedia_docker;
+use chamulteon_bench::{run_experiment, ScalerKind};
+use chamulteon_metrics::render_table;
+
+/// Bills a supply timeline as if every instance start opened a fresh lease
+/// under `model` — what the *cloud* charges for the measured behaviour.
+fn bill_supply(
+    outcome: &chamulteon_bench::ExperimentOutcome,
+    model: &ChargingModel,
+) -> f64 {
+    let mut total = 0.0;
+    for timeline in &outcome.result.supply {
+        // Track individual instance lifetimes from the step function.
+        let mut stack: Vec<f64> = Vec::new();
+        let mut prev = 0u32;
+        for change in timeline {
+            if change.running > prev {
+                for _ in 0..(change.running - prev) {
+                    stack.push(change.time);
+                }
+            } else {
+                for _ in 0..(prev - change.running) {
+                    if let Some(start) = stack.pop() {
+                        total += model.billed_duration(change.time - start);
+                    }
+                }
+            }
+            prev = change.running;
+        }
+        for start in stack {
+            total += model.billed_duration(outcome.result.duration - start);
+        }
+    }
+    total
+}
+
+fn main() {
+    let spec = wikipedia_docker();
+    eprintln!("Running FOX ablation on {}...", spec.name);
+
+    let plain = run_experiment(&spec, ScalerKind::Chamulteon);
+    let fox_ec2 = run_experiment(&spec, ScalerKind::ChamulteonFoxEc2);
+    let fox_gcp = run_experiment(&spec, ScalerKind::ChamulteonFoxGcp);
+
+    let reports = vec![
+        plain.report.clone(),
+        fox_ec2.report.clone(),
+        fox_gcp.report.clone(),
+    ];
+    println!(
+        "{}",
+        render_table("FOX ablation — elasticity and user metrics", &reports)
+    );
+
+    println!("Billed instance hours (what the cloud would charge):");
+    let ec2 = ChargingModel::ec2_hourly();
+    let gcp = ChargingModel::gcp_per_minute();
+    println!(
+        "{:<16} {:>16} {:>16}",
+        "variant", "EC2-hourly [h]", "GCP-per-min [h]"
+    );
+    for (name, outcome) in [
+        ("no FOX", &plain),
+        ("FOX (EC2)", &fox_ec2),
+        ("FOX (GCP)", &fox_gcp),
+    ] {
+        println!(
+            "{:<16} {:>16.1} {:>16.1}",
+            name,
+            bill_supply(outcome, &ec2) / 3600.0,
+            bill_supply(outcome, &gcp) / 3600.0
+        );
+    }
+    println!();
+    println!("Expected shape: under hourly billing FOX avoids release/re-acquire churn,");
+    println!("so its EC2 bill is at or below the no-FOX bill despite higher tau_O;");
+    println!("under per-minute billing the reviewer is nearly neutral.");
+}

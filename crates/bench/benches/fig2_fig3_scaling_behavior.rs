@@ -1,0 +1,99 @@
+//! Regenerates **Figures 2 and 3** of the paper: the per-service
+//! demand-vs-supply series plus the sent-vs-SLO-conformant request series,
+//! for Reg (Fig. 2 — bottleneck shifting and oscillation) and Chamulteon
+//! (Fig. 3 — neither) on the Wikipedia trace in the Docker deployment.
+//!
+//! The paper plots continuous curves; this harness prints the same series
+//! as one row per scaling interval, suitable for piping into any plotting
+//! tool.
+//!
+//! Run with:
+//! `cargo bench -p chamulteon-bench --bench fig2_fig3_scaling_behavior`
+
+use chamulteon_bench::{run_experiment, ExperimentOutcome, ScalerKind};
+use chamulteon_bench::setups::wikipedia_docker;
+
+fn print_series(title: &str, outcome: &ExperimentOutcome, interval: f64) {
+    println!("{title}");
+    println!(
+        "{:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10} {:>10}",
+        "time_s", "d1", "s1", "d2", "s2", "d3", "s3", "sent_rps", "slo_rps"
+    );
+    let duration = outcome.result.duration;
+    let steps = (duration / interval).round() as usize;
+    for k in 0..steps {
+        let t = k as f64 * interval;
+        let mut row = format!("{t:>8.0}");
+        for service in 0..3 {
+            let d = outcome.demand[service].value_at(t);
+            let s = outcome.result.supply_at(service, t);
+            row.push_str(&format!(" {d:>8} {s:>8}"));
+        }
+        // Average the per-second counters over the interval.
+        let lo = t as usize;
+        let hi = ((t + interval) as usize).min(outcome.result.sent_per_second.len());
+        let span = (hi - lo).max(1) as f64;
+        let sent: u64 = outcome.result.sent_per_second[lo..hi].iter().sum();
+        let conf: u64 = outcome.result.conformant_per_second[lo..hi].iter().sum();
+        row.push_str(&format!(
+            " {:>10.1} {:>10.1}",
+            sent as f64 / span,
+            conf as f64 / span
+        ));
+        println!("{row}");
+    }
+    println!();
+}
+
+fn main() {
+    let spec = wikipedia_docker();
+    eprintln!("Running {} for Reg and Chamulteon...", spec.name);
+
+    let reg = run_experiment(&spec, ScalerKind::Reg);
+    print_series(
+        "Figure 2 (measured) — scaling behavior of Reg on the Wikipedia trace\n\
+         (columns: per-service demand dN / supply sN, sent and SLO-conformant req/s)",
+        &reg,
+        spec.scaling_interval,
+    );
+
+    let cham = run_experiment(&spec, ScalerKind::Chamulteon);
+    print_series(
+        "Figure 3 (measured) — scaling behavior of Chamulteon on the Wikipedia trace",
+        &cham,
+        spec.scaling_interval,
+    );
+
+    // The paper's qualitative claims, quantified.
+    let lag = |o: &ExperimentOutcome, service: usize, threshold: u32| -> Option<f64> {
+        let duration = o.result.duration;
+        let mut t = 0.0;
+        while t < duration {
+            if o.result.supply_at(service, t) >= threshold {
+                return Some(t);
+            }
+            t += 1.0;
+        }
+        None
+    };
+    println!("Bottleneck-shifting check (time until each tier first reaches 50% of its peak supply):");
+    for (name, o) in [("reg", &reg), ("chamulteon", &cham)] {
+        let peaks: Vec<u32> = (0..3)
+            .map(|s| {
+                o.result.supply[s]
+                    .iter()
+                    .map(|c| c.running)
+                    .max()
+                    .unwrap_or(1)
+            })
+            .collect();
+        let times: Vec<String> = (0..3)
+            .map(|s| {
+                lag(o, s, (peaks[s] / 2).max(2))
+                    .map(|t| format!("{t:.0}s"))
+                    .unwrap_or_else(|| "never".into())
+            })
+            .collect();
+        println!("  {name:<12} service1 {} | service2 {} | service3 {}", times[0], times[1], times[2]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Criterion micro-benchmarks for the performance-sensitive pieces: the
+//! queueing solvers, the Telescope forecast, Algorithm 1, a full
+//! Chamulteon tick, and raw simulator throughput.
+//!
+//! These guard the "short time-to-result" property the paper requires of
+//! the forecasting component (§III-A) and document the controller's
+//! per-tick overhead.
+//!
+//! Run with: `cargo bench -p chamulteon-bench --bench micro`
+
+use chamulteon::{proactive_decisions, Chamulteon, ChamulteonConfig};
+use chamulteon_demand::MonitoringSample;
+use chamulteon_forecast::{Forecaster, TelescopeForecaster, TimeSeries};
+use chamulteon_perfmodel::ApplicationModel;
+use chamulteon_queueing::capacity::min_instances_for_response_time;
+use chamulteon_queueing::erlang_c;
+use chamulteon_sim::{DeploymentProfile, Simulation, SimulationConfig, SloPolicy};
+use chamulteon_workload::LoadTrace;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_queueing(c: &mut Criterion) {
+    c.bench_function("erlang_c_100_servers", |b| {
+        b.iter(|| erlang_c(black_box(100), black_box(80.0)).unwrap())
+    });
+    c.bench_function("min_instances_for_slo", |b| {
+        b.iter(|| {
+            min_instances_for_response_time(black_box(400.0), black_box(0.1), 0.25, 1000).unwrap()
+        })
+    });
+}
+
+fn bench_forecast(c: &mut Criterion) {
+    let values: Vec<f64> = (0..120)
+        .map(|t| 100.0 + 40.0 * (t as f64 * std::f64::consts::TAU / 60.0).sin())
+        .collect();
+    let history = TimeSeries::from_values(60.0, values).unwrap();
+    c.bench_function("telescope_forecast_120obs_h8", |b| {
+        b.iter(|| {
+            TelescopeForecaster::default()
+                .forecast(black_box(&history), 8)
+                .unwrap()
+        })
+    });
+}
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let model = ApplicationModel::paper_benchmark();
+    let config = ChamulteonConfig::default();
+    c.bench_function("algorithm1_three_services", |b| {
+        b.iter(|| {
+            proactive_decisions(
+                black_box(&model),
+                black_box(300.0),
+                &[0.059, 0.1, 0.04],
+                &[10, 17, 7],
+                &config,
+            )
+        })
+    });
+}
+
+fn bench_controller_tick(c: &mut Criterion) {
+    let model = ApplicationModel::paper_benchmark();
+    let samples: Vec<MonitoringSample> = [0.059, 0.1, 0.04]
+        .iter()
+        .map(|&d| {
+            MonitoringSample::new(60.0, 6000, (100.0 * d / 10.0_f64).min(1.0), 10, Some(d * 1.2))
+                .unwrap()
+        })
+        .collect();
+    c.bench_function("chamulteon_tick", |b| {
+        b.iter_batched(
+            || {
+                let mut ctl = Chamulteon::new(model.clone(), ChamulteonConfig::default());
+                let warmup: Vec<f64> = (0..120).map(|k| 100.0 + (k % 60) as f64).collect();
+                ctl.preload_history(60.0, &warmup);
+                ctl
+            },
+            |mut ctl| ctl.tick(60.0, black_box(&samples)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    c.bench_function("simulate_60s_at_200rps", |b| {
+        b.iter_batched(
+            || {
+                let model = ApplicationModel::paper_benchmark();
+                let trace = LoadTrace::new(60.0, vec![200.0]).unwrap();
+                let config =
+                    SimulationConfig::new(DeploymentProfile::docker(), SloPolicy::default(), 42);
+                let mut sim = Simulation::new(&model, &trace, config);
+                sim.set_supply(0, 20).unwrap();
+                sim.set_supply(1, 34).unwrap();
+                sim.set_supply(2, 14).unwrap();
+                sim
+            },
+            |sim| sim.run_to_end(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_queueing,
+    bench_forecast,
+    bench_algorithm1,
+    bench_controller_tick,
+    bench_simulator
+);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Regenerates **Table II** of the paper: all five auto-scalers on the
+//! Wikipedia-like trace in the Docker deployment (1 h experiment, 60 s
+//! scaling interval, peak ≈120 containers).
+//!
+//! Run with: `cargo bench -p chamulteon-bench --bench table2_wikipedia_docker`
+
+use chamulteon_bench::paper::{render_paper_table, run_lineup, TABLE2};
+use chamulteon_bench::setups::wikipedia_docker;
+use chamulteon_metrics::render_table;
+
+fn main() {
+    let spec = wikipedia_docker();
+    eprintln!(
+        "Running {} — 5 scalers x {:.0} s simulated...",
+        spec.name,
+        spec.trace.duration()
+    );
+    let reports = run_lineup(&spec);
+    println!(
+        "{}",
+        render_table("Table II (measured) — Wikipedia trace, Docker", &reports)
+    );
+    println!(
+        "{}",
+        render_paper_table("Table II (paper, for comparison)", &TABLE2)
+    );
+}

@@ -1,0 +1,27 @@
+//! Regenerates **Table III** of the paper: all five auto-scalers on the
+//! Wikipedia-like trace in the VM deployment (6 h experiment, 120 s
+//! scaling interval, slow provisioning, peak ≈20 VMs).
+//!
+//! Run with: `cargo bench -p chamulteon-bench --bench table3_wikipedia_vm`
+
+use chamulteon_bench::paper::{render_paper_table, run_lineup, TABLE3};
+use chamulteon_bench::setups::wikipedia_vm;
+use chamulteon_metrics::render_table;
+
+fn main() {
+    let spec = wikipedia_vm();
+    eprintln!(
+        "Running {} — 5 scalers x {:.0} s simulated...",
+        spec.name,
+        spec.trace.duration()
+    );
+    let reports = run_lineup(&spec);
+    println!(
+        "{}",
+        render_table("Table III (measured) — Wikipedia trace, VM", &reports)
+    );
+    println!(
+        "{}",
+        render_paper_table("Table III (paper, for comparison)", &TABLE3)
+    );
+}

@@ -1,0 +1,27 @@
+//! Regenerates **Table IV** of the paper: all five auto-scalers on the
+//! BibSonomy-like trace at the small scale (peak ≈60 containers, Docker,
+//! 1 h, 60 s interval).
+//!
+//! Run with: `cargo bench -p chamulteon-bench --bench table4_bibsonomy_small`
+
+use chamulteon_bench::paper::{render_paper_table, run_lineup, TABLE4};
+use chamulteon_bench::setups::bibsonomy_small;
+use chamulteon_metrics::render_table;
+
+fn main() {
+    let spec = bibsonomy_small();
+    eprintln!(
+        "Running {} — 5 scalers x {:.0} s simulated...",
+        spec.name,
+        spec.trace.duration()
+    );
+    let reports = run_lineup(&spec);
+    println!(
+        "{}",
+        render_table("Table IV (measured) — BibSonomy trace, small setup", &reports)
+    );
+    println!(
+        "{}",
+        render_paper_table("Table IV (paper, for comparison)", &TABLE4)
+    );
+}

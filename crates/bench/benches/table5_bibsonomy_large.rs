@@ -1,0 +1,27 @@
+//! Regenerates **Table V** of the paper: all five auto-scalers on the
+//! BibSonomy-like trace at the large scale (peak ≈120 containers, Docker,
+//! 1 h, 60 s interval).
+//!
+//! Run with: `cargo bench -p chamulteon-bench --bench table5_bibsonomy_large`
+
+use chamulteon_bench::paper::{render_paper_table, run_lineup, TABLE5};
+use chamulteon_bench::setups::bibsonomy_large;
+use chamulteon_metrics::render_table;
+
+fn main() {
+    let spec = bibsonomy_large();
+    eprintln!(
+        "Running {} — 5 scalers x {:.0} s simulated...",
+        spec.name,
+        spec.trace.duration()
+    );
+    let reports = run_lineup(&spec);
+    println!(
+        "{}",
+        render_table("Table V (measured) — BibSonomy trace, large setup", &reports)
+    );
+    println!(
+        "{}",
+        render_paper_table("Table V (paper, for comparison)", &TABLE5)
+    );
+}

@@ -1,0 +1,256 @@
+//! `chamulteon-exp` — command-line experiment runner.
+//!
+//! Runs one auto-scaler (or the full paper lineup) through a named setup or
+//! a user-supplied CSV trace and prints the paper's metric table.
+//!
+//! ```text
+//! USAGE:
+//!   chamulteon-exp [--setup NAME | --trace FILE.csv] [--scaler NAME | --all]
+//!                  [--profile docker|vm] [--interval SECONDS] [--seed N]
+//!                  [--slo SECONDS] [--series]
+//!
+//! SETUPS:   wikipedia-docker  wikipedia-vm  bibsonomy-small  bibsonomy-large  smoke
+//! SCALERS:  chamulteon  cham-reactive  cham-proactive  cham-fox-ec2
+//!           cham-fox-gcp  react  adapt  hist  reg
+//! ```
+//!
+//! Example: replay your own trace under Chamulteon and React:
+//!
+//! ```text
+//! cargo run --release --bin chamulteon-exp -- --trace mytrace.csv --all
+//! ```
+
+use chamulteon_bench::setups;
+use chamulteon_bench::{run_experiment, ExperimentSpec, ScalerKind};
+use chamulteon_metrics::render_table;
+use chamulteon_perfmodel::ApplicationModel;
+use chamulteon_sim::{DeploymentProfile, SloPolicy};
+use chamulteon_workload::LoadTrace;
+use std::process::ExitCode;
+
+struct Args {
+    setup: Option<String>,
+    trace: Option<String>,
+    scaler: Option<String>,
+    all: bool,
+    profile: Option<String>,
+    interval: Option<f64>,
+    seed: Option<u64>,
+    slo: Option<f64>,
+    series: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        setup: None,
+        trace: None,
+        scaler: None,
+        all: false,
+        profile: None,
+        interval: None,
+        seed: None,
+        slo: None,
+        series: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("flag {name} requires a value"))
+        };
+        match flag.as_str() {
+            "--setup" => args.setup = Some(value("--setup")?),
+            "--trace" => args.trace = Some(value("--trace")?),
+            "--scaler" => args.scaler = Some(value("--scaler")?),
+            "--all" => args.all = true,
+            "--profile" => args.profile = Some(value("--profile")?),
+            "--interval" => {
+                args.interval = Some(
+                    value("--interval")?
+                        .parse()
+                        .map_err(|e| format!("bad --interval: {e}"))?,
+                )
+            }
+            "--seed" => {
+                args.seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("bad --seed: {e}"))?,
+                )
+            }
+            "--slo" => {
+                args.slo = Some(
+                    value("--slo")?
+                        .parse()
+                        .map_err(|e| format!("bad --slo: {e}"))?,
+                )
+            }
+            "--series" => args.series = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn scaler_by_name(name: &str) -> Option<ScalerKind> {
+    Some(match name {
+        "chamulteon" => ScalerKind::Chamulteon,
+        "cham-reactive" => ScalerKind::ChamulteonReactiveOnly,
+        "cham-proactive" => ScalerKind::ChamulteonProactiveOnly,
+        "cham-fox-ec2" => ScalerKind::ChamulteonFoxEc2,
+        "cham-fox-gcp" => ScalerKind::ChamulteonFoxGcp,
+        "react" => ScalerKind::React,
+        "adapt" => ScalerKind::Adapt,
+        "hist" => ScalerKind::Hist,
+        "reg" => ScalerKind::Reg,
+        _ => return None,
+    })
+}
+
+fn setup_by_name(name: &str) -> Option<ExperimentSpec> {
+    Some(match name {
+        "wikipedia-docker" => setups::wikipedia_docker(),
+        "wikipedia-vm" => setups::wikipedia_vm(),
+        "bibsonomy-small" => setups::bibsonomy_small(),
+        "bibsonomy-large" => setups::bibsonomy_large(),
+        "smoke" => setups::smoke_test(),
+        _ => return None,
+    })
+}
+
+fn usage() -> &'static str {
+    "chamulteon-exp — run a Chamulteon auto-scaling experiment\n\
+     \n\
+     usage: chamulteon-exp [--setup NAME | --trace FILE.csv] [--scaler NAME | --all]\n\
+            [--profile docker|vm] [--interval SECONDS] [--seed N] [--slo SECONDS] [--series]\n\
+     \n\
+     setups:  wikipedia-docker wikipedia-vm bibsonomy-small bibsonomy-large smoke\n\
+     scalers: chamulteon cham-reactive cham-proactive cham-fox-ec2 cham-fox-gcp\n\
+              react adapt hist reg\n\
+     \n\
+     --trace expects `time,rate` CSV (header optional); --series prints the\n\
+     per-interval demand/supply series after the table."
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Build the spec.
+    let mut spec = match (&args.setup, &args.trace) {
+        (Some(name), None) => match setup_by_name(name) {
+            Some(s) => s,
+            None => {
+                eprintln!("error: unknown setup `{name}`\n\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, Some(path)) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let trace = match LoadTrace::from_csv(&text) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot parse {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            ExperimentSpec {
+                name: format!("custom trace {path}"),
+                trace,
+                model: ApplicationModel::paper_benchmark(),
+                profile: DeploymentProfile::docker(),
+                slo: SloPolicy::default(),
+                scaling_interval: 60.0,
+                seed: 1,
+                warmup_days: 2,
+                hist_bucket: 300.0,
+            }
+        }
+        (None, None) => setups::smoke_test(),
+        (Some(_), Some(_)) => {
+            eprintln!("error: --setup and --trace are mutually exclusive");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(profile) = &args.profile {
+        spec.profile = match profile.as_str() {
+            "docker" => DeploymentProfile::docker(),
+            "vm" => DeploymentProfile::vm(),
+            other => {
+                eprintln!("error: unknown profile `{other}` (docker|vm)");
+                return ExitCode::FAILURE;
+            }
+        };
+    }
+    if let Some(interval) = args.interval {
+        spec.scaling_interval = interval.max(1.0);
+    }
+    if let Some(seed) = args.seed {
+        spec.seed = seed;
+    }
+    if let Some(slo) = args.slo {
+        spec.slo = SloPolicy::new(slo, spec.slo.toleration_factor);
+    }
+
+    // Pick the scalers.
+    let kinds: Vec<ScalerKind> = if args.all {
+        ScalerKind::paper_lineup().to_vec()
+    } else {
+        let name = args.scaler.as_deref().unwrap_or("chamulteon");
+        match scaler_by_name(name) {
+            Some(k) => vec![k],
+            None => {
+                eprintln!("error: unknown scaler `{name}`\n\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    eprintln!(
+        "running {} for {} scaler(s), {:.0} s simulated...",
+        spec.name,
+        kinds.len(),
+        spec.trace.duration()
+    );
+    let outcomes: Vec<_> = kinds.iter().map(|&k| run_experiment(&spec, k)).collect();
+    let reports: Vec<_> = outcomes.iter().map(|o| o.report.clone()).collect();
+    println!("{}", render_table(&spec.name, &reports));
+
+    if args.series {
+        for (kind, outcome) in kinds.iter().zip(&outcomes) {
+            println!("series for {}:", kind.name());
+            println!("{:>8} per-service demand/supply pairs", "time_s");
+            let steps = (outcome.result.duration / spec.scaling_interval) as usize;
+            for k in 0..steps {
+                let t = k as f64 * spec.scaling_interval;
+                let mut row = format!("{t:>8.0}");
+                for s in 0..spec.model.service_count() {
+                    row.push_str(&format!(
+                        " {:>4}/{:<4}",
+                        outcome.demand[s].value_at(t),
+                        outcome.result.supply_at(s, t)
+                    ));
+                }
+                println!("{row}");
+            }
+            println!();
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,266 @@
+//! Uniform driving of the five auto-scalers (plus ablation variants).
+
+use chamulteon::{ChamulteonConfig, ChargingModel};
+use chamulteon_demand::{MonitoringSample, RollingDemandEstimator};
+use chamulteon_perfmodel::ApplicationModel;
+use chamulteon_scalers::{Adapt, AutoScaler, Hist, IndependentScalers, React, Reg};
+use chamulteon_sim::ServiceIntervalStats;
+
+/// Which auto-scaler to run in an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalerKind {
+    /// The paper's contribution, both cycles enabled.
+    Chamulteon,
+    /// Ablation: reactive cycle only.
+    ChamulteonReactiveOnly,
+    /// Ablation: proactive cycle only.
+    ChamulteonProactiveOnly,
+    /// Chamulteon with the FOX cost reviewer under EC2 hourly billing.
+    ChamulteonFoxEc2,
+    /// Chamulteon with FOX under GCP per-minute billing.
+    ChamulteonFoxGcp,
+    /// React (Chieu et al. 2009), one instance per service.
+    React,
+    /// Adapt (Ali-Eldin et al. 2012), one instance per service.
+    Adapt,
+    /// Hist (Urgaonkar et al. 2008), one instance per service.
+    Hist,
+    /// Reg (Iqbal et al. 2011), one instance per service.
+    Reg,
+}
+
+impl ScalerKind {
+    /// The display name used in tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScalerKind::Chamulteon => "chamulteon",
+            ScalerKind::ChamulteonReactiveOnly => "cham-reactive",
+            ScalerKind::ChamulteonProactiveOnly => "cham-proactive",
+            ScalerKind::ChamulteonFoxEc2 => "cham-fox-ec2",
+            ScalerKind::ChamulteonFoxGcp => "cham-fox-gcp",
+            ScalerKind::React => "react",
+            ScalerKind::Adapt => "adapt",
+            ScalerKind::Hist => "hist",
+            ScalerKind::Reg => "reg",
+        }
+    }
+
+    /// The five columns of the paper's tables.
+    pub fn paper_lineup() -> [ScalerKind; 5] {
+        [
+            ScalerKind::Chamulteon,
+            ScalerKind::Adapt,
+            ScalerKind::Hist,
+            ScalerKind::Reg,
+            ScalerKind::React,
+        ]
+    }
+}
+
+/// Rescales a measured utilization from the instances that produced it
+/// (`instances_end`, the running count) to the instance count the sample
+/// will report (`provisioned`, running + booting): the busy time
+/// `U·n·T` must stay the measured one, otherwise instances that are still
+/// booting would be counted as having worked and the demand estimate
+/// would inflate exactly during scale-ups.
+pub(crate) fn effective_utilization(stats: &ServiceIntervalStats, provisioned: u32) -> f64 {
+    let running = stats.instances_end.max(1);
+    let provisioned = provisioned.max(1);
+    (stats.utilization * f64::from(running) / f64::from(provisioned)).clamp(0.0, 1.0)
+}
+
+/// A running scaler instance bound to an experiment.
+pub(crate) enum Driver {
+    Chamulteon(Box<chamulteon::Chamulteon>),
+    Independent {
+        multi: IndependentScalers,
+        /// Shared demand estimation, "determined by LibReDE as used in
+        /// Chamulteon" (§IV-C).
+        estimators: Vec<RollingDemandEstimator>,
+    },
+}
+
+impl Driver {
+    pub(crate) fn new(kind: ScalerKind, model: &ApplicationModel, hist_bucket: f64) -> Driver {
+        let demands: Vec<f64> = model.services().iter().map(|s| s.nominal_demand()).collect();
+        let make_estimators = || {
+            demands
+                .iter()
+                .map(|&d| RollingDemandEstimator::new(5, 0.4, d))
+                .collect::<Vec<_>>()
+        };
+        let chamulteon_with = |config: ChamulteonConfig| {
+            Driver::Chamulteon(Box::new(chamulteon::Chamulteon::new(model.clone(), config)))
+        };
+        match kind {
+            ScalerKind::Chamulteon => chamulteon_with(ChamulteonConfig::default()),
+            ScalerKind::ChamulteonReactiveOnly => chamulteon_with(ChamulteonConfig::reactive_only()),
+            ScalerKind::ChamulteonProactiveOnly => {
+                chamulteon_with(ChamulteonConfig::proactive_only())
+            }
+            ScalerKind::ChamulteonFoxEc2 => Driver::Chamulteon(Box::new(
+                chamulteon::Chamulteon::new(model.clone(), ChamulteonConfig::default())
+                    .with_fox(ChargingModel::ec2_hourly()),
+            )),
+            ScalerKind::ChamulteonFoxGcp => Driver::Chamulteon(Box::new(
+                chamulteon::Chamulteon::new(model.clone(), ChamulteonConfig::default())
+                    .with_fox(ChargingModel::gcp_per_minute()),
+            )),
+            ScalerKind::React => Driver::Independent {
+                estimators: make_estimators(),
+                multi: IndependentScalers::homogeneous(demands, || Box::new(React::default())),
+            },
+            ScalerKind::Adapt => Driver::Independent {
+                estimators: make_estimators(),
+                multi: IndependentScalers::homogeneous(demands, || Box::new(Adapt::default())),
+            },
+            ScalerKind::Hist => Driver::Independent {
+                estimators: make_estimators(),
+                multi: IndependentScalers::homogeneous(demands, move || {
+                    Box::new(Hist::with_bucket_length(hist_bucket)) as Box<dyn AutoScaler + Send>
+                }),
+            },
+            ScalerKind::Reg => Driver::Independent {
+                estimators: make_estimators(),
+                multi: IndependentScalers::homogeneous(demands, || Box::new(Reg::default())),
+            },
+        }
+    }
+
+    /// Optionally preload arrival-rate history (only meaningful for
+    /// Chamulteon's proactive cycle).
+    pub(crate) fn preload_history(&mut self, interval: f64, rates: &[f64]) {
+        if let Driver::Chamulteon(c) = self {
+            c.preload_history(interval, rates);
+        }
+    }
+
+    /// One scaling round: takes the interval stats of every service and
+    /// the currently provisioned counts, returns the new absolute targets.
+    pub(crate) fn decide(
+        &mut self,
+        time: f64,
+        interval: f64,
+        stats: &[ServiceIntervalStats],
+        provisioned: &[u32],
+        entry: usize,
+    ) -> Vec<u32> {
+        match self {
+            Driver::Chamulteon(controller) => {
+                let samples: Vec<MonitoringSample> = stats
+                    .iter()
+                    .zip(provisioned)
+                    .map(|(s, &n)| {
+                        MonitoringSample::new(
+                            s.duration,
+                            s.arrivals,
+                            effective_utilization(s, n),
+                            n.max(1),
+                            s.mean_response_time.filter(|rt| *rt > 0.0),
+                        )
+                        .expect("simulator stats are valid")
+                        .with_completions(s.completions)
+                    })
+                    .collect();
+                controller.tick(time, &samples)
+            }
+            Driver::Independent { multi, estimators } => {
+                for ((estimator, s), &n) in estimators.iter_mut().zip(stats).zip(provisioned) {
+                    if let Ok(sample) = MonitoringSample::new(
+                        s.duration,
+                        s.arrivals,
+                        effective_utilization(s, n),
+                        n.max(1),
+                        s.mean_response_time.filter(|rt| *rt > 0.0),
+                    ) {
+                        estimator.observe(sample.with_completions(s.completions));
+                    }
+                }
+                let demands: Vec<f64> = estimators.iter().map(|e| e.current_demand()).collect();
+                let deltas = multi.decide(time, interval, stats[entry].arrivals, provisioned, &demands);
+                provisioned
+                    .iter()
+                    .zip(&deltas)
+                    .map(|(&n, &d)| (i64::from(n) + d).max(1) as u32)
+                    .collect()
+            }
+        }
+    }
+
+    /// FOX-billed instance seconds, when applicable.
+    pub(crate) fn billed_instance_seconds(&self, now: f64) -> Option<f64> {
+        match self {
+            Driver::Chamulteon(c) => c.billed_instance_seconds(now),
+            Driver::Independent { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ScalerKind::Chamulteon.name(), "chamulteon");
+        assert_eq!(ScalerKind::React.name(), "react");
+        let lineup = ScalerKind::paper_lineup();
+        assert_eq!(lineup.len(), 5);
+        assert_eq!(lineup[0], ScalerKind::Chamulteon);
+    }
+
+    #[test]
+    fn drivers_construct_for_all_kinds() {
+        let model = ApplicationModel::paper_benchmark();
+        for kind in [
+            ScalerKind::Chamulteon,
+            ScalerKind::ChamulteonReactiveOnly,
+            ScalerKind::ChamulteonProactiveOnly,
+            ScalerKind::ChamulteonFoxEc2,
+            ScalerKind::ChamulteonFoxGcp,
+            ScalerKind::React,
+            ScalerKind::Adapt,
+            ScalerKind::Hist,
+            ScalerKind::Reg,
+        ] {
+            let mut d = Driver::new(kind, &model, 600.0);
+            let stats: Vec<ServiceIntervalStats> = (0..3)
+                .map(|_| ServiceIntervalStats {
+                    start: 0.0,
+                    duration: 60.0,
+                    arrivals: 600,
+                    completions: 600,
+                    utilization: 0.5,
+                    mean_response_time: Some(0.1),
+                    instances_end: 2,
+                    queue_length_end: 0,
+                })
+                .collect();
+            let targets = d.decide(60.0, 60.0, &stats, &[2, 2, 2], 0);
+            assert_eq!(targets.len(), 3, "{kind:?}");
+            assert!(targets.iter().all(|&t| t >= 1), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn fox_driver_reports_billing() {
+        let model = ApplicationModel::paper_benchmark();
+        let mut d = Driver::new(ScalerKind::ChamulteonFoxEc2, &model, 600.0);
+        let stats: Vec<ServiceIntervalStats> = (0..3)
+            .map(|_| ServiceIntervalStats {
+                start: 0.0,
+                duration: 60.0,
+                arrivals: 600,
+                completions: 600,
+                utilization: 0.5,
+                mean_response_time: None,
+                instances_end: 2,
+                queue_length_end: 0,
+            })
+            .collect();
+        let _ = d.decide(60.0, 60.0, &stats, &[2, 2, 2], 0);
+        assert!(d.billed_instance_seconds(60.0).is_some());
+        let plain = Driver::new(ScalerKind::React, &model, 600.0);
+        assert!(plain.billed_instance_seconds(60.0).is_none());
+    }
+}

@@ -1,0 +1,41 @@
+//! Experiment harness regenerating every table and figure of the
+//! Chamulteon paper's evaluation (§IV–§V).
+//!
+//! The harness wires together the workload generators, the discrete-event
+//! simulator, the five auto-scalers and the metrics suite:
+//!
+//! * [`ExperimentSpec`] — one measurement scenario (trace, deployment
+//!   profile, scaling interval, peak sizing),
+//! * [`ScalerKind`] — which auto-scaler to drive (Chamulteon, the four
+//!   baselines, and the ablation variants),
+//! * [`run_experiment`] — the measurement loop: simulate interval by
+//!   interval, hand each scaler the paper's input tuple, apply its
+//!   decisions with the deployment's provisioning delays, then score the
+//!   outcome with the elasticity and user metrics,
+//! * [`setups`] — the four paper experiments (Tables II–V) ready to run.
+//!
+//! Every bench target under `benches/` regenerates one table or figure;
+//! see DESIGN.md for the index.
+//!
+//! # Example
+//!
+//! ```
+//! use chamulteon_bench::{run_experiment, ScalerKind};
+//! use chamulteon_bench::setups::smoke_test;
+//!
+//! let outcome = run_experiment(&smoke_test(), ScalerKind::Chamulteon);
+//! assert_eq!(outcome.report.scaler, "chamulteon");
+//! ```
+
+#![forbid(unsafe_code)]
+#![allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0.0)` deliberately rejects NaN
+#![warn(missing_docs)]
+
+pub mod drivers;
+pub mod experiment;
+pub mod paper;
+pub mod setups;
+
+pub use drivers::ScalerKind;
+pub use experiment::{run_experiment, ExperimentOutcome, ExperimentSpec};
+pub use paper::run_lineup;

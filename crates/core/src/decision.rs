@@ -1,0 +1,285 @@
+//! Scaling decisions and the conflict resolution of §III-C.
+
+use serde::{Deserialize, Serialize};
+
+/// Which cycle produced a decision, and — for proactive decisions — which
+/// forecast generation it came from and whether that forecast was deemed
+/// trustable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DecisionOrigin {
+    /// Produced by the reactive cycle from measured data.
+    Reactive,
+    /// Produced by the proactive cycle from a forecast.
+    Proactive {
+        /// Monotonically increasing forecast counter; newer forecasts
+        /// supersede older ones for the same period (time resolution).
+        generation: u64,
+        /// Whether the underlying forecast's accuracy was at or below the
+        /// trust threshold (scope resolution).
+        trusted: bool,
+    },
+}
+
+/// A scaling decision: a target instance count for one service, valid for
+/// a time window. "Each decision for a service has a valid period in which
+/// no other decision is executed" (§III-C1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingDecision {
+    /// The service the decision applies to.
+    pub service: usize,
+    /// The target instance count.
+    pub target: u32,
+    /// Start of the validity window, seconds.
+    pub start: f64,
+    /// End of the validity window, seconds (exclusive).
+    pub end: f64,
+    /// Which cycle produced it.
+    pub origin: DecisionOrigin,
+}
+
+impl ScalingDecision {
+    /// Whether the decision's validity window covers time `t`.
+    pub fn covers(&self, t: f64) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Whether this is a trusted proactive decision.
+    pub fn is_trusted_proactive(&self) -> bool {
+        matches!(
+            self.origin,
+            DecisionOrigin::Proactive { trusted: true, .. }
+        )
+    }
+}
+
+/// Stores proactive decisions and implements both resolution rules of
+/// §III-C:
+///
+/// * **Time resolution**: "there may be proactive decisions with different
+///   underlying forecasts for the same time period. Assuming that
+///   decisions based on the newest forecast contain more up-to-date
+///   information, all proactive events for the same time period [from
+///   older forecasts] are skipped" — adding a newer generation evicts
+///   overlapping older-generation decisions per service.
+/// * **Scope resolution**: "If the proactive decision is trustable and
+///   wants to scale up or down, the reactive decision is omitted.
+///   Otherwise, the proactive decision is skipped" — implemented by
+///   [`DecisionStore::resolve`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DecisionStore {
+    proactive: Vec<ScalingDecision>,
+}
+
+impl DecisionStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        DecisionStore::default()
+    }
+
+    /// The stored proactive decisions (for inspection).
+    pub fn proactive(&self) -> &[ScalingDecision] {
+        &self.proactive
+    }
+
+    /// Adds a batch of proactive decisions, applying time resolution:
+    /// stored decisions of an *older* generation whose window overlaps a
+    /// new decision for the same service are evicted.
+    pub fn add_proactive(&mut self, decisions: &[ScalingDecision]) {
+        for new in decisions {
+            let DecisionOrigin::Proactive {
+                generation: new_gen,
+                ..
+            } = new.origin
+            else {
+                continue; // only proactive decisions are stored
+            };
+            self.proactive.retain(|old| {
+                let DecisionOrigin::Proactive { generation, .. } = old.origin else {
+                    return true;
+                };
+                let overlaps =
+                    old.service == new.service && old.start < new.end && new.start < old.end;
+                !(overlaps && generation < new_gen)
+            });
+            self.proactive.push(*new);
+        }
+    }
+
+    /// Drops decisions whose validity ended before `t`.
+    pub fn evict_expired(&mut self, t: f64) {
+        self.proactive.retain(|d| d.end > t);
+    }
+
+    /// The proactive decision covering time `t` for `service` from the
+    /// newest generation, if any.
+    pub fn proactive_at(&self, service: usize, t: f64) -> Option<ScalingDecision> {
+        self.proactive
+            .iter()
+            .filter(|d| d.service == service && d.covers(t))
+            .max_by_key(|d| match d.origin {
+                DecisionOrigin::Proactive { generation, .. } => generation,
+                DecisionOrigin::Reactive => 0,
+            })
+            .copied()
+    }
+
+    /// Scope resolution: picks between the stored proactive decision for
+    /// `(service, t)` and the given reactive decision.
+    ///
+    /// The proactive decision wins iff it exists, is trustable, and *wants
+    /// to scale* (its target differs from `current_instances`); otherwise
+    /// the reactive decision wins. When no reactive decision exists (the
+    /// reactive cycle is disabled, as in the proactive-only ablation), the
+    /// proactive decision applies regardless of trust — there is nothing
+    /// to fall back to and stale supply is strictly worse.
+    pub fn resolve(
+        &self,
+        service: usize,
+        t: f64,
+        current_instances: u32,
+        reactive: Option<ScalingDecision>,
+    ) -> Option<ScalingDecision> {
+        let proactive = self.proactive_at(service, t);
+        match (proactive, reactive) {
+            (Some(p), Some(r)) => {
+                if p.is_trusted_proactive() && p.target != current_instances {
+                    Some(p)
+                } else {
+                    Some(r)
+                }
+            }
+            (Some(p), None) => Some(p),
+            (None, r) => r,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proactive(service: usize, target: u32, start: f64, end: f64, generation: u64, trusted: bool) -> ScalingDecision {
+        ScalingDecision {
+            service,
+            target,
+            start,
+            end,
+            origin: DecisionOrigin::Proactive {
+                generation,
+                trusted,
+            },
+        }
+    }
+
+    fn reactive(service: usize, target: u32, start: f64, end: f64) -> ScalingDecision {
+        ScalingDecision {
+            service,
+            target,
+            start,
+            end,
+            origin: DecisionOrigin::Reactive,
+        }
+    }
+
+    #[test]
+    fn covers_is_half_open() {
+        let d = reactive(0, 2, 10.0, 20.0);
+        assert!(!d.covers(9.9));
+        assert!(d.covers(10.0));
+        assert!(d.covers(19.99));
+        assert!(!d.covers(20.0));
+    }
+
+    #[test]
+    fn trusted_proactive_that_scales_overrides_reactive() {
+        let mut store = DecisionStore::new();
+        store.add_proactive(&[proactive(0, 5, 0.0, 60.0, 1, true)]);
+        let r = reactive(0, 3, 0.0, 60.0);
+        let chosen = store.resolve(0, 30.0, 2, Some(r)).unwrap();
+        assert_eq!(chosen.target, 5);
+        assert!(chosen.is_trusted_proactive());
+    }
+
+    #[test]
+    fn untrusted_proactive_is_skipped() {
+        let mut store = DecisionStore::new();
+        store.add_proactive(&[proactive(0, 5, 0.0, 60.0, 1, false)]);
+        let r = reactive(0, 3, 0.0, 60.0);
+        let chosen = store.resolve(0, 30.0, 2, Some(r)).unwrap();
+        assert_eq!(chosen.target, 3);
+        assert_eq!(chosen.origin, DecisionOrigin::Reactive);
+    }
+
+    #[test]
+    fn proactive_noop_defers_to_reactive() {
+        // Trusted but target == current: it does not "want to scale".
+        let mut store = DecisionStore::new();
+        store.add_proactive(&[proactive(0, 2, 0.0, 60.0, 1, true)]);
+        let r = reactive(0, 4, 0.0, 60.0);
+        let chosen = store.resolve(0, 30.0, 2, Some(r)).unwrap();
+        assert_eq!(chosen.target, 4);
+    }
+
+    #[test]
+    fn newer_generation_evicts_overlapping_older() {
+        let mut store = DecisionStore::new();
+        store.add_proactive(&[proactive(0, 5, 0.0, 120.0, 1, true)]);
+        store.add_proactive(&[proactive(0, 8, 60.0, 180.0, 2, true)]);
+        // The gen-1 decision overlapped [60, 120) and is gone entirely.
+        assert_eq!(store.proactive().len(), 1);
+        assert_eq!(store.proactive_at(0, 70.0).unwrap().target, 8);
+        assert!(store.proactive_at(0, 10.0).is_none());
+    }
+
+    #[test]
+    fn non_overlapping_generations_coexist() {
+        let mut store = DecisionStore::new();
+        store.add_proactive(&[proactive(0, 5, 0.0, 60.0, 1, true)]);
+        store.add_proactive(&[proactive(0, 8, 60.0, 120.0, 2, true)]);
+        assert_eq!(store.proactive().len(), 2);
+        assert_eq!(store.proactive_at(0, 30.0).unwrap().target, 5);
+        assert_eq!(store.proactive_at(0, 90.0).unwrap().target, 8);
+    }
+
+    #[test]
+    fn different_services_do_not_conflict() {
+        let mut store = DecisionStore::new();
+        store.add_proactive(&[proactive(0, 5, 0.0, 60.0, 1, true)]);
+        store.add_proactive(&[proactive(1, 9, 0.0, 60.0, 2, true)]);
+        assert_eq!(store.proactive().len(), 2);
+        assert_eq!(store.proactive_at(0, 10.0).unwrap().target, 5);
+        assert_eq!(store.proactive_at(1, 10.0).unwrap().target, 9);
+    }
+
+    #[test]
+    fn evict_expired_drops_past_decisions() {
+        let mut store = DecisionStore::new();
+        store.add_proactive(&[
+            proactive(0, 5, 0.0, 60.0, 1, true),
+            proactive(0, 6, 60.0, 120.0, 1, true),
+        ]);
+        store.evict_expired(90.0);
+        assert_eq!(store.proactive().len(), 1);
+        assert_eq!(store.proactive()[0].target, 6);
+    }
+
+    #[test]
+    fn resolve_without_reactive_uses_proactive_regardless_of_trust() {
+        let mut store = DecisionStore::new();
+        store.add_proactive(&[proactive(0, 5, 0.0, 60.0, 1, true)]);
+        assert_eq!(store.resolve(0, 30.0, 2, None).unwrap().target, 5);
+        // Untrusted but no alternative: still applied.
+        let mut store2 = DecisionStore::new();
+        store2.add_proactive(&[proactive(0, 5, 0.0, 60.0, 1, false)]);
+        assert_eq!(store2.resolve(0, 30.0, 2, None).unwrap().target, 5);
+        // Nothing at all: no decision.
+        assert!(DecisionStore::new().resolve(0, 30.0, 2, None).is_none());
+    }
+
+    #[test]
+    fn reactive_decisions_not_stored() {
+        let mut store = DecisionStore::new();
+        store.add_proactive(&[reactive(0, 3, 0.0, 60.0)]);
+        assert!(store.proactive().is_empty());
+    }
+}

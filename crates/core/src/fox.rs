@@ -1,0 +1,240 @@
+//! FOX — the cost-awareness component (Lesch et al., ICPE 2018; §III-A3).
+//!
+//! FOX "leverages knowledge of the charging model of the public cloud and
+//! reviews the scaling decisions proposed by the auto-scaler in order to
+//! reduce the charged costs to a minimum. More precisely, FOX delays or
+//! omits releasing resources to avoid additional charging costs if the
+//! resources will be required again within the charging interval."
+//!
+//! The paper names two implemented charging strategies — Amazon EC2
+//! (hourly) and the Google Cloud (per-minute with a minimum) — modeled
+//! here as [`ChargingModel`]s.
+
+use serde::{Deserialize, Serialize};
+
+/// A public-cloud charging model: instances are billed in fixed intervals
+/// from their individual start times, with a minimum billed duration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChargingModel {
+    /// Model name for reports.
+    pub name: String,
+    /// Billing granularity in seconds (each started interval is charged in
+    /// full).
+    pub interval: f64,
+    /// Minimum billed duration per instance in seconds.
+    pub minimum: f64,
+}
+
+impl ChargingModel {
+    /// Amazon EC2 classic hourly billing.
+    pub fn ec2_hourly() -> Self {
+        ChargingModel {
+            name: "ec2-hourly".into(),
+            interval: 3600.0,
+            minimum: 3600.0,
+        }
+    }
+
+    /// Google Cloud per-minute billing with a 10-minute minimum.
+    pub fn gcp_per_minute() -> Self {
+        ChargingModel {
+            name: "gcp-per-minute".into(),
+            interval: 60.0,
+            minimum: 600.0,
+        }
+    }
+
+    /// The billed duration for an instance that ran `elapsed` seconds.
+    pub fn billed_duration(&self, elapsed: f64) -> f64 {
+        let elapsed = elapsed.max(0.0).max(self.minimum);
+        (elapsed / self.interval).ceil() * self.interval
+    }
+
+    /// Seconds of already-paid time remaining for an instance started at
+    /// `start` when observed at `now`.
+    pub fn paid_time_remaining(&self, start: f64, now: f64) -> f64 {
+        let elapsed = (now - start).max(0.0);
+        self.billed_duration(elapsed.max(1e-9)) - elapsed
+    }
+}
+
+/// The FOX reviewer: tracks per-service instance leases and vetoes
+/// releases that would waste already-paid instance time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fox {
+    model: ChargingModel,
+    /// Release an instance only when at most this fraction of its current
+    /// charging interval remains paid (default 10%).
+    release_window: f64,
+    /// Per-service start times of currently leased instances.
+    leases: Vec<Vec<f64>>,
+    /// Total seconds of billed instance time already incurred by released
+    /// instances.
+    billed_released: f64,
+}
+
+impl Fox {
+    /// Creates a FOX reviewer for `service_count` services under the given
+    /// charging model.
+    pub fn new(model: ChargingModel, service_count: usize) -> Self {
+        Fox {
+            model,
+            release_window: 0.1,
+            leases: vec![Vec::new(); service_count],
+            billed_released: 0.0,
+        }
+    }
+
+    /// The charging model in use.
+    pub fn model(&self) -> &ChargingModel {
+        &self.model
+    }
+
+    /// Currently leased instances of a service (as far as FOX knows).
+    pub fn leased(&self, service: usize) -> usize {
+        self.leases.get(service).map(Vec::len).unwrap_or(0)
+    }
+
+    /// Reviews a proposed target for `service` at time `now`, given the
+    /// currently provisioned count, and returns the (possibly raised)
+    /// target: scale-downs are limited to instances whose paid interval is
+    /// nearly exhausted; scale-ups pass through and open new leases.
+    pub fn review(&mut self, service: usize, now: f64, current: u32, proposed: u32) -> u32 {
+        self.sync_leases(service, now, current);
+        if proposed >= current {
+            return proposed;
+        }
+        let leases = &mut self.leases[service];
+        // Candidates for release: instances nearest the end of their paid
+        // interval. Sort so the cheapest-to-release (least remaining paid
+        // time) come last.
+        leases.sort_by(|a, b| {
+            let ra = self.model.paid_time_remaining(*a, now);
+            let rb = self.model.paid_time_remaining(*b, now);
+            rb.partial_cmp(&ra).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let want_release = (current - proposed) as usize;
+        let window = self.model.interval * self.release_window;
+        let mut released = 0usize;
+        while released < want_release {
+            let Some(&start) = leases.last() else { break };
+            if self.model.paid_time_remaining(start, now) <= window {
+                leases.pop();
+                self.billed_released += self.model.billed_duration(now - start);
+                released += 1;
+            } else {
+                break; // still-paid instance: keep it ("delays or omits releasing")
+            }
+        }
+        current - released as u32
+    }
+
+    /// Total billed instance-seconds so far: every released lease's billed
+    /// duration plus the running leases billed as of `now`.
+    pub fn billed_instance_seconds(&self, now: f64) -> f64 {
+        let running: f64 = self
+            .leases
+            .iter()
+            .flatten()
+            .map(|&start| self.model.billed_duration(now - start))
+            .sum();
+        self.billed_released + running
+    }
+
+    /// Aligns the lease book with the externally observed instance count
+    /// (instances may have been added without FOX involvement, e.g. the
+    /// initial deployment).
+    fn sync_leases(&mut self, service: usize, now: f64, current: u32) {
+        if service >= self.leases.len() {
+            self.leases.resize(service + 1, Vec::new());
+        }
+        let leases = &mut self.leases[service];
+        while leases.len() < current as usize {
+            leases.push(now);
+        }
+        while leases.len() > current as usize {
+            // Instances went away without review (drained): bill them.
+            if let Some(start) = leases.pop() {
+                self.billed_released += self.model.billed_duration(now - start);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn billed_duration_rounds_up_with_minimum() {
+        let ec2 = ChargingModel::ec2_hourly();
+        assert_eq!(ec2.billed_duration(1.0), 3600.0);
+        assert_eq!(ec2.billed_duration(3600.0), 3600.0);
+        assert_eq!(ec2.billed_duration(3601.0), 7200.0);
+        let gcp = ChargingModel::gcp_per_minute();
+        assert_eq!(gcp.billed_duration(30.0), 600.0);
+        assert_eq!(gcp.billed_duration(600.0), 600.0);
+        assert_eq!(gcp.billed_duration(601.0), 660.0);
+    }
+
+    #[test]
+    fn paid_time_remaining_decreases() {
+        let ec2 = ChargingModel::ec2_hourly();
+        assert!((ec2.paid_time_remaining(0.0, 600.0) - 3000.0).abs() < 1e-9);
+        assert!((ec2.paid_time_remaining(0.0, 3599.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_up_passes_through() {
+        let mut fox = Fox::new(ChargingModel::ec2_hourly(), 1);
+        assert_eq!(fox.review(0, 0.0, 2, 5), 5);
+    }
+
+    #[test]
+    fn early_release_is_vetoed() {
+        let mut fox = Fox::new(ChargingModel::ec2_hourly(), 1);
+        fox.review(0, 0.0, 4, 4); // open 4 leases at t = 0
+        // 10 minutes in: 50 paid minutes remain — keep everything.
+        assert_eq!(fox.review(0, 600.0, 4, 1), 4);
+    }
+
+    #[test]
+    fn release_allowed_near_interval_end() {
+        let mut fox = Fox::new(ChargingModel::ec2_hourly(), 1);
+        fox.review(0, 0.0, 4, 4);
+        // 59 minutes in: 60 s of paid time remain (< 10% of 3600 s).
+        assert_eq!(fox.review(0, 3540.0, 4, 1), 1);
+    }
+
+    #[test]
+    fn partial_release_when_leases_differ() {
+        let mut fox = Fox::new(ChargingModel::ec2_hourly(), 1);
+        fox.review(0, 0.0, 2, 2); // two leases at t = 0
+        fox.review(0, 1800.0, 3, 3); // one more at t = 1800
+        // At t = 3550 the two old leases are nearly exhausted, the newer
+        // one has ~30 min paid: only the old two may go.
+        assert_eq!(fox.review(0, 3550.0, 3, 0), 1);
+    }
+
+    #[test]
+    fn billing_accumulates() {
+        let mut fox = Fox::new(ChargingModel::gcp_per_minute(), 1);
+        fox.review(0, 0.0, 1, 1);
+        // Near the end of the 10-minute minimum the instance can go.
+        let target = fox.review(0, 599.0, 1, 0);
+        assert_eq!(target, 0);
+        assert!((fox.billed_instance_seconds(599.0) - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sync_handles_external_changes() {
+        let mut fox = Fox::new(ChargingModel::gcp_per_minute(), 1);
+        // Instances appeared without FOX: leases opened on sight.
+        fox.review(0, 100.0, 5, 5);
+        assert_eq!(fox.leased(0), 5);
+        // Instances vanished without review: leases closed and billed.
+        fox.review(0, 200.0, 2, 2);
+        assert_eq!(fox.leased(0), 2);
+        assert!(fox.billed_instance_seconds(200.0) > 0.0);
+    }
+}

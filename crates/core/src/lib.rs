@@ -1,0 +1,67 @@
+//! **Chamulteon** — coordinated auto-scaling of micro-services
+//! (Bauer et al., ICDCS 2019) — the paper's primary contribution.
+//!
+//! Chamulteon is a hybrid auto-scaler for applications composed of multiple
+//! services. It redesigns the single-service Chameleon scaler around four
+//! components (§III-A, Fig. 1):
+//!
+//! * a **performance data repository** — arrival-rate history plus a
+//!   descriptive performance model (`chamulteon-perfmodel`) carrying the
+//!   invocation graph,
+//! * a **forecasting component** — the Telescope-style hybrid forecaster
+//!   (`chamulteon-forecast`), invoked on demand: only when the previous
+//!   forecast is exhausted or a MASE drift is detected,
+//! * a **service demand estimation component** — the Service Demand Law
+//!   estimator (`chamulteon-demand`),
+//! * a **cost-awareness component (FOX)** — reviews scale-downs against the
+//!   cloud charging model ([`fox`]).
+//!
+//! Two independent cycles make decisions ([`controller::Chamulteon`]):
+//! the **reactive cycle** sizes every service from *measured* arrival
+//! rates each short interval, and the **proactive cycle** sizes them from
+//! *forecast* rates for a window of future intervals (Algorithm 1,
+//! [`algorithm::proactive_decisions`]). Both propagate the entry rate
+//! through the invocation graph so downstream services scale *with* their
+//! predecessors instead of after them — removing bottleneck shifting and
+//! oscillations. Conflicts between the cycles are resolved by decision
+//! scope and forecast recency ([`decision::DecisionStore`], §III-C).
+//!
+//! # Example
+//!
+//! ```
+//! use chamulteon::{Chamulteon, ChamulteonConfig};
+//! use chamulteon_demand::MonitoringSample;
+//! use chamulteon_perfmodel::ApplicationModel;
+//!
+//! let model = ApplicationModel::paper_benchmark();
+//! let mut scaler = Chamulteon::new(model, ChamulteonConfig::default());
+//! // One 60 s monitoring window: 1200 requests at the entry, 3 services.
+//! let samples = vec![
+//!     MonitoringSample::new(60.0, 1200, 0.6, 2, Some(0.08))?,
+//!     MonitoringSample::new(60.0, 1200, 0.9, 2, Some(0.25))?,
+//!     MonitoringSample::new(60.0, 1200, 0.4, 2, Some(0.05))?,
+//! ];
+//! let targets = scaler.tick(60.0, &samples);
+//! assert_eq!(targets.len(), 3);
+//! # Ok::<(), chamulteon_demand::DemandError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0.0)` deliberately rejects NaN
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod config;
+pub mod controller;
+pub mod decision;
+pub mod fox;
+pub mod nested;
+pub mod vertical;
+
+pub use algorithm::proactive_decisions;
+pub use config::ChamulteonConfig;
+pub use controller::Chamulteon;
+pub use decision::{DecisionOrigin, DecisionStore, ScalingDecision};
+pub use fox::{ChargingModel, Fox};
+pub use nested::NestedPlanner;
+pub use vertical::{hybrid_decisions, HybridDecision, InstanceSize, VerticalPolicy};

@@ -1,0 +1,173 @@
+//! Property-based tests for the Chamulteon controller and its components.
+
+use chamulteon::{
+    proactive_decisions, Chamulteon, ChamulteonConfig, ChargingModel, DecisionOrigin,
+    DecisionStore, Fox, ScalingDecision, VerticalPolicy,
+};
+use chamulteon_demand::MonitoringSample;
+use chamulteon_perfmodel::ApplicationModel;
+use proptest::prelude::*;
+
+fn sample_for(rate: f64, demand: f64, n: u32) -> MonitoringSample {
+    let n = n.max(1);
+    let util = (rate * demand / f64::from(n)).min(1.0);
+    let capacity = f64::from(n) / demand;
+    MonitoringSample::new(60.0, (rate * 60.0).round() as u64, util, n, None)
+        .unwrap()
+        .with_completions((rate.min(capacity) * 60.0).round() as u64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Controller targets always respect the model bounds, under arbitrary
+    /// load sequences.
+    #[test]
+    fn targets_always_within_bounds(loads in prop::collection::vec(0.0f64..2000.0, 1..25)) {
+        let model = ApplicationModel::paper_benchmark();
+        let mut c = Chamulteon::new(model.clone(), ChamulteonConfig::default());
+        let mut n = [1u32, 1, 1];
+        let demands = [0.059, 0.1, 0.04];
+        for (k, &rate) in loads.iter().enumerate() {
+            let samples: Vec<MonitoringSample> = (0..3)
+                .map(|i| sample_for(rate, demands[i], n[i]))
+                .collect();
+            let targets = c.tick(60.0 * (k as f64 + 1.0), &samples);
+            prop_assert_eq!(targets.len(), 3);
+            for (i, &t) in targets.iter().enumerate() {
+                prop_assert!(t >= model.service(i).min_instances());
+                prop_assert!(t <= model.service(i).max_instances());
+                n[i] = t;
+            }
+        }
+    }
+
+    /// At steady load the controller converges and then holds: after
+    /// convergence the targets stop changing (no oscillation).
+    #[test]
+    fn no_oscillation_at_steady_load(rate in 5.0f64..400.0) {
+        let model = ApplicationModel::paper_benchmark();
+        let mut c = Chamulteon::new(model, ChamulteonConfig::reactive_only());
+        let demands = [0.059, 0.1, 0.04];
+        let mut n = [1u32, 1, 1];
+        let mut history = Vec::new();
+        for k in 0..25 {
+            let samples: Vec<MonitoringSample> = (0..3)
+                .map(|i| sample_for(rate, demands[i], n[i]))
+                .collect();
+            let targets = c.tick(60.0 * (k as f64 + 1.0), &samples);
+            n = [targets[0], targets[1], targets[2]];
+            history.push(n);
+        }
+        // The last 10 rounds must be identical.
+        let last = history[history.len() - 1];
+        for round in &history[history.len() - 10..] {
+            prop_assert_eq!(*round, last);
+        }
+        // And the settled capacity serves the load at every tier.
+        for i in 0..3 {
+            prop_assert!(f64::from(last[i]) / demands[i] >= rate * 0.99);
+        }
+    }
+
+    /// Algorithm 1 output capacity covers the offered (possibly throttled)
+    /// rate at the target utilization, for every tier.
+    #[test]
+    fn algorithm1_capacity_sufficient(
+        rate in 0.0f64..3000.0,
+        n1 in 1u32..100, n2 in 1u32..100, n3 in 1u32..100,
+    ) {
+        let model = ApplicationModel::paper_benchmark();
+        let config = ChamulteonConfig::default();
+        let demands = [0.059, 0.1, 0.04];
+        let targets = proactive_decisions(&model, rate, &demands, &[n1, n2, n3], &config);
+        // Effective rates after the *new* sizing.
+        let mut upstream = rate;
+        for i in 0..3 {
+            let capacity = f64::from(targets[i]) / demands[i];
+            // Either the tier covers its offered rate at rho_upper, or it
+            // is pinned at the model maximum.
+            prop_assert!(
+                capacity * config.rho_upper >= upstream - 1e-6 || targets[i] == 200,
+                "tier {i}: capacity {capacity} for offered {upstream}"
+            );
+            upstream = upstream.min(capacity);
+        }
+    }
+
+    /// Decision-store resolution never invents targets: the resolved
+    /// decision is always one of the inputs.
+    #[test]
+    fn resolution_picks_an_input(
+        p_target in 1u32..50,
+        r_target in 1u32..50,
+        current in 1u32..50,
+        trusted in any::<bool>(),
+    ) {
+        let mut store = DecisionStore::new();
+        store.add_proactive(&[ScalingDecision {
+            service: 0,
+            target: p_target,
+            start: 0.0,
+            end: 60.0,
+            origin: DecisionOrigin::Proactive { generation: 1, trusted },
+        }]);
+        let reactive = ScalingDecision {
+            service: 0,
+            target: r_target,
+            start: 0.0,
+            end: 60.0,
+            origin: DecisionOrigin::Reactive,
+        };
+        let chosen = store.resolve(0, 30.0, current, Some(reactive)).unwrap();
+        prop_assert!(chosen.target == p_target || chosen.target == r_target);
+        // Trusted + wants-to-scale must pick proactive; otherwise reactive.
+        if trusted && p_target != current {
+            prop_assert_eq!(chosen.target, p_target);
+        } else {
+            prop_assert_eq!(chosen.target, r_target);
+        }
+    }
+
+    /// FOX review never lowers a scale-up and never raises a target above
+    /// the current count during a scale-down.
+    #[test]
+    fn fox_review_sandwiched(
+        current in 1u32..50,
+        proposed in 1u32..50,
+        elapsed in 0.0f64..7200.0,
+    ) {
+        let mut fox = Fox::new(ChargingModel::ec2_hourly(), 1);
+        fox.review(0, 0.0, current, current); // open leases at t = 0
+        let reviewed = fox.review(0, elapsed, current, proposed);
+        if proposed >= current {
+            prop_assert_eq!(reviewed, proposed);
+        } else {
+            prop_assert!(reviewed >= proposed);
+            prop_assert!(reviewed <= current);
+        }
+    }
+
+    /// The hybrid vertical policy always returns a decision whose capacity
+    /// covers the load when any feasible option exists.
+    #[test]
+    fn vertical_policy_feasible_when_possible(
+        rate in 0.0f64..500.0,
+        demand in 0.01f64..0.3,
+        max_n in 1u32..200,
+    ) {
+        let policy = VerticalPolicy::ec2_like();
+        let d = policy.decide(rate, demand, 0.8, 1, max_n);
+        prop_assert!(d.instances >= 1 && d.instances <= max_n.max(1));
+        let speed = policy.sizes()[d.size_index].speed;
+        let needed_units = rate * demand / 0.8;
+        let best_possible = f64::from(max_n) * 4.0; // biggest rung is 4x
+        if needed_units <= best_possible {
+            prop_assert!(
+                f64::from(d.instances) * speed + 1e-6 >= needed_units,
+                "infeasible pick: {d:?} for {needed_units} units"
+            );
+        }
+        prop_assert!(d.cost_per_hour > 0.0);
+    }
+}

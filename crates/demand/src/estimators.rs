@@ -1,0 +1,252 @@
+//! The estimator trait and the three implemented estimation approaches.
+
+use crate::error::DemandError;
+use crate::sample::MonitoringSample;
+
+/// A service demand estimation approach.
+///
+/// Mirrors LibReDE's design: every approach consumes a set of monitoring
+/// windows for one service and produces a single demand estimate in seconds
+/// per request. The trait is object-safe so approaches can be selected at
+/// runtime through the [`EstimatorRegistry`](crate::EstimatorRegistry).
+pub trait DemandEstimator {
+    /// A short stable identifier, e.g. `"service-demand-law"`.
+    fn name(&self) -> &str;
+
+    /// Estimates the mean service demand (seconds per request) from the
+    /// given monitoring windows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DemandError::NoUsableSamples`] when no window carries
+    /// signal and [`DemandError::MissingObservation`] when a required
+    /// observation (e.g. response times) is absent.
+    fn estimate(&self, samples: &[MonitoringSample]) -> Result<f64, DemandError>;
+}
+
+/// The Service Demand Law estimator — the approach the paper selects "to
+/// minimize the estimation overhead".
+///
+/// From the utilization law `U = X·D/n` (with `X` the throughput) it
+/// follows that `D = U·n/X = total busy time / total completions`. Windows
+/// are aggregated by summing busy time and completions, which weights
+/// windows by the amount of work they observed. Using completions rather
+/// than arrivals keeps the estimate correct under saturation, when fewer
+/// requests complete than arrive.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceDemandLawEstimator;
+
+impl DemandEstimator for ServiceDemandLawEstimator {
+    fn name(&self) -> &str {
+        "service-demand-law"
+    }
+
+    fn estimate(&self, samples: &[MonitoringSample]) -> Result<f64, DemandError> {
+        let mut busy = 0.0;
+        let mut completions = 0u64;
+        for s in samples {
+            busy += s.total_busy_time();
+            completions += s.completions();
+        }
+        if completions == 0 || busy <= 0.0 {
+            return Err(DemandError::NoUsableSamples);
+        }
+        Ok(busy / completions as f64)
+    }
+}
+
+/// Least-squares regression of per-instance utilization on per-instance
+/// throughput across windows, through the origin:
+/// `U_w ≈ D · (X_w / n_w)` ⇒ `D = Σ x·U / Σ x²` with `x = X/n`.
+///
+/// More robust than the Service Demand Law when individual windows carry
+/// correlated monitoring noise, at the cost of needing several windows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UtilizationRegressionEstimator;
+
+impl DemandEstimator for UtilizationRegressionEstimator {
+    fn name(&self) -> &str {
+        "utilization-regression"
+    }
+
+    fn estimate(&self, samples: &[MonitoringSample]) -> Result<f64, DemandError> {
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        for s in samples {
+            let x = s.throughput() / f64::from(s.instances());
+            if x <= 0.0 {
+                continue;
+            }
+            sxx += x * x;
+            sxy += x * s.utilization();
+        }
+        if sxx <= 0.0 || sxy <= 0.0 {
+            return Err(DemandError::NoUsableSamples);
+        }
+        Ok(sxy / sxx)
+    }
+}
+
+/// Demand from observed response times, corrected for queueing delay with
+/// the M/M/1-style approximation `R ≈ D / (1 − ρ)` ⇒ `D ≈ R·(1 − ρ)`.
+///
+/// Windows are weighted by their arrival counts. Requires response-time
+/// observations; a window at (or past) saturation contributes the smallest
+/// meaningful correction factor instead of a non-positive one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResponseTimeApproximationEstimator;
+
+impl DemandEstimator for ResponseTimeApproximationEstimator {
+    fn name(&self) -> &str {
+        "response-time-approximation"
+    }
+
+    fn estimate(&self, samples: &[MonitoringSample]) -> Result<f64, DemandError> {
+        if samples.is_empty() {
+            return Err(DemandError::NoUsableSamples);
+        }
+        let mut weighted = 0.0;
+        let mut weight = 0.0;
+        let mut saw_response_time = false;
+        for s in samples {
+            let Some(rt) = s.mean_response_time() else {
+                continue;
+            };
+            saw_response_time = true;
+            if s.completions() == 0 {
+                continue;
+            }
+            let correction = (1.0 - s.utilization()).max(0.05);
+            let w = s.completions() as f64;
+            weighted += w * rt * correction;
+            weight += w;
+        }
+        if !saw_response_time {
+            return Err(DemandError::MissingObservation {
+                observation: "mean_response_time",
+            });
+        }
+        if weight <= 0.0 {
+            return Err(DemandError::NoUsableSamples);
+        }
+        Ok(weighted / weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(duration: f64, arrivals: u64, util: f64, n: u32, rt: Option<f64>) -> MonitoringSample {
+        MonitoringSample::new(duration, arrivals, util, n, rt).unwrap()
+    }
+
+    #[test]
+    fn sdl_recovers_planted_demand() {
+        // Planted demand 0.1 s: λ = 20 req/s on 4 instances => U = 0.5.
+        let s = sample(60.0, 1200, 0.5, 4, None);
+        let d = ServiceDemandLawEstimator.estimate(&[s]).unwrap();
+        assert!((d - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sdl_aggregates_windows_by_work() {
+        // Two windows with different loads but same true demand.
+        let s1 = sample(60.0, 600, 0.25, 4, None); // λ=10, D=0.1
+        let s2 = sample(60.0, 2400, 1.0, 4, None); // λ=40, D=0.1
+        let d = ServiceDemandLawEstimator.estimate(&[s1, s2]).unwrap();
+        assert!((d - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sdl_no_arrivals_is_error() {
+        let s = sample(60.0, 0, 0.0, 4, None);
+        assert_eq!(
+            ServiceDemandLawEstimator.estimate(&[s]),
+            Err(DemandError::NoUsableSamples)
+        );
+        assert_eq!(
+            ServiceDemandLawEstimator.estimate(&[]),
+            Err(DemandError::NoUsableSamples)
+        );
+    }
+
+    #[test]
+    fn sdl_correct_under_saturation() {
+        // 100 req/s arrive but a single instance (capacity 10 req/s at
+        // D = 0.1) completes only 600 in 60 s at utilization 1.0.
+        let s = sample(60.0, 6000, 1.0, 1, None).with_completions(600);
+        let d = ServiceDemandLawEstimator.estimate(&[s]).unwrap();
+        assert!((d - 0.1).abs() < 1e-12, "got {d}");
+    }
+
+    #[test]
+    fn regression_recovers_planted_demand() {
+        // U = 0.059 · λ/n exactly across varied windows.
+        let demand = 0.059;
+        let samples: Vec<_> = (1..=6)
+            .map(|k| {
+                let lambda = k as f64 * 5.0;
+                let n = 4;
+                let util = demand * lambda / n as f64;
+                sample(60.0, (lambda * 60.0) as u64, util, n, None)
+            })
+            .collect();
+        let d = UtilizationRegressionEstimator.estimate(&samples).unwrap();
+        assert!((d - demand).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regression_ignores_idle_windows() {
+        let idle = sample(60.0, 0, 0.0, 4, None);
+        let busy = sample(60.0, 1200, 0.5, 4, None);
+        let d = UtilizationRegressionEstimator.estimate(&[idle, busy]).unwrap();
+        assert!((d - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regression_all_idle_is_error() {
+        let idle = sample(60.0, 0, 0.0, 4, None);
+        assert!(UtilizationRegressionEstimator.estimate(&[idle]).is_err());
+    }
+
+    #[test]
+    fn response_time_low_load_close_to_demand() {
+        // At 10% utilization, R barely exceeds D; the correction recovers D.
+        let s = sample(60.0, 100, 0.1, 2, Some(0.111));
+        let d = ResponseTimeApproximationEstimator.estimate(&[s]).unwrap();
+        assert!((d - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn response_time_requires_observation() {
+        let s = sample(60.0, 100, 0.1, 2, None);
+        assert_eq!(
+            ResponseTimeApproximationEstimator.estimate(&[s]),
+            Err(DemandError::MissingObservation {
+                observation: "mean_response_time"
+            })
+        );
+    }
+
+    #[test]
+    fn response_time_saturated_window_stays_positive() {
+        let s = sample(60.0, 1000, 1.0, 2, Some(2.0));
+        let d = ResponseTimeApproximationEstimator.estimate(&[s]).unwrap();
+        assert!(d > 0.0);
+    }
+
+    #[test]
+    fn estimators_are_object_safe() {
+        let estimators: Vec<Box<dyn DemandEstimator>> = vec![
+            Box::new(ServiceDemandLawEstimator),
+            Box::new(UtilizationRegressionEstimator),
+            Box::new(ResponseTimeApproximationEstimator),
+        ];
+        let s = sample(60.0, 1200, 0.5, 4, Some(0.13));
+        for e in &estimators {
+            assert!(!e.name().is_empty());
+            assert!(e.estimate(&[s]).is_ok());
+        }
+    }
+}

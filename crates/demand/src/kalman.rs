@@ -1,0 +1,197 @@
+//! Kalman-filter demand estimation on the utilization law.
+//!
+//! LibReDE's registry includes a Kalman-filter approach (after Wang et
+//! al.) that treats the service demand as a slowly drifting hidden state
+//! observed through the utilization law `U = (X/n)·D + noise`. Compared to
+//! the plain Service Demand Law it smooths monitoring noise *and* adapts
+//! when the true demand drifts (e.g. after a deployment changes the code
+//! path), trading a little bias right after a change for much lower
+//! variance.
+
+use crate::error::DemandError;
+use crate::estimators::DemandEstimator;
+use crate::sample::MonitoringSample;
+
+/// Scalar Kalman filter over the utilization law.
+///
+/// State: the service demand `D` (seconds/request). Observation per
+/// monitoring window: the utilization `U` with linear model `U = H·D`,
+/// `H = X/n` (per-instance throughput). The filter is re-run over the
+/// supplied window from a diffuse prior on every call, so the estimator
+/// stays stateless like the rest of the registry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KalmanFilterEstimator {
+    /// Process noise variance `Q`: how fast the true demand may drift per
+    /// window (in demand units squared).
+    pub process_noise: f64,
+    /// Observation noise variance `R` of the utilization monitor.
+    pub observation_noise: f64,
+}
+
+impl Default for KalmanFilterEstimator {
+    fn default() -> Self {
+        KalmanFilterEstimator {
+            process_noise: 1e-6,
+            observation_noise: 1e-3,
+        }
+    }
+}
+
+impl KalmanFilterEstimator {
+    /// Creates a filter with custom noise parameters (non-positive values
+    /// fall back to the defaults).
+    pub fn new(process_noise: f64, observation_noise: f64) -> Self {
+        let d = KalmanFilterEstimator::default();
+        KalmanFilterEstimator {
+            process_noise: if process_noise > 0.0 && process_noise.is_finite() {
+                process_noise
+            } else {
+                d.process_noise
+            },
+            observation_noise: if observation_noise > 0.0 && observation_noise.is_finite() {
+                observation_noise
+            } else {
+                d.observation_noise
+            },
+        }
+    }
+}
+
+impl DemandEstimator for KalmanFilterEstimator {
+    fn name(&self) -> &str {
+        "kalman-filter"
+    }
+
+    fn estimate(&self, samples: &[MonitoringSample]) -> Result<f64, DemandError> {
+        // Initialize from the first informative window's direct estimate.
+        let mut state: Option<(f64, f64)> = None; // (D, P)
+        for s in samples {
+            let h = s.throughput() / f64::from(s.instances());
+            if h <= 0.0 {
+                continue; // idle window carries no information
+            }
+            match &mut state {
+                None => {
+                    // Diffuse prior centered on the direct SDL estimate of
+                    // this window.
+                    let d0 = s.utilization() / h;
+                    if d0 > 0.0 && d0.is_finite() {
+                        state = Some((d0, 1.0));
+                    }
+                }
+                Some((d, p)) => {
+                    // Predict.
+                    let p_pred = *p + self.process_noise;
+                    // Update.
+                    let innovation = s.utilization() - h * *d;
+                    let s_var = h * h * p_pred + self.observation_noise;
+                    let gain = p_pred * h / s_var;
+                    *d += gain * innovation;
+                    *p = (1.0 - gain * h) * p_pred;
+                    // Demands are physically positive.
+                    if *d < 1e-6 {
+                        *d = 1e-6;
+                    }
+                }
+            }
+        }
+        match state {
+            Some((d, _)) if d.is_finite() && d > 0.0 => Ok(d),
+            _ => Err(DemandError::NoUsableSamples),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(arrivals: u64, util: f64, n: u32) -> MonitoringSample {
+        MonitoringSample::new(60.0, arrivals, util, n, None).unwrap()
+    }
+
+    #[test]
+    fn recovers_constant_demand() {
+        // D = 0.1 planted across consistent windows.
+        let samples: Vec<_> = (1..=10)
+            .map(|k| {
+                let lambda = k as f64 * 4.0;
+                let util = (0.1 * lambda / 4.0_f64).min(1.0);
+                sample((lambda * 60.0) as u64, util, 4)
+            })
+            .collect();
+        let d = KalmanFilterEstimator::default().estimate(&samples).unwrap();
+        assert!((d - 0.1).abs() < 1e-3, "got {d}");
+    }
+
+    #[test]
+    fn smooths_noisy_observations() {
+        // Deterministic "noise" around D = 0.059.
+        let samples: Vec<_> = (0..20)
+            .map(|k| {
+                let lambda = 30.0;
+                let noise = 0.01 * ((k as f64 * 1.7).sin());
+                let util = (0.059 * lambda / 4.0 + noise).clamp(0.0, 1.0);
+                sample((lambda * 60.0) as u64, util, 4)
+            })
+            .collect();
+        let kalman = KalmanFilterEstimator::default().estimate(&samples).unwrap();
+        assert!((kalman - 0.059).abs() < 0.01, "kalman {kalman}");
+    }
+
+    #[test]
+    fn tracks_demand_drift() {
+        // Demand shifts 0.05 -> 0.15 halfway; filter must move toward the
+        // new value.
+        let mut samples = Vec::new();
+        for _ in 0..10 {
+            samples.push(sample(1800, (0.05 * 30.0 / 4.0_f64).min(1.0), 4));
+        }
+        for _ in 0..20 {
+            samples.push(sample(1800, (0.15 * 30.0 / 4.0_f64).min(1.0), 4));
+        }
+        let fast = KalmanFilterEstimator::new(1e-3, 1e-3);
+        let d = fast.estimate(&samples).unwrap();
+        assert!(d > 0.12, "should track drift, got {d}");
+    }
+
+    #[test]
+    fn idle_windows_skipped() {
+        let samples = vec![
+            sample(0, 0.0, 4),
+            sample(1200, 0.5, 4), // D = 0.1
+            sample(0, 0.0, 4),
+        ];
+        let d = KalmanFilterEstimator::default().estimate(&samples).unwrap();
+        assert!((d - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_idle_is_error() {
+        let samples = vec![sample(0, 0.0, 4)];
+        assert_eq!(
+            KalmanFilterEstimator::default().estimate(&samples),
+            Err(DemandError::NoUsableSamples)
+        );
+        assert!(KalmanFilterEstimator::default().estimate(&[]).is_err());
+    }
+
+    #[test]
+    fn invalid_noise_parameters_fall_back() {
+        let k = KalmanFilterEstimator::new(-1.0, f64::NAN);
+        assert_eq!(k.process_noise, KalmanFilterEstimator::default().process_noise);
+        assert_eq!(
+            k.observation_noise,
+            KalmanFilterEstimator::default().observation_noise
+        );
+    }
+
+    #[test]
+    fn estimate_is_always_positive() {
+        // Utilization 0 with traffic: direct estimate would be 0; the
+        // filter clamps to a positive floor.
+        let samples = vec![sample(1200, 0.5, 4), sample(1200, 0.0, 4), sample(1200, 0.0, 4)];
+        let d = KalmanFilterEstimator::new(1e-2, 1e-3).estimate(&samples).unwrap();
+        assert!(d > 0.0);
+    }
+}

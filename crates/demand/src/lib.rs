@@ -1,0 +1,57 @@
+//! LibReDE-style service demand estimation for the Chamulteon reproduction.
+//!
+//! Chamulteon (§III-A2) estimates the *service demand* of every service —
+//! "the average time required from each service for processing a request,
+//! excluding any waiting times" — from monitoring data. The paper uses the
+//! estimator based on the **Service Demand Law** from the LibReDE library
+//! (Spinner et al., ICPE 2014) to minimize estimation overhead; LibReDE
+//! itself offers a registry of estimation approaches. This crate mirrors
+//! that design:
+//!
+//! * [`MonitoringSample`] — one monitoring window worth of per-service
+//!   observations (arrivals, utilization, instance count, response time),
+//! * [`DemandEstimator`] — the estimator trait,
+//! * [`ServiceDemandLawEstimator`] — the paper's choice: `D = U·n/λ`,
+//! * [`UtilizationRegressionEstimator`] — least-squares regression of
+//!   utilization on arrival rate across windows,
+//! * [`ResponseTimeApproximationEstimator`] — demand from observed response
+//!   times corrected for queueing,
+//! * [`KalmanFilterEstimator`] — a Kalman filter over the utilization law
+//!   that smooths monitoring noise and tracks demand drift,
+//! * [`EstimatorRegistry`] — name-based lookup like LibReDE's approach
+//!   registry,
+//! * [`RollingDemandEstimator`] — a windowed, smoothed wrapper that the
+//!   controller consumes.
+//!
+//! # Example
+//!
+//! ```
+//! use chamulteon_demand::{DemandEstimator, MonitoringSample, ServiceDemandLawEstimator};
+//!
+//! // One 60 s window: 600 requests, 5 instances at 20% utilization.
+//! let sample = MonitoringSample::new(60.0, 600, 0.2, 5, Some(0.11))?;
+//! let demand = ServiceDemandLawEstimator.estimate(&[sample])?;
+//! assert!((demand - 0.1).abs() < 1e-9); // U·n/λ = 0.2·5/10
+//! # Ok::<(), chamulteon_demand::DemandError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0.0)` deliberately rejects NaN
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod estimators;
+pub mod kalman;
+pub mod registry;
+pub mod rolling;
+pub mod sample;
+
+pub use error::DemandError;
+pub use estimators::{
+    DemandEstimator, ResponseTimeApproximationEstimator, ServiceDemandLawEstimator,
+    UtilizationRegressionEstimator,
+};
+pub use kalman::KalmanFilterEstimator;
+pub use registry::EstimatorRegistry;
+pub use rolling::RollingDemandEstimator;
+pub use sample::MonitoringSample;

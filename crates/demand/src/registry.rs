@@ -1,0 +1,135 @@
+//! Name-based estimator registry, mirroring LibReDE's approach registry.
+
+use crate::error::DemandError;
+use crate::estimators::{
+    DemandEstimator, ResponseTimeApproximationEstimator, ServiceDemandLawEstimator,
+    UtilizationRegressionEstimator,
+};
+use crate::kalman::KalmanFilterEstimator;
+use crate::sample::MonitoringSample;
+use std::collections::BTreeMap;
+
+/// A registry of demand estimation approaches keyed by name.
+///
+/// # Examples
+///
+/// ```
+/// use chamulteon_demand::{EstimatorRegistry, MonitoringSample};
+///
+/// let registry = EstimatorRegistry::with_builtins();
+/// let sample = MonitoringSample::new(60.0, 600, 0.2, 5, None)?;
+/// let d = registry.estimate("service-demand-law", &[sample]).unwrap()?;
+/// assert!((d - 0.1).abs() < 1e-9);
+/// # Ok::<(), chamulteon_demand::DemandError>(())
+/// ```
+#[derive(Default)]
+pub struct EstimatorRegistry {
+    estimators: BTreeMap<String, Box<dyn DemandEstimator + Send + Sync>>,
+}
+
+impl std::fmt::Debug for EstimatorRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EstimatorRegistry")
+            .field("estimators", &self.names())
+            .finish()
+    }
+}
+
+impl EstimatorRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        EstimatorRegistry::default()
+    }
+
+    /// Creates a registry pre-populated with the four built-in approaches.
+    pub fn with_builtins() -> Self {
+        let mut r = EstimatorRegistry::new();
+        r.register(Box::new(ServiceDemandLawEstimator));
+        r.register(Box::new(UtilizationRegressionEstimator));
+        r.register(Box::new(ResponseTimeApproximationEstimator));
+        r.register(Box::new(KalmanFilterEstimator::default()));
+        r
+    }
+
+    /// Registers an estimator under its own name, replacing any previous
+    /// estimator with that name.
+    pub fn register(&mut self, estimator: Box<dyn DemandEstimator + Send + Sync>) {
+        self.estimators
+            .insert(estimator.name().to_owned(), estimator);
+    }
+
+    /// Looks up an estimator by name.
+    pub fn get(&self, name: &str) -> Option<&(dyn DemandEstimator + Send + Sync)> {
+        self.estimators.get(name).map(|b| b.as_ref())
+    }
+
+    /// The registered estimator names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.estimators.keys().map(String::as_str).collect()
+    }
+
+    /// Runs the named estimator; `None` when the name is unknown.
+    pub fn estimate(
+        &self,
+        name: &str,
+        samples: &[MonitoringSample],
+    ) -> Option<Result<f64, DemandError>> {
+        self.get(name).map(|e| e.estimate(samples))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_are_registered() {
+        let r = EstimatorRegistry::with_builtins();
+        assert_eq!(
+            r.names(),
+            vec![
+                "kalman-filter",
+                "response-time-approximation",
+                "service-demand-law",
+                "utilization-regression"
+            ]
+        );
+        assert!(r.get("service-demand-law").is_some());
+        assert!(r.get("nope").is_none());
+    }
+
+    #[test]
+    fn estimate_dispatches() {
+        let r = EstimatorRegistry::with_builtins();
+        let s = MonitoringSample::new(60.0, 1200, 0.5, 4, None).unwrap();
+        let d = r.estimate("service-demand-law", &[s]).unwrap().unwrap();
+        assert!((d - 0.1).abs() < 1e-12);
+        assert!(r.estimate("unknown", &[s]).is_none());
+    }
+
+    #[test]
+    fn register_replaces_same_name() {
+        #[derive(Debug)]
+        struct Fixed;
+        impl DemandEstimator for Fixed {
+            fn name(&self) -> &str {
+                "service-demand-law"
+            }
+            fn estimate(&self, _: &[MonitoringSample]) -> Result<f64, DemandError> {
+                Ok(42.0)
+            }
+        }
+        let mut r = EstimatorRegistry::with_builtins();
+        r.register(Box::new(Fixed));
+        assert_eq!(r.estimate("service-demand-law", &[]).unwrap(), Ok(42.0));
+        // Count unchanged.
+        assert_eq!(r.names().len(), 4);
+    }
+
+    #[test]
+    fn debug_lists_names() {
+        let r = EstimatorRegistry::with_builtins();
+        let text = format!("{r:?}");
+        assert!(text.contains("service-demand-law"));
+    }
+}

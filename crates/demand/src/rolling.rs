@@ -1,0 +1,208 @@
+//! Rolling, smoothed demand estimation for online use by the controller.
+
+use crate::error::DemandError;
+use crate::estimators::{DemandEstimator, ServiceDemandLawEstimator};
+use crate::sample::MonitoringSample;
+use std::collections::VecDeque;
+
+/// Online wrapper around a [`DemandEstimator`]: keeps a bounded window of
+/// recent monitoring samples and exponentially smooths successive
+/// estimates, so one noisy monitoring interval cannot flip a scaling
+/// decision.
+///
+/// # Examples
+///
+/// ```
+/// use chamulteon_demand::{MonitoringSample, RollingDemandEstimator};
+///
+/// let mut est = RollingDemandEstimator::new(10, 0.5, 0.1);
+/// let s = MonitoringSample::new(60.0, 1200, 0.5, 4, None)?; // true D = 0.1
+/// est.observe(s);
+/// assert!((est.current_demand() - 0.1).abs() < 1e-9);
+/// # Ok::<(), chamulteon_demand::DemandError>(())
+/// ```
+pub struct RollingDemandEstimator {
+    estimator: Box<dyn DemandEstimator + Send + Sync>,
+    window: VecDeque<MonitoringSample>,
+    capacity: usize,
+    smoothing: f64,
+    current: f64,
+    initialized: bool,
+}
+
+impl std::fmt::Debug for RollingDemandEstimator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RollingDemandEstimator")
+            .field("estimator", &self.estimator.name())
+            .field("window_len", &self.window.len())
+            .field("capacity", &self.capacity)
+            .field("smoothing", &self.smoothing)
+            .field("current", &self.current)
+            .finish()
+    }
+}
+
+impl RollingDemandEstimator {
+    /// Creates an estimator using the Service Demand Law over a window of
+    /// `capacity` samples, EWMA-smoothed with factor `smoothing ∈ (0, 1]`
+    /// (1.0 disables smoothing), seeded with `initial_demand` until the
+    /// first real estimate arrives.
+    pub fn new(capacity: usize, smoothing: f64, initial_demand: f64) -> Self {
+        Self::with_estimator(
+            Box::new(ServiceDemandLawEstimator),
+            capacity,
+            smoothing,
+            initial_demand,
+        )
+    }
+
+    /// Like [`RollingDemandEstimator::new`] but with a custom estimation
+    /// approach.
+    pub fn with_estimator(
+        estimator: Box<dyn DemandEstimator + Send + Sync>,
+        capacity: usize,
+        smoothing: f64,
+        initial_demand: f64,
+    ) -> Self {
+        let smoothing = if smoothing.is_finite() && smoothing > 0.0 && smoothing <= 1.0 {
+            smoothing
+        } else {
+            0.5
+        };
+        let initial = if initial_demand.is_finite() && initial_demand > 0.0 {
+            initial_demand
+        } else {
+            0.1
+        };
+        RollingDemandEstimator {
+            estimator,
+            window: VecDeque::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+            smoothing,
+            current: initial,
+            initialized: false,
+        }
+    }
+
+    /// Feeds one monitoring window and updates the smoothed estimate.
+    ///
+    /// Windows without usable signal (e.g. zero arrivals) leave the current
+    /// estimate unchanged, which is the right behaviour for idle periods.
+    pub fn observe(&mut self, sample: MonitoringSample) {
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(sample);
+        let samples: Vec<MonitoringSample> = self.window.iter().copied().collect();
+        match self.estimator.estimate(&samples) {
+            Ok(estimate) if estimate.is_finite() && estimate > 0.0 => {
+                if self.initialized {
+                    self.current =
+                        self.smoothing * estimate + (1.0 - self.smoothing) * self.current;
+                } else {
+                    self.current = estimate;
+                    self.initialized = true;
+                }
+            }
+            Ok(_) | Err(_) => {}
+        }
+    }
+
+    /// The current smoothed demand estimate in seconds per request.
+    pub fn current_demand(&self) -> f64 {
+        self.current
+    }
+
+    /// Whether at least one real estimate has been incorporated (before
+    /// that, [`current_demand`](Self::current_demand) returns the seed).
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+
+    /// Runs the underlying estimator once on the current window without
+    /// smoothing — what LibReDE would answer right now.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying estimator's error.
+    pub fn raw_estimate(&self) -> Result<f64, DemandError> {
+        let samples: Vec<MonitoringSample> = self.window.iter().copied().collect();
+        self.estimator.estimate(&samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(arrivals: u64, util: f64, n: u32) -> MonitoringSample {
+        MonitoringSample::new(60.0, arrivals, util, n, None).unwrap()
+    }
+
+    #[test]
+    fn first_estimate_unsmoothed() {
+        let mut est = RollingDemandEstimator::new(5, 0.2, 0.5);
+        assert_eq!(est.current_demand(), 0.5);
+        assert!(!est.is_initialized());
+        est.observe(s(1200, 0.5, 4)); // D = 0.1
+        assert!(est.is_initialized());
+        assert!((est.current_demand() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoothing_damps_changes() {
+        let mut est = RollingDemandEstimator::new(1, 0.5, 0.1);
+        est.observe(s(1200, 0.5, 4)); // D = 0.1
+        est.observe(s(600, 0.5, 4)); // D = 0.2 in this window alone
+        let d = est.current_demand();
+        assert!(d > 0.1 && d < 0.2, "smoothed value between: {d}");
+        assert!((d - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_windows_keep_last_estimate() {
+        let mut est = RollingDemandEstimator::new(1, 1.0, 0.1);
+        est.observe(s(1200, 0.5, 4));
+        let before = est.current_demand();
+        est.observe(s(0, 0.0, 4));
+        assert_eq!(est.current_demand(), before);
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let mut est = RollingDemandEstimator::new(3, 1.0, 0.1);
+        for _ in 0..10 {
+            est.observe(s(1200, 0.5, 4));
+        }
+        assert_eq!(est.window.len(), 3);
+    }
+
+    #[test]
+    fn window_forgets_old_regime() {
+        // Demand shifts from 0.1 to 0.2; after the window fills with new
+        // samples the estimate follows (no smoothing).
+        let mut est = RollingDemandEstimator::new(2, 1.0, 0.1);
+        est.observe(s(1200, 0.5, 4)); // 0.1
+        est.observe(s(1200, 0.5, 4));
+        for _ in 0..3 {
+            est.observe(s(600, 0.5, 4)); // 0.2
+        }
+        assert!((est.current_demand() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_parameters_fall_back_to_defaults() {
+        let est = RollingDemandEstimator::new(0, -1.0, -0.5);
+        assert_eq!(est.capacity, 1);
+        assert_eq!(est.smoothing, 0.5);
+        assert_eq!(est.current_demand(), 0.1);
+    }
+
+    #[test]
+    fn raw_estimate_reflects_window_only() {
+        let mut est = RollingDemandEstimator::new(5, 0.1, 0.1);
+        assert!(est.raw_estimate().is_err());
+        est.observe(s(1200, 0.5, 4));
+        assert!((est.raw_estimate().unwrap() - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,179 @@
+//! The monitoring sample consumed by all estimators.
+
+use crate::error::DemandError;
+use serde::{Deserialize, Serialize};
+
+/// One monitoring window worth of observations for a single service.
+///
+/// The paper's estimation input (§III-A2): "the request arrivals per
+/// resource and the average monitored utilization are required", plus the
+/// optional mean response time used by the response-time estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonitoringSample {
+    duration: f64,
+    arrivals: u64,
+    #[serde(default)]
+    completions: Option<u64>,
+    utilization: f64,
+    instances: u32,
+    mean_response_time: Option<f64>,
+}
+
+impl MonitoringSample {
+    /// Creates a validated sample.
+    ///
+    /// * `duration` — window length in seconds (> 0),
+    /// * `arrivals` — requests that arrived during the window,
+    /// * `utilization` — mean utilization across the service's instances,
+    ///   in `[0, 1]` (values slightly above 1 from noisy monitors are
+    ///   clamped to 1),
+    /// * `instances` — number of running instances during the window (> 0),
+    /// * `mean_response_time` — mean end-to-end response time at this
+    ///   service in seconds, when measured.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DemandError::InvalidSample`] for a non-positive duration,
+    /// a negative/NaN utilization, zero instances, or a non-positive
+    /// response time.
+    pub fn new(
+        duration: f64,
+        arrivals: u64,
+        utilization: f64,
+        instances: u32,
+        mean_response_time: Option<f64>,
+    ) -> Result<Self, DemandError> {
+        if !(duration > 0.0) {
+            return Err(DemandError::InvalidSample {
+                field: "duration",
+                value: duration,
+            });
+        }
+        if !(utilization >= 0.0) {
+            return Err(DemandError::InvalidSample {
+                field: "utilization",
+                value: utilization,
+            });
+        }
+        if instances == 0 {
+            return Err(DemandError::InvalidSample {
+                field: "instances",
+                value: 0.0,
+            });
+        }
+        if let Some(rt) = mean_response_time {
+            if !(rt > 0.0) {
+                return Err(DemandError::InvalidSample {
+                    field: "mean_response_time",
+                    value: rt,
+                });
+            }
+        }
+        Ok(MonitoringSample {
+            duration,
+            arrivals,
+            completions: None,
+            utilization: utilization.min(1.0),
+            instances,
+            mean_response_time,
+        })
+    }
+
+    /// Sets the number of requests *completed* during the window, when it
+    /// differs from the arrivals (an overloaded service completes fewer
+    /// than arrive; a draining one completes more). Estimators use this
+    /// throughput — the utilization law is `U = X·D/n` with `X` the
+    /// throughput, so dividing busy time by arrivals would underestimate
+    /// the demand exactly when the service is saturated.
+    pub fn with_completions(mut self, completions: u64) -> Self {
+        self.completions = Some(completions);
+        self
+    }
+
+    /// Window length in seconds.
+    pub fn duration(&self) -> f64 {
+        self.duration
+    }
+
+    /// Requests that arrived during the window.
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+
+    /// Requests completed during the window (defaults to the arrivals when
+    /// not set explicitly).
+    pub fn completions(&self) -> u64 {
+        self.completions.unwrap_or(self.arrivals)
+    }
+
+    /// Throughput `X = completions / duration` in requests per second.
+    pub fn throughput(&self) -> f64 {
+        self.completions() as f64 / self.duration
+    }
+
+    /// Mean utilization across instances, clamped to `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        self.utilization
+    }
+
+    /// Number of running instances during the window.
+    pub fn instances(&self) -> u32 {
+        self.instances
+    }
+
+    /// Mean response time in seconds, when measured.
+    pub fn mean_response_time(&self) -> Option<f64> {
+        self.mean_response_time
+    }
+
+    /// Arrival rate `λ = arrivals / duration` in requests per second.
+    pub fn arrival_rate(&self) -> f64 {
+        self.arrivals as f64 / self.duration
+    }
+
+    /// Total busy time accumulated across all instances in this window,
+    /// `U · n · T` in seconds.
+    pub fn total_busy_time(&self) -> f64 {
+        self.utilization * f64::from(self.instances) * self.duration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_sample_accessors() {
+        let s = MonitoringSample::new(60.0, 600, 0.5, 4, Some(0.2)).unwrap();
+        assert_eq!(s.duration(), 60.0);
+        assert_eq!(s.arrivals(), 600);
+        assert_eq!(s.utilization(), 0.5);
+        assert_eq!(s.instances(), 4);
+        assert_eq!(s.mean_response_time(), Some(0.2));
+        assert!((s.arrival_rate() - 10.0).abs() < 1e-12);
+        assert!((s.total_busy_time() - 120.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_above_one_clamped() {
+        let s = MonitoringSample::new(60.0, 100, 1.07, 2, None).unwrap();
+        assert_eq!(s.utilization(), 1.0);
+    }
+
+    #[test]
+    fn rejects_invalid_fields() {
+        assert!(MonitoringSample::new(0.0, 1, 0.5, 1, None).is_err());
+        assert!(MonitoringSample::new(-1.0, 1, 0.5, 1, None).is_err());
+        assert!(MonitoringSample::new(60.0, 1, -0.1, 1, None).is_err());
+        assert!(MonitoringSample::new(60.0, 1, f64::NAN, 1, None).is_err());
+        assert!(MonitoringSample::new(60.0, 1, 0.5, 0, None).is_err());
+        assert!(MonitoringSample::new(60.0, 1, 0.5, 1, Some(0.0)).is_err());
+        assert!(MonitoringSample::new(60.0, 1, 0.5, 1, Some(-0.5)).is_err());
+    }
+
+    #[test]
+    fn zero_arrivals_is_valid_but_zero_rate() {
+        let s = MonitoringSample::new(30.0, 0, 0.0, 1, None).unwrap();
+        assert_eq!(s.arrival_rate(), 0.0);
+    }
+}

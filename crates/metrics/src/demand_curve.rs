@@ -1,0 +1,153 @@
+//! Ground-truth demand curves `d_t` derived from the load trace.
+
+use crate::step::StepFn;
+use chamulteon_queueing::capacity::min_instances_for_response_time_quantile;
+use chamulteon_workload::LoadTrace;
+
+/// The response-time quantile the demand curve targets: the optimal
+/// auto-scaler provisions so that at least this fraction of requests meets
+/// the SLO (an SLO is violated per request, so bounding the mean is not
+/// enough — near saturation the mean meets the target while a third of
+/// requests miss it).
+pub const DEMAND_QUANTILE: f64 = 0.9;
+
+/// Derives the demand curve of one service: for every trace segment, the
+/// minimal instance count whose M/M/n response-time **90th percentile**
+/// ([`DEMAND_QUANTILE`]) stays within the service's share of the
+/// end-to-end SLO.
+///
+/// `slo_share` is this service's response-time budget in seconds (see
+/// [`demand_curves`] for the proportional split). Infeasible segments
+/// (offered load beyond `max_instances`) are pinned at `max_instances` —
+/// the optimal scaler can do no better.
+pub fn demand_curve(
+    trace: &LoadTrace,
+    service_demand: f64,
+    visit_ratio: f64,
+    slo_share: f64,
+    max_instances: u32,
+) -> StepFn {
+    let mut points = Vec::with_capacity(trace.len());
+    let mut last: Option<u32> = None;
+    for (i, &rate) in trace.rates().iter().enumerate() {
+        let local_rate = rate * visit_ratio.max(0.0);
+        let needed = min_instances_for_response_time_quantile(
+            local_rate,
+            service_demand,
+            slo_share,
+            DEMAND_QUANTILE,
+            max_instances,
+        )
+        .unwrap_or(max_instances)
+        .max(1);
+        if last != Some(needed) {
+            points.push((i as f64 * trace.step(), needed));
+            last = Some(needed);
+        }
+    }
+    StepFn::new(points)
+}
+
+/// Derives demand curves for every service of a chain application.
+///
+/// The end-to-end SLO budget is split across services proportionally to
+/// `demand_i · visit_ratio_i` — the same split the optimal static sizing
+/// would use (and the split `TandemNetwork::min_instances_for_slo` in
+/// `chamulteon-queueing` applies).
+pub fn demand_curves(
+    trace: &LoadTrace,
+    service_demands: &[f64],
+    visit_ratios: &[f64],
+    slo_response_time: f64,
+    max_instances: u32,
+) -> Vec<StepFn> {
+    let ratios: Vec<f64> = (0..service_demands.len())
+        .map(|i| visit_ratios.get(i).copied().unwrap_or(1.0).max(0.0))
+        .collect();
+    let total: f64 = service_demands
+        .iter()
+        .zip(&ratios)
+        .map(|(d, v)| d.max(0.0) * v)
+        .sum();
+    service_demands
+        .iter()
+        .zip(&ratios)
+        .map(|(&demand, &ratio)| {
+            let share = if total > 0.0 {
+                slo_response_time * (demand.max(0.0) * ratio) / total
+            } else {
+                slo_response_time
+            };
+            // Per-visit budget.
+            let per_visit = if ratio > 0.0 { share / ratio } else { share };
+            demand_curve(trace, demand, ratio, per_visit, max_instances)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(rates: Vec<f64>) -> LoadTrace {
+        LoadTrace::new(60.0, rates).unwrap()
+    }
+
+    #[test]
+    fn demand_tracks_load() {
+        let curve = demand_curve(&trace(vec![10.0, 100.0, 10.0]), 0.1, 1.0, 0.25, 1000);
+        let low = curve.value_at(30.0);
+        let high = curve.value_at(90.0);
+        let back = curve.value_at(150.0);
+        assert!(high > low);
+        assert_eq!(low, back);
+        // At 100 req/s · 0.1 s at least 11 instances (stability) needed.
+        assert!(high >= 11);
+    }
+
+    #[test]
+    fn idle_trace_demands_one() {
+        let curve = demand_curve(&trace(vec![0.0, 0.0]), 0.1, 1.0, 0.25, 100);
+        assert_eq!(curve.value_at(0.0), 1);
+    }
+
+    #[test]
+    fn infeasible_segments_pinned_at_max() {
+        let curve = demand_curve(&trace(vec![10_000.0]), 0.1, 1.0, 0.25, 50);
+        assert_eq!(curve.value_at(0.0), 50);
+    }
+
+    #[test]
+    fn curves_for_paper_application() {
+        let t = trace(vec![50.0, 120.0, 80.0]);
+        let curves = demand_curves(&t, &[0.059, 0.1, 0.04], &[1.0, 1.0, 1.0], 0.5, 1000);
+        assert_eq!(curves.len(), 3);
+        // The validation tier (largest demand) needs the most instances.
+        for time in [30.0, 90.0, 150.0] {
+            assert!(curves[1].value_at(time) >= curves[0].value_at(time));
+            assert!(curves[1].value_at(time) >= curves[2].value_at(time));
+        }
+    }
+
+    #[test]
+    fn demand_vector_meets_slo_analytically() {
+        // Sized instance counts must satisfy the SLO analytically.
+        let t = trace(vec![100.0]);
+        let curves = demand_curves(&t, &[0.059, 0.1, 0.04], &[1.0, 1.0, 1.0], 0.5, 1000);
+        let mut total_rt = 0.0;
+        for (i, &d) in [0.059, 0.1, 0.04].iter().enumerate() {
+            let n = curves[i].value_at(0.0);
+            let q = chamulteon_queueing::MmnQueue::new(100.0, d, n).unwrap();
+            total_rt += q.mean_response_time().unwrap();
+        }
+        assert!(total_rt <= 0.5, "end-to-end {total_rt}");
+    }
+
+    #[test]
+    fn visit_ratio_scales_demand() {
+        let t = trace(vec![50.0]);
+        let single = demand_curve(&t, 0.1, 1.0, 0.25, 1000).value_at(0.0);
+        let double = demand_curve(&t, 0.1, 2.0, 0.25, 1000).value_at(0.0);
+        assert!(double > single);
+    }
+}

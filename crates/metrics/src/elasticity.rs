@@ -1,0 +1,160 @@
+//! The SPEC-endorsed elasticity metrics (§IV-D1, §IV-D2).
+
+use crate::step::StepFn;
+use serde::{Deserialize, Serialize};
+
+/// The four per-service elasticity metrics, all in percent.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ElasticityMetrics {
+    /// Under-provisioning accuracy θ_U: missing resources relative to the
+    /// demand, time-averaged. 0 is perfect; unbounded above.
+    pub theta_u: f64,
+    /// Over-provisioning accuracy θ_O: surplus resources relative to the
+    /// demand, time-averaged.
+    pub theta_o: f64,
+    /// Under-provisioning time share τ_U: percentage of time with
+    /// insufficient resources, in `[0, 100]`.
+    pub tau_u: f64,
+    /// Over-provisioning time share τ_O: percentage of time with surplus
+    /// resources, in `[0, 100]`.
+    pub tau_o: f64,
+}
+
+/// Computes the elasticity metrics of a supply curve against the
+/// ground-truth demand curve over `[0, horizon]`:
+///
+/// ```text
+/// θ_U = 100/T · Σ_t max(d_t − s_t, 0)/d_t · Δt
+/// θ_O = 100/T · Σ_t max(s_t − d_t, 0)/d_t · Δt
+/// τ_U = 100/T · Σ_t max(sgn(d_t − s_t), 0) · Δt
+/// τ_O = 100/T · Σ_t max(sgn(s_t − d_t), 0) · Δt
+/// ```
+///
+/// Segments where the demand is 0 contribute to the time shares but not to
+/// the accuracies (the relative error is undefined; a demand of at least
+/// one instance is the normal case since `min_instances ≥ 1`).
+///
+/// A non-positive horizon yields all-zero metrics.
+pub fn elasticity_metrics(demand: &StepFn, supply: &StepFn, horizon: f64) -> ElasticityMetrics {
+    if !(horizon > 0.0) {
+        return ElasticityMetrics::default();
+    }
+    let grid = demand.merged_breakpoints(supply, horizon);
+    let mut theta_u = 0.0;
+    let mut theta_o = 0.0;
+    let mut tau_u = 0.0;
+    let mut tau_o = 0.0;
+    for w in grid.windows(2) {
+        let dt = w[1] - w[0];
+        if dt <= 0.0 {
+            continue;
+        }
+        let d = f64::from(demand.value_at(w[0]));
+        let s = f64::from(supply.value_at(w[0]));
+        if s < d {
+            tau_u += dt;
+            if d > 0.0 {
+                theta_u += (d - s) / d * dt;
+            }
+        } else if s > d {
+            tau_o += dt;
+            if d > 0.0 {
+                theta_o += (s - d) / d * dt;
+            }
+        }
+    }
+    ElasticityMetrics {
+        theta_u: 100.0 * theta_u / horizon,
+        theta_o: 100.0 * theta_o / horizon,
+        tau_u: 100.0 * tau_u / horizon,
+        tau_o: 100.0 * tau_o / horizon,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_supply_scores_zero() {
+        let demand = StepFn::new(vec![(0.0, 2), (50.0, 5)]);
+        let m = elasticity_metrics(&demand, &demand.clone(), 100.0);
+        assert_eq!(m, ElasticityMetrics::default());
+    }
+
+    #[test]
+    fn constant_over_provisioning() {
+        let demand = StepFn::constant(2);
+        let supply = StepFn::constant(3);
+        let m = elasticity_metrics(&demand, &supply, 100.0);
+        assert_eq!(m.theta_u, 0.0);
+        assert_eq!(m.tau_u, 0.0);
+        assert!((m.tau_o - 100.0).abs() < 1e-9);
+        // Surplus of 1 over demand of 2 => 50%.
+        assert!((m.theta_o - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_under_provisioning() {
+        let demand = StepFn::constant(4);
+        let supply = StepFn::constant(1);
+        let m = elasticity_metrics(&demand, &supply, 10.0);
+        assert!((m.theta_u - 75.0).abs() < 1e-9);
+        assert!((m.tau_u - 100.0).abs() < 1e-9);
+        assert_eq!(m.theta_o, 0.0);
+        assert_eq!(m.tau_o, 0.0);
+    }
+
+    #[test]
+    fn mixed_periods_split_correctly() {
+        // Demand 4 throughout; supply 2 for the first half, 8 after.
+        let demand = StepFn::constant(4);
+        let supply = StepFn::new(vec![(0.0, 2), (50.0, 8)]);
+        let m = elasticity_metrics(&demand, &supply, 100.0);
+        assert!((m.tau_u - 50.0).abs() < 1e-9);
+        assert!((m.tau_o - 50.0).abs() < 1e-9);
+        // Under: (4−2)/4 = 0.5 half the time => 25%.
+        assert!((m.theta_u - 25.0).abs() < 1e-9);
+        // Over: (8−4)/4 = 1.0 half the time => 50%.
+        assert!((m.theta_o - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_changes_inside_horizon_respected() {
+        let demand = StepFn::new(vec![(0.0, 1), (25.0, 2), (75.0, 1)]);
+        let supply = StepFn::constant(2);
+        let m = elasticity_metrics(&demand, &supply, 100.0);
+        // Over-provisioned when demand is 1 (0–25 and 75–100): 50 s.
+        assert!((m.tau_o - 50.0).abs() < 1e-9);
+        // Surplus 1 over demand 1 => 100% during those 50 s => 50% overall.
+        assert!((m.theta_o - 50.0).abs() < 1e-9);
+        assert_eq!(m.tau_u, 0.0);
+    }
+
+    #[test]
+    fn zero_demand_counts_time_share_only() {
+        let demand = StepFn::constant(0);
+        let supply = StepFn::constant(3);
+        let m = elasticity_metrics(&demand, &supply, 10.0);
+        assert!((m.tau_o - 100.0).abs() < 1e-9);
+        assert_eq!(m.theta_o, 0.0);
+    }
+
+    #[test]
+    fn degenerate_horizon() {
+        let m = elasticity_metrics(&StepFn::constant(1), &StepFn::constant(2), 0.0);
+        assert_eq!(m, ElasticityMetrics::default());
+        let m = elasticity_metrics(&StepFn::constant(1), &StepFn::constant(2), -5.0);
+        assert_eq!(m, ElasticityMetrics::default());
+    }
+
+    #[test]
+    fn time_shares_sum_to_at_most_hundred() {
+        let demand = StepFn::new(vec![(0.0, 3), (30.0, 6), (60.0, 2)]);
+        let supply = StepFn::new(vec![(0.0, 4), (45.0, 1), (80.0, 2)]);
+        let m = elasticity_metrics(&demand, &supply, 100.0);
+        assert!(m.tau_u + m.tau_o <= 100.0 + 1e-9);
+        assert!(m.tau_u >= 0.0 && m.tau_o >= 0.0);
+        assert!(m.theta_u >= 0.0 && m.theta_o >= 0.0);
+    }
+}

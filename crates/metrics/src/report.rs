@@ -1,0 +1,196 @@
+//! Experiment reports and the paper-style results table.
+
+use crate::aggregate::{worst_case_deviation, WorstCaseDeviation};
+use crate::elasticity::ElasticityMetrics;
+use serde::{Deserialize, Serialize};
+
+/// Everything the paper reports per auto-scaler per experiment: the
+/// averaged per-service elasticity metrics, the worst-case deviation ς and
+/// the user-oriented metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalerReport {
+    /// Auto-scaler name (table column header).
+    pub scaler: String,
+    /// Per-service elasticity metrics (one entry per service).
+    pub per_service: Vec<ElasticityMetrics>,
+    /// SLO violations in percent.
+    pub slo_violations: f64,
+    /// Apdex user-satisfaction score in percent.
+    pub apdex: f64,
+    /// Total instance-hours consumed across all services (cost metric).
+    #[serde(default)]
+    pub instance_hours: f64,
+    /// Scaling adaptations executed per hour, summed over services
+    /// (oscillation metric).
+    #[serde(default)]
+    pub adaptations_per_hour: f64,
+}
+
+impl ScalerReport {
+    /// The mean of each elasticity metric across services — the θ/τ rows
+    /// of the paper's tables ("the average provisioning accuracy … for
+    /// each service").
+    pub fn mean_elasticity(&self) -> ElasticityMetrics {
+        let n = self.per_service.len().max(1) as f64;
+        let sum = self
+            .per_service
+            .iter()
+            .fold(ElasticityMetrics::default(), |acc, m| ElasticityMetrics {
+                theta_u: acc.theta_u + m.theta_u,
+                theta_o: acc.theta_o + m.theta_o,
+                tau_u: acc.tau_u + m.tau_u,
+                tau_o: acc.tau_o + m.tau_o,
+            });
+        ElasticityMetrics {
+            theta_u: sum.theta_u / n,
+            theta_o: sum.theta_o / n,
+            tau_u: sum.tau_u / n,
+            tau_o: sum.tau_o / n,
+        }
+    }
+
+    /// The worst-case deviation ς across services.
+    pub fn worst_case(&self) -> WorstCaseDeviation {
+        worst_case_deviation(&self.per_service)
+    }
+}
+
+/// Renders a paper-style results table (rows: θ_U θ_O τ_U τ_O ς SLO Apdex;
+/// columns: auto-scalers), like Tables II–V.
+pub fn render_table(title: &str, reports: &[ScalerReport]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let headers: Vec<String> = reports.iter().map(|r| r.scaler.clone()).collect();
+    let width = headers
+        .iter()
+        .map(|h| h.len())
+        .max()
+        .unwrap_or(8)
+        .max(10);
+    out.push_str(&format!("{:<8}", "Metric"));
+    for h in &headers {
+        out.push_str(&format!(" {h:>width$}"));
+    }
+    out.push('\n');
+    let rows: Vec<(&str, Vec<f64>)> = vec![
+        (
+            "theta_U",
+            reports.iter().map(|r| r.mean_elasticity().theta_u).collect(),
+        ),
+        (
+            "theta_O",
+            reports.iter().map(|r| r.mean_elasticity().theta_o).collect(),
+        ),
+        (
+            "tau_U",
+            reports.iter().map(|r| r.mean_elasticity().tau_u).collect(),
+        ),
+        (
+            "tau_O",
+            reports.iter().map(|r| r.mean_elasticity().tau_o).collect(),
+        ),
+        (
+            "sigma",
+            reports.iter().map(|r| r.worst_case().sigma).collect(),
+        ),
+        (
+            "SLO",
+            reports.iter().map(|r| r.slo_violations).collect(),
+        ),
+        ("Apdex", reports.iter().map(|r| r.apdex).collect()),
+    ];
+    for (name, values) in rows {
+        out.push_str(&format!("{name:<8}"));
+        for v in values {
+            out.push_str(&format!(" {:>width$}", format!("{v:.1}%")));
+        }
+        out.push('\n');
+    }
+    // Cost-oriented extras (not part of the paper's tables, printed for
+    // the ablations): instance hours and adaptation rate.
+    out.push_str(&format!("{:<8}", "inst-h"));
+    for r in reports {
+        out.push_str(&format!(" {:>width$}", format!("{:.1}", r.instance_hours)));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:<8}", "adapt/h"));
+    for r in reports {
+        out.push_str(&format!(
+            " {:>width$}",
+            format!("{:.1}", r.adaptations_per_hour)
+        ));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(name: &str) -> ScalerReport {
+        ScalerReport {
+            scaler: name.into(),
+            per_service: vec![
+                ElasticityMetrics {
+                    theta_u: 2.0,
+                    theta_o: 10.0,
+                    tau_u: 5.0,
+                    tau_o: 60.0,
+                },
+                ElasticityMetrics {
+                    theta_u: 4.0,
+                    theta_o: 20.0,
+                    tau_u: 15.0,
+                    tau_o: 80.0,
+                },
+            ],
+            slo_violations: 6.2,
+            apdex: 77.7,
+            instance_hours: 12.5,
+            adaptations_per_hour: 30.0,
+        }
+    }
+
+    #[test]
+    fn mean_elasticity_averages_services() {
+        let m = report("x").mean_elasticity();
+        assert!((m.theta_u - 3.0).abs() < 1e-12);
+        assert!((m.theta_o - 15.0).abs() < 1e-12);
+        assert!((m.tau_u - 10.0).abs() < 1e-12);
+        assert!((m.tau_o - 70.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_case_uses_maxima() {
+        let w = report("x").worst_case();
+        assert_eq!(w.theta_u_hat, 4.0);
+        assert_eq!(w.tau_o_hat, 80.0);
+    }
+
+    #[test]
+    fn empty_per_service_is_safe() {
+        let r = ScalerReport {
+            scaler: "none".into(),
+            per_service: vec![],
+            slo_violations: 0.0,
+            apdex: 100.0,
+            instance_hours: 0.0,
+            adaptations_per_hour: 0.0,
+        };
+        assert_eq!(r.mean_elasticity(), ElasticityMetrics::default());
+        assert_eq!(r.worst_case().sigma, 0.0);
+    }
+
+    #[test]
+    fn table_contains_all_rows_and_columns() {
+        let table = render_table("Table II", &[report("chamulteon"), report("react")]);
+        for needle in [
+            "Table II", "chamulteon", "react", "theta_U", "theta_O", "tau_U", "tau_O", "sigma",
+            "SLO", "Apdex", "6.2%", "77.7%", "inst-h", "adapt/h", "12.5", "30.0",
+        ] {
+            assert!(table.contains(needle), "missing {needle} in:\n{table}");
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Right-continuous step functions over time.
+
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-constant, right-continuous function of time with `u32`
+/// values — the representation of both the demand curve `d_t` and the
+/// supply curve `s_t`.
+///
+/// Constructed from `(time, value)` change points; points are sorted and
+/// deduplicated (last value wins for equal times). Before the first change
+/// point the function takes the first value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepFn {
+    points: Vec<(f64, u32)>,
+}
+
+// f64 times are never NaN by construction (filtered in `new`).
+impl Eq for StepFn {}
+
+impl StepFn {
+    /// Creates a step function from change points. Non-finite times are
+    /// dropped; the list may be empty (the function is then constantly 0).
+    pub fn new(mut points: Vec<(f64, u32)>) -> Self {
+        points.retain(|(t, _)| t.is_finite());
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        // Deduplicate equal times, keeping the last value.
+        let mut deduped: Vec<(f64, u32)> = Vec::with_capacity(points.len());
+        for p in points {
+            match deduped.last_mut() {
+                Some(last) if last.0 == p.0 => last.1 = p.1,
+                _ => deduped.push(p),
+            }
+        }
+        StepFn { points: deduped }
+    }
+
+    /// A constant function.
+    pub fn constant(value: u32) -> Self {
+        StepFn {
+            points: vec![(0.0, value)],
+        }
+    }
+
+    /// The change points, sorted by time.
+    pub fn points(&self) -> &[(f64, u32)] {
+        &self.points
+    }
+
+    /// The value at time `t`.
+    pub fn value_at(&self, t: f64) -> u32 {
+        let mut value = self.points.first().map(|p| p.1).unwrap_or(0);
+        for &(time, v) in &self.points {
+            if time <= t {
+                value = v;
+            } else {
+                break;
+            }
+        }
+        value
+    }
+
+    /// All change times of `self` and `other` within `[0, horizon)`,
+    /// plus 0 and `horizon`, sorted and deduplicated — the integration grid
+    /// for the elasticity metrics.
+    pub fn merged_breakpoints(&self, other: &StepFn, horizon: f64) -> Vec<f64> {
+        let mut times: Vec<f64> = vec![0.0, horizon];
+        times.extend(
+            self.points
+                .iter()
+                .chain(other.points.iter())
+                .map(|p| p.0)
+                .filter(|&t| t > 0.0 && t < horizon),
+        );
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        times.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        times
+    }
+
+    /// The time-weighted average value over `[0, horizon]`.
+    pub fn mean_over(&self, horizon: f64) -> f64 {
+        if !(horizon > 0.0) {
+            return f64::from(self.value_at(0.0));
+        }
+        let grid = self.merged_breakpoints(&StepFn::new(vec![]), horizon);
+        let mut integral = 0.0;
+        for w in grid.windows(2) {
+            integral += f64::from(self.value_at(w[0])) * (w[1] - w[0]);
+        }
+        integral / horizon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_semantics() {
+        let f = StepFn::new(vec![(10.0, 3), (0.0, 1), (20.0, 5)]);
+        assert_eq!(f.value_at(-1.0), 1); // before first point: first value
+        assert_eq!(f.value_at(0.0), 1);
+        assert_eq!(f.value_at(9.99), 1);
+        assert_eq!(f.value_at(10.0), 3); // right-continuous
+        assert_eq!(f.value_at(19.0), 3);
+        assert_eq!(f.value_at(20.0), 5);
+        assert_eq!(f.value_at(1e9), 5);
+    }
+
+    #[test]
+    fn empty_function_is_zero() {
+        let f = StepFn::new(vec![]);
+        assert_eq!(f.value_at(5.0), 0);
+        assert_eq!(f.mean_over(10.0), 0.0);
+    }
+
+    #[test]
+    fn duplicate_times_keep_last() {
+        let f = StepFn::new(vec![(5.0, 1), (5.0, 9)]);
+        assert_eq!(f.value_at(5.0), 9);
+        assert_eq!(f.points().len(), 1);
+    }
+
+    #[test]
+    fn non_finite_times_dropped() {
+        let f = StepFn::new(vec![(f64::NAN, 7), (0.0, 2)]);
+        assert_eq!(f.points().len(), 1);
+        assert_eq!(f.value_at(0.0), 2);
+    }
+
+    #[test]
+    fn merged_breakpoints_cover_both() {
+        let a = StepFn::new(vec![(0.0, 1), (10.0, 2)]);
+        let b = StepFn::new(vec![(5.0, 3), (15.0, 4), (99.0, 5)]);
+        let grid = a.merged_breakpoints(&b, 20.0);
+        assert_eq!(grid, vec![0.0, 5.0, 10.0, 15.0, 20.0]);
+    }
+
+    #[test]
+    fn mean_over_weights_by_time() {
+        let f = StepFn::new(vec![(0.0, 2), (5.0, 6)]);
+        // 2 for 5 s, 6 for 5 s => mean 4.
+        assert!((f.mean_over(10.0) - 4.0).abs() < 1e-12);
+        assert_eq!(StepFn::constant(7).mean_over(3.0), 7.0);
+    }
+}

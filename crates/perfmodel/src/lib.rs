@@ -1,0 +1,50 @@
+//! Descriptive software performance model for the Chamulteon reproduction.
+//!
+//! Chamulteon keeps "an instance of a descriptive performance model of the
+//! dynamically scaled application based on the Descartes Modeling Language
+//! (DML)" (§III-A). The model carries exactly the structural knowledge the
+//! controller needs:
+//!
+//! * the **services** with their instance bounds ([`ServiceSpec`]),
+//! * the **invocation graph** — which service calls which, how many times
+//!   per request ([`InvocationGraph`]),
+//! * the **entry (user-facing) service** whose arrival rate is the only one
+//!   monitored and forecast,
+//! * **arrival-rate propagation** along the graph with capacity throttling
+//!   (`estimateArrivals` of Algorithm 1): an overloaded upstream service
+//!   forwards at most its saturation throughput.
+//!
+//! Models are plain data (serde-serializable), built with
+//! [`ApplicationModelBuilder`] or loaded from JSON — the stand-in for the
+//! paper's externally provided DML instance.
+//!
+//! # Example
+//!
+//! The paper's three-service benchmark application:
+//!
+//! ```
+//! use chamulteon_perfmodel::ApplicationModel;
+//!
+//! let model = ApplicationModel::paper_benchmark();
+//! assert_eq!(model.services().len(), 3);
+//! assert_eq!(model.entry(), 0);
+//! // Arrival propagation with ample capacity passes rates through 1:1.
+//! let rates = model.propagate_arrivals(100.0, &[20, 20, 20], &[0.059, 0.1, 0.04]);
+//! assert_eq!(rates, vec![100.0, 100.0, 100.0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0.0)` deliberately rejects NaN
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod error;
+pub mod graph;
+pub mod model;
+pub mod service;
+
+pub use builder::ApplicationModelBuilder;
+pub use error::ModelError;
+pub use graph::InvocationGraph;
+pub use model::ApplicationModel;
+pub use service::ServiceSpec;

@@ -1,0 +1,384 @@
+//! Inverse capacity solvers: "how many instances do this load and this
+//! target require?".
+//!
+//! Two flavours are used throughout the reproduction:
+//!
+//! * **utilization targets** — what the paper's Algorithm 1 does: grow or
+//!   shrink `n` until `ρ = λ·s/n` falls inside `[ρ_lower, ρ_upper)`;
+//! * **response-time (SLO) targets** — what the ground-truth *demand curve*
+//!   `d_t` of the elasticity metrics needs: the minimal `n` such that the
+//!   M/M/n mean response time meets the SLO.
+
+use crate::error::QueueingError;
+use crate::mmn::MmnQueue;
+
+/// Minimal number of instances such that the utilization `λ·s/n` does not
+/// exceed `target_utilization`, never less than 1.
+///
+/// This is the closed-form core of the paper's Algorithm 1 while-loops:
+/// repeatedly incrementing `n` until `ρ < ρ_upper` lands on exactly
+/// `ceil(λ·s / ρ_upper)`.
+///
+/// Degenerate inputs are forgiving by design (monitoring data can be noisy):
+/// a non-positive or NaN arrival rate or service demand yields 1, and the
+/// utilization target is clamped to `(0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use chamulteon_queueing::capacity::min_instances_for_utilization;
+///
+/// // 200 req/s at 0.1 s demand and 80% target => 25 instances.
+/// assert_eq!(min_instances_for_utilization(200.0, 0.1, 0.8), 25);
+/// // An idle service still needs one instance.
+/// assert_eq!(min_instances_for_utilization(0.0, 0.1, 0.8), 1);
+/// ```
+pub fn min_instances_for_utilization(
+    arrival_rate: f64,
+    service_demand: f64,
+    target_utilization: f64,
+) -> u32 {
+    if !(arrival_rate > 0.0) || !(service_demand > 0.0) {
+        return 1;
+    }
+    let target = if target_utilization.is_nan() {
+        1.0
+    } else {
+        target_utilization.clamp(f64::EPSILON, 1.0)
+    };
+    let raw = arrival_rate * service_demand / target;
+    // Guard the ceil against round-off on exact integer boundaries: treat
+    // values within 1e-9 of an integer as that integer.
+    let snapped = if (raw - raw.round()).abs() < 1e-9 {
+        raw.round()
+    } else {
+        raw.ceil()
+    };
+    let n = snapped.max(1.0);
+    if n >= f64::from(u32::MAX) {
+        u32::MAX
+    } else {
+        n as u32
+    }
+}
+
+/// Minimal number of instances such that the M/M/n mean response time is at
+/// most `response_time_target` seconds, searched within `max_instances`.
+///
+/// Used to derive the ground-truth demand curve `d_t` — "the minimal amount
+/// of resources required to meet the SLOs under the load intensity at time
+/// `t`" (§IV-D).
+///
+/// # Errors
+///
+/// * [`QueueingError::NonPositive`] if the service demand or target is not
+///   positive.
+/// * [`QueueingError::Infeasible`] if the target is below the bare service
+///   demand (no amount of horizontal scaling can beat `s`), or if more than
+///   `max_instances` would be required.
+///
+/// # Examples
+///
+/// ```
+/// use chamulteon_queueing::capacity::min_instances_for_response_time;
+///
+/// let n = min_instances_for_response_time(100.0, 0.1, 0.5, 1000)?;
+/// assert!(n >= 11); // at least the stability bound ceil(10 Erlangs) + 1
+/// # Ok::<(), chamulteon_queueing::QueueingError>(())
+/// ```
+pub fn min_instances_for_response_time(
+    arrival_rate: f64,
+    service_demand: f64,
+    response_time_target: f64,
+    max_instances: u32,
+) -> Result<u32, QueueingError> {
+    if !(service_demand > 0.0) {
+        return Err(QueueingError::NonPositive {
+            name: "service_demand",
+            value: service_demand,
+        });
+    }
+    if !(response_time_target > 0.0) {
+        return Err(QueueingError::NonPositive {
+            name: "response_time_target",
+            value: response_time_target,
+        });
+    }
+    if !(arrival_rate > 0.0) {
+        return Ok(1);
+    }
+    if response_time_target < service_demand {
+        return Err(QueueingError::Infeasible {
+            required: None,
+            max_allowed: max_instances,
+        });
+    }
+    // Stability requires n > a; start the search there.
+    let a = arrival_rate * service_demand;
+    let mut n = (a.floor() as u32).saturating_add(1).max(1);
+    while n <= max_instances {
+        let station = MmnQueue::new(arrival_rate, service_demand, n)?;
+        if let Ok(r) = station.mean_response_time() {
+            if r <= response_time_target {
+                return Ok(n);
+            }
+        }
+        n = n.saturating_add(1);
+        if n == u32::MAX {
+            break;
+        }
+    }
+    Err(QueueingError::Infeasible {
+        required: None,
+        max_allowed: max_instances,
+    })
+}
+
+/// Minimal number of instances such that the approximate `p`-quantile of
+/// the M/M/n response time is at most `response_time_target` seconds.
+///
+/// This is the solver behind the ground-truth demand curve: an SLO on
+/// response time is violated *per request*, so meeting it "most of the
+/// time" requires bounding a quantile, not the mean — near saturation the
+/// mean can satisfy the target while a third of the requests miss it.
+///
+/// # Errors
+///
+/// Same contract as [`min_instances_for_response_time`], plus
+/// [`QueueingError::OutOfRange`] for `p` outside `(0, 1)`.
+pub fn min_instances_for_response_time_quantile(
+    arrival_rate: f64,
+    service_demand: f64,
+    response_time_target: f64,
+    p: f64,
+    max_instances: u32,
+) -> Result<u32, QueueingError> {
+    if !(p > 0.0 && p < 1.0) {
+        return Err(QueueingError::OutOfRange {
+            name: "quantile",
+            value: p,
+        });
+    }
+    if !(service_demand > 0.0) {
+        return Err(QueueingError::NonPositive {
+            name: "service_demand",
+            value: service_demand,
+        });
+    }
+    if !(response_time_target > 0.0) {
+        return Err(QueueingError::NonPositive {
+            name: "response_time_target",
+            value: response_time_target,
+        });
+    }
+    if !(arrival_rate > 0.0) {
+        return Ok(1);
+    }
+    if response_time_target < service_demand {
+        return Err(QueueingError::Infeasible {
+            required: None,
+            max_allowed: max_instances,
+        });
+    }
+    let a = arrival_rate * service_demand;
+    let mut n = (a.floor() as u32).saturating_add(1).max(1);
+    while n <= max_instances {
+        let station = MmnQueue::new(arrival_rate, service_demand, n)?;
+        if let Ok(r) = station.response_time_quantile(p) {
+            if r <= response_time_target {
+                return Ok(n);
+            }
+        }
+        n = n.saturating_add(1);
+        if n == u32::MAX {
+            break;
+        }
+    }
+    Err(QueueingError::Infeasible {
+        required: None,
+        max_allowed: max_instances,
+    })
+}
+
+/// The largest arrival rate `n` instances can absorb while keeping the
+/// utilization at or below `target_utilization`: `λ_max = n·ρ_target / s`.
+///
+/// This is the "maximum arrival rate that can be served by the bottleneck
+/// service" used when the paper caps the rate forwarded to downstream
+/// services (Algorithm 1, line 5, and the baseline chain-input formula).
+///
+/// Degenerate inputs (non-positive demand, zero servers) yield 0.
+///
+/// # Examples
+///
+/// ```
+/// use chamulteon_queueing::capacity::max_arrival_rate_for_utilization;
+///
+/// // 10 validation instances at full capacity serve 100 req/s.
+/// let max = max_arrival_rate_for_utilization(10, 0.1, 1.0);
+/// assert!((max - 100.0).abs() < 1e-12);
+/// ```
+pub fn max_arrival_rate_for_utilization(
+    servers: u32,
+    service_demand: f64,
+    target_utilization: f64,
+) -> f64 {
+    if servers == 0 || !(service_demand > 0.0) || !(target_utilization > 0.0) {
+        return 0.0;
+    }
+    f64::from(servers) * target_utilization / service_demand
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_solver_matches_ceil_formula() {
+        assert_eq!(min_instances_for_utilization(85.0, 0.1, 0.8), 11);
+        assert_eq!(min_instances_for_utilization(200.0, 0.1, 0.8), 25);
+        assert_eq!(min_instances_for_utilization(17.0, 0.059, 0.85), 2);
+    }
+
+    #[test]
+    fn utilization_solver_exact_boundary_not_overshot() {
+        // 80 req/s * 0.1 s / 0.8 = exactly 10 instances.
+        assert_eq!(min_instances_for_utilization(80.0, 0.1, 0.8), 10);
+    }
+
+    #[test]
+    fn utilization_solver_minimum_is_one() {
+        assert_eq!(min_instances_for_utilization(0.0, 0.1, 0.8), 1);
+        assert_eq!(min_instances_for_utilization(-5.0, 0.1, 0.8), 1);
+        assert_eq!(min_instances_for_utilization(0.001, 0.1, 0.8), 1);
+        assert_eq!(min_instances_for_utilization(f64::NAN, 0.1, 0.8), 1);
+    }
+
+    #[test]
+    fn utilization_solver_clamps_target() {
+        // Target > 1 behaves like 1 (full utilization allowed).
+        assert_eq!(min_instances_for_utilization(100.0, 0.1, 5.0), 10);
+        assert_eq!(min_instances_for_utilization(100.0, 0.1, f64::NAN), 10);
+    }
+
+    #[test]
+    fn utilization_solver_result_meets_target() {
+        for &(lambda, s, rho) in &[
+            (12.3, 0.059, 0.75),
+            (456.0, 0.04, 0.9),
+            (99.9, 0.1, 0.5),
+            (1.0, 2.0, 0.66),
+        ] {
+            let n = min_instances_for_utilization(lambda, s, rho);
+            let util = lambda * s / f64::from(n);
+            assert!(util <= rho + 1e-9, "lambda={lambda} s={s} rho={rho} n={n}");
+            // Minimality: one fewer instance would violate the target
+            // (unless already at the floor of 1).
+            if n > 1 {
+                let util_less = lambda * s / f64::from(n - 1);
+                assert!(util_less > rho, "not minimal for lambda={lambda}");
+            }
+        }
+    }
+
+    #[test]
+    fn response_time_solver_meets_slo_and_is_minimal() {
+        let n = min_instances_for_response_time(100.0, 0.1, 0.15, 1000).unwrap();
+        let ok = MmnQueue::new(100.0, 0.1, n)
+            .unwrap()
+            .mean_response_time()
+            .unwrap();
+        assert!(ok <= 0.15);
+        if n > 1 {
+            let worse = MmnQueue::new(100.0, 0.1, n - 1).unwrap();
+            let violated = match worse.mean_response_time() {
+                Ok(r) => r > 0.15,
+                Err(_) => true, // unstable also violates
+            };
+            assert!(violated);
+        }
+    }
+
+    #[test]
+    fn response_time_solver_idle_needs_one() {
+        assert_eq!(
+            min_instances_for_response_time(0.0, 0.1, 0.5, 100).unwrap(),
+            1
+        );
+    }
+
+    #[test]
+    fn response_time_solver_rejects_impossible_target() {
+        // Cannot reach 0.05 s when the bare demand is 0.1 s.
+        assert!(matches!(
+            min_instances_for_response_time(10.0, 0.1, 0.05, 100),
+            Err(QueueingError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn response_time_solver_respects_max_instances() {
+        assert!(matches!(
+            min_instances_for_response_time(1000.0, 0.1, 0.11, 50),
+            Err(QueueingError::Infeasible { max_allowed: 50, .. })
+        ));
+    }
+
+    #[test]
+    fn response_time_solver_rejects_bad_inputs() {
+        assert!(min_instances_for_response_time(10.0, 0.0, 0.5, 100).is_err());
+        assert!(min_instances_for_response_time(10.0, 0.1, 0.0, 100).is_err());
+        assert!(min_instances_for_response_time(10.0, 0.1, -1.0, 100).is_err());
+    }
+
+    #[test]
+    fn quantile_solver_needs_more_than_mean_solver() {
+        // Bounding the 90th percentile requires at least as many instances
+        // as bounding the mean.
+        for &lambda in &[50.0, 150.0, 400.0] {
+            let mean_n = min_instances_for_response_time(lambda, 0.1, 0.2, 10_000).unwrap();
+            let q_n =
+                min_instances_for_response_time_quantile(lambda, 0.1, 0.2, 0.9, 10_000).unwrap();
+            assert!(q_n >= mean_n, "lambda={lambda}: {q_n} vs {mean_n}");
+        }
+    }
+
+    #[test]
+    fn quantile_solver_meets_target() {
+        let n = min_instances_for_response_time_quantile(150.0, 0.1, 0.25, 0.9, 10_000).unwrap();
+        let q = MmnQueue::new(150.0, 0.1, n).unwrap();
+        assert!(q.response_time_quantile(0.9).unwrap() <= 0.25);
+        if n > 1 {
+            let worse = MmnQueue::new(150.0, 0.1, n - 1).unwrap();
+            let violated = match worse.response_time_quantile(0.9) {
+                Ok(r) => r > 0.25,
+                Err(_) => true,
+            };
+            assert!(violated, "not minimal");
+        }
+    }
+
+    #[test]
+    fn quantile_solver_validates_inputs() {
+        assert!(min_instances_for_response_time_quantile(10.0, 0.1, 0.5, 0.0, 100).is_err());
+        assert!(min_instances_for_response_time_quantile(10.0, 0.1, 0.5, 1.0, 100).is_err());
+        assert!(min_instances_for_response_time_quantile(10.0, 0.1, 0.05, 0.9, 100).is_err());
+        assert_eq!(
+            min_instances_for_response_time_quantile(0.0, 0.1, 0.5, 0.9, 100).unwrap(),
+            1
+        );
+    }
+
+    #[test]
+    fn max_rate_inverse_of_min_instances() {
+        let lambda = max_arrival_rate_for_utilization(25, 0.1, 0.8);
+        assert_eq!(min_instances_for_utilization(lambda, 0.1, 0.8), 25);
+    }
+
+    #[test]
+    fn max_rate_degenerate_inputs() {
+        assert_eq!(max_arrival_rate_for_utilization(0, 0.1, 0.8), 0.0);
+        assert_eq!(max_arrival_rate_for_utilization(5, 0.0, 0.8), 0.0);
+        assert_eq!(max_arrival_rate_for_utilization(5, 0.1, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Erlang-B and Erlang-C formulas.
+//!
+//! Both are computed with the classical recurrence on the Erlang-B blocking
+//! probability, which is numerically stable for large server counts and
+//! offered loads (no factorials or large powers are ever formed):
+//!
+//! ```text
+//! B(0, a) = 1
+//! B(k, a) = a·B(k-1, a) / (k + a·B(k-1, a))
+//! C(n, a) = n·B(n, a) / (n - a·(1 - B(n, a)))
+//! ```
+
+use crate::error::QueueingError;
+
+/// Erlang-B blocking probability for `n` servers and offered load `a`
+/// (in Erlangs, i.e. `a = λ·s` for arrival rate `λ` and mean service time
+/// `s`).
+///
+/// This is the probability that an arriving request finds all `n` servers
+/// busy in an M/M/n/n loss system. The value always lies in `[0, 1]` and is
+/// defined for any `a ≥ 0` (a loss system is always stable).
+///
+/// # Errors
+///
+/// Returns [`QueueingError::NonPositive`] if `a` is negative or NaN and
+/// [`QueueingError::OutOfRange`] if `n` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use chamulteon_queueing::erlang::erlang_b;
+///
+/// // Classic telephony example: 10 Erlangs offered to 12 trunks.
+/// let b = erlang_b(12, 10.0)?;
+/// assert!((b - 0.1196).abs() < 1e-3);
+/// # Ok::<(), chamulteon_queueing::QueueingError>(())
+/// ```
+pub fn erlang_b(n: u32, a: f64) -> Result<f64, QueueingError> {
+    if !(a >= 0.0) {
+        return Err(QueueingError::NonPositive {
+            name: "offered_load",
+            value: a,
+        });
+    }
+    if n == 0 {
+        return Err(QueueingError::OutOfRange {
+            name: "servers",
+            value: 0.0,
+        });
+    }
+    if a == 0.0 {
+        return Ok(0.0);
+    }
+    let mut b = 1.0_f64;
+    for k in 1..=n {
+        b = a * b / (f64::from(k) + a * b);
+    }
+    Ok(b)
+}
+
+/// Erlang-C waiting probability for `n` servers and offered load `a`
+/// (in Erlangs).
+///
+/// This is the probability that an arriving request has to wait in an
+/// M/M/n/∞ delay system. The value lies in `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`QueueingError::Unstable`] when `a ≥ n` (the delay system has no
+/// steady state), and propagates the input-validation errors of
+/// [`erlang_b`].
+///
+/// # Examples
+///
+/// ```
+/// use chamulteon_queueing::erlang::erlang_c;
+///
+/// // 2 servers, offered load 1 Erlang => P(wait) = 1/3.
+/// let c = erlang_c(2, 1.0)?;
+/// assert!((c - 1.0 / 3.0).abs() < 1e-12);
+/// # Ok::<(), chamulteon_queueing::QueueingError>(())
+/// ```
+pub fn erlang_c(n: u32, a: f64) -> Result<f64, QueueingError> {
+    let b = erlang_b(n, a)?;
+    let n_f = f64::from(n);
+    if a >= n_f {
+        return Err(QueueingError::Unstable {
+            offered_load: a,
+            servers: n,
+        });
+    }
+    let c = n_f * b / (n_f - a * (1.0 - b));
+    // Clamp tiny negative round-off; mathematically c ∈ [0, 1].
+    Ok(c.clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn erlang_b_single_server_matches_closed_form() {
+        // B(1, a) = a / (1 + a)
+        for &a in &[0.1, 0.5, 1.0, 3.0, 10.0] {
+            let b = erlang_b(1, a).unwrap();
+            assert!((b - a / (1.0 + a)).abs() < EPS, "a={a}");
+        }
+    }
+
+    #[test]
+    fn erlang_b_two_servers_matches_closed_form() {
+        // B(2, a) = a^2/2 / (1 + a + a^2/2)
+        for &a in &[0.1, 0.5, 1.0, 3.0] {
+            let b = erlang_b(2, a).unwrap();
+            let expect = (a * a / 2.0) / (1.0 + a + a * a / 2.0);
+            assert!((b - expect).abs() < EPS, "a={a}");
+        }
+    }
+
+    #[test]
+    fn erlang_b_zero_load_is_zero() {
+        assert_eq!(erlang_b(5, 0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn erlang_b_rejects_bad_inputs() {
+        assert!(matches!(
+            erlang_b(0, 1.0),
+            Err(QueueingError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            erlang_b(3, -1.0),
+            Err(QueueingError::NonPositive { .. })
+        ));
+        assert!(matches!(
+            erlang_b(3, f64::NAN),
+            Err(QueueingError::NonPositive { .. })
+        ));
+    }
+
+    #[test]
+    fn erlang_b_is_stable_for_large_systems() {
+        // 1000 servers at 95% load must not overflow or go negative.
+        let b = erlang_b(1000, 950.0).unwrap();
+        assert!((0.0..=1.0).contains(&b));
+    }
+
+    #[test]
+    fn erlang_c_single_server_equals_utilization() {
+        // For M/M/1, P(wait) = rho.
+        for &a in &[0.1, 0.5, 0.9] {
+            let c = erlang_c(1, a).unwrap();
+            assert!((c - a).abs() < EPS, "a={a}");
+        }
+    }
+
+    #[test]
+    fn erlang_c_known_value_two_servers() {
+        let c = erlang_c(2, 1.0).unwrap();
+        assert!((c - 1.0 / 3.0).abs() < EPS);
+    }
+
+    #[test]
+    fn erlang_c_exceeds_erlang_b() {
+        // In a stable system the delay probability is at least the loss
+        // probability for the same (n, a).
+        for n in 1..20u32 {
+            let a = f64::from(n) * 0.8;
+            let b = erlang_b(n, a).unwrap();
+            let c = erlang_c(n, a).unwrap();
+            assert!(c >= b - EPS, "n={n}");
+        }
+    }
+
+    #[test]
+    fn erlang_c_unstable_when_load_reaches_servers() {
+        assert!(matches!(
+            erlang_c(4, 4.0),
+            Err(QueueingError::Unstable { .. })
+        ));
+        assert!(matches!(
+            erlang_c(4, 5.5),
+            Err(QueueingError::Unstable { .. })
+        ));
+    }
+
+    #[test]
+    fn erlang_c_approaches_one_near_saturation() {
+        let c = erlang_c(8, 7.999).unwrap();
+        assert!(c > 0.99);
+    }
+}

@@ -1,0 +1,122 @@
+//! Error types for queueing computations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible queueing computations.
+///
+/// All variants carry the offending value(s) so callers can report what was
+/// actually passed in — useful when arrival rates or service demands come
+/// from noisy monitoring data.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QueueingError {
+    /// The station is unstable: offered load `λ·s` is at least the number of
+    /// servers, so queue length grows without bound.
+    Unstable {
+        /// Offered load `λ·s` in Erlangs.
+        offered_load: f64,
+        /// Number of servers.
+        servers: u32,
+    },
+    /// A parameter that must be strictly positive was zero or negative
+    /// (or NaN).
+    NonPositive {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The value that was passed.
+        value: f64,
+    },
+    /// A probability or utilization target outside its valid open interval.
+    OutOfRange {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The value that was passed.
+        value: f64,
+    },
+    /// No feasible configuration exists within the allowed instance bounds.
+    Infeasible {
+        /// The smallest instance count that would have been required, if any
+        /// finite count works at all.
+        required: Option<u32>,
+        /// The maximum instance count that was allowed.
+        max_allowed: u32,
+    },
+}
+
+impl fmt::Display for QueueingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueingError::Unstable {
+                offered_load,
+                servers,
+            } => write!(
+                f,
+                "unstable station: offered load {offered_load} Erlangs with {servers} servers"
+            ),
+            QueueingError::NonPositive { name, value } => {
+                write!(f, "parameter `{name}` must be positive, got {value}")
+            }
+            QueueingError::OutOfRange { name, value } => {
+                write!(f, "parameter `{name}` out of range, got {value}")
+            }
+            QueueingError::Infeasible {
+                required,
+                max_allowed,
+            } => match required {
+                Some(required) => write!(
+                    f,
+                    "infeasible: {required} instances required but only {max_allowed} allowed"
+                ),
+                None => write!(
+                    f,
+                    "infeasible: no finite instance count works within limit {max_allowed}"
+                ),
+            },
+        }
+    }
+}
+
+impl Error for QueueingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            QueueingError::Unstable {
+                offered_load: 2.0,
+                servers: 1,
+            },
+            QueueingError::NonPositive {
+                name: "lambda",
+                value: -1.0,
+            },
+            QueueingError::OutOfRange {
+                name: "rho",
+                value: 1.5,
+            },
+            QueueingError::Infeasible {
+                required: Some(10),
+                max_allowed: 5,
+            },
+            QueueingError::Infeasible {
+                required: None,
+                max_allowed: 5,
+            },
+        ];
+        for e in errors {
+            let text = e.to_string();
+            assert!(!text.is_empty());
+            assert!(text.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QueueingError>();
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the queueing primitives.
+
+use chamulteon_queueing::capacity::{
+    max_arrival_rate_for_utilization, min_instances_for_response_time,
+    min_instances_for_utilization,
+};
+use chamulteon_queueing::erlang::{erlang_b, erlang_c};
+use chamulteon_queueing::{MmnQueue, StationSpec, TandemNetwork};
+use proptest::prelude::*;
+
+proptest! {
+    /// Erlang-B is always a probability.
+    #[test]
+    fn erlang_b_in_unit_interval(n in 1u32..500, a in 0.0f64..400.0) {
+        let b = erlang_b(n, a).unwrap();
+        prop_assert!((0.0..=1.0).contains(&b));
+    }
+
+    /// Erlang-B decreases as servers are added (more trunks, less blocking).
+    #[test]
+    fn erlang_b_monotone_in_servers(n in 1u32..200, a in 0.01f64..150.0) {
+        let b1 = erlang_b(n, a).unwrap();
+        let b2 = erlang_b(n + 1, a).unwrap();
+        prop_assert!(b2 <= b1 + 1e-12);
+    }
+
+    /// Erlang-B increases with offered load.
+    #[test]
+    fn erlang_b_monotone_in_load(n in 1u32..100, a in 0.01f64..100.0, da in 0.01f64..10.0) {
+        let b1 = erlang_b(n, a).unwrap();
+        let b2 = erlang_b(n, a + da).unwrap();
+        prop_assert!(b2 >= b1 - 1e-12);
+    }
+
+    /// Erlang-C is a probability and at least Erlang-B for stable systems.
+    #[test]
+    fn erlang_c_bounds(n in 1u32..300, frac in 0.01f64..0.99) {
+        let a = f64::from(n) * frac;
+        let b = erlang_b(n, a).unwrap();
+        let c = erlang_c(n, a).unwrap();
+        prop_assert!((0.0..=1.0).contains(&c));
+        prop_assert!(c >= b - 1e-12);
+    }
+
+    /// Stable stations always have a finite positive response time no less
+    /// than the bare service demand.
+    #[test]
+    fn response_time_at_least_demand(
+        n in 1u32..200,
+        s in 0.001f64..2.0,
+        frac in 0.01f64..0.99,
+    ) {
+        let lambda = f64::from(n) * frac / s;
+        let q = MmnQueue::new(lambda, s, n).unwrap();
+        let r = q.mean_response_time().unwrap();
+        prop_assert!(r.is_finite());
+        prop_assert!(r >= s - 1e-12);
+    }
+
+    /// The utilization solver output always meets the target and is minimal.
+    #[test]
+    fn utilization_solver_sound_and_minimal(
+        lambda in 0.01f64..5000.0,
+        s in 0.001f64..2.0,
+        rho in 0.05f64..1.0,
+    ) {
+        let n = min_instances_for_utilization(lambda, s, rho);
+        prop_assert!(n >= 1);
+        prop_assert!(lambda * s / f64::from(n) <= rho + 1e-6);
+        if n > 1 {
+            prop_assert!(lambda * s / f64::from(n - 1) > rho - 1e-6);
+        }
+    }
+
+    /// min/max capacity functions are mutually consistent.
+    #[test]
+    fn capacity_round_trip(n in 1u32..1000, s in 0.001f64..1.0, rho in 0.1f64..1.0) {
+        let lambda = max_arrival_rate_for_utilization(n, s, rho);
+        let back = min_instances_for_utilization(lambda, s, rho);
+        prop_assert_eq!(back, n.max(1));
+    }
+
+    /// The SLO solver result is stable and meets the target.
+    #[test]
+    fn slo_solver_sound(
+        lambda in 0.1f64..500.0,
+        s in 0.01f64..0.5,
+        slack in 1.05f64..10.0,
+    ) {
+        let target = s * slack;
+        let n = min_instances_for_response_time(lambda, s, target, 1_000_000).unwrap();
+        let q = MmnQueue::new(lambda, s, n).unwrap();
+        prop_assert!(q.is_stable());
+        prop_assert!(q.mean_response_time().unwrap() <= target + 1e-9);
+    }
+
+    /// Effective rates never increase along the chain and never exceed the
+    /// external rate.
+    #[test]
+    fn tandem_rates_never_amplified(
+        lambda in 0.0f64..1000.0,
+        n1 in 1u32..50, n2 in 1u32..50, n3 in 1u32..50,
+    ) {
+        let net = TandemNetwork::new(vec![
+            StationSpec::new(0.059, n1),
+            StationSpec::new(0.1, n2),
+            StationSpec::new(0.04, n3),
+        ]).unwrap();
+        let rates = net.effective_rates(lambda);
+        prop_assert_eq!(rates.len(), 3);
+        prop_assert!(rates[0] <= lambda + 1e-9);
+        for w in rates.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-9);
+        }
+    }
+
+    /// The demand vector from the SLO sizing keeps every tier stable.
+    #[test]
+    fn tandem_slo_vector_stable(lambda in 1.0f64..300.0) {
+        let net = TandemNetwork::new(vec![
+            StationSpec::new(0.059, 1),
+            StationSpec::new(0.1, 1),
+            StationSpec::new(0.04, 1),
+        ]).unwrap();
+        let ns = net.min_instances_for_slo(lambda, 0.5, 1_000_000).unwrap();
+        let demands = [0.059, 0.1, 0.04];
+        for (i, &n) in ns.iter().enumerate() {
+            prop_assert!(lambda * demands[i] / f64::from(n) < 1.0);
+        }
+    }
+}

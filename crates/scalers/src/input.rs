@@ -1,0 +1,140 @@
+//! The auto-scaler interface and its input tuple.
+
+use serde::{Deserialize, Serialize};
+
+/// The inputs every competing auto-scaler receives each scaling interval —
+/// the paper's §IV-C tuple plus the current time (needed by Hist's
+/// bucketed schedule).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalerInput {
+    /// Current time in seconds since experiment start.
+    pub time: f64,
+    /// Length of the elapsed scaling interval in seconds.
+    pub interval: f64,
+    /// Accumulated number of requests that arrived during the interval.
+    pub requests: u64,
+    /// Estimated service demand in seconds per request (from the demand
+    /// estimator, as in the paper).
+    pub service_demand: f64,
+    /// Number of currently running instances.
+    pub current_instances: u32,
+}
+
+impl ScalerInput {
+    /// Creates an input tuple. Degenerate values are sanitized: a
+    /// non-positive interval becomes 1 s, a non-positive demand 0.001 s,
+    /// zero instances become 1.
+    pub fn new(
+        time: f64,
+        interval: f64,
+        requests: u64,
+        service_demand: f64,
+        current_instances: u32,
+    ) -> Self {
+        ScalerInput {
+            time: if time.is_finite() { time } else { 0.0 },
+            interval: if interval.is_finite() && interval > 0.0 {
+                interval
+            } else {
+                1.0
+            },
+            requests,
+            service_demand: if service_demand.is_finite() && service_demand > 0.0 {
+                service_demand
+            } else {
+                0.001
+            },
+            current_instances: current_instances.max(1),
+        }
+    }
+
+    /// The mean arrival rate over the interval, req/s.
+    pub fn arrival_rate(&self) -> f64 {
+        self.requests as f64 / self.interval
+    }
+
+    /// The offered load in Erlangs, `λ·D`.
+    pub fn offered_load(&self) -> f64 {
+        self.arrival_rate() * self.service_demand
+    }
+
+    /// The theoretical utilization at the current instance count.
+    pub fn utilization(&self) -> f64 {
+        self.offered_load() / f64::from(self.current_instances)
+    }
+
+    /// The minimal instance count that keeps utilization at or below
+    /// `target` (≥ 1).
+    pub fn instances_for_utilization(&self, target: f64) -> u32 {
+        let target = if target.is_finite() && target > 0.0 {
+            target.min(1.0)
+        } else {
+            1.0
+        };
+        let raw = self.offered_load() / target;
+        let snapped = if (raw - raw.round()).abs() < 1e-9 {
+            raw.round()
+        } else {
+            raw.ceil()
+        };
+        (snapped.max(1.0)) as u32
+    }
+}
+
+/// A periodically invoked auto-scaler: consumes the last interval's
+/// monitoring tuple, returns the signed instance delta to apply.
+///
+/// Implementations are stateful (histories, hysteresis counters); one
+/// instance is deployed per scaled service, exactly as the paper deploys
+/// the open-source scalers.
+pub trait AutoScaler {
+    /// A short stable identifier (`"react"`, `"adapt"`, …).
+    fn name(&self) -> &str;
+
+    /// Decides how many instances to add (positive) or remove (negative).
+    fn decide(&mut self, input: &ScalerInput) -> i64;
+
+    /// Resets all internal state (for reuse across experiments).
+    fn reset(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let i = ScalerInput::new(0.0, 60.0, 1200, 0.1, 4);
+        assert!((i.arrival_rate() - 20.0).abs() < 1e-12);
+        assert!((i.offered_load() - 2.0).abs() < 1e-12);
+        assert!((i.utilization() - 0.5).abs() < 1e-12);
+        assert_eq!(i.instances_for_utilization(0.8), 3);
+        assert_eq!(i.instances_for_utilization(1.0), 2);
+    }
+
+    #[test]
+    fn sanitizes_degenerate_inputs() {
+        let i = ScalerInput::new(f64::NAN, 0.0, 10, -1.0, 0);
+        assert_eq!(i.time, 0.0);
+        assert_eq!(i.interval, 1.0);
+        assert_eq!(i.service_demand, 0.001);
+        assert_eq!(i.current_instances, 1);
+    }
+
+    #[test]
+    fn instances_for_utilization_edge_cases() {
+        let idle = ScalerInput::new(0.0, 60.0, 0, 0.1, 5);
+        assert_eq!(idle.instances_for_utilization(0.8), 1);
+        // Invalid target behaves like 1.0.
+        let i = ScalerInput::new(0.0, 60.0, 600, 0.1, 1);
+        assert_eq!(i.instances_for_utilization(f64::NAN), 1);
+        assert_eq!(i.instances_for_utilization(2.0), 1);
+    }
+
+    #[test]
+    fn exact_boundary_not_overshot() {
+        // 48 req/s · 0.1 / 0.8 = exactly 6.
+        let i = ScalerInput::new(0.0, 60.0, 2880, 0.1, 1);
+        assert_eq!(i.instances_for_utilization(0.8), 6);
+    }
+}

@@ -1,0 +1,233 @@
+//! Multi-service deployment of single-service scalers.
+//!
+//! The competing auto-scalers "are not designed to scale applications with
+//! multiple services", so the paper deploys one scaler instance per
+//! service and adjusts the arrival rate each downstream scaler sees with
+//! (§IV-C):
+//!
+//! ```text
+//! r(i) = measured arrival rate                     if i = 0
+//! r(i) = min(r(i−1), n(i−1) · s(i−1))              if i > 0
+//! ```
+//!
+//! where `n(i)` is the instance count and `s(i)` the per-instance service
+//! rate of service `i`.
+
+use crate::input::{AutoScaler, ScalerInput};
+
+/// Computes the per-service input rates along a chain from the measured
+/// entry rate — the paper's `r(i)` formula.
+///
+/// `instances[i]` and `service_demands[i]` describe service `i`; the
+/// per-instance service rate is `s(i) = 1 / demand`. The returned vector
+/// has one rate per service.
+///
+/// # Examples
+///
+/// ```
+/// use chamulteon_scalers::chain_rates;
+///
+/// // Validation (10 req/s/instance, 5 instances) caps the data tier at 50.
+/// let rates = chain_rates(100.0, &[20, 5, 10], &[0.059, 0.1, 0.04]);
+/// assert_eq!(rates[0], 100.0);
+/// assert!((rates[2] - 50.0).abs() < 1e-9);
+/// ```
+pub fn chain_rates(measured_rate: f64, instances: &[u32], service_demands: &[f64]) -> Vec<f64> {
+    let count = instances.len().min(service_demands.len());
+    let mut rates = Vec::with_capacity(count);
+    let mut upstream = measured_rate.max(0.0);
+    for i in 0..count {
+        rates.push(upstream);
+        let demand = service_demands[i];
+        let capacity = if demand > 0.0 {
+            f64::from(instances[i]) / demand
+        } else {
+            f64::INFINITY
+        };
+        upstream = upstream.min(capacity);
+    }
+    rates
+}
+
+/// One single-service auto-scaler per service plus the chain-rate input
+/// adjustment — the paper's extension of the open-source scalers to
+/// multi-service applications.
+pub struct IndependentScalers {
+    scalers: Vec<Box<dyn AutoScaler + Send>>,
+    service_demands: Vec<f64>,
+}
+
+impl std::fmt::Debug for IndependentScalers {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndependentScalers")
+            .field("scalers", &self.scalers.iter().map(|s| s.name()).collect::<Vec<_>>())
+            .field("service_demands", &self.service_demands)
+            .finish()
+    }
+}
+
+impl IndependentScalers {
+    /// Creates the deployment from one scaler per service and the nominal
+    /// per-service demands (used for the capacity term of the chain
+    /// formula when no estimate is supplied).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors differ in length or are empty.
+    pub fn new(scalers: Vec<Box<dyn AutoScaler + Send>>, service_demands: Vec<f64>) -> Self {
+        assert_eq!(
+            scalers.len(),
+            service_demands.len(),
+            "one scaler per service required"
+        );
+        assert!(!scalers.is_empty(), "at least one service required");
+        IndependentScalers {
+            scalers,
+            service_demands,
+        }
+    }
+
+    /// Convenience: the same scaler type for every service, built by a
+    /// factory closure.
+    pub fn homogeneous<F>(service_demands: Vec<f64>, factory: F) -> Self
+    where
+        F: Fn() -> Box<dyn AutoScaler + Send>,
+    {
+        let scalers = (0..service_demands.len()).map(|_| factory()).collect();
+        IndependentScalers::new(scalers, service_demands)
+    }
+
+    /// Number of services.
+    pub fn service_count(&self) -> usize {
+        self.scalers.len()
+    }
+
+    /// The name of the underlying scaler (they are homogeneous in the
+    /// paper's experiments; heterogeneous deployments report the first).
+    pub fn name(&self) -> &str {
+        self.scalers[0].name()
+    }
+
+    /// One scaling round: distributes the measured entry rate along the
+    /// chain, invokes every per-service scaler, and returns the instance
+    /// deltas.
+    ///
+    /// `estimated_demands` are the per-service demand estimates fed to the
+    /// scalers (the paper uses LibReDE's estimates, "as used in
+    /// Chamulteon"); the chain capacities use the same estimates.
+    pub fn decide(
+        &mut self,
+        time: f64,
+        interval: f64,
+        entry_requests: u64,
+        instances: &[u32],
+        estimated_demands: &[f64],
+    ) -> Vec<i64> {
+        let measured_rate = entry_requests as f64 / interval.max(1e-9);
+        let demands: Vec<f64> = (0..self.scalers.len())
+            .map(|i| {
+                estimated_demands
+                    .get(i)
+                    .copied()
+                    .filter(|d| d.is_finite() && *d > 0.0)
+                    .unwrap_or(self.service_demands[i])
+            })
+            .collect();
+        let rates = chain_rates(measured_rate, instances, &demands);
+        self.scalers
+            .iter_mut()
+            .enumerate()
+            .map(|(i, scaler)| {
+                let requests = (rates[i] * interval).round() as u64;
+                let input = ScalerInput::new(
+                    time,
+                    interval,
+                    requests,
+                    demands[i],
+                    instances.get(i).copied().unwrap_or(1),
+                );
+                scaler.decide(&input)
+            })
+            .collect()
+    }
+
+    /// Resets every per-service scaler.
+    pub fn reset(&mut self) {
+        for s in &mut self.scalers {
+            s.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::react::React;
+
+    #[test]
+    fn chain_rates_pass_through_without_bottleneck() {
+        let rates = chain_rates(50.0, &[10, 10, 10], &[0.059, 0.1, 0.04]);
+        assert_eq!(rates, vec![50.0, 50.0, 50.0]);
+    }
+
+    #[test]
+    fn chain_rates_throttle_downstream() {
+        // UI with 1 instance caps at ~16.9.
+        let rates = chain_rates(100.0, &[1, 10, 10], &[0.059, 0.1, 0.04]);
+        assert_eq!(rates[0], 100.0);
+        assert!((rates[1] - 1.0 / 0.059).abs() < 1e-9);
+        assert!((rates[2] - 1.0 / 0.059).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain_rates_monotone_nonincreasing() {
+        let rates = chain_rates(500.0, &[3, 7, 2], &[0.059, 0.1, 0.04]);
+        for w in rates.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn chain_rates_degenerate_inputs() {
+        assert!(chain_rates(-10.0, &[1], &[0.1]).iter().all(|&r| r == 0.0));
+        assert_eq!(chain_rates(10.0, &[], &[]).len(), 0);
+        // Zero demand treated as unlimited capacity.
+        let rates = chain_rates(10.0, &[1, 1], &[0.0, 0.1]);
+        assert_eq!(rates[1], 10.0);
+    }
+
+    #[test]
+    fn independent_scalers_scale_each_tier() {
+        let mut multi = IndependentScalers::homogeneous(
+            vec![0.059, 0.1, 0.04],
+            || Box::new(React::default()),
+        );
+        assert_eq!(multi.service_count(), 3);
+        assert_eq!(multi.name(), "react");
+        // 100 req/s at the entry; all tiers start at 1.
+        let deltas = multi.decide(0.0, 60.0, 6000, &[1, 1, 1], &[0.059, 0.1, 0.04]);
+        // Tier 0 sees 100 req/s => needs ceil(100·0.059/0.8)=8 => +7.
+        assert_eq!(deltas[0], 7);
+        // Tier 1 sees min(100, 1/0.059 ≈ 16.9) => needs ceil(1.695/0.8)=3.
+        assert_eq!(deltas[1], 2);
+        // Tier 2 sees min(16.9, 10) = 10 => needs 1 => no change.
+        assert_eq!(deltas[2], 0);
+    }
+
+    #[test]
+    fn demand_estimates_override_nominal() {
+        let mut multi =
+            IndependentScalers::homogeneous(vec![0.1], || Box::new(React::default()));
+        // Estimated demand twice the nominal: double the instances needed.
+        let with_estimate = multi.decide(0.0, 60.0, 600, &[1], &[0.2]);
+        multi.reset();
+        let with_nominal = multi.decide(0.0, 60.0, 600, &[1], &[]);
+        assert!(with_estimate[0] > with_nominal[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one scaler per service")]
+    fn mismatched_lengths_panic() {
+        let _ = IndependentScalers::new(vec![Box::new(React::default())], vec![0.1, 0.2]);
+    }
+}

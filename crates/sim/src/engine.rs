@@ -1,0 +1,1197 @@
+//! The discrete-event simulation engine.
+
+use crate::config::SimulationConfig;
+use crate::error::SimError;
+use crate::nested::VmPoolState;
+use crate::stats::{ServiceIntervalStats, SimulationResult, SupplyChange};
+use chamulteon_perfmodel::ApplicationModel;
+use chamulteon_workload::{LoadTrace, PoissonArrivals};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// An event in the future-event list. Ordering is by time, then by a
+/// monotonically increasing sequence number so simultaneous events process
+/// in deterministic FIFO order.
+#[derive(Debug, Clone, PartialEq)]
+struct Scheduled {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum EventKind {
+    /// A request finishes service at a station.
+    Completion { service: usize, request: usize },
+    /// One provisioned instance becomes ready.
+    Boot { service: usize },
+    /// A scale-down takes effect for `count` instances.
+    Shutdown { service: usize, count: u32 },
+    /// A vertical resize takes effect.
+    Resize { service: usize, speed: f64 },
+    /// One VM of the nested pool becomes ready.
+    VmReady,
+    /// Monitoring interval boundary.
+    MonitorTick,
+}
+
+impl Eq for Scheduled {}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Per-service runtime state.
+#[derive(Debug)]
+struct ServiceState {
+    /// Ready (booted) instances.
+    running: u32,
+    /// Instances currently serving a request (≤ running).
+    busy: u32,
+    /// Boot events in flight.
+    pending_boots: u32,
+    /// Boot events that were cancelled by a later scale-down and should be
+    /// ignored when they fire.
+    cancelled_boots: u32,
+    /// Busy instances marked for removal once their request completes.
+    retiring: u32,
+    /// Container boots queued for a free VM slot (nested pool only).
+    waiting_boots: u32,
+    /// Desired instance count from the last scaling command.
+    target: u32,
+    /// Vertical speed factor: service rates are multiplied by this
+    /// (1.0 = the nominal instance size).
+    speed: f64,
+    /// FCFS queue of waiting request ids.
+    queue: VecDeque<usize>,
+    // Utilization integration.
+    last_touch: f64,
+    busy_integral: f64,
+    capacity_integral: f64,
+    // Interval counters.
+    interval_arrivals: u64,
+    interval_completions: u64,
+    interval_response_sum: f64,
+    interval_response_count: u64,
+}
+
+impl ServiceState {
+    fn new(initial: u32) -> Self {
+        ServiceState {
+            running: initial,
+            busy: 0,
+            pending_boots: 0,
+            cancelled_boots: 0,
+            retiring: 0,
+            waiting_boots: 0,
+            target: initial,
+            speed: 1.0,
+            queue: VecDeque::new(),
+            last_touch: 0.0,
+            busy_integral: 0.0,
+            capacity_integral: 0.0,
+            interval_arrivals: 0,
+            interval_completions: 0,
+            interval_response_sum: 0.0,
+            interval_response_count: 0,
+        }
+    }
+
+    /// Integrates busy/capacity time up to `now` before a state change.
+    fn touch(&mut self, now: f64) {
+        let dt = now - self.last_touch;
+        if dt > 0.0 {
+            self.busy_integral += f64::from(self.busy) * dt;
+            self.capacity_integral += f64::from(self.running) * dt;
+            self.last_touch = now;
+        }
+    }
+
+    /// All instances this service will have once pending boots finish
+    /// (including boots still waiting for a VM slot).
+    fn provisioned(&self) -> u32 {
+        self.running + self.pending_boots - self.cancelled_boots + self.waiting_boots
+    }
+}
+
+/// A request's progress through the service path.
+#[derive(Debug, Clone, Copy)]
+struct RequestState {
+    /// Wall-clock send time.
+    start: f64,
+    /// Index into the topological path (which service it is at).
+    stage: usize,
+    /// When it entered the current service's queue.
+    entered_service: f64,
+}
+
+/// The request-level discrete-event simulation of a multi-service
+/// application under a load trace. See the crate docs for the modeling
+/// assumptions.
+pub struct Simulation {
+    // Static configuration.
+    path: Vec<usize>,
+    true_demands: Vec<f64>,
+    config: SimulationConfig,
+    duration: f64,
+    min_instances: Vec<u32>,
+    max_instances: Vec<u32>,
+    // Dynamic state.
+    now: f64,
+    seq: u64,
+    events: BinaryHeap<Scheduled>,
+    next_arrival: Option<f64>,
+    arrivals: PoissonArrivals,
+    services: Vec<ServiceState>,
+    pool: Option<VmPoolState>,
+    requests: Vec<RequestState>,
+    in_flight: u64,
+    rng: StdRng,
+    // Accounting.
+    supply: Vec<Vec<SupplyChange>>,
+    sent_per_second: Vec<u64>,
+    conformant_per_second: Vec<u64>,
+    completed: u64,
+    satisfied: u64,
+    tolerating: u64,
+    response_time_sum: f64,
+    interval_history: Vec<Vec<ServiceIntervalStats>>,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("duration", &self.duration)
+            .field("services", &self.services.len())
+            .field("in_flight", &self.in_flight)
+            .field("completed", &self.completed)
+            .finish()
+    }
+}
+
+impl Simulation {
+    /// Creates a simulation of `model` under `trace`.
+    ///
+    /// Services start at their model-declared initial instance counts; the
+    /// ground-truth service times are exponential with the model's nominal
+    /// demands as means. The request path is the topological order of the
+    /// model's invocation graph (the paper's chain).
+    pub fn new(model: &ApplicationModel, trace: &LoadTrace, config: SimulationConfig) -> Self {
+        let path: Vec<usize> = {
+            let order = model
+                .graph()
+                .topological_order()
+                .expect("validated model is acyclic");
+            let ratios = model.visit_ratios();
+            order.into_iter().filter(|&s| ratios[s] > 0.0).collect()
+        };
+        let true_demands: Vec<f64> = model.services().iter().map(|s| s.nominal_demand()).collect();
+        let services: Vec<ServiceState> = model
+            .services()
+            .iter()
+            .map(|s| ServiceState::new(s.initial_instances()))
+            .collect();
+        let duration = trace.duration();
+        let seconds = duration.ceil() as usize + 1;
+        let mut arrivals = PoissonArrivals::new(trace, config.seed.wrapping_add(1));
+        let next_arrival = arrivals.next();
+        let supply = services
+            .iter()
+            .map(|s| {
+                vec![SupplyChange {
+                    time: 0.0,
+                    running: s.running,
+                }]
+            })
+            .collect();
+        let pool = config.vm_pool.map(|cfg| {
+            let mut state = VmPoolState::new(cfg);
+            // The initial containers occupy slots from the start.
+            state.slots_in_use = services.iter().map(|s| s.running).sum();
+            state
+        });
+        let mut sim = Simulation {
+            path,
+            true_demands,
+            pool,
+            min_instances: model.services().iter().map(|s| s.min_instances()).collect(),
+            max_instances: model.services().iter().map(|s| s.max_instances()).collect(),
+            duration,
+            now: 0.0,
+            seq: 0,
+            events: BinaryHeap::new(),
+            next_arrival,
+            arrivals,
+            services,
+            requests: Vec::new(),
+            in_flight: 0,
+            rng: StdRng::seed_from_u64(config.seed),
+            supply,
+            sent_per_second: vec![0; seconds],
+            conformant_per_second: vec![0; seconds],
+            completed: 0,
+            satisfied: 0,
+            tolerating: 0,
+            response_time_sum: 0.0,
+            interval_history: vec![Vec::new(); model.service_count()],
+            config,
+        };
+        sim.schedule(sim.config.monitoring_interval, EventKind::MonitorTick);
+        sim
+    }
+
+    /// Current simulation time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Total trace duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.duration
+    }
+
+    /// Number of services.
+    pub fn service_count(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Ready (booted) instances of a service.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range index.
+    pub fn running(&self, service: usize) -> u32 {
+        self.services[service].running
+    }
+
+    /// Ready plus booting instances — what a controller should treat as the
+    /// already-ordered supply.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range index.
+    pub fn provisioned(&self, service: usize) -> u32 {
+        self.services[service].provisioned()
+    }
+
+    /// Current queue length at a service.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range index.
+    pub fn queue_length(&self, service: usize) -> usize {
+        self.services[service].queue.len()
+    }
+
+    /// Immediately sets a service's supply (no provisioning delay) —
+    /// intended for initial placement before the experiment starts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownService`] for an out-of-range index.
+    pub fn set_supply(&mut self, service: usize, count: u32) -> Result<(), SimError> {
+        let count = self.clamp_to_bounds(service, count)?;
+        let now = self.now;
+        let state = &mut self.services[service];
+        state.touch(now);
+        // Cannot drop below the number of busy servers; the excess retires
+        // on completion.
+        let old_running = state.running;
+        let new_running = count.max(state.busy);
+        state.retiring = new_running - count.min(new_running);
+        state.running = new_running;
+        state.target = count;
+        if let Some(pool) = &mut self.pool {
+            // Direct placement bypasses the boot path but still occupies
+            // (or frees) slots.
+            if new_running >= old_running {
+                pool.slots_in_use += new_running - old_running;
+            } else {
+                pool.slots_in_use = pool.slots_in_use.saturating_sub(old_running - new_running);
+            }
+        }
+        self.record_supply(service);
+        self.start_queued(service);
+        Ok(())
+    }
+
+    /// Issues a scaling command: provisioning and deprovisioning delays
+    /// from the deployment profile apply. The target is clamped into the
+    /// model's `[min_instances, max_instances]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownService`] for an out-of-range index.
+    pub fn scale_to(&mut self, service: usize, target: u32) -> Result<(), SimError> {
+        let target = self.clamp_to_bounds(service, target)?;
+        let provisioned = self.services[service].provisioned();
+        let prov_delay = self.config.profile.provisioning_delay;
+        let deprov_delay = self.config.profile.deprovisioning_delay;
+        match target.cmp(&provisioned) {
+            Ordering::Greater => {
+                let add = target - provisioned;
+                for _ in 0..add {
+                    match &mut self.pool {
+                        Some(pool) if pool.free_slots() == 0 => {
+                            // No slot: queue the boot until a VM frees up.
+                            pool.waiting.push_back(service);
+                            self.services[service].waiting_boots += 1;
+                        }
+                        Some(pool) => {
+                            pool.slots_in_use += 1;
+                            self.services[service].pending_boots += 1;
+                            self.schedule(self.now + prov_delay, EventKind::Boot { service });
+                        }
+                        None => {
+                            self.services[service].pending_boots += 1;
+                            self.schedule(self.now + prov_delay, EventKind::Boot { service });
+                        }
+                    }
+                }
+            }
+            Ordering::Less => {
+                let mut remove = provisioned - target;
+                // First drop boots still waiting for a slot (cheapest).
+                if self.services[service].waiting_boots > 0 {
+                    let drop_waiting = remove.min(self.services[service].waiting_boots);
+                    self.services[service].waiting_boots -= drop_waiting;
+                    remove -= drop_waiting;
+                    if let Some(pool) = &mut self.pool {
+                        let mut left = drop_waiting;
+                        pool.waiting.retain(|&svc| {
+                            if left > 0 && svc == service {
+                                left -= 1;
+                                false
+                            } else {
+                                true
+                            }
+                        });
+                    }
+                }
+                // Then cancel boots that have not completed yet.
+                let state = &mut self.services[service];
+                let cancellable = state.pending_boots - state.cancelled_boots;
+                let cancel = remove.min(cancellable);
+                state.cancelled_boots += cancel;
+                remove -= cancel;
+                if cancel > 0 {
+                    if let Some(pool) = &mut self.pool {
+                        // Cancelled boots release their reserved slots now.
+                        pool.slots_in_use = pool.slots_in_use.saturating_sub(cancel);
+                    }
+                    self.drain_waiting_boots();
+                }
+                if remove > 0 {
+                    self.schedule(
+                        self.now + deprov_delay,
+                        EventKind::Shutdown {
+                            service,
+                            count: remove,
+                        },
+                    );
+                }
+            }
+            Ordering::Equal => {}
+        }
+        self.services[service].target = target;
+        Ok(())
+    }
+
+    /// Issues a vertical scaling command: from one provisioning delay from
+    /// now, every instance of `service` runs at `speed` times the nominal
+    /// service rate (a resize requires redeploying the instances, so the
+    /// same delay as a scale-up applies). Non-finite or non-positive
+    /// speeds are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownService`] for an out-of-range index and
+    /// [`SimError::InvalidConfig`] for an invalid speed.
+    pub fn scale_vertical(&mut self, service: usize, speed: f64) -> Result<(), SimError> {
+        if service >= self.services.len() {
+            return Err(SimError::UnknownService {
+                index: service,
+                count: self.services.len(),
+            });
+        }
+        if !(speed > 0.0) || !speed.is_finite() {
+            return Err(SimError::InvalidConfig {
+                field: "speed",
+                value: speed,
+            });
+        }
+        let delay = self.config.profile.provisioning_delay;
+        self.schedule(self.now + delay, EventKind::Resize { service, speed });
+        Ok(())
+    }
+
+    /// The current vertical speed factor of a service (1.0 = nominal).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range index.
+    pub fn speed(&self, service: usize) -> f64 {
+        self.services[service].speed
+    }
+
+    /// Issues a VM-pool scaling command (nested deployments only): new VMs
+    /// become usable after the pool's boot delay; scale-downs cancel
+    /// pending VM boots first and then remove only VMs whose slots are
+    /// entirely free (occupied VMs are never killed under their
+    /// containers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the simulation has no VM
+    /// pool.
+    pub fn scale_vms(&mut self, target: u32) -> Result<(), SimError> {
+        let now = self.now;
+        let Some(pool) = &mut self.pool else {
+            return Err(SimError::InvalidConfig {
+                field: "vm_pool",
+                value: 0.0,
+            });
+        };
+        let target = target.max(1);
+        let provisioned = pool.provisioned_vms();
+        match target.cmp(&provisioned) {
+            Ordering::Greater => {
+                let add = target - provisioned;
+                pool.pending += add;
+                let delay = pool.config.vm_boot_delay;
+                for _ in 0..add {
+                    self.schedule(now + delay, EventKind::VmReady);
+                }
+            }
+            Ordering::Less => {
+                let mut remove = provisioned - target;
+                // Cancel pending VM boots first.
+                let cancellable = pool.pending - pool.cancelled;
+                let cancel = remove.min(cancellable);
+                pool.cancelled += cancel;
+                remove -= cancel;
+                // Remove only entirely free VMs.
+                let free_vms = pool.free_slots() / pool.config.slots_per_vm;
+                let removable = remove.min(free_vms).min(pool.running.saturating_sub(1));
+                pool.running -= removable;
+            }
+            Ordering::Equal => {}
+        }
+        Ok(())
+    }
+
+    /// Ready VMs of the nested pool (`None` for flat deployments).
+    pub fn vms_running(&self) -> Option<u32> {
+        self.pool.as_ref().map(|p| p.running)
+    }
+
+    /// Ready plus booting VMs (`None` for flat deployments).
+    pub fn vms_provisioned(&self) -> Option<u32> {
+        self.pool.as_ref().map(|p| p.provisioned_vms())
+    }
+
+    /// Free container slots in the pool (`None` for flat deployments).
+    pub fn free_slots(&self) -> Option<u32> {
+        self.pool.as_ref().map(|p| p.free_slots())
+    }
+
+    /// Container boots currently stalled waiting for a VM slot (`None` for
+    /// flat deployments).
+    pub fn waiting_containers(&self) -> Option<usize> {
+        self.pool.as_ref().map(|p| p.waiting.len())
+    }
+
+    /// Runs the simulation until time `t` (clamped to the trace duration),
+    /// processing all arrivals and events in order.
+    pub fn run_until(&mut self, t: f64) {
+        let t = t.min(self.duration);
+        loop {
+            let next_event_time = self.events.peek().map(|e| e.time);
+            let next_arrival_time = self.next_arrival;
+            let (time, is_arrival) = match (next_event_time, next_arrival_time) {
+                (None, None) => break,
+                (Some(e), None) => (e, false),
+                (None, Some(a)) => (a, true),
+                (Some(e), Some(a)) => {
+                    if a <= e {
+                        (a, true)
+                    } else {
+                        (e, false)
+                    }
+                }
+            };
+            if time > t {
+                break;
+            }
+            self.now = time;
+            if is_arrival {
+                self.next_arrival = self.arrivals.next();
+                self.handle_external_arrival(time);
+            } else {
+                let ev = self.events.pop().expect("peeked event exists");
+                self.dispatch(ev.kind);
+            }
+        }
+        self.now = t;
+    }
+
+    /// Runs to the end of the trace and returns the collected result.
+    pub fn run_to_end(mut self) -> SimulationResult {
+        self.run_until(self.duration);
+        self.finish()
+    }
+
+    /// Finalizes accounting and returns the result.
+    pub fn finish(mut self) -> SimulationResult {
+        let now = self.now;
+        for service in 0..self.services.len() {
+            self.services[service].touch(now);
+        }
+        SimulationResult {
+            duration: self.duration,
+            supply: self.supply,
+            sent_per_second: self.sent_per_second,
+            conformant_per_second: self.conformant_per_second,
+            completed: self.completed,
+            satisfied: self.satisfied,
+            tolerating: self.tolerating,
+            in_flight_at_end: self.in_flight,
+            response_time_sum: self.response_time_sum,
+            interval_history: self.interval_history,
+        }
+    }
+
+    /// Number of completed monitoring intervals so far.
+    pub fn intervals_completed(&self) -> usize {
+        self.interval_history.first().map(Vec::len).unwrap_or(0)
+    }
+
+    /// The monitoring stats of interval `index` (0-based) for every
+    /// service, or `None` if that interval has not completed yet.
+    pub fn interval(&self, index: usize) -> Option<Vec<ServiceIntervalStats>> {
+        if index >= self.intervals_completed() {
+            return None;
+        }
+        Some(
+            self.interval_history
+                .iter()
+                .map(|h| h[index])
+                .collect(),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Internals.
+    // ------------------------------------------------------------------
+
+    fn clamp_to_bounds(&self, service: usize, count: u32) -> Result<u32, SimError> {
+        if service >= self.services.len() {
+            return Err(SimError::UnknownService {
+                index: service,
+                count: self.services.len(),
+            });
+        }
+        Ok(count.clamp(self.min_instances[service], self.max_instances[service]))
+    }
+
+    fn schedule(&mut self, time: f64, kind: EventKind) {
+        self.seq += 1;
+        self.events.push(Scheduled {
+            time,
+            seq: self.seq,
+            kind,
+        });
+    }
+
+    fn record_supply(&mut self, service: usize) {
+        let running = self.services[service].running;
+        let timeline = &mut self.supply[service];
+        if timeline.last().map(|c| c.running) != Some(running) {
+            timeline.push(SupplyChange {
+                time: self.now,
+                running,
+            });
+        }
+    }
+
+    fn handle_external_arrival(&mut self, time: f64) {
+        let sec = time as usize;
+        if sec < self.sent_per_second.len() {
+            self.sent_per_second[sec] += 1;
+        }
+        let id = self.requests.len();
+        self.requests.push(RequestState {
+            start: time,
+            stage: 0,
+            entered_service: time,
+        });
+        self.in_flight += 1;
+        let first = self.path[0];
+        self.arrive_at_service(first, id);
+    }
+
+    fn arrive_at_service(&mut self, service: usize, request: usize) {
+        let now = self.now;
+        let state = &mut self.services[service];
+        state.interval_arrivals += 1;
+        self.requests[request].entered_service = now;
+        if state.busy < state.running {
+            self.begin_service(service, request);
+        } else {
+            state.queue.push_back(request);
+        }
+    }
+
+    fn begin_service(&mut self, service: usize, request: usize) {
+        let now = self.now;
+        // Vertical scaling speeds every instance up uniformly.
+        let demand = self.true_demands[service] / self.services[service].speed;
+        let u: f64 = self.rng.gen();
+        let service_time = -(1.0 - u).ln() * demand;
+        let state = &mut self.services[service];
+        state.touch(now);
+        state.busy += 1;
+        self.schedule(now + service_time, EventKind::Completion { service, request });
+    }
+
+    fn start_queued(&mut self, service: usize) {
+        while self.services[service].busy < self.services[service].running {
+            let Some(request) = self.services[service].queue.pop_front() else {
+                break;
+            };
+            self.begin_service(service, request);
+        }
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Completion { service, request } => self.on_completion(service, request),
+            EventKind::Boot { service } => self.on_boot(service),
+            EventKind::Shutdown { service, count } => self.on_shutdown(service, count),
+            EventKind::Resize { service, speed } => {
+                self.services[service].speed = speed;
+            }
+            EventKind::VmReady => self.on_vm_ready(),
+            EventKind::MonitorTick => self.on_monitor_tick(),
+        }
+    }
+
+    fn on_completion(&mut self, service: usize, request: usize) {
+        let now = self.now;
+        {
+            let state = &mut self.services[service];
+            state.touch(now);
+            state.busy -= 1;
+            state.interval_completions += 1;
+            let waited = now - self.requests[request].entered_service;
+            state.interval_response_sum += waited;
+            state.interval_response_count += 1;
+            if state.retiring > 0 {
+                state.retiring -= 1;
+                state.running -= 1;
+                if let Some(pool) = &mut self.pool {
+                    pool.slots_in_use = pool.slots_in_use.saturating_sub(1);
+                }
+            }
+        }
+        self.drain_waiting_boots();
+        self.record_supply(service);
+        self.start_queued(service);
+
+        // Advance the request along the path.
+        let stage = self.requests[request].stage + 1;
+        if stage < self.path.len() {
+            self.requests[request].stage = stage;
+            let next = self.path[stage];
+            self.arrive_at_service(next, request);
+        } else {
+            self.finish_request(request);
+        }
+    }
+
+    fn finish_request(&mut self, request: usize) {
+        let start = self.requests[request].start;
+        let response = self.now - start;
+        self.in_flight -= 1;
+        self.completed += 1;
+        self.response_time_sum += response;
+        if self.config.slo.is_satisfied(response) {
+            self.satisfied += 1;
+            let sec = start as usize;
+            if sec < self.conformant_per_second.len() {
+                self.conformant_per_second[sec] += 1;
+            }
+        } else if self.config.slo.is_tolerating(response) {
+            self.tolerating += 1;
+        }
+    }
+
+    fn on_boot(&mut self, service: usize) {
+        let now = self.now;
+        let state = &mut self.services[service];
+        if state.cancelled_boots > 0 {
+            state.cancelled_boots -= 1;
+            state.pending_boots -= 1;
+            return;
+        }
+        state.touch(now);
+        state.pending_boots -= 1;
+        state.running += 1;
+        self.record_supply(service);
+        self.start_queued(service);
+    }
+
+    fn on_shutdown(&mut self, service: usize, count: u32) {
+        let now = self.now;
+        let state = &mut self.services[service];
+        state.touch(now);
+        let idle = state.running - state.busy;
+        let remove_idle = count.min(idle);
+        state.running -= remove_idle;
+        // Whatever could not be removed idle retires busy servers on their
+        // next completion.
+        state.retiring += count - remove_idle;
+        if remove_idle > 0 {
+            if let Some(pool) = &mut self.pool {
+                pool.slots_in_use = pool.slots_in_use.saturating_sub(remove_idle);
+            }
+            self.drain_waiting_boots();
+        }
+        self.record_supply(service);
+    }
+
+    fn on_vm_ready(&mut self) {
+        if let Some(pool) = &mut self.pool {
+            if pool.cancelled > 0 {
+                pool.cancelled -= 1;
+                pool.pending -= 1;
+                return;
+            }
+            pool.pending -= 1;
+            pool.running += 1;
+        }
+        self.drain_waiting_boots();
+    }
+
+    /// Starts queued container boots while free slots exist (nested pool
+    /// only).
+    fn drain_waiting_boots(&mut self) {
+        let prov_delay = self.config.profile.provisioning_delay;
+        let now = self.now;
+        loop {
+            let Some(pool) = &mut self.pool else { return };
+            if pool.free_slots() == 0 {
+                return;
+            }
+            let Some(service) = pool.waiting.pop_front() else {
+                return;
+            };
+            pool.slots_in_use += 1;
+            self.services[service].waiting_boots -= 1;
+            self.services[service].pending_boots += 1;
+            self.schedule(now + prov_delay, EventKind::Boot { service });
+        }
+    }
+
+    fn on_monitor_tick(&mut self) {
+        let now = self.now;
+        let interval = self.config.monitoring_interval;
+        for (idx, state) in self.services.iter_mut().enumerate() {
+            state.touch(now);
+            let utilization = if state.capacity_integral > 0.0 {
+                (state.busy_integral / state.capacity_integral).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            let mean_response_time = if state.interval_response_count > 0 {
+                Some(state.interval_response_sum / state.interval_response_count as f64)
+            } else {
+                None
+            };
+            self.interval_history[idx].push(ServiceIntervalStats {
+                start: now - interval,
+                duration: interval,
+                arrivals: state.interval_arrivals,
+                completions: state.interval_completions,
+                utilization,
+                mean_response_time,
+                instances_end: state.running,
+                queue_length_end: state.queue.len(),
+            });
+            state.busy_integral = 0.0;
+            state.capacity_integral = 0.0;
+            state.interval_arrivals = 0;
+            state.interval_completions = 0;
+            state.interval_response_sum = 0.0;
+            state.interval_response_count = 0;
+        }
+        if now + interval <= self.duration + 1e-9 {
+            self.schedule(now + interval, EventKind::MonitorTick);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DeploymentProfile, SloPolicy};
+    use chamulteon_perfmodel::ApplicationModel;
+    use chamulteon_workload::LoadTrace;
+
+    fn config(seed: u64) -> SimulationConfig {
+        SimulationConfig::new(DeploymentProfile::docker(), SloPolicy::default(), seed)
+    }
+
+    fn flat_trace(rate: f64, duration: f64) -> LoadTrace {
+        let steps = (duration / 60.0).ceil() as usize;
+        LoadTrace::new(60.0, vec![rate; steps]).unwrap()
+    }
+
+    fn well_provisioned(rate: f64, duration: f64, seed: u64) -> Simulation {
+        let model = ApplicationModel::paper_benchmark();
+        let mut sim = Simulation::new(&model, &flat_trace(rate, duration), config(seed));
+        // Generously size every tier for the offered rate.
+        sim.set_supply(0, ((rate * 0.059 / 0.6).ceil() as u32).max(2)).unwrap();
+        sim.set_supply(1, ((rate * 0.1 / 0.6).ceil() as u32).max(2)).unwrap();
+        sim.set_supply(2, ((rate * 0.04 / 0.6).ceil() as u32).max(2)).unwrap();
+        sim
+    }
+
+    #[test]
+    fn conservation_of_requests() {
+        let result = well_provisioned(50.0, 300.0, 1).run_to_end();
+        let sent: u64 = result.sent_per_second.iter().sum();
+        assert_eq!(sent, result.completed + result.in_flight_at_end);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = well_provisioned(40.0, 300.0, 7).run_to_end();
+        let b = well_provisioned(40.0, 300.0, 7).run_to_end();
+        assert_eq!(a, b);
+        let c = well_provisioned(40.0, 300.0, 8).run_to_end();
+        assert_ne!(a.completed, 0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn well_provisioned_meets_slo() {
+        let result = well_provisioned(60.0, 600.0, 3).run_to_end();
+        assert!(result.total_requests() > 30_000);
+        assert!(
+            result.slo_violation_percent() < 5.0,
+            "violations {}%",
+            result.slo_violation_percent()
+        );
+        assert!(result.apdex_percent() > 95.0);
+        // Mean response close to the 0.199 s summed demand at low load.
+        assert!(result.mean_response_time() < 0.35);
+    }
+
+    #[test]
+    fn under_provisioned_violates_slo() {
+        let model = ApplicationModel::paper_benchmark();
+        let mut sim = Simulation::new(&model, &flat_trace(60.0, 600.0), config(4));
+        // Validation tier can only serve 10 req/s of the offered 60.
+        sim.set_supply(0, 10).unwrap();
+        sim.set_supply(1, 1).unwrap();
+        sim.set_supply(2, 5).unwrap();
+        let result = sim.run_to_end();
+        assert!(
+            result.slo_violation_percent() > 50.0,
+            "violations {}%",
+            result.slo_violation_percent()
+        );
+    }
+
+    #[test]
+    fn utilization_tracks_offered_load() {
+        let model = ApplicationModel::paper_benchmark();
+        let mut sim = Simulation::new(&model, &flat_trace(50.0, 600.0), config(5));
+        sim.set_supply(0, 10).unwrap();
+        sim.set_supply(1, 10).unwrap();
+        sim.set_supply(2, 10).unwrap();
+        sim.run_until(600.0);
+        // Expected utilizations: λ·D/n = 50·0.059/10, 50·0.1/10, 50·0.04/10.
+        let expect = [0.295, 0.5, 0.2];
+        let last = sim.intervals_completed() - 1;
+        let stats = sim.interval(last).unwrap();
+        for (i, s) in stats.iter().enumerate() {
+            assert!(
+                (s.utilization - expect[i]).abs() < 0.08,
+                "service {i}: {} vs {}",
+                s.utilization,
+                expect[i]
+            );
+        }
+    }
+
+    #[test]
+    fn monitoring_interval_counts_arrivals() {
+        let model = ApplicationModel::paper_benchmark();
+        let mut sim = Simulation::new(&model, &flat_trace(100.0, 300.0), config(6));
+        sim.set_supply(0, 20).unwrap();
+        sim.set_supply(1, 20).unwrap();
+        sim.set_supply(2, 20).unwrap();
+        sim.run_until(300.0);
+        assert_eq!(sim.intervals_completed(), 5);
+        let stats = sim.interval(0).unwrap();
+        // ~6000 arrivals per 60 s window at the entry; Poisson sd ≈ 77.
+        assert!(
+            (5_500..6_500).contains(&(stats[0].arrivals as i64)),
+            "arrivals {}",
+            stats[0].arrivals
+        );
+    }
+
+    #[test]
+    fn provisioning_delay_applies() {
+        let model = ApplicationModel::paper_benchmark();
+        let profile = DeploymentProfile::custom("slow", 100.0, 0.0);
+        let cfg = SimulationConfig::new(profile, SloPolicy::default(), 8);
+        let mut sim = Simulation::new(&model, &flat_trace(1.0, 400.0), cfg);
+        assert_eq!(sim.running(0), 1);
+        sim.scale_to(0, 5).unwrap();
+        assert_eq!(sim.provisioned(0), 5);
+        sim.run_until(50.0);
+        assert_eq!(sim.running(0), 1, "instances not ready before the delay");
+        sim.run_until(150.0);
+        assert_eq!(sim.running(0), 5, "instances ready after the delay");
+    }
+
+    #[test]
+    fn scale_down_is_fast_and_respects_busy_servers() {
+        let model = ApplicationModel::paper_benchmark();
+        let mut sim = Simulation::new(&model, &flat_trace(0.0, 300.0), config(9));
+        sim.set_supply(1, 10).unwrap();
+        sim.scale_to(1, 2).unwrap();
+        sim.run_until(10.0);
+        assert_eq!(sim.running(1), 2);
+    }
+
+    #[test]
+    fn scale_down_cancels_pending_boots() {
+        let model = ApplicationModel::paper_benchmark();
+        let mut sim = Simulation::new(&model, &flat_trace(0.0, 600.0), config(10));
+        sim.scale_to(0, 10).unwrap();
+        assert_eq!(sim.provisioned(0), 10);
+        sim.scale_to(0, 3).unwrap();
+        assert_eq!(sim.provisioned(0), 3);
+        sim.run_until(60.0);
+        assert_eq!(sim.running(0), 3);
+    }
+
+    #[test]
+    fn scale_respects_model_bounds() {
+        let model = ApplicationModel::paper_benchmark();
+        let mut sim = Simulation::new(&model, &flat_trace(1.0, 60.0), config(11));
+        sim.scale_to(0, 0).unwrap(); // clamped to min = 1
+        assert_eq!(sim.provisioned(0), 1);
+        sim.scale_to(0, 100_000).unwrap(); // clamped to max = 200
+        assert_eq!(sim.provisioned(0), 200);
+        assert!(sim.scale_to(99, 1).is_err());
+    }
+
+    #[test]
+    fn supply_timeline_records_changes() {
+        let model = ApplicationModel::paper_benchmark();
+        let mut sim = Simulation::new(&model, &flat_trace(0.0, 300.0), config(12));
+        sim.run_until(100.0);
+        sim.scale_to(0, 4).unwrap();
+        sim.run_until(300.0);
+        let result = sim.finish();
+        assert_eq!(result.supply_at(0, 0.0), 1);
+        // Docker delay is 10 s.
+        assert_eq!(result.supply_at(0, 105.0), 1);
+        assert_eq!(result.supply_at(0, 111.0), 4);
+    }
+
+    #[test]
+    fn requests_flow_through_all_services() {
+        let mut sim = well_provisioned(30.0, 120.0, 13);
+        sim.run_until(120.0);
+        let stats = sim.interval(0).unwrap();
+        // Every tier sees roughly the same number of requests on a chain.
+        let a0 = stats[0].arrivals as f64;
+        for s in &stats[1..] {
+            assert!((s.arrivals as f64 - a0).abs() < a0 * 0.05);
+        }
+    }
+
+    #[test]
+    fn bottleneck_shifting_dynamics_visible() {
+        // Tier 0 is the bottleneck: downstream tiers see only its output.
+        let model = ApplicationModel::paper_benchmark();
+        let mut sim = Simulation::new(&model, &flat_trace(100.0, 300.0), config(14));
+        sim.set_supply(0, 1).unwrap(); // capacity ≈ 16.9 req/s
+        sim.set_supply(1, 20).unwrap();
+        sim.set_supply(2, 20).unwrap();
+        sim.run_until(300.0);
+        let stats = sim.interval(3).unwrap();
+        // Validation tier receives roughly the UI's saturation throughput.
+        let downstream_rate = stats[1].arrivals as f64 / 60.0;
+        assert!(
+            (downstream_rate - 1.0 / 0.059).abs() < 4.0,
+            "rate {downstream_rate}"
+        );
+    }
+
+    #[test]
+    fn vertical_scaling_speeds_up_service() {
+        // Validation tier at 1 instance and 15 req/s is overloaded
+        // (capacity 10); a 2x resize makes it comfortable (capacity 20).
+        let model = ApplicationModel::paper_benchmark();
+        let mut slow = Simulation::new(&model, &flat_trace(15.0, 600.0), config(21));
+        slow.set_supply(0, 4).unwrap();
+        slow.set_supply(1, 1).unwrap();
+        slow.set_supply(2, 2).unwrap();
+        let slow_result = slow.run_to_end();
+
+        let mut fast = Simulation::new(&model, &flat_trace(15.0, 600.0), config(21));
+        fast.set_supply(0, 4).unwrap();
+        fast.set_supply(1, 1).unwrap();
+        fast.set_supply(2, 2).unwrap();
+        fast.scale_vertical(1, 2.0).unwrap();
+        let fast_result = fast.run_to_end();
+
+        assert!(
+            fast_result.slo_violation_percent() < slow_result.slo_violation_percent() / 2.0,
+            "fast {}% vs slow {}%",
+            fast_result.slo_violation_percent(),
+            slow_result.slo_violation_percent()
+        );
+    }
+
+    #[test]
+    fn vertical_scaling_has_provisioning_delay() {
+        let model = ApplicationModel::paper_benchmark();
+        let profile = DeploymentProfile::custom("slow", 100.0, 0.0);
+        let cfg = SimulationConfig::new(profile, SloPolicy::default(), 22);
+        let mut sim = Simulation::new(&model, &flat_trace(1.0, 400.0), cfg);
+        sim.scale_vertical(0, 4.0).unwrap();
+        sim.run_until(50.0);
+        assert_eq!(sim.speed(0), 1.0, "resize not yet effective");
+        sim.run_until(150.0);
+        assert_eq!(sim.speed(0), 4.0);
+    }
+
+    #[test]
+    fn vertical_scaling_validates_inputs() {
+        let model = ApplicationModel::paper_benchmark();
+        let mut sim = Simulation::new(&model, &flat_trace(1.0, 60.0), config(23));
+        assert!(sim.scale_vertical(99, 2.0).is_err());
+        assert!(sim.scale_vertical(0, 0.0).is_err());
+        assert!(sim.scale_vertical(0, -1.0).is_err());
+        assert!(sim.scale_vertical(0, f64::NAN).is_err());
+        assert!(sim.scale_vertical(0, 2.0).is_ok());
+    }
+
+    #[test]
+    fn nested_pool_blocks_boots_without_slots() {
+        use crate::nested::VmPoolConfig;
+        let model = ApplicationModel::paper_benchmark();
+        // 1 VM x 4 slots; 3 containers already placed (initial 1 each).
+        let cfg = SimulationConfig::new(DeploymentProfile::docker(), SloPolicy::default(), 31)
+            .with_vm_pool(VmPoolConfig::new(4, 300.0, 1));
+        let mut sim = Simulation::new(&model, &flat_trace(0.0, 1200.0), cfg);
+        assert_eq!(sim.free_slots(), Some(1));
+        // Ask for 5 more UI containers: 1 boots, 4 wait.
+        sim.scale_to(0, 6).unwrap();
+        assert_eq!(sim.provisioned(0), 6);
+        assert_eq!(sim.waiting_containers(), Some(4));
+        sim.run_until(60.0);
+        assert_eq!(sim.running(0), 2, "only one slot was free");
+        // Add a VM: after its 300 s boot the waiting containers start.
+        sim.scale_vms(2).unwrap();
+        sim.run_until(200.0);
+        assert_eq!(sim.running(0), 2, "VM not ready yet");
+        sim.run_until(400.0);
+        assert_eq!(sim.running(0), 6, "waiting boots drained after VM ready");
+        assert_eq!(sim.waiting_containers(), Some(0));
+    }
+
+    #[test]
+    fn nested_pool_scale_down_frees_slots_for_waiters() {
+        use crate::nested::VmPoolConfig;
+        let model = ApplicationModel::paper_benchmark();
+        let cfg = SimulationConfig::new(DeploymentProfile::docker(), SloPolicy::default(), 32)
+            .with_vm_pool(VmPoolConfig::new(4, 300.0, 1));
+        let mut sim = Simulation::new(&model, &flat_trace(0.0, 600.0), cfg);
+        // Fill the pool: ui 1->2 (slot 4 taken).
+        sim.scale_to(0, 2).unwrap();
+        sim.run_until(30.0);
+        assert_eq!(sim.free_slots(), Some(0));
+        // Validation wants one more: must wait.
+        sim.scale_to(1, 2).unwrap();
+        assert_eq!(sim.waiting_containers(), Some(1));
+        // UI scales back down; the freed slot unblocks validation.
+        sim.scale_to(0, 1).unwrap();
+        sim.run_until(100.0);
+        assert_eq!(sim.running(1), 2);
+        assert_eq!(sim.waiting_containers(), Some(0));
+    }
+
+    #[test]
+    fn nested_pool_cancelling_waiting_boots() {
+        use crate::nested::VmPoolConfig;
+        let model = ApplicationModel::paper_benchmark();
+        let cfg = SimulationConfig::new(DeploymentProfile::docker(), SloPolicy::default(), 33)
+            .with_vm_pool(VmPoolConfig::new(3, 300.0, 1));
+        let mut sim = Simulation::new(&model, &flat_trace(0.0, 600.0), cfg);
+        sim.scale_to(0, 10).unwrap(); // pool full: most boots wait
+        assert!(sim.waiting_containers().unwrap() > 0);
+        // Scale back: waiting boots are dropped first, cheaply.
+        sim.scale_to(0, 1).unwrap();
+        assert_eq!(sim.waiting_containers(), Some(0));
+        sim.run_until(120.0);
+        assert_eq!(sim.running(0), 1);
+    }
+
+    #[test]
+    fn nested_pool_vm_scale_down_never_kills_occupied_vms() {
+        use crate::nested::VmPoolConfig;
+        let model = ApplicationModel::paper_benchmark();
+        let cfg = SimulationConfig::new(DeploymentProfile::docker(), SloPolicy::default(), 34)
+            .with_vm_pool(VmPoolConfig::new(2, 60.0, 3));
+        let mut sim = Simulation::new(&model, &flat_trace(0.0, 600.0), cfg);
+        // 3 initial containers occupy 2 VMs worth of slots (2 + 1).
+        assert_eq!(sim.free_slots(), Some(3));
+        sim.scale_vms(1).unwrap();
+        // Only the one fully-free VM may go.
+        assert_eq!(sim.vms_running(), Some(2));
+    }
+
+    #[test]
+    fn flat_deployment_has_no_pool_api() {
+        let model = ApplicationModel::paper_benchmark();
+        let mut sim = Simulation::new(&model, &flat_trace(0.0, 60.0), config(35));
+        assert_eq!(sim.vms_running(), None);
+        assert_eq!(sim.free_slots(), None);
+        assert!(sim.scale_vms(3).is_err());
+    }
+
+    #[test]
+    fn zero_rate_trace_is_quiet() {
+        let model = ApplicationModel::paper_benchmark();
+        let sim = Simulation::new(&model, &flat_trace(0.0, 120.0), config(15));
+        let result = sim.run_to_end();
+        assert_eq!(result.total_requests(), 0);
+        assert_eq!(result.apdex_percent(), 100.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for the simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by simulator configuration and control operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A service index is out of range.
+    UnknownService {
+        /// The index that was passed.
+        index: usize,
+        /// The number of services in the simulation.
+        count: usize,
+    },
+    /// A configuration value is out of range.
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The value that was passed.
+        value: f64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownService { index, count } => {
+                write!(f, "unknown service index {index} (have {count})")
+            }
+            SimError::InvalidConfig { field, value } => {
+                write!(f, "invalid configuration `{field}`: {value}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SimError::UnknownService { index: 5, count: 3 }
+            .to_string()
+            .contains('5'));
+        assert!(SimError::InvalidConfig {
+            field: "slo",
+            value: -1.0
+        }
+        .to_string()
+        .contains("slo"));
+    }
+}

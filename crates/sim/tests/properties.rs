@@ -1,0 +1,121 @@
+//! Property-based tests for the discrete-event simulator.
+
+use chamulteon_perfmodel::ApplicationModel;
+use chamulteon_sim::{DeploymentProfile, Simulation, SimulationConfig, SloPolicy};
+use chamulteon_workload::LoadTrace;
+use proptest::prelude::*;
+
+fn simulation(rates: &[f64], seed: u64) -> Simulation {
+    let model = ApplicationModel::paper_benchmark();
+    let trace = LoadTrace::new(30.0, rates.to_vec()).unwrap();
+    let config = SimulationConfig::new(DeploymentProfile::docker(), SloPolicy::default(), seed)
+        .with_monitoring_interval(30.0);
+    Simulation::new(&model, &trace, config)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Conservation: injected = completed + in flight, under arbitrary
+    /// load profiles and arbitrary interleaved scaling actions.
+    #[test]
+    fn conservation_under_random_scaling(
+        rates in prop::collection::vec(0.0f64..150.0, 2..8),
+        actions in prop::collection::vec((0usize..3, 1u32..40), 0..12),
+        seed in 0u64..1000,
+    ) {
+        let mut sim = simulation(&rates, seed);
+        let duration = sim.duration();
+        // Spread the scaling actions over the run.
+        let slots = actions.len().max(1) as f64;
+        for (i, (service, target)) in actions.iter().enumerate() {
+            sim.run_until(duration * (i as f64 + 1.0) / (slots + 1.0));
+            sim.scale_to(*service, *target).unwrap();
+        }
+        let result = sim.run_to_end();
+        let sent: u64 = result.sent_per_second.iter().sum();
+        prop_assert_eq!(sent, result.completed + result.in_flight_at_end);
+        prop_assert_eq!(result.completed, result.satisfied + result.tolerating
+            + (result.completed - result.satisfied - result.tolerating));
+        prop_assert!(result.satisfied + result.tolerating <= result.completed);
+    }
+
+    /// Supply timelines never violate the model bounds and never change
+    /// retroactively (times strictly increase... weakly, with distinct
+    /// values).
+    #[test]
+    fn supply_timeline_well_formed(
+        rates in prop::collection::vec(0.0f64..100.0, 2..6),
+        actions in prop::collection::vec((0usize..3, 0u32..250), 1..10),
+        seed in 0u64..500,
+    ) {
+        let mut sim = simulation(&rates, seed);
+        let duration = sim.duration();
+        for (i, (service, target)) in actions.iter().enumerate() {
+            sim.run_until(duration * (i as f64 + 1.0) / (actions.len() as f64 + 1.0));
+            sim.scale_to(*service, *target).unwrap();
+        }
+        let result = sim.run_to_end();
+        for timeline in &result.supply {
+            for w in timeline.windows(2) {
+                prop_assert!(w[0].time <= w[1].time);
+                prop_assert!(w[0].running != w[1].running || w[0].time < w[1].time);
+            }
+            for c in timeline {
+                prop_assert!(c.running >= 1);
+                prop_assert!(c.running <= 200);
+            }
+        }
+    }
+
+    /// Monitoring statistics are internally consistent: utilization in
+    /// [0, 1], per-interval completions consistent with totals.
+    #[test]
+    fn interval_stats_consistent(
+        rates in prop::collection::vec(0.0f64..120.0, 2..6),
+        supply in 1u32..30,
+        seed in 0u64..500,
+    ) {
+        let mut sim = simulation(&rates, seed);
+        for s in 0..3 {
+            sim.set_supply(s, supply).unwrap();
+        }
+        sim.run_until(sim.duration());
+        let intervals = sim.intervals_completed();
+        let mut total_completions = 0u64;
+        for k in 0..intervals {
+            let stats = sim.interval(k).unwrap();
+            for s in &stats {
+                prop_assert!((0.0..=1.0).contains(&s.utilization));
+                if let Some(rt) = s.mean_response_time {
+                    prop_assert!(rt > 0.0);
+                }
+            }
+            total_completions += stats[2].completions; // last tier
+        }
+        let result = sim.finish();
+        // The last tier's completions are exactly the finished requests
+        // (within the monitored horizon).
+        prop_assert!(total_completions <= result.completed + result.in_flight_at_end);
+    }
+
+    /// Determinism: identical seeds and action sequences give identical
+    /// results.
+    #[test]
+    fn determinism_under_actions(
+        rates in prop::collection::vec(0.0f64..100.0, 2..5),
+        actions in prop::collection::vec((0usize..3, 1u32..40), 0..6),
+        seed in 0u64..200,
+    ) {
+        let run = |seed| {
+            let mut sim = simulation(&rates, seed);
+            let duration = sim.duration();
+            for (i, (service, target)) in actions.iter().enumerate() {
+                sim.run_until(duration * (i as f64 + 1.0) / (actions.len() as f64 + 1.0));
+                sim.scale_to(*service, *target).unwrap();
+            }
+            sim.run_to_end()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}

@@ -1,0 +1,128 @@
+//! Forecast drift detection (§III-A1).
+//!
+//! Chamulteon only re-runs the (relatively expensive) forecaster when the
+//! previous forecast has run out of values *or* a configurable drift
+//! between the forecast and the recent monitoring data is detected. The
+//! drift is measured with MASE: the forecast's absolute error over the
+//! elapsed steps, scaled by the in-sample naive error of the history.
+
+use crate::accuracy::mase;
+use serde::{Deserialize, Serialize};
+
+/// MASE-based drift detector comparing a stored forecast against the
+/// observations that have arrived since.
+///
+/// # Examples
+///
+/// ```
+/// use chamulteon_forecast::DriftDetector;
+///
+/// let detector = DriftDetector::new(1.5);
+/// let history = vec![100.0, 102.0, 98.0, 101.0, 99.0, 100.0];
+/// // Forecast tracked reality closely: no drift.
+/// assert!(!detector.has_drifted(&history, &[100.0, 101.0], &[99.5, 100.5]));
+/// // Forecast far off: drift.
+/// assert!(detector.has_drifted(&history, &[100.0, 101.0], &[300.0, 320.0]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftDetector {
+    threshold: f64,
+}
+
+impl Default for DriftDetector {
+    /// A threshold of 1.5: the forecast may be up to 50% worse than the
+    /// naive method before a re-forecast is triggered.
+    fn default() -> Self {
+        DriftDetector::new(1.5)
+    }
+}
+
+impl DriftDetector {
+    /// Creates a detector that reports drift when the observed MASE exceeds
+    /// `threshold`. Non-finite or non-positive thresholds are clamped to
+    /// the default of 1.5.
+    pub fn new(threshold: f64) -> Self {
+        let threshold = if threshold.is_finite() && threshold > 0.0 {
+            threshold
+        } else {
+            1.5
+        };
+        DriftDetector { threshold }
+    }
+
+    /// The MASE threshold above which drift is reported.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The observed MASE of `forecast` against `actual`, scaled on
+    /// `history` (lag-1 naive scaling). NaN when there is not enough data.
+    pub fn observed_mase(&self, history: &[f64], actual: &[f64], forecast: &[f64]) -> f64 {
+        mase(history, actual, forecast, 1)
+    }
+
+    /// Whether the forecast has drifted from reality.
+    ///
+    /// Returns `false` when there is not enough data to judge (empty
+    /// observations or too-short history) — no drift signal is better than
+    /// a spurious one, and the time-based re-forecast still acts as a
+    /// backstop.
+    pub fn has_drifted(&self, history: &[f64], actual: &[f64], forecast: &[f64]) -> bool {
+        let m = self.observed_mase(history, actual, forecast);
+        m.is_finite() && m > self.threshold || m == f64::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_forecast_never_drifts() {
+        let d = DriftDetector::default();
+        let history = vec![10.0, 12.0, 9.0, 11.0, 10.0];
+        assert!(!d.has_drifted(&history, &[10.5, 11.5], &[10.5, 11.5]));
+    }
+
+    #[test]
+    fn gross_error_drifts() {
+        let d = DriftDetector::default();
+        let history = vec![10.0, 12.0, 9.0, 11.0, 10.0];
+        assert!(d.has_drifted(&history, &[10.0], &[500.0]));
+    }
+
+    #[test]
+    fn threshold_controls_sensitivity() {
+        let history = vec![10.0, 12.0, 9.0, 11.0, 10.0];
+        // In-sample naive MAE = mean(|2|,|−3|,|2|,|−1|) = 2.
+        // Forecast error of 3 => MASE 1.5.
+        let strict = DriftDetector::new(1.0);
+        let lenient = DriftDetector::new(2.0);
+        assert!(strict.has_drifted(&history, &[10.0], &[13.0]));
+        assert!(!lenient.has_drifted(&history, &[10.0], &[13.0]));
+    }
+
+    #[test]
+    fn insufficient_data_is_not_drift() {
+        let d = DriftDetector::default();
+        assert!(!d.has_drifted(&[], &[1.0], &[2.0]));
+        assert!(!d.has_drifted(&[1.0], &[1.0], &[2.0]));
+        assert!(!d.has_drifted(&[1.0, 2.0, 3.0], &[], &[]));
+    }
+
+    #[test]
+    fn constant_history_with_error_drifts() {
+        // Naive error zero, forecast error nonzero => infinite MASE.
+        let d = DriftDetector::default();
+        assert!(d.has_drifted(&[5.0; 10], &[5.0], &[6.0]));
+        assert!(!d.has_drifted(&[5.0; 10], &[5.0], &[5.0]));
+    }
+
+    #[test]
+    fn invalid_threshold_clamped() {
+        assert_eq!(DriftDetector::new(0.0).threshold(), 1.5);
+        assert_eq!(DriftDetector::new(-3.0).threshold(), 1.5);
+        assert_eq!(DriftDetector::new(f64::NAN).threshold(), 1.5);
+        assert_eq!(DriftDetector::new(2.5).threshold(), 2.5);
+    }
+}

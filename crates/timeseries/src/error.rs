@@ -1,0 +1,81 @@
+//! Error type shared by all forecasting operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by time-series and forecasting operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ForecastError {
+    /// The series does not contain enough observations for the requested
+    /// operation.
+    TooShort {
+        /// Observations available.
+        have: usize,
+        /// Observations required.
+        need: usize,
+    },
+    /// The sampling step must be strictly positive and finite.
+    InvalidStep {
+        /// The step value that was passed.
+        step: f64,
+    },
+    /// A value in the series is NaN or infinite.
+    NonFiniteValue {
+        /// Index of the first offending observation.
+        index: usize,
+    },
+    /// A method parameter is outside its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The value that was passed.
+        value: f64,
+    },
+    /// The requested forecast horizon is zero.
+    EmptyHorizon,
+}
+
+impl fmt::Display for ForecastError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForecastError::TooShort { have, need } => {
+                write!(f, "series too short: have {have} observations, need {need}")
+            }
+            ForecastError::InvalidStep { step } => {
+                write!(f, "sampling step must be positive and finite, got {step}")
+            }
+            ForecastError::NonFiniteValue { index } => {
+                write!(f, "non-finite value at index {index}")
+            }
+            ForecastError::InvalidParameter { name, value } => {
+                write!(f, "parameter `{name}` out of range, got {value}")
+            }
+            ForecastError::EmptyHorizon => write!(f, "forecast horizon must be at least 1"),
+        }
+    }
+}
+
+impl Error for ForecastError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ForecastError::TooShort { have: 1, need: 2 }
+            .to_string()
+            .contains("too short"));
+        assert!(ForecastError::InvalidStep { step: 0.0 }
+            .to_string()
+            .contains("step"));
+        assert!(ForecastError::EmptyHorizon.to_string().contains("horizon"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ForecastError>();
+    }
+}

@@ -1,0 +1,167 @@
+//! Forecasting methods.
+//!
+//! All methods implement the [`Forecaster`] trait: given a history series
+//! and a horizon, they return a [`Forecast`] with one value per future
+//! step. Each method also reports an in-sample one-step MASE computed by a
+//! holdout backtest, which Chamulteon's conflict resolution uses as the
+//! *trust* measure for proactive decisions.
+
+mod ar;
+mod naive;
+mod smoothing;
+mod theta;
+
+pub use ar::ArForecaster;
+pub use naive::{DriftForecaster, MeanForecaster, NaiveForecaster, SeasonalNaiveForecaster};
+pub use smoothing::{HoltForecaster, HoltWintersForecaster, SesForecaster};
+pub use theta::ThetaForecaster;
+
+use crate::accuracy::mase;
+use crate::error::ForecastError;
+use crate::series::TimeSeries;
+
+/// A multi-step-ahead forecast produced by a [`Forecaster`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Forecast {
+    method: String,
+    values: Vec<f64>,
+    in_sample_mase: Option<f64>,
+}
+
+impl Forecast {
+    /// Creates a forecast result. Negative predictions are clamped to zero
+    /// — arrival rates cannot be negative.
+    pub fn new(method: impl Into<String>, values: Vec<f64>, in_sample_mase: Option<f64>) -> Self {
+        let values = values
+            .into_iter()
+            .map(|v| if v.is_finite() { v.max(0.0) } else { 0.0 })
+            .collect();
+        Forecast {
+            method: method.into(),
+            values,
+            in_sample_mase,
+        }
+    }
+
+    /// Name of the method that produced this forecast.
+    pub fn method(&self) -> &str {
+        &self.method
+    }
+
+    /// The predicted values, one per future step.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The predicted value at step `h` (0-based), if within the horizon.
+    pub fn value_at(&self, h: usize) -> Option<f64> {
+        self.values.get(h).copied()
+    }
+
+    /// In-sample one-step MASE from a holdout backtest, when the method
+    /// computed one. Lower is better; below 1 beats the naive forecast.
+    pub fn in_sample_mase(&self) -> Option<f64> {
+        self.in_sample_mase
+    }
+}
+
+/// A forecasting method.
+///
+/// The trait is object-safe so heterogeneous collections of methods can be
+/// evaluated side by side (the forecast-method ablation bench does this).
+pub trait Forecaster {
+    /// A short human-readable name, e.g. `"holt-winters"`.
+    fn name(&self) -> &str;
+
+    /// Produces `horizon` predictions following the end of `history`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`ForecastError::TooShort`] when the history
+    /// cannot support the method and [`ForecastError::EmptyHorizon`] for a
+    /// zero horizon.
+    fn forecast(&self, history: &TimeSeries, horizon: usize) -> Result<Forecast, ForecastError>;
+}
+
+/// Backtests a forecaster on the tail of `history`: the last
+/// `max(1, len/5)` observations are held out, the method is fit on the rest
+/// and its holdout MASE (scaled at `season`) is returned.
+///
+/// Returns `None` when the history is too short to split or the method
+/// fails on the shortened series.
+pub fn holdout_mase<F: Forecaster + ?Sized>(
+    forecaster: &F,
+    history: &TimeSeries,
+    season: usize,
+) -> Option<f64> {
+    let n = history.len();
+    if n < 8 {
+        return None;
+    }
+    let holdout = (n / 5).max(1).min(n / 2);
+    let (train, test) = history.split_at(n - holdout);
+    let fc = forecaster.forecast(&train, holdout).ok()?;
+    let m = mase(train.values(), test.values(), fc.values(), season.max(1));
+    if m.is_nan() {
+        None
+    } else {
+        Some(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forecast_clamps_negative_and_nonfinite() {
+        let fc = Forecast::new("test", vec![-1.0, 2.0, f64::NAN, f64::INFINITY], None);
+        assert_eq!(fc.values(), &[0.0, 2.0, 0.0, 0.0]);
+        assert_eq!(fc.method(), "test");
+        assert_eq!(fc.value_at(1), Some(2.0));
+        assert_eq!(fc.value_at(9), None);
+    }
+
+    #[test]
+    fn holdout_mase_perfect_method_scores_zero() {
+        // A "method" that predicts the exact linear continuation of a line
+        // scores zero error on a linear series.
+        struct Oracle;
+        impl Forecaster for Oracle {
+            fn name(&self) -> &str {
+                "oracle"
+            }
+            fn forecast(
+                &self,
+                history: &TimeSeries,
+                horizon: usize,
+            ) -> Result<Forecast, ForecastError> {
+                let last = history.last().unwrap_or(0.0);
+                let values = (1..=horizon).map(|h| last + h as f64).collect();
+                Ok(Forecast::new("oracle", values, None))
+            }
+        }
+        let line: Vec<f64> = (0..40).map(f64::from).collect();
+        let ts = TimeSeries::from_values(1.0, line).unwrap();
+        let m = holdout_mase(&Oracle, &ts, 1).unwrap();
+        assert!(m < 1e-9);
+    }
+
+    #[test]
+    fn holdout_mase_too_short_returns_none() {
+        let ts = TimeSeries::from_values(1.0, vec![1.0, 2.0, 3.0]).unwrap();
+        assert!(holdout_mase(&NaiveForecaster, &ts, 1).is_none());
+    }
+
+    #[test]
+    fn forecaster_trait_is_object_safe() {
+        let methods: Vec<Box<dyn Forecaster>> = vec![
+            Box::new(NaiveForecaster),
+            Box::new(MeanForecaster::default()),
+        ];
+        let ts = TimeSeries::from_values(1.0, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        for m in &methods {
+            assert!(m.forecast(&ts, 2).is_ok());
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Seasonality (dominant-frequency) detection.
+//!
+//! Telescope first estimates the dominant frequency of the input series and
+//! then decomposes along it. We follow the same recipe: pick the strongest
+//! periodogram peak whose period fits at least twice into the series, then
+//! confirm it with the autocorrelation function so that pure noise is not
+//! mistaken for seasonality.
+
+use crate::series::TimeSeries;
+use crate::stats::{autocorrelation, linear_fit, periodogram};
+
+/// Minimum autocorrelation at the candidate period for it to count as a
+/// real seasonal pattern.
+const ACF_CONFIRMATION_THRESHOLD: f64 = 0.2;
+
+/// Detects the dominant season length of a series, in observations.
+///
+/// Returns `None` when the series is too short (fewer than 8 observations),
+/// constant, or shows no periodic structure that the autocorrelation
+/// function confirms.
+///
+/// # Examples
+///
+/// ```
+/// use chamulteon_forecast::{detect_season_length, TimeSeries};
+///
+/// let values: Vec<f64> = (0..96)
+///     .map(|t| 10.0 + (std::f64::consts::TAU * t as f64 / 24.0).sin())
+///     .collect();
+/// let ts = TimeSeries::from_values(3600.0, values)?;
+/// assert_eq!(detect_season_length(&ts), Some(24));
+/// # Ok::<(), chamulteon_forecast::ForecastError>(())
+/// ```
+pub fn detect_season_length(series: &TimeSeries) -> Option<usize> {
+    let raw = series.values();
+    let n = raw.len();
+    if n < 8 {
+        return None;
+    }
+    // Detrend first: a trend concentrates periodogram power at the lowest
+    // frequencies and inflates the ACF at every lag, producing spurious
+    // season candidates.
+    let (intercept, slope) = linear_fit(raw);
+    let detrended: Vec<f64> = raw
+        .iter()
+        .enumerate()
+        .map(|(t, &y)| y - intercept - slope * t as f64)
+        .collect();
+    let values: &[f64] = &detrended;
+    // Candidate periods must repeat at least twice => frequency >= 2.
+    // Cap the number of candidate frequencies to keep the DFT cheap.
+    let max_freq = (n / 2).min(256);
+    let powers = periodogram(values, max_freq);
+    if powers.is_empty() {
+        return None;
+    }
+    let total_power: f64 = powers.iter().sum();
+    if total_power <= f64::EPSILON {
+        return None; // constant series
+    }
+    // Rank frequencies by power, try the top few candidates.
+    let mut ranked: Vec<(usize, f64)> = powers
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, p)| (i + 1, p))
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+
+    for &(freq, power) in ranked.iter().take(5) {
+        if freq < 2 {
+            continue; // a single cycle is a trend, not a season
+        }
+        // Require the peak to be meaningful relative to total power.
+        if power / total_power < 0.05 {
+            break;
+        }
+        let candidate = ((n as f64) / freq as f64).round() as usize;
+        if candidate < 2 || candidate > n / 2 {
+            continue;
+        }
+        // The integer-frequency periodogram quantizes the period when the
+        // series does not span a whole number of cycles; refine by scanning
+        // the ACF in a ±20% window around the candidate for its maximum.
+        let lo = ((candidate as f64 * 0.8).floor() as usize).max(2);
+        let hi = ((candidate as f64 * 1.2).ceil() as usize).min(n / 2);
+        let refined = (lo..=hi)
+            .max_by(|&a, &b| {
+                autocorrelation(values, a)
+                    .partial_cmp(&autocorrelation(values, b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or(candidate);
+        if autocorrelation(values, refined) >= ACF_CONFIRMATION_THRESHOLD {
+            return Some(refined);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::TimeSeries;
+
+    fn ts(values: Vec<f64>) -> TimeSeries {
+        TimeSeries::from_values(1.0, values).unwrap()
+    }
+
+    #[test]
+    fn detects_planted_period() {
+        let values: Vec<f64> = (0..120)
+            .map(|t| 50.0 + 10.0 * (std::f64::consts::TAU * t as f64 / 12.0).sin())
+            .collect();
+        assert_eq!(detect_season_length(&ts(values)), Some(12));
+    }
+
+    #[test]
+    fn detects_daily_pattern_with_noise() {
+        // Deterministic pseudo-noise via a fixed irrational stride.
+        let values: Vec<f64> = (0..288)
+            .map(|t| {
+                let noise = ((t as f64 * 12.9898).sin() * 43758.5453).fract() - 0.5;
+                100.0 + 30.0 * (std::f64::consts::TAU * t as f64 / 48.0).sin() + 3.0 * noise
+            })
+            .collect();
+        assert_eq!(detect_season_length(&ts(values)), Some(48));
+    }
+
+    #[test]
+    fn constant_series_has_no_season() {
+        assert_eq!(detect_season_length(&ts(vec![5.0; 100])), None);
+    }
+
+    #[test]
+    fn short_series_has_no_season() {
+        assert_eq!(detect_season_length(&ts(vec![1.0, 2.0, 3.0])), None);
+    }
+
+    #[test]
+    fn pure_trend_has_no_season() {
+        let values: Vec<f64> = (0..100).map(|t| t as f64 * 2.0).collect();
+        assert_eq!(detect_season_length(&ts(values)), None);
+    }
+
+    #[test]
+    fn white_noise_usually_rejected() {
+        // Deterministic pseudo-noise; ACF confirmation should reject it.
+        let values: Vec<f64> = (0..200)
+            .map(|t| ((t as f64 * 78.233).sin() * 43758.5453).fract())
+            .collect();
+        // No strong confirmation expected; allow None or a weak detection
+        // only if ACF genuinely confirms (it should not for this sequence).
+        if let Some(period) = detect_season_length(&ts(values.clone())) {
+            assert!(autocorrelation(&values, period) >= ACF_CONFIRMATION_THRESHOLD);
+        }
+    }
+}

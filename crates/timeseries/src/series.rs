@@ -1,0 +1,242 @@
+//! The equidistant [`TimeSeries`] container.
+
+use crate::error::ForecastError;
+use serde::{Deserialize, Serialize};
+
+/// An equidistantly sampled time series: a sampling step in seconds, an
+/// optional start offset, and a vector of finite values.
+///
+/// All forecasting in this crate operates on `TimeSeries`. The container
+/// validates finiteness once at construction so downstream numerics never
+/// have to re-check.
+///
+/// # Examples
+///
+/// ```
+/// use chamulteon_forecast::TimeSeries;
+///
+/// let ts = TimeSeries::from_values(60.0, vec![1.0, 2.0, 3.0])?;
+/// assert_eq!(ts.len(), 3);
+/// assert_eq!(ts.step(), 60.0);
+/// assert_eq!(ts.time_at(2), 120.0);
+/// # Ok::<(), chamulteon_forecast::ForecastError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    step: f64,
+    start: f64,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates a series starting at time 0 with the given sampling step in
+    /// seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForecastError::InvalidStep`] for a non-positive or
+    /// non-finite step, and [`ForecastError::NonFiniteValue`] if any value
+    /// is NaN or infinite.
+    pub fn from_values(step: f64, values: Vec<f64>) -> Result<Self, ForecastError> {
+        Self::with_start(step, 0.0, values)
+    }
+
+    /// Creates a series whose first observation is at time `start` seconds.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TimeSeries::from_values`]; additionally the start must be
+    /// finite.
+    pub fn with_start(step: f64, start: f64, values: Vec<f64>) -> Result<Self, ForecastError> {
+        if !(step > 0.0) || !step.is_finite() {
+            return Err(ForecastError::InvalidStep { step });
+        }
+        if !start.is_finite() {
+            return Err(ForecastError::InvalidStep { step: start });
+        }
+        if let Some(index) = values.iter().position(|v| !v.is_finite()) {
+            return Err(ForecastError::NonFiniteValue { index });
+        }
+        Ok(TimeSeries {
+            step,
+            start,
+            values,
+        })
+    }
+
+    /// The sampling step in seconds.
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// The time of the first observation in seconds.
+    pub fn start(&self) -> f64 {
+        self.start
+    }
+
+    /// The observations.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The timestamp of observation `index` in seconds.
+    pub fn time_at(&self, index: usize) -> f64 {
+        self.start + self.step * index as f64
+    }
+
+    /// The timestamp one step past the last observation — where the next
+    /// appended value would land.
+    pub fn end(&self) -> f64 {
+        self.time_at(self.len())
+    }
+
+    /// The last observation, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.values.last().copied()
+    }
+
+    /// Appends an observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForecastError::NonFiniteValue`] for NaN/infinite input.
+    pub fn push(&mut self, value: f64) -> Result<(), ForecastError> {
+        if !value.is_finite() {
+            return Err(ForecastError::NonFiniteValue {
+                index: self.values.len(),
+            });
+        }
+        self.values.push(value);
+        Ok(())
+    }
+
+    /// Returns the suffix of the series containing at most the last `n`
+    /// observations (the whole series if it is shorter).
+    pub fn tail(&self, n: usize) -> TimeSeries {
+        let skip = self.values.len().saturating_sub(n);
+        TimeSeries {
+            step: self.step,
+            start: self.time_at(skip),
+            values: self.values[skip..].to_vec(),
+        }
+    }
+
+    /// Splits the series at `index`, returning `(head, tail)`; the tail
+    /// keeps correct timestamps. Useful for backtesting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > len()`.
+    pub fn split_at(&self, index: usize) -> (TimeSeries, TimeSeries) {
+        assert!(index <= self.values.len(), "split index out of bounds");
+        let head = TimeSeries {
+            step: self.step,
+            start: self.start,
+            values: self.values[..index].to_vec(),
+        };
+        let tail = TimeSeries {
+            step: self.step,
+            start: self.time_at(index),
+            values: self.values[index..].to_vec(),
+        };
+        (head, tail)
+    }
+
+    /// Iterates over `(time, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (self.time_at(i), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let ts = TimeSeries::with_start(30.0, 100.0, vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(ts.len(), 3);
+        assert!(!ts.is_empty());
+        assert_eq!(ts.step(), 30.0);
+        assert_eq!(ts.start(), 100.0);
+        assert_eq!(ts.time_at(0), 100.0);
+        assert_eq!(ts.time_at(2), 160.0);
+        assert_eq!(ts.end(), 190.0);
+        assert_eq!(ts.last(), Some(3.0));
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        assert!(TimeSeries::from_values(0.0, vec![1.0]).is_err());
+        assert!(TimeSeries::from_values(-1.0, vec![1.0]).is_err());
+        assert!(TimeSeries::from_values(f64::NAN, vec![1.0]).is_err());
+        assert!(matches!(
+            TimeSeries::from_values(1.0, vec![1.0, f64::NAN]),
+            Err(ForecastError::NonFiniteValue { index: 1 })
+        ));
+        assert!(TimeSeries::from_values(1.0, vec![f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn empty_series_is_valid() {
+        let ts = TimeSeries::from_values(1.0, vec![]).unwrap();
+        assert!(ts.is_empty());
+        assert_eq!(ts.last(), None);
+        assert_eq!(ts.end(), 0.0);
+    }
+
+    #[test]
+    fn push_appends_and_validates() {
+        let mut ts = TimeSeries::from_values(1.0, vec![1.0]).unwrap();
+        ts.push(2.0).unwrap();
+        assert_eq!(ts.values(), &[1.0, 2.0]);
+        assert!(ts.push(f64::NAN).is_err());
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    fn tail_keeps_timestamps() {
+        let ts = TimeSeries::from_values(10.0, (0..5).map(f64::from).collect()).unwrap();
+        let t = ts.tail(2);
+        assert_eq!(t.values(), &[3.0, 4.0]);
+        assert_eq!(t.start(), 30.0);
+        // Longer than the series: the whole thing.
+        assert_eq!(ts.tail(100).len(), 5);
+    }
+
+    #[test]
+    fn split_at_partitions() {
+        let ts = TimeSeries::from_values(10.0, (0..6).map(f64::from).collect()).unwrap();
+        let (head, tail) = ts.split_at(4);
+        assert_eq!(head.values(), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(tail.values(), &[4.0, 5.0]);
+        assert_eq!(tail.start(), 40.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "split index out of bounds")]
+    fn split_past_end_panics() {
+        let ts = TimeSeries::from_values(1.0, vec![1.0]).unwrap();
+        let _ = ts.split_at(2);
+    }
+
+    #[test]
+    fn iter_yields_time_value_pairs() {
+        let ts = TimeSeries::with_start(5.0, 10.0, vec![7.0, 8.0]).unwrap();
+        let pairs: Vec<_> = ts.iter().collect();
+        assert_eq!(pairs, vec![(10.0, 7.0), (15.0, 8.0)]);
+    }
+}

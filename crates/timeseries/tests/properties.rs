@@ -1,0 +1,98 @@
+//! Property-based tests for the forecasting crate.
+
+use chamulteon_forecast::{
+    decompose_additive, mase, ArForecaster, DriftForecaster, Forecaster, HoltForecaster,
+    HoltWintersForecaster, MeanForecaster, NaiveForecaster, SeasonalNaiveForecaster,
+    SesForecaster, TelescopeForecaster, TimeSeries,
+};
+use proptest::prelude::*;
+
+fn finite_series(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..10_000.0, min_len..max_len)
+}
+
+fn all_methods() -> Vec<Box<dyn Forecaster>> {
+    vec![
+        Box::new(NaiveForecaster),
+        Box::new(SeasonalNaiveForecaster::new(4)),
+        Box::new(DriftForecaster),
+        Box::new(MeanForecaster::new()),
+        Box::new(SesForecaster::default()),
+        Box::new(HoltForecaster::default()),
+        Box::new(HoltWintersForecaster::with_period(4).unwrap()),
+        Box::new(ArForecaster::default()),
+        Box::new(TelescopeForecaster::default()),
+    ]
+}
+
+proptest! {
+    /// Every method returns exactly `horizon` finite, non-negative values
+    /// on any sufficiently long non-negative history.
+    #[test]
+    fn forecasts_have_requested_length_and_are_nonnegative(
+        values in finite_series(20, 120),
+        horizon in 1usize..30,
+    ) {
+        let ts = TimeSeries::from_values(60.0, values).unwrap();
+        for method in all_methods() {
+            let fc = method
+                .forecast(&ts, horizon)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", method.name()));
+            prop_assert_eq!(fc.values().len(), horizon, "{}", method.name());
+            for &v in fc.values() {
+                prop_assert!(v.is_finite(), "{} produced non-finite", method.name());
+                prop_assert!(v >= 0.0, "{} produced negative", method.name());
+            }
+        }
+    }
+
+    /// Decomposition reconstructs the input exactly.
+    #[test]
+    fn decomposition_reconstructs(values in finite_series(24, 100), period in 2usize..6) {
+        prop_assume!(values.len() >= 2 * period);
+        let ts = TimeSeries::from_values(1.0, values.clone()).unwrap();
+        let d = decompose_additive(&ts, period).unwrap();
+        let rec = d.reconstruct();
+        for (a, b) in rec.iter().zip(&values) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    /// MASE is non-negative whenever it is defined.
+    #[test]
+    fn mase_nonnegative(
+        history in finite_series(3, 50),
+        actual in finite_series(1, 20),
+        forecast in finite_series(1, 20),
+    ) {
+        let m = mase(&history, &actual, &forecast, 1);
+        if m.is_finite() {
+            prop_assert!(m >= 0.0);
+        }
+    }
+
+    /// Splitting a series and rejoining the values loses nothing.
+    #[test]
+    fn split_preserves_values(values in finite_series(2, 60), frac in 0.0f64..1.0) {
+        let ts = TimeSeries::from_values(1.0, values.clone()).unwrap();
+        let at = ((values.len() as f64) * frac) as usize;
+        let (head, tail) = ts.split_at(at);
+        let mut joined = head.values().to_vec();
+        joined.extend_from_slice(tail.values());
+        prop_assert_eq!(joined, values);
+        // Tail timestamps continue seamlessly.
+        prop_assert_eq!(tail.start(), head.end());
+    }
+
+    /// Seasonal naive on an exactly periodic series is exact.
+    #[test]
+    fn seasonal_naive_exact_on_periodic(period in 2usize..8, reps in 3usize..8, horizon in 1usize..16) {
+        let pattern: Vec<f64> = (0..period).map(|i| (i * 7 % 13) as f64 + 1.0).collect();
+        let values: Vec<f64> = (0..period * reps).map(|t| pattern[t % period]).collect();
+        let ts = TimeSeries::from_values(1.0, values).unwrap();
+        let fc = SeasonalNaiveForecaster::new(period).forecast(&ts, horizon).unwrap();
+        for (h, &v) in fc.values().iter().enumerate() {
+            prop_assert_eq!(v, pattern[(period * reps + h) % period]);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Realization of a load trace as a Poisson arrival process.
+
+use crate::trace::LoadTrace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An iterator over arrival timestamps drawn from a non-homogeneous Poisson
+/// process whose rate follows a [`LoadTrace`] (piecewise constant).
+///
+/// Within each trace segment the inter-arrival times are exponential with
+/// the segment's rate; segments with rate 0 produce no arrivals. The
+/// iterator ends at the trace's duration. Deterministic in its seed.
+///
+/// # Examples
+///
+/// ```
+/// use chamulteon_workload::{LoadTrace, PoissonArrivals};
+///
+/// let trace = LoadTrace::new(10.0, vec![100.0, 0.0, 100.0])?;
+/// let times: Vec<f64> = PoissonArrivals::new(&trace, 1).collect();
+/// // Roughly 2000 arrivals in the two active 10 s segments.
+/// assert!(times.len() > 1500 && times.len() < 2500);
+/// // No arrivals in the silent middle segment.
+/// assert!(times.iter().all(|&t| !(10.0..20.0).contains(&t)));
+/// # Ok::<(), chamulteon_workload::WorkloadError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    step: f64,
+    rates: Vec<f64>,
+    duration: f64,
+    now: f64,
+    rng: StdRng,
+}
+
+impl PoissonArrivals {
+    /// Creates the arrival process for `trace`, seeded deterministically.
+    pub fn new(trace: &LoadTrace, seed: u64) -> Self {
+        PoissonArrivals {
+            step: trace.step(),
+            rates: trace.rates().to_vec(),
+            duration: trace.duration(),
+            now: 0.0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Samples an exponential inter-arrival gap at `rate` req/s via inverse
+    /// transform.
+    fn exp_gap(&mut self, rate: f64) -> f64 {
+        // 1 − U ∈ (0, 1] avoids ln(0).
+        let u: f64 = self.rng.gen();
+        -(1.0 - u).ln() / rate
+    }
+
+    fn rate_index(&self, t: f64) -> usize {
+        ((t / self.step) as usize).min(self.rates.len() - 1)
+    }
+}
+
+impl Iterator for PoissonArrivals {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        loop {
+            if self.now >= self.duration {
+                return None;
+            }
+            let idx = self.rate_index(self.now);
+            let rate = self.rates[idx];
+            let segment_end = ((idx + 1) as f64 * self.step).min(self.duration);
+            if rate <= 0.0 {
+                // Skip the silent segment entirely.
+                self.now = segment_end;
+                continue;
+            }
+            let gap = self.exp_gap(rate);
+            let candidate = self.now + gap;
+            if candidate < segment_end {
+                self.now = candidate;
+                return Some(candidate);
+            }
+            // The draw overshot this segment: restart from the boundary.
+            // (Memorylessness of the exponential makes this exact.)
+            self.now = segment_end;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(step: f64, rates: Vec<f64>) -> LoadTrace {
+        LoadTrace::new(step, rates).unwrap()
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let t = trace(10.0, vec![50.0, 80.0]);
+        let a: Vec<f64> = PoissonArrivals::new(&t, 9).collect();
+        let b: Vec<f64> = PoissonArrivals::new(&t, 9).collect();
+        let c: Vec<f64> = PoissonArrivals::new(&t, 10).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_in_range() {
+        let t = trace(5.0, vec![200.0, 100.0, 300.0]);
+        let times: Vec<f64> = PoissonArrivals::new(&t, 3).collect();
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+        assert!(times.iter().all(|&x| x >= 0.0 && x < t.duration()));
+    }
+
+    #[test]
+    fn count_matches_expected_load() {
+        // 100 req/s for 100 s => ~10_000 arrivals; Poisson sd = 100.
+        let t = trace(100.0, vec![100.0]);
+        let count = PoissonArrivals::new(&t, 11).count();
+        assert!(
+            (9_500..10_500).contains(&count),
+            "count {count} far from expectation"
+        );
+    }
+
+    #[test]
+    fn rate_changes_respected() {
+        // First half silent, second half busy.
+        let t = trace(50.0, vec![0.0, 100.0]);
+        let times: Vec<f64> = PoissonArrivals::new(&t, 5).collect();
+        assert!(!times.is_empty());
+        assert!(times.iter().all(|&x| x >= 50.0));
+    }
+
+    #[test]
+    fn zero_trace_produces_nothing() {
+        let t = trace(10.0, vec![0.0, 0.0, 0.0]);
+        assert_eq!(PoissonArrivals::new(&t, 1).count(), 0);
+    }
+
+    #[test]
+    fn interarrival_mean_close_to_inverse_rate() {
+        let t = trace(1_000.0, vec![50.0]);
+        let times: Vec<f64> = PoissonArrivals::new(&t, 17).collect();
+        let gaps: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+        let mean_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        assert!((mean_gap - 0.02).abs() < 0.002, "mean gap {mean_gap}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for workload handling.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by trace construction and parsing.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// The trace has no observations.
+    Empty,
+    /// The sampling step is not positive and finite.
+    InvalidStep {
+        /// The value that was passed.
+        step: f64,
+    },
+    /// A rate value is negative or non-finite.
+    InvalidRate {
+        /// Index of the offending observation.
+        index: usize,
+        /// The value that was passed.
+        value: f64,
+    },
+    /// A CSV line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Parser message.
+        message: String,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Empty => write!(f, "trace has no observations"),
+            WorkloadError::InvalidStep { step } => {
+                write!(f, "sampling step must be positive and finite, got {step}")
+            }
+            WorkloadError::InvalidRate { index, value } => {
+                write!(f, "invalid rate {value} at index {index}")
+            }
+            WorkloadError::Parse { line, message } => {
+                write!(f, "trace parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(!WorkloadError::Empty.to_string().is_empty());
+        assert!(WorkloadError::InvalidStep { step: -1.0 }
+            .to_string()
+            .contains("-1"));
+        assert!(WorkloadError::Parse {
+            line: 3,
+            message: "bad".into()
+        }
+        .to_string()
+        .contains("line 3"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Descriptive statistics of load traces.
+//!
+//! Used to calibrate the synthetic generators against the documented
+//! properties of the real traces (DESIGN.md §2) and handy for anyone
+//! importing their own CSV trace.
+
+use crate::trace::LoadTrace;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a load-intensity trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Largest sampled rate, req/s.
+    pub peak_rate: f64,
+    /// Mean sampled rate, req/s.
+    pub mean_rate: f64,
+    /// Smallest sampled rate, req/s.
+    pub min_rate: f64,
+    /// Peak-to-mean ratio — how spiky the trace is overall.
+    pub peak_to_mean: f64,
+    /// Coefficient of variation of the rates (std/mean).
+    pub coefficient_of_variation: f64,
+    /// Mean absolute relative step between adjacent samples — short-term
+    /// burstiness (0 for a constant trace, grows with noise and bursts).
+    pub burstiness: f64,
+    /// Lag-1 autocorrelation of the rates — smoothness of the profile
+    /// (≈1 for a smooth diurnal curve, lower for noisy traces).
+    pub lag1_autocorrelation: f64,
+}
+
+/// Computes the summary statistics of a trace.
+pub fn trace_stats(trace: &LoadTrace) -> TraceStats {
+    let rates = trace.rates();
+    let n = rates.len() as f64;
+    let mean = trace.mean_rate();
+    let peak = trace.peak_rate();
+    let min = rates.iter().cloned().fold(f64::MAX, f64::min);
+    let variance = rates.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / n;
+    let std = variance.sqrt();
+
+    let burstiness = if rates.len() >= 2 && mean > 0.0 {
+        rates
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .sum::<f64>()
+            / (rates.len() - 1) as f64
+            / mean
+    } else {
+        0.0
+    };
+
+    let lag1 = if rates.len() >= 3 && variance > 0.0 {
+        let num: f64 = rates
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum();
+        num / (variance * n)
+    } else {
+        0.0
+    };
+
+    TraceStats {
+        peak_rate: peak,
+        mean_rate: mean,
+        min_rate: min,
+        peak_to_mean: if mean > 0.0 { peak / mean } else { 0.0 },
+        coefficient_of_variation: if mean > 0.0 { std / mean } else { 0.0 },
+        burstiness,
+        lag1_autocorrelation: lag1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{bibsonomy_like, wikipedia_like};
+
+    fn trace(rates: Vec<f64>) -> LoadTrace {
+        LoadTrace::new(60.0, rates).unwrap()
+    }
+
+    #[test]
+    fn constant_trace_statistics() {
+        let s = trace_stats(&trace(vec![10.0; 20]));
+        assert_eq!(s.peak_rate, 10.0);
+        assert_eq!(s.mean_rate, 10.0);
+        assert_eq!(s.min_rate, 10.0);
+        assert_eq!(s.peak_to_mean, 1.0);
+        assert_eq!(s.coefficient_of_variation, 0.0);
+        assert_eq!(s.burstiness, 0.0);
+    }
+
+    #[test]
+    fn spiky_trace_has_high_peak_to_mean() {
+        let mut rates = vec![1.0; 59];
+        rates.push(100.0);
+        let s = trace_stats(&trace(rates));
+        assert!(s.peak_to_mean > 30.0);
+    }
+
+    #[test]
+    fn zero_trace_degenerate_values() {
+        let s = trace_stats(&trace(vec![0.0, 0.0]));
+        assert_eq!(s.peak_to_mean, 0.0);
+        assert_eq!(s.coefficient_of_variation, 0.0);
+        assert_eq!(s.burstiness, 0.0);
+    }
+
+    #[test]
+    fn smooth_trace_has_high_lag1_autocorrelation() {
+        let rates: Vec<f64> = (0..200)
+            .map(|t| 50.0 + 30.0 * (t as f64 * std::f64::consts::TAU / 100.0).sin())
+            .collect();
+        let s = trace_stats(&trace(rates));
+        assert!(s.lag1_autocorrelation > 0.9);
+    }
+
+    #[test]
+    fn generators_match_documented_shape() {
+        // The calibration claims of DESIGN.md §2, checked quantitatively.
+        let wiki = trace_stats(&wikipedia_like(5, 60.0, 86_400.0));
+        let bib = trace_stats(&bibsonomy_like(5, 60.0, 86_400.0));
+        // Both strongly diurnal => high lag-1 autocorrelation.
+        assert!(wiki.lag1_autocorrelation > 0.9);
+        assert!(bib.lag1_autocorrelation > 0.6);
+        // BibSonomy burstier and spikier than Wikipedia.
+        assert!(bib.burstiness > wiki.burstiness * 1.5);
+        assert!(bib.peak_to_mean > wiki.peak_to_mean);
+        // Diurnal swing: peak well above mean for both.
+        assert!(wiki.peak_to_mean > 1.4);
+    }
+}

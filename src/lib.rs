@@ -1,0 +1,19 @@
+//! Umbrella crate for the Chamulteon reproduction.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can use a single dependency. Library users should
+//! normally depend on the individual crates (`chamulteon`,
+//! `chamulteon-sim`, ...) directly.
+
+#![forbid(unsafe_code)]
+
+pub use chamulteon as core;
+pub use chamulteon_bench as bench;
+pub use chamulteon_demand as demand;
+pub use chamulteon_forecast as forecast;
+pub use chamulteon_metrics as metrics;
+pub use chamulteon_perfmodel as perfmodel;
+pub use chamulteon_queueing as queueing;
+pub use chamulteon_scalers as scalers;
+pub use chamulteon_sim as sim;
+pub use chamulteon_workload as workload;
