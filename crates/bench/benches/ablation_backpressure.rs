@@ -10,6 +10,15 @@
 //!
 //! Run with: `cargo bench -p chamulteon-bench --bench ablation_backpressure`
 
+// Example/test/bench code: panics and lossy casts are acceptable here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
 use chamulteon::{proactive_decisions, ChamulteonConfig};
 use chamulteon_perfmodel::ApplicationModelBuilder;
 

@@ -8,6 +8,15 @@
 //!
 //! Run with: `cargo bench -p chamulteon-bench --bench ablation_forecast`
 
+// Example/test/bench code: panics and lossy casts are acceptable here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
 use chamulteon_forecast::{
     mase, ArForecaster, DriftForecaster, Forecaster, HoltForecaster, HoltWintersForecaster,
     MeanForecaster, NaiveForecaster, SeasonalNaiveForecaster, SesForecaster, TelescopeForecaster,
@@ -63,15 +72,24 @@ fn main() {
     let horizon = 8;
 
     let methods: Vec<(&str, Box<dyn Forecaster>)> = vec![
-        ("telescope (detected)", Box::new(TelescopeForecaster::default())),
+        (
+            "telescope (detected)",
+            Box::new(TelescopeForecaster::default()),
+        ),
         (
             "telescope (known season)",
             Box::new(TelescopeForecaster::with_season(season)),
         ),
         ("naive", Box::new(NaiveForecaster)),
-        ("seasonal-naive", Box::new(SeasonalNaiveForecaster::new(season))),
+        (
+            "seasonal-naive",
+            Box::new(SeasonalNaiveForecaster::new(season)),
+        ),
         ("drift", Box::new(DriftForecaster)),
-        ("mean (window 10)", Box::new(MeanForecaster::with_window(10))),
+        (
+            "mean (window 10)",
+            Box::new(MeanForecaster::with_window(10)),
+        ),
         ("ses", Box::new(SesForecaster::default())),
         ("holt (damped)", Box::new(HoltForecaster::default())),
         (

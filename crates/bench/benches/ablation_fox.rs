@@ -9,6 +9,15 @@
 //!
 //! Run with: `cargo bench -p chamulteon-bench --bench ablation_fox`
 
+// Example/test/bench code: panics and lossy casts are acceptable here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
 use chamulteon::ChargingModel;
 use chamulteon_bench::setups::wikipedia_docker;
 use chamulteon_bench::{run_experiment, ScalerKind};
@@ -16,10 +25,7 @@ use chamulteon_metrics::render_table;
 
 /// Bills a supply timeline as if every instance start opened a fresh lease
 /// under `model` — what the *cloud* charges for the measured behaviour.
-fn bill_supply(
-    outcome: &chamulteon_bench::ExperimentOutcome,
-    model: &ChargingModel,
-) -> f64 {
+fn bill_supply(outcome: &chamulteon_bench::ExperimentOutcome, model: &ChargingModel) -> f64 {
     let mut total = 0.0;
     for timeline in &outcome.result.supply {
         // Track individual instance lifetimes from the step function.

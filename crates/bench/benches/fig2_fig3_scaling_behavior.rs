@@ -10,8 +10,17 @@
 //! Run with:
 //! `cargo bench -p chamulteon-bench --bench fig2_fig3_scaling_behavior`
 
-use chamulteon_bench::{run_experiment, ExperimentOutcome, ScalerKind};
+// Example/test/bench code: panics and lossy casts are acceptable here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
 use chamulteon_bench::setups::wikipedia_docker;
+use chamulteon_bench::{run_experiment, ExperimentOutcome, ScalerKind};
 
 fn print_series(title: &str, outcome: &ExperimentOutcome, interval: f64) {
     println!("{title}");
@@ -76,7 +85,9 @@ fn main() {
         }
         None
     };
-    println!("Bottleneck-shifting check (time until each tier first reaches 50% of its peak supply):");
+    println!(
+        "Bottleneck-shifting check (time until each tier first reaches 50% of its peak supply):"
+    );
     for (name, o) in [("reg", &reg), ("chamulteon", &cham)] {
         let peaks: Vec<u32> = (0..3)
             .map(|s| {
@@ -94,6 +105,9 @@ fn main() {
                     .unwrap_or_else(|| "never".into())
             })
             .collect();
-        println!("  {name:<12} service1 {} | service2 {} | service3 {}", times[0], times[1], times[2]);
+        println!(
+            "  {name:<12} service1 {} | service2 {} | service3 {}",
+            times[0], times[1], times[2]
+        );
     }
 }

@@ -5,6 +5,15 @@
 //!
 //! Run with: `cargo bench -p chamulteon-bench --bench scalability_deviation`
 
+// Example/test/bench code: panics and lossy casts are acceptable here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
 use chamulteon_bench::paper::run_lineup;
 use chamulteon_bench::setups::{bibsonomy_large, bibsonomy_small};
 

@@ -4,6 +4,15 @@
 //!
 //! Run with: `cargo bench -p chamulteon-bench --bench table3_wikipedia_vm`
 
+// Example/test/bench code: panics and lossy casts are acceptable here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
 use chamulteon_bench::paper::{render_paper_table, run_lineup, TABLE3};
 use chamulteon_bench::setups::wikipedia_vm;
 use chamulteon_metrics::render_table;

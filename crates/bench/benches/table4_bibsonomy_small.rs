@@ -4,6 +4,15 @@
 //!
 //! Run with: `cargo bench -p chamulteon-bench --bench table4_bibsonomy_small`
 
+// Example/test/bench code: panics and lossy casts are acceptable here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
 use chamulteon_bench::paper::{render_paper_table, run_lineup, TABLE4};
 use chamulteon_bench::setups::bibsonomy_small;
 use chamulteon_metrics::render_table;
@@ -18,7 +27,10 @@ fn main() {
     let reports = run_lineup(&spec);
     println!(
         "{}",
-        render_table("Table IV (measured) — BibSonomy trace, small setup", &reports)
+        render_table(
+            "Table IV (measured) — BibSonomy trace, small setup",
+            &reports
+        )
     );
     println!(
         "{}",

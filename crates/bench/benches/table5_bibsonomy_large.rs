@@ -4,6 +4,15 @@
 //!
 //! Run with: `cargo bench -p chamulteon-bench --bench table5_bibsonomy_large`
 
+// Example/test/bench code: panics and lossy casts are acceptable here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
 use chamulteon_bench::paper::{render_paper_table, run_lineup, TABLE5};
 use chamulteon_bench::setups::bibsonomy_large;
 use chamulteon_metrics::render_table;
@@ -18,7 +27,10 @@ fn main() {
     let reports = run_lineup(&spec);
     println!(
         "{}",
-        render_table("Table V (measured) — BibSonomy trace, large setup", &reports)
+        render_table(
+            "Table V (measured) — BibSonomy trace, large setup",
+            &reports
+        )
     );
     println!(
         "{}",

@@ -20,6 +20,16 @@
 //! cargo run --release --bin chamulteon-exp -- --trace mytrace.csv --all
 //! ```
 
+// The bench crate is the experiment harness (layer 4, outside the
+// decision path): panics surface misconfiguration directly and casts
+// size small loop/display counts from bounded trace durations.
+#![allow(
+    clippy::expect_used,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
+
 use chamulteon_bench::setups;
 use chamulteon_bench::{run_experiment, ExperimentSpec, ScalerKind};
 use chamulteon_metrics::render_table;

@@ -82,7 +82,11 @@ pub(crate) enum Driver {
 
 impl Driver {
     pub(crate) fn new(kind: ScalerKind, model: &ApplicationModel, hist_bucket: f64) -> Driver {
-        let demands: Vec<f64> = model.services().iter().map(|s| s.nominal_demand()).collect();
+        let demands: Vec<f64> = model
+            .services()
+            .iter()
+            .map(|s| s.nominal_demand())
+            .collect();
         let make_estimators = || {
             demands
                 .iter()
@@ -94,7 +98,9 @@ impl Driver {
         };
         match kind {
             ScalerKind::Chamulteon => chamulteon_with(ChamulteonConfig::default()),
-            ScalerKind::ChamulteonReactiveOnly => chamulteon_with(ChamulteonConfig::reactive_only()),
+            ScalerKind::ChamulteonReactiveOnly => {
+                chamulteon_with(ChamulteonConfig::reactive_only())
+            }
             ScalerKind::ChamulteonProactiveOnly => {
                 chamulteon_with(ChamulteonConfig::proactive_only())
             }
@@ -177,7 +183,8 @@ impl Driver {
                     }
                 }
                 let demands: Vec<f64> = estimators.iter().map(|e| e.current_demand()).collect();
-                let deltas = multi.decide(time, interval, stats[entry].arrivals, provisioned, &demands);
+                let deltas =
+                    multi.decide(time, interval, stats[entry].arrivals, provisioned, &demands);
                 provisioned
                     .iter()
                     .zip(&deltas)

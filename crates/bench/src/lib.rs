@@ -27,6 +27,15 @@
 //! assert_eq!(outcome.report.scaler, "chamulteon");
 //! ```
 
+// The bench crate is the experiment harness (layer 4, outside the
+// decision path): panics surface misconfiguration directly and casts
+// size small loop/display counts from bounded trace durations.
+#![allow(
+    clippy::expect_used,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
 #![forbid(unsafe_code)]
 #![allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0.0)` deliberately rejects NaN
 #![warn(missing_docs)]

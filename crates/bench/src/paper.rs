@@ -21,38 +21,98 @@ pub struct PaperRow {
 
 /// Paper Table II — Wikipedia trace, Docker.
 pub const TABLE2: [PaperRow; 5] = [
-    PaperRow { scaler: "chamulteon", values: [3.7, 29.3, 14.9, 84.4, 52.9, 6.2, 77.7] },
-    PaperRow { scaler: "adapt", values: [12.6, 10.2, 34.7, 54.9, 50.6, 24.2, 51.6] },
-    PaperRow { scaler: "hist", values: [7.0, 32.1, 25.6, 69.4, 58.1, 12.5, 67.8] },
-    PaperRow { scaler: "reg", values: [15.3, 8.8, 52.2, 41.2, 52.9, 37.3, 31.1] },
-    PaperRow { scaler: "react", values: [5.3, 13.1, 23.6, 69.7, 50.3, 11.2, 72.8] },
+    PaperRow {
+        scaler: "chamulteon",
+        values: [3.7, 29.3, 14.9, 84.4, 52.9, 6.2, 77.7],
+    },
+    PaperRow {
+        scaler: "adapt",
+        values: [12.6, 10.2, 34.7, 54.9, 50.6, 24.2, 51.6],
+    },
+    PaperRow {
+        scaler: "hist",
+        values: [7.0, 32.1, 25.6, 69.4, 58.1, 12.5, 67.8],
+    },
+    PaperRow {
+        scaler: "reg",
+        values: [15.3, 8.8, 52.2, 41.2, 52.9, 37.3, 31.1],
+    },
+    PaperRow {
+        scaler: "react",
+        values: [5.3, 13.1, 23.6, 69.7, 50.3, 11.2, 72.8],
+    },
 ];
 
 /// Paper Table III — Wikipedia trace, VM.
 pub const TABLE3: [PaperRow; 5] = [
-    PaperRow { scaler: "chamulteon", values: [0.9, 15.6, 3.0, 60.6, 37.0, 2.0, 83.2] },
-    PaperRow { scaler: "adapt", values: [9.7, 6.0, 31.0, 15.7, 34.9, 19.1, 30.7] },
-    PaperRow { scaler: "hist", values: [4.5, 23.9, 15.7, 38.7, 37.1, 5.1, 69.8] },
-    PaperRow { scaler: "reg", values: [7.3, 10.2, 24.0, 24.0, 34.8, 12.6, 50.3] },
-    PaperRow { scaler: "react", values: [0.2, 47.5, 0.8, 94.1, 57.8, 1.0, 92.0] },
+    PaperRow {
+        scaler: "chamulteon",
+        values: [0.9, 15.6, 3.0, 60.6, 37.0, 2.0, 83.2],
+    },
+    PaperRow {
+        scaler: "adapt",
+        values: [9.7, 6.0, 31.0, 15.7, 34.9, 19.1, 30.7],
+    },
+    PaperRow {
+        scaler: "hist",
+        values: [4.5, 23.9, 15.7, 38.7, 37.1, 5.1, 69.8],
+    },
+    PaperRow {
+        scaler: "reg",
+        values: [7.3, 10.2, 24.0, 24.0, 34.8, 12.6, 50.3],
+    },
+    PaperRow {
+        scaler: "react",
+        values: [0.2, 47.5, 0.8, 94.1, 57.8, 1.0, 92.0],
+    },
 ];
 
 /// Paper Table IV — BibSonomy trace, small setup.
 pub const TABLE4: [PaperRow; 5] = [
-    PaperRow { scaler: "chamulteon", values: [2.0, 19.1, 7.4, 78.8, 47.4, 7.3, 90.5] },
-    PaperRow { scaler: "adapt", values: [9.7, 9.3, 40.6, 40.7, 50.1, 17.8, 79.8] },
-    PaperRow { scaler: "hist", values: [5.43, 18.9, 23.8, 61.2, 48.7, 11.9, 84.6] },
-    PaperRow { scaler: "reg", values: [11.0, 4.9, 42.7, 32.3, 48.7, 23.4, 71.2] },
-    PaperRow { scaler: "react", values: [3.5, 14.9, 14.5, 68.5, 56.1, 10.5, 87.5] },
+    PaperRow {
+        scaler: "chamulteon",
+        values: [2.0, 19.1, 7.4, 78.8, 47.4, 7.3, 90.5],
+    },
+    PaperRow {
+        scaler: "adapt",
+        values: [9.7, 9.3, 40.6, 40.7, 50.1, 17.8, 79.8],
+    },
+    PaperRow {
+        scaler: "hist",
+        values: [5.43, 18.9, 23.8, 61.2, 48.7, 11.9, 84.6],
+    },
+    PaperRow {
+        scaler: "reg",
+        values: [11.0, 4.9, 42.7, 32.3, 48.7, 23.4, 71.2],
+    },
+    PaperRow {
+        scaler: "react",
+        values: [3.5, 14.9, 14.5, 68.5, 56.1, 10.5, 87.5],
+    },
 ];
 
 /// Paper Table V — BibSonomy trace, large setup.
 pub const TABLE5: [PaperRow; 5] = [
-    PaperRow { scaler: "chamulteon", values: [2.4, 19.5, 6.9, 89.7, 51.4, 9.6, 77.1] },
-    PaperRow { scaler: "adapt", values: [17.5, 7.7, 50.8, 38.9, 55.8, 33.2, 42.8] },
-    PaperRow { scaler: "hist", values: [5.9, 24.6, 28.3, 65.7, 56.1, 12.9, 75.4] },
-    PaperRow { scaler: "reg", values: [15.4, 4.6, 55.4, 36.0, 59.1, 36.3, 35.2] },
-    PaperRow { scaler: "react", values: [5.6, 9.4, 32.6, 55.1, 53.3, 15.3, 74.1] },
+    PaperRow {
+        scaler: "chamulteon",
+        values: [2.4, 19.5, 6.9, 89.7, 51.4, 9.6, 77.1],
+    },
+    PaperRow {
+        scaler: "adapt",
+        values: [17.5, 7.7, 50.8, 38.9, 55.8, 33.2, 42.8],
+    },
+    PaperRow {
+        scaler: "hist",
+        values: [5.9, 24.6, 28.3, 65.7, 56.1, 12.9, 75.4],
+    },
+    PaperRow {
+        scaler: "reg",
+        values: [15.4, 4.6, 55.4, 36.0, 59.1, 36.3, 35.2],
+    },
+    PaperRow {
+        scaler: "react",
+        values: [5.6, 9.4, 32.6, 55.1, 53.3, 15.3, 74.1],
+    },
 ];
 
 /// Renders a published table in the same layout as
@@ -61,13 +121,20 @@ pub fn render_paper_table(title: &str, rows: &[PaperRow]) -> String {
     let mut out = String::new();
     out.push_str(title);
     out.push('\n');
-    let width = rows.iter().map(|r| r.scaler.len()).max().unwrap_or(8).max(10);
+    let width = rows
+        .iter()
+        .map(|r| r.scaler.len())
+        .max()
+        .unwrap_or(8)
+        .max(10);
     out.push_str(&format!("{:<8}", "Metric"));
     for r in rows {
         out.push_str(&format!(" {:>width$}", r.scaler));
     }
     out.push('\n');
-    let names = ["theta_U", "theta_O", "tau_U", "tau_O", "sigma", "SLO", "Apdex"];
+    let names = [
+        "theta_U", "theta_O", "tau_U", "tau_O", "sigma", "SLO", "Apdex",
+    ];
     for (i, name) in names.iter().enumerate() {
         out.push_str(&format!("{name:<8}"));
         for r in rows {

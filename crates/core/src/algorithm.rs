@@ -2,6 +2,7 @@
 
 use crate::config::ChamulteonConfig;
 use chamulteon_perfmodel::ApplicationModel;
+use chamulteon_queueing::capacity::min_instances_for_utilization;
 
 /// Sizes one service for an offered arrival rate — the while-loops of
 /// Algorithm 1 in closed form.
@@ -22,13 +23,11 @@ pub fn size_service(
     let load = arrival_rate.max(0.0) * service_demand.max(0.0);
     let rho = load / f64::from(current);
     let desired = if rho >= config.rho_upper || rho < config.rho_lower {
-        let raw = load / config.rho_target;
-        let snapped = if (raw - raw.round()).abs() < 1e-9 {
-            raw.round()
-        } else {
-            raw.ceil()
-        };
-        snapped.max(1.0) as u32
+        min_instances_for_utilization(
+            arrival_rate.max(0.0),
+            service_demand.max(0.0),
+            config.rho_target,
+        )
     } else {
         current
     };
@@ -78,11 +77,13 @@ pub fn proactive_decisions(
         .collect();
 
     // Walk the invocation graph in topological order, sizing each service
-    // for the rate its *already-sized* predecessors forward.
+    // for the rate its *already-sized* predecessors forward. A validated
+    // model is acyclic; should a cycle ever slip through, fall back to
+    // index order so every service is still sized.
     let order = model
         .graph()
         .topological_order()
-        .expect("validated model is acyclic");
+        .unwrap_or_else(|| (0..n).collect());
     let mut offered = vec![0.0; n];
     offered[model.entry()] = forecast_entry_rate.max(0.0);
     for &node in &order {
@@ -162,6 +163,11 @@ fn apply_backpressure(
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)] // test fixtures cast freely
 mod tests {
     use super::*;
     use chamulteon_perfmodel::ApplicationModel;

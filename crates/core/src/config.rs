@@ -1,7 +1,5 @@
 //! Chamulteon configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// All tunables of the Chamulteon controller.
 ///
 /// The defaults reflect the paper's configuration notes: utilization
@@ -11,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// every scaling interval, a proactive cycle forecasting a window of future
 /// intervals, and a MASE-based trust threshold for the conflict
 /// resolution.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChamulteonConfig {
     /// Scale up when the (predicted) utilization reaches this value
     /// (`ρ_upper` of Algorithm 1).

@@ -150,10 +150,19 @@ impl Chamulteon {
         let entry = self.model.entry();
         let interval = samples[entry].duration();
         let entry_rate = samples[entry].arrival_rate();
-        let history = self
-            .entry_history
-            .get_or_insert_with(|| TimeSeries::from_values(interval, vec![]).expect("valid step"));
-        let _ = history.push(entry_rate);
+        if self.entry_history.is_none() {
+            // Monitoring may report a degenerate sample duration; fall back
+            // to a 1 s step rather than rejecting the observation.
+            let step = if interval.is_finite() && interval > 0.0 {
+                interval
+            } else {
+                1.0
+            };
+            self.entry_history = TimeSeries::from_values(step, vec![]).ok();
+        }
+        if let Some(history) = self.entry_history.as_mut() {
+            let _ = history.push(entry_rate);
+        }
 
         // 3. Proactive cycle.
         if self.config.proactive_enabled {
@@ -205,7 +214,13 @@ impl Chamulteon {
     /// Runs the proactive cycle: re-forecasts when needed (forecast
     /// exhausted or drifted) and refreshes the decision store for the next
     /// `forecast_horizon` intervals.
-    fn run_proactive_cycle(&mut self, time: f64, interval: f64, demands: &[f64], instances: &[u32]) {
+    fn run_proactive_cycle(
+        &mut self,
+        time: f64,
+        interval: f64,
+        demands: &[f64],
+        instances: &[u32],
+    ) {
         let Some(history) = &self.entry_history else {
             return;
         };
@@ -255,7 +270,8 @@ impl Chamulteon {
         let mut decisions = Vec::with_capacity(horizon * self.model.service_count());
         for (h, &rate) in forecast.values().iter().enumerate() {
             let targets = proactive_decisions(&self.model, rate, demands, &current, &self.config);
-            let start = time + h as f64 * interval;
+            let offset = f64::from(u32::try_from(h).unwrap_or(u32::MAX));
+            let start = time + offset * interval;
             let end = start + interval;
             for (service, &target) in targets.iter().enumerate() {
                 decisions.push(ScalingDecision {
@@ -276,6 +292,11 @@ impl Chamulteon {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)] // test fixtures cast freely
 mod tests {
     use super::*;
 
@@ -413,8 +434,8 @@ mod tests {
 
     #[test]
     fn fox_vetoes_early_release() {
-        let mut c = controller(ChamulteonConfig::reactive_only())
-            .with_fox(ChargingModel::ec2_hourly());
+        let mut c =
+            controller(ChamulteonConfig::reactive_only()).with_fox(ChargingModel::ec2_hourly());
         // Scale up at t = 60.
         let t1 = c.tick(60.0, &samples_for(100.0, &[1, 1, 1]));
         assert_eq!(t1[1], 17);

@@ -1,11 +1,9 @@
 //! Scaling decisions and the conflict resolution of §III-C.
 
-use serde::{Deserialize, Serialize};
-
 /// Which cycle produced a decision, and — for proactive decisions — which
 /// forecast generation it came from and whether that forecast was deemed
 /// trustable.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DecisionOrigin {
     /// Produced by the reactive cycle from measured data.
     Reactive,
@@ -23,7 +21,7 @@ pub enum DecisionOrigin {
 /// A scaling decision: a target instance count for one service, valid for
 /// a time window. "Each decision for a service has a valid period in which
 /// no other decision is executed" (§III-C1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScalingDecision {
     /// The service the decision applies to.
     pub service: usize,
@@ -45,10 +43,7 @@ impl ScalingDecision {
 
     /// Whether this is a trusted proactive decision.
     pub fn is_trusted_proactive(&self) -> bool {
-        matches!(
-            self.origin,
-            DecisionOrigin::Proactive { trusted: true, .. }
-        )
+        matches!(self.origin, DecisionOrigin::Proactive { trusted: true, .. })
     }
 }
 
@@ -65,7 +60,7 @@ impl ScalingDecision {
 ///   wants to scale up or down, the reactive decision is omitted.
 ///   Otherwise, the proactive decision is skipped" — implemented by
 ///   [`DecisionStore::resolve`].
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DecisionStore {
     proactive: Vec<ScalingDecision>,
 }
@@ -158,7 +153,14 @@ impl DecisionStore {
 mod tests {
     use super::*;
 
-    fn proactive(service: usize, target: u32, start: f64, end: f64, generation: u64, trusted: bool) -> ScalingDecision {
+    fn proactive(
+        service: usize,
+        target: u32,
+        start: f64,
+        end: f64,
+        generation: u64,
+        trusted: bool,
+    ) -> ScalingDecision {
         ScalingDecision {
             service,
             target,

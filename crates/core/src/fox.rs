@@ -10,11 +10,9 @@
 //! (hourly) and the Google Cloud (per-minute with a minimum) — modeled
 //! here as [`ChargingModel`]s.
 
-use serde::{Deserialize, Serialize};
-
 /// A public-cloud charging model: instances are billed in fixed intervals
 /// from their individual start times, with a minimum billed duration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChargingModel {
     /// Model name for reports.
     pub name: String,
@@ -60,7 +58,7 @@ impl ChargingModel {
 
 /// The FOX reviewer: tracks per-service instance leases and vetoes
 /// releases that would waste already-paid instance time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fox {
     model: ChargingModel,
     /// Release an instance only when at most this fraction of its current
@@ -111,11 +109,11 @@ impl Fox {
         leases.sort_by(|a, b| {
             let ra = self.model.paid_time_remaining(*a, now);
             let rb = self.model.paid_time_remaining(*b, now);
-            rb.partial_cmp(&ra).unwrap_or(std::cmp::Ordering::Equal)
+            rb.total_cmp(&ra)
         });
-        let want_release = (current - proposed) as usize;
+        let want_release = current - proposed;
         let window = self.model.interval * self.release_window;
-        let mut released = 0usize;
+        let mut released = 0u32;
         while released < want_release {
             let Some(&start) = leases.last() else { break };
             if self.model.paid_time_remaining(start, now) <= window {
@@ -126,7 +124,7 @@ impl Fox {
                 break; // still-paid instance: keep it ("delays or omits releasing")
             }
         }
-        current - released as u32
+        current - released
     }
 
     /// Total billed instance-seconds so far: every released lease's billed
@@ -149,10 +147,11 @@ impl Fox {
             self.leases.resize(service + 1, Vec::new());
         }
         let leases = &mut self.leases[service];
-        while leases.len() < current as usize {
+        let current = usize::try_from(current).unwrap_or(usize::MAX);
+        while leases.len() < current {
             leases.push(now);
         }
-        while leases.len() > current as usize {
+        while leases.len() > current {
             // Instances went away without review (drained): bill them.
             if let Some(start) = leases.pop() {
                 self.billed_released += self.model.billed_duration(now - start);
@@ -194,7 +193,7 @@ mod tests {
     fn early_release_is_vetoed() {
         let mut fox = Fox::new(ChargingModel::ec2_hourly(), 1);
         fox.review(0, 0.0, 4, 4); // open 4 leases at t = 0
-        // 10 minutes in: 50 paid minutes remain — keep everything.
+                                  // 10 minutes in: 50 paid minutes remain — keep everything.
         assert_eq!(fox.review(0, 600.0, 4, 1), 4);
     }
 
@@ -211,8 +210,8 @@ mod tests {
         let mut fox = Fox::new(ChargingModel::ec2_hourly(), 1);
         fox.review(0, 0.0, 2, 2); // two leases at t = 0
         fox.review(0, 1800.0, 3, 3); // one more at t = 1800
-        // At t = 3550 the two old leases are nearly exhausted, the newer
-        // one has ~30 min paid: only the old two may go.
+                                     // At t = 3550 the two old leases are nearly exhausted, the newer
+                                     // one has ~30 min paid: only the old two may go.
         assert_eq!(fox.review(0, 3550.0, 3, 0), 1);
     }
 

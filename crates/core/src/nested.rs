@@ -12,10 +12,8 @@
 //! retains its fast provisioning exactly when the load rises. The
 //! simulator side lives in `chamulteon_sim::nested`.
 
-use serde::{Deserialize, Serialize};
-
 /// Plans the VM count for a nested deployment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NestedPlanner {
     /// Containers per VM (matches the simulator's pool config).
     pub slots_per_vm: u32,

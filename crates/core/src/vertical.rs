@@ -21,10 +21,10 @@
 
 use crate::config::ChamulteonConfig;
 use chamulteon_perfmodel::ApplicationModel;
-use serde::{Deserialize, Serialize};
+use chamulteon_queueing::capacity::saturating_f64_to_u32;
 
 /// One rung of a provider's instance-size ladder.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InstanceSize {
     /// Display name, e.g. `"m.large"`.
     pub name: String,
@@ -37,14 +37,14 @@ pub struct InstanceSize {
 
 /// The instance ladder plus the fixed per-instance overhead cost that the
 /// decision logic weighs horizontal against vertical scaling with.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VerticalPolicy {
     sizes: Vec<InstanceSize>,
     overhead_per_instance_hour: f64,
 }
 
 /// One hybrid scaling decision: how many instances of which size.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HybridDecision {
     /// Number of instances.
     pub instances: u32,
@@ -82,9 +82,21 @@ impl VerticalPolicy {
     pub fn ec2_like() -> Self {
         VerticalPolicy::new(
             vec![
-                InstanceSize { name: "small".into(), speed: 1.0, cost_per_hour: 1.0 },
-                InstanceSize { name: "large".into(), speed: 2.0, cost_per_hour: 1.9 },
-                InstanceSize { name: "xlarge".into(), speed: 4.0, cost_per_hour: 3.7 },
+                InstanceSize {
+                    name: "small".into(),
+                    speed: 1.0,
+                    cost_per_hour: 1.0,
+                },
+                InstanceSize {
+                    name: "large".into(),
+                    speed: 2.0,
+                    cost_per_hour: 1.9,
+                },
+                InstanceSize {
+                    name: "xlarge".into(),
+                    speed: 4.0,
+                    cost_per_hour: 3.7,
+                },
             ],
             0.15,
         )
@@ -96,9 +108,21 @@ impl VerticalPolicy {
     pub fn premium_vertical() -> Self {
         VerticalPolicy::new(
             vec![
-                InstanceSize { name: "small".into(), speed: 1.0, cost_per_hour: 1.0 },
-                InstanceSize { name: "large".into(), speed: 2.0, cost_per_hour: 2.4 },
-                InstanceSize { name: "xlarge".into(), speed: 4.0, cost_per_hour: 5.5 },
+                InstanceSize {
+                    name: "small".into(),
+                    speed: 1.0,
+                    cost_per_hour: 1.0,
+                },
+                InstanceSize {
+                    name: "large".into(),
+                    speed: 2.0,
+                    cost_per_hour: 2.4,
+                },
+                InstanceSize {
+                    name: "xlarge".into(),
+                    speed: 4.0,
+                    cost_per_hour: 5.5,
+                },
             ],
             0.0,
         )
@@ -139,7 +163,7 @@ impl VerticalPolicy {
             } else {
                 raw.ceil()
             };
-            let needed = (snapped.max(1.0)) as u32;
+            let needed = saturating_f64_to_u32(snapped).max(1);
             let n = needed.clamp(min_instances.max(1), max_instances.max(1));
             let feasible = needed <= max_instances.max(1);
             let cost = f64::from(n) * (size.cost_per_hour + self.overhead_per_instance_hour);
@@ -158,19 +182,22 @@ impl VerticalPolicy {
                         // Both feasible: cheaper wins, then fewer instances.
                         (true, true) => {
                             cost < b.cost_per_hour - 1e-12
-                                || ((cost - b.cost_per_hour).abs() <= 1e-12
-                                    && n < b.instances)
+                                || ((cost - b.cost_per_hour).abs() <= 1e-12 && n < b.instances)
                         }
                         // Both infeasible: more capacity wins.
-                        (false, false) => {
-                            self.capacity(&candidate) > self.capacity(&b)
-                        }
+                        (false, false) => self.capacity(&candidate) > self.capacity(&b),
                     };
                     Some(if better { candidate } else { b })
                 }
             };
         }
-        best.expect("ladder is never empty")
+        // The constructor guarantees a non-empty ladder, so `best` is
+        // always set; the fallback keeps the path panic-free regardless.
+        best.unwrap_or(HybridDecision {
+            instances: min_instances.max(1),
+            size_index: 0,
+            cost_per_hour: 0.0,
+        })
     }
 
     /// Total speed units a decision provides.
@@ -205,10 +232,12 @@ pub fn hybrid_decisions(
                 .unwrap_or_else(|| model.service(i).nominal_demand())
         })
         .collect();
+    // A validated model is acyclic; fall back to index order if a cycle
+    // ever slips through so every service still receives a decision.
     let order = model
         .graph()
         .topological_order()
-        .expect("validated model is acyclic");
+        .unwrap_or_else(|| (0..n).collect());
     let mut offered = vec![0.0; n];
     offered[model.entry()] = entry_rate.max(0.0);
     let mut out = vec![
@@ -228,8 +257,8 @@ pub fn hybrid_decisions(
             spec.min_instances(),
             spec.max_instances(),
         );
-        let capacity =
-            f64::from(decision.instances) * policy.sizes()[decision.size_index].speed / demands[node];
+        let capacity = f64::from(decision.instances) * policy.sizes()[decision.size_index].speed
+            / demands[node];
         let completed = offered[node].min(capacity);
         for &(to, multiplicity) in model.graph().calls_from(node) {
             offered[to] += completed * multiplicity;
@@ -248,7 +277,11 @@ mod tests {
         let p = VerticalPolicy::new(vec![], 0.0);
         assert_eq!(p.sizes().len(), 1);
         let p = VerticalPolicy::new(
-            vec![InstanceSize { name: "bad".into(), speed: 0.0, cost_per_hour: 1.0 }],
+            vec![InstanceSize {
+                name: "bad".into(),
+                speed: 0.0,
+                cost_per_hour: 1.0,
+            }],
             0.0,
         );
         assert_eq!(p.sizes().len(), 1);
@@ -313,7 +346,11 @@ mod tests {
     #[test]
     fn cost_accounts_for_overhead() {
         let p = VerticalPolicy::new(
-            vec![InstanceSize { name: "s".into(), speed: 1.0, cost_per_hour: 1.0 }],
+            vec![InstanceSize {
+                name: "s".into(),
+                speed: 1.0,
+                cost_per_hour: 1.0,
+            }],
             0.5,
         );
         let d = p.decide(40.0, 0.1, 0.8, 1, 100);
@@ -326,14 +363,12 @@ mod tests {
         let model = ApplicationModel::paper_benchmark();
         let policy = VerticalPolicy::ec2_like();
         let config = ChamulteonConfig::default();
-        let decisions =
-            hybrid_decisions(&model, 200.0, &[0.059, 0.1, 0.04], &policy, &config);
+        let decisions = hybrid_decisions(&model, 200.0, &[0.059, 0.1, 0.04], &policy, &config);
         assert_eq!(decisions.len(), 3);
         // Every tier's capacity covers 200 req/s at the target utilization.
         for (i, d) in decisions.iter().enumerate() {
             let demand = [0.059, 0.1, 0.04][i];
-            let capacity =
-                f64::from(d.instances) * policy.sizes()[d.size_index].speed / demand;
+            let capacity = f64::from(d.instances) * policy.sizes()[d.size_index].speed / demand;
             assert!(
                 capacity * config.rho_target >= 200.0 * 0.99,
                 "tier {i}: capacity {capacity}"
@@ -349,8 +384,13 @@ mod tests {
         // Pure horizontal = the same ladder restricted to the small size.
         let horizontal_only = VerticalPolicy::new(vec![ladder.sizes()[0].clone()], 0.15);
         let hybrid = hybrid_decisions(&model, 300.0, &[0.059, 0.1, 0.04], &ladder, &config);
-        let horizontal =
-            hybrid_decisions(&model, 300.0, &[0.059, 0.1, 0.04], &horizontal_only, &config);
+        let horizontal = hybrid_decisions(
+            &model,
+            300.0,
+            &[0.059, 0.1, 0.04],
+            &horizontal_only,
+            &config,
+        );
         let cost = |ds: &[HybridDecision]| ds.iter().map(|d| d.cost_per_hour).sum::<f64>();
         assert!(
             cost(&hybrid) < cost(&horizontal),

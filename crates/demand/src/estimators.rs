@@ -134,10 +134,21 @@ impl DemandEstimator for ResponseTimeApproximationEstimator {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)] // test fixtures cast freely
 mod tests {
     use super::*;
 
-    fn sample(duration: f64, arrivals: u64, util: f64, n: u32, rt: Option<f64>) -> MonitoringSample {
+    fn sample(
+        duration: f64,
+        arrivals: u64,
+        util: f64,
+        n: u32,
+        rt: Option<f64>,
+    ) -> MonitoringSample {
         MonitoringSample::new(duration, arrivals, util, n, rt).unwrap()
     }
 
@@ -200,7 +211,9 @@ mod tests {
     fn regression_ignores_idle_windows() {
         let idle = sample(60.0, 0, 0.0, 4, None);
         let busy = sample(60.0, 1200, 0.5, 4, None);
-        let d = UtilizationRegressionEstimator.estimate(&[idle, busy]).unwrap();
+        let d = UtilizationRegressionEstimator
+            .estimate(&[idle, busy])
+            .unwrap();
         assert!((d - 0.1).abs() < 1e-9);
     }
 

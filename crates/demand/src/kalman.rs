@@ -103,6 +103,11 @@ impl DemandEstimator for KalmanFilterEstimator {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)] // test fixtures cast freely
 mod tests {
     use super::*;
 
@@ -179,7 +184,10 @@ mod tests {
     #[test]
     fn invalid_noise_parameters_fall_back() {
         let k = KalmanFilterEstimator::new(-1.0, f64::NAN);
-        assert_eq!(k.process_noise, KalmanFilterEstimator::default().process_noise);
+        assert_eq!(
+            k.process_noise,
+            KalmanFilterEstimator::default().process_noise
+        );
         assert_eq!(
             k.observation_noise,
             KalmanFilterEstimator::default().observation_noise
@@ -190,8 +198,14 @@ mod tests {
     fn estimate_is_always_positive() {
         // Utilization 0 with traffic: direct estimate would be 0; the
         // filter clamps to a positive floor.
-        let samples = vec![sample(1200, 0.5, 4), sample(1200, 0.0, 4), sample(1200, 0.0, 4)];
-        let d = KalmanFilterEstimator::new(1e-2, 1e-3).estimate(&samples).unwrap();
+        let samples = vec![
+            sample(1200, 0.5, 4),
+            sample(1200, 0.0, 4),
+            sample(1200, 0.0, 4),
+        ];
+        let d = KalmanFilterEstimator::new(1e-2, 1e-3)
+            .estimate(&samples)
+            .unwrap();
         assert!(d > 0.0);
     }
 }

@@ -1,18 +1,16 @@
 //! The monitoring sample consumed by all estimators.
 
 use crate::error::DemandError;
-use serde::{Deserialize, Serialize};
 
 /// One monitoring window worth of observations for a single service.
 ///
 /// The paper's estimation input (§III-A2): "the request arrivals per
 /// resource and the average monitored utilization are required", plus the
 /// optional mean response time used by the response-time estimator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MonitoringSample {
     duration: f64,
     arrivals: u64,
-    #[serde(default)]
     completions: Option<u64>,
     utilization: f64,
     instances: u32,

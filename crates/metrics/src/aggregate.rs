@@ -1,13 +1,12 @@
 //! The auto-scaler worst-case deviation ς (§IV-D3).
 
 use crate::elasticity::ElasticityMetrics;
-use serde::{Deserialize, Serialize};
 
 /// The paper's aggregate score: the worst per-service elasticity metrics
 /// are combined into an overall accuracy `θ̂` and time share `τ̂`, whose
 /// Euclidean distance from the theoretically optimal auto-scaler (0, 0) is
 /// the worst-case deviation ς.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorstCaseDeviation {
     /// Worst-case under-provisioning accuracy across services.
     pub theta_u_hat: f64,
@@ -35,12 +34,7 @@ pub struct WorstCaseDeviation {
 ///
 /// An empty slice yields the all-zero (optimal) deviation.
 pub fn worst_case_deviation(per_service: &[ElasticityMetrics]) -> WorstCaseDeviation {
-    let max = |f: fn(&ElasticityMetrics) -> f64| {
-        per_service
-            .iter()
-            .map(f)
-            .fold(0.0, f64::max)
-    };
+    let max = |f: fn(&ElasticityMetrics) -> f64| per_service.iter().map(f).fold(0.0, f64::max);
     let theta_u_hat = max(|m| m.theta_u);
     let theta_o_hat = max(|m| m.theta_o);
     let tau_u_hat = max(|m| m.tau_u);
@@ -86,10 +80,7 @@ mod tests {
 
     #[test]
     fn takes_worst_per_metric_across_services() {
-        let d = worst_case_deviation(&[
-            m(10.0, 1.0, 30.0, 2.0),
-            m(2.0, 20.0, 3.0, 40.0),
-        ]);
+        let d = worst_case_deviation(&[m(10.0, 1.0, 30.0, 2.0), m(2.0, 20.0, 3.0, 40.0)]);
         assert_eq!(d.theta_u_hat, 10.0);
         assert_eq!(d.theta_o_hat, 20.0);
         assert_eq!(d.tau_u_hat, 30.0);

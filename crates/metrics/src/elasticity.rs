@@ -1,10 +1,9 @@
 //! The SPEC-endorsed elasticity metrics (§IV-D1, §IV-D2).
 
 use crate::step::StepFn;
-use serde::{Deserialize, Serialize};
 
 /// The four per-service elasticity metrics, all in percent.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ElasticityMetrics {
     /// Under-provisioning accuracy θ_U: missing resources relative to the
     /// demand, time-averaged. 0 is perfect; unbounded above.

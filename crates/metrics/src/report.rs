@@ -2,12 +2,11 @@
 
 use crate::aggregate::{worst_case_deviation, WorstCaseDeviation};
 use crate::elasticity::ElasticityMetrics;
-use serde::{Deserialize, Serialize};
 
 /// Everything the paper reports per auto-scaler per experiment: the
 /// averaged per-service elasticity metrics, the worst-case deviation ς and
 /// the user-oriented metrics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScalerReport {
     /// Auto-scaler name (table column header).
     pub scaler: String,
@@ -18,11 +17,9 @@ pub struct ScalerReport {
     /// Apdex user-satisfaction score in percent.
     pub apdex: f64,
     /// Total instance-hours consumed across all services (cost metric).
-    #[serde(default)]
     pub instance_hours: f64,
     /// Scaling adaptations executed per hour, summed over services
     /// (oscillation metric).
-    #[serde(default)]
     pub adaptations_per_hour: f64,
 }
 
@@ -62,12 +59,7 @@ pub fn render_table(title: &str, reports: &[ScalerReport]) -> String {
     out.push_str(title);
     out.push('\n');
     let headers: Vec<String> = reports.iter().map(|r| r.scaler.clone()).collect();
-    let width = headers
-        .iter()
-        .map(|h| h.len())
-        .max()
-        .unwrap_or(8)
-        .max(10);
+    let width = headers.iter().map(|h| h.len()).max().unwrap_or(8).max(10);
     out.push_str(&format!("{:<8}", "Metric"));
     for h in &headers {
         out.push_str(&format!(" {h:>width$}"));
@@ -76,11 +68,17 @@ pub fn render_table(title: &str, reports: &[ScalerReport]) -> String {
     let rows: Vec<(&str, Vec<f64>)> = vec![
         (
             "theta_U",
-            reports.iter().map(|r| r.mean_elasticity().theta_u).collect(),
+            reports
+                .iter()
+                .map(|r| r.mean_elasticity().theta_u)
+                .collect(),
         ),
         (
             "theta_O",
-            reports.iter().map(|r| r.mean_elasticity().theta_o).collect(),
+            reports
+                .iter()
+                .map(|r| r.mean_elasticity().theta_o)
+                .collect(),
         ),
         (
             "tau_U",
@@ -94,10 +92,7 @@ pub fn render_table(title: &str, reports: &[ScalerReport]) -> String {
             "sigma",
             reports.iter().map(|r| r.worst_case().sigma).collect(),
         ),
-        (
-            "SLO",
-            reports.iter().map(|r| r.slo_violations).collect(),
-        ),
+        ("SLO", reports.iter().map(|r| r.slo_violations).collect()),
         ("Apdex", reports.iter().map(|r| r.apdex).collect()),
     ];
     for (name, values) in rows {
@@ -187,8 +182,22 @@ mod tests {
     fn table_contains_all_rows_and_columns() {
         let table = render_table("Table II", &[report("chamulteon"), report("react")]);
         for needle in [
-            "Table II", "chamulteon", "react", "theta_U", "theta_O", "tau_U", "tau_O", "sigma",
-            "SLO", "Apdex", "6.2%", "77.7%", "inst-h", "adapt/h", "12.5", "30.0",
+            "Table II",
+            "chamulteon",
+            "react",
+            "theta_U",
+            "theta_O",
+            "tau_U",
+            "tau_O",
+            "sigma",
+            "SLO",
+            "Apdex",
+            "6.2%",
+            "77.7%",
+            "inst-h",
+            "adapt/h",
+            "12.5",
+            "30.0",
         ] {
             assert!(table.contains(needle), "missing {needle} in:\n{table}");
         }

@@ -1,7 +1,5 @@
 //! Right-continuous step functions over time.
 
-use serde::{Deserialize, Serialize};
-
 /// A piecewise-constant, right-continuous function of time with `u32`
 /// values — the representation of both the demand curve `d_t` and the
 /// supply curve `s_t`.
@@ -9,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// Constructed from `(time, value)` change points; points are sorted and
 /// deduplicated (last value wins for equal times). Before the first change
 /// point the function takes the first value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StepFn {
     points: Vec<(f64, u32)>,
 }
@@ -22,7 +20,7 @@ impl StepFn {
     /// dropped; the list may be empty (the function is then constantly 0).
     pub fn new(mut points: Vec<(f64, u32)>) -> Self {
         points.retain(|(t, _)| t.is_finite());
-        points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
         // Deduplicate equal times, keeping the last value.
         let mut deduped: Vec<(f64, u32)> = Vec::with_capacity(points.len());
         for p in points {
@@ -71,7 +69,7 @@ impl StepFn {
                 .map(|p| p.0)
                 .filter(|&t| t > 0.0 && t < horizon),
         );
-        times.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        times.sort_by(|a, b| a.total_cmp(b));
         times.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
         times
     }

@@ -61,7 +61,12 @@ impl ApplicationModelBuilder {
 
     /// Declares that `from` calls `to` with the given multiplicity per
     /// request.
-    pub fn call(mut self, from: impl Into<String>, to: impl Into<String>, multiplicity: f64) -> Self {
+    pub fn call(
+        mut self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        multiplicity: f64,
+    ) -> Self {
         self.calls.push((from.into(), to.into(), multiplicity));
         self
     }
@@ -87,7 +92,13 @@ impl ApplicationModelBuilder {
         }
         let mut specs = Vec::with_capacity(self.services.len());
         for (name, demand, min, max, initial) in &self.services {
-            specs.push(ServiceSpec::new(name.clone(), *demand, *min, *max, *initial)?);
+            specs.push(ServiceSpec::new(
+                name.clone(),
+                *demand,
+                *min,
+                *max,
+                *initial,
+            )?);
         }
         let index_of = |name: &str| -> Result<usize, ModelError> {
             specs

@@ -1,0 +1,514 @@
+//! Minimal JSON encode/decode for [`ApplicationModel`].
+//!
+//! The build environment resolves no third-party crates, so the DML-instance
+//! stand-in format is read and written by this small, std-only module
+//! instead of serde. The grammar is full JSON; the document schema is
+//! exactly what [`encode_model`] emits:
+//!
+//! ```json
+//! {
+//!   "services": [ { "name", "nominal_demand", "min_instances",
+//!                   "max_instances", "initial_instances" }, … ],
+//!   "graph": { "service_count": N, "edges": [[[to, multiplicity], …], …] },
+//!   "entry": 0
+//! }
+//! ```
+//!
+//! Decoding rebuilds the model through the validating constructors
+//! ([`ServiceSpec::new`], [`InvocationGraph::add_call`],
+//! [`ApplicationModel::new`]), so a well-formed document describing an
+//! inconsistent model is rejected, never materialized.
+
+use crate::error::ModelError;
+use crate::graph::InvocationGraph;
+use crate::model::ApplicationModel;
+use crate::service::ServiceSpec;
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                // `write!` to a String cannot fail; ignore the Ok.
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    // Rust's `Display` for f64 is shortest-round-trip, so `parse` recovers
+    // the exact value. Model validation guarantees finiteness.
+    let _ = write!(out, "{v}");
+}
+
+/// Serializes a model to pretty JSON (2-space indent, `": "` separators).
+pub(crate) fn encode_model(model: &ApplicationModel) -> String {
+    let mut out = String::with_capacity(256 * model.service_count().max(1));
+    out.push_str("{\n  \"services\": [\n");
+    let services = model.services();
+    for (i, s) in services.iter().enumerate() {
+        out.push_str("    {\n      \"name\": ");
+        push_escaped(&mut out, s.name());
+        out.push_str(",\n      \"nominal_demand\": ");
+        push_f64(&mut out, s.nominal_demand());
+        let _ = write!(
+            out,
+            ",\n      \"min_instances\": {},\n      \"max_instances\": {},\n      \"initial_instances\": {}\n    }}",
+            s.min_instances(),
+            s.max_instances(),
+            s.initial_instances(),
+        );
+        out.push_str(if i + 1 < services.len() { ",\n" } else { "\n" });
+    }
+    let _ = write!(
+        out,
+        "  ],\n  \"graph\": {{\n    \"service_count\": {},\n    \"edges\": [",
+        model.service_count()
+    );
+    for from in 0..model.service_count() {
+        if from > 0 {
+            out.push_str(", ");
+        }
+        out.push('[');
+        for (j, &(to, mult)) in model.graph().calls_from(from).iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "[{to}, ");
+            push_f64(&mut out, mult);
+            out.push(']');
+        }
+        out.push(']');
+    }
+    let _ = write!(out, "]\n  }},\n  \"entry\": {}\n}}", model.entry());
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, message: &str) -> String {
+        format!("{message} at byte {}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", char::from(b))))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => self.parse_string().map(Json::Str),
+            Some(b't') if self.eat_literal("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Json::Bool(false)),
+            Some(b'n') if self.eat_literal("null") => Ok(Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.expect_byte(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect_byte(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.expect_byte(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u16, String> {
+        let mut v: u16 = 0;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(b @ b'0'..=b'9') => u16::from(b - b'0'),
+                Some(b @ b'a'..=b'f') => u16::from(b - b'a') + 10,
+                Some(b @ b'A'..=b'F') => u16::from(b - b'A') + 10,
+                _ => return Err(self.err("invalid \\u escape")),
+            };
+            v = v << 4 | d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if !self.eat_literal("\\u") {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let scalar = 0x10000
+                                    + (u32::from(hi) - 0xD800) * 0x400
+                                    + (u32::from(lo) - 0xDC00);
+                                char::from_u32(scalar)
+                            } else {
+                                char::from_u32(u32::from(hi))
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("invalid unicode escape")),
+                            }
+                            // parse_hex4 advanced past the digits already.
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one complete UTF-8 scalar (input is a &str, so
+                    // the bytes are valid UTF-8 by construction).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.peek().is_some_and(|b| b & 0b1100_0000 == 0b1000_0000) {
+                        self.pos += 1;
+                    }
+                    if let Ok(chunk) = std::str::from_utf8(&self.bytes[start..self.pos]) {
+                        out.push_str(chunk);
+                    } else {
+                        return Err(self.err("invalid UTF-8 in string"));
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        match text.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(Json::Num(v)),
+            _ => Err(self.err("invalid number")),
+        }
+    }
+}
+
+fn parse_document(text: &str) -> Result<Json, String> {
+    let mut p = Parser::new(text);
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data after document"));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Schema mapping
+// ---------------------------------------------------------------------------
+
+fn parse_error(message: impl Into<String>) -> ModelError {
+    ModelError::Parse {
+        message: message.into(),
+    }
+}
+
+fn get<'a>(fields: &'a [(String, Json)], key: &str) -> Result<&'a Json, ModelError> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| parse_error(format!("missing field `{key}`")))
+}
+
+fn as_obj<'a>(v: &'a Json, what: &str) -> Result<&'a [(String, Json)], ModelError> {
+    match v {
+        Json::Obj(fields) => Ok(fields),
+        _ => Err(parse_error(format!("`{what}` must be an object"))),
+    }
+}
+
+fn as_arr<'a>(v: &'a Json, what: &str) -> Result<&'a [Json], ModelError> {
+    match v {
+        Json::Arr(items) => Ok(items),
+        _ => Err(parse_error(format!("`{what}` must be an array"))),
+    }
+}
+
+fn as_f64(v: &Json, what: &str) -> Result<f64, ModelError> {
+    match v {
+        Json::Num(n) => Ok(*n),
+        _ => Err(parse_error(format!("`{what}` must be a number"))),
+    }
+}
+
+fn as_str<'a>(v: &'a Json, what: &str) -> Result<&'a str, ModelError> {
+    match v {
+        Json::Str(s) => Ok(s),
+        _ => Err(parse_error(format!("`{what}` must be a string"))),
+    }
+}
+
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // range-checked above the cast
+fn as_usize(v: &Json, what: &str) -> Result<usize, ModelError> {
+    let n = as_f64(v, what)?;
+    if n.fract() != 0.0 || !(0.0..=f64::from(u32::MAX)).contains(&n) {
+        return Err(parse_error(format!(
+            "`{what}` must be a small non-negative integer"
+        )));
+    }
+    // In [0, u32::MAX] and integral by the check above.
+    Ok(n as usize)
+}
+
+#[allow(clippy::cast_possible_truncation)] // bounded by u32::MAX in as_usize
+fn as_u32(v: &Json, what: &str) -> Result<u32, ModelError> {
+    Ok(as_usize(v, what)? as u32)
+}
+
+/// Parses and re-validates a model from its JSON representation.
+pub(crate) fn decode_model(text: &str) -> Result<ApplicationModel, ModelError> {
+    let doc = parse_document(text).map_err(parse_error)?;
+    let root = as_obj(&doc, "document root")?;
+
+    let mut services = Vec::new();
+    for (i, item) in as_arr(get(root, "services")?, "services")?
+        .iter()
+        .enumerate()
+    {
+        let fields = as_obj(item, "service")?;
+        let spec = ServiceSpec::new(
+            as_str(get(fields, "name")?, "name")?,
+            as_f64(get(fields, "nominal_demand")?, "nominal_demand")?,
+            as_u32(get(fields, "min_instances")?, "min_instances")?,
+            as_u32(get(fields, "max_instances")?, "max_instances")?,
+            as_u32(get(fields, "initial_instances")?, "initial_instances")?,
+        )
+        .map_err(|e| parse_error(format!("service #{i}: {e}")))?;
+        services.push(spec);
+    }
+
+    let graph_fields = as_obj(get(root, "graph")?, "graph")?;
+    let service_count = as_usize(get(graph_fields, "service_count")?, "service_count")?;
+    let mut graph = InvocationGraph::new(service_count);
+    let edges = as_arr(get(graph_fields, "edges")?, "edges")?;
+    if edges.len() != service_count {
+        return Err(parse_error("`edges` length must equal `service_count`"));
+    }
+    for (from, outs) in edges.iter().enumerate() {
+        for edge in as_arr(outs, "edges[from]")? {
+            let pair = as_arr(edge, "edge")?;
+            if pair.len() != 2 {
+                return Err(parse_error("edge must be a `[to, multiplicity]` pair"));
+            }
+            let to = as_usize(&pair[0], "edge target")?;
+            let mult = as_f64(&pair[1], "edge multiplicity")?;
+            graph
+                .add_call(from, to, mult)
+                .map_err(|e| parse_error(format!("edge {from} -> {to}: {e}")))?;
+        }
+    }
+
+    let entry = as_usize(get(root, "entry")?, "entry")?;
+    // Final structural validation (duplicate names, entry range, acyclicity).
+    ApplicationModel::new(services, graph, entry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let doc =
+            parse_document(r#" {"a": [1, -2.5e1, "x\né"], "b": {"c": true, "d": null}} "#).unwrap();
+        let root = match &doc {
+            Json::Obj(f) => f,
+            other => panic!("expected object, got {other:?}"),
+        };
+        assert_eq!(
+            get(root, "a").unwrap(),
+            &Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(-25.0),
+                Json::Str("x\né".to_owned()),
+            ])
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "{\"a\": 1} trailing",
+            "\"unterminated",
+            "1e999",
+            "nul",
+            "{\"a\": 0x1}",
+        ] {
+            assert!(parse_document(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn surrogate_pairs_round_trip() {
+        let doc = parse_document(r#""😀""#).unwrap();
+        assert_eq!(doc, Json::Str("😀".to_owned()));
+        assert!(parse_document(r#""\ud83d""#).is_err());
+    }
+
+    #[test]
+    fn escaped_names_round_trip() {
+        let spec = ServiceSpec::new("a\"b\\c\nd", 0.1, 1, 5, 1).unwrap();
+        let model = ApplicationModel::new(vec![spec], InvocationGraph::new(1), 0).unwrap();
+        let back = decode_model(&encode_model(&model)).unwrap();
+        assert_eq!(model, back);
+    }
+
+    #[test]
+    fn decode_rejects_inconsistent_documents() {
+        let model = ApplicationModel::paper_benchmark();
+        let json = encode_model(&model);
+        // Edge list length disagreeing with service_count.
+        let bad = json.replace("\"service_count\": 3", "\"service_count\": 2");
+        assert!(decode_model(&bad).is_err());
+        // Non-integral instance count.
+        let bad = json.replace("\"min_instances\": 1", "\"min_instances\": 1.5");
+        assert!(decode_model(&bad).is_err());
+    }
+}

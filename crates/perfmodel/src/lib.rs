@@ -14,7 +14,7 @@
 //!   (`estimateArrivals` of Algorithm 1): an overloaded upstream service
 //!   forwards at most its saturation throughput.
 //!
-//! Models are plain data (serde-serializable), built with
+//! Models are plain data (JSON round-trippable), built with
 //! [`ApplicationModelBuilder`] or loaded from JSON — the stand-in for the
 //! paper's externally provided DML instance.
 //!
@@ -40,6 +40,7 @@
 pub mod builder;
 pub mod error;
 pub mod graph;
+mod json;
 pub mod model;
 pub mod service;
 

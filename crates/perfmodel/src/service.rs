@@ -1,7 +1,6 @@
 //! Per-service static specification.
 
 use crate::error::ModelError;
-use serde::{Deserialize, Serialize};
 
 /// Static description of one micro-service in the application model.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// (which the demand estimator refines at runtime), and the minimum and
 /// maximum allowed instance counts that bound every scaling decision
 /// (Algorithm 1, lines 10 and 14).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServiceSpec {
     name: String,
     nominal_demand: f64,

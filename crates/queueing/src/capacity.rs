@@ -12,6 +12,23 @@
 use crate::error::QueueingError;
 use crate::mmn::MmnQueue;
 
+/// Converts an instance count computed in `f64` to `u32`, saturating at the
+/// bounds (non-positive and NaN map to 0, overflow to `u32::MAX`). This is
+/// the designated place where capacity math narrows a float to an integer
+/// count, so every call site inherits the range check.
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+#[must_use]
+pub fn saturating_f64_to_u32(value: f64) -> u32 {
+    if !(value > 0.0) {
+        0
+    } else if value >= f64::from(u32::MAX) {
+        u32::MAX
+    } else {
+        // audit:allow(lossy-cast): value checked non-negative and < u32::MAX above
+        value as u32
+    }
+}
+
 /// Minimal number of instances such that the utilization `λ·s/n` does not
 /// exceed `target_utilization`, never less than 1.
 ///
@@ -54,12 +71,7 @@ pub fn min_instances_for_utilization(
     } else {
         raw.ceil()
     };
-    let n = snapped.max(1.0);
-    if n >= f64::from(u32::MAX) {
-        u32::MAX
-    } else {
-        n as u32
-    }
+    saturating_f64_to_u32(snapped).max(1)
 }
 
 /// Minimal number of instances such that the M/M/n mean response time is at
@@ -115,7 +127,7 @@ pub fn min_instances_for_response_time(
     }
     // Stability requires n > a; start the search there.
     let a = arrival_rate * service_demand;
-    let mut n = (a.floor() as u32).saturating_add(1).max(1);
+    let mut n = saturating_f64_to_u32(a.floor()).saturating_add(1).max(1);
     while n <= max_instances {
         let station = MmnQueue::new(arrival_rate, service_demand, n)?;
         if let Ok(r) = station.mean_response_time() {
@@ -181,7 +193,7 @@ pub fn min_instances_for_response_time_quantile(
         });
     }
     let a = arrival_rate * service_demand;
-    let mut n = (a.floor() as u32).saturating_add(1).max(1);
+    let mut n = saturating_f64_to_u32(a.floor()).saturating_add(1).max(1);
     while n <= max_instances {
         let station = MmnQueue::new(arrival_rate, service_demand, n)?;
         if let Ok(r) = station.response_time_quantile(p) {
@@ -320,7 +332,10 @@ mod tests {
     fn response_time_solver_respects_max_instances() {
         assert!(matches!(
             min_instances_for_response_time(1000.0, 0.1, 0.11, 50),
-            Err(QueueingError::Infeasible { max_allowed: 50, .. })
+            Err(QueueingError::Infeasible {
+                max_allowed: 50,
+                ..
+            })
         ));
     }
 

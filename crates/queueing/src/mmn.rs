@@ -8,7 +8,6 @@
 
 use crate::erlang::erlang_c;
 use crate::error::QueueingError;
-use serde::{Deserialize, Serialize};
 
 /// An M/M/n/∞ station: Poisson arrivals at rate `λ`, `n` parallel servers,
 /// exponential service times with mean `s` (the *service demand*).
@@ -31,7 +30,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(r > 0.1); // response time always exceeds the bare demand
 /// # Ok::<(), chamulteon_queueing::QueueingError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MmnQueue {
     arrival_rate: f64,
     service_demand: f64,
@@ -50,7 +49,11 @@ impl MmnQueue {
     /// Returns [`QueueingError::NonPositive`] for a negative/NaN arrival
     /// rate or a non-positive/NaN service demand, and
     /// [`QueueingError::OutOfRange`] for zero servers.
-    pub fn new(arrival_rate: f64, service_demand: f64, servers: u32) -> Result<Self, QueueingError> {
+    pub fn new(
+        arrival_rate: f64,
+        service_demand: f64,
+        servers: u32,
+    ) -> Result<Self, QueueingError> {
         if !(arrival_rate >= 0.0) {
             return Err(QueueingError::NonPositive {
                 name: "arrival_rate",
@@ -379,5 +382,4 @@ mod tests {
         assert_eq!(hotter.arrival_rate(), 20.0);
         assert_eq!(hotter.servers(), 2);
     }
-
 }

@@ -10,11 +10,10 @@
 use crate::capacity::min_instances_for_response_time;
 use crate::error::QueueingError;
 use crate::mmn::MmnQueue;
-use serde::{Deserialize, Serialize};
 
 /// Static description of one station in a tandem network: its service
 /// demand and how many instances are currently running.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StationSpec {
     /// Mean service demand in seconds per request.
     pub service_demand: f64,
@@ -64,7 +63,7 @@ impl StationSpec {
 /// assert!(r > 0.199); // end to end at least the summed demands
 /// # Ok::<(), chamulteon_queueing::QueueingError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TandemNetwork {
     stations: Vec<StationSpec>,
 }
@@ -138,7 +137,9 @@ impl TandemNetwork {
     pub fn utilizations(&self, arrival_rate: f64) -> Vec<f64> {
         self.stations
             .iter()
-            .map(|s| arrival_rate.max(0.0) * s.visit_ratio * s.service_demand / f64::from(s.servers))
+            .map(|s| {
+                arrival_rate.max(0.0) * s.visit_ratio * s.service_demand / f64::from(s.servers)
+            })
             .collect()
     }
 
@@ -148,7 +149,7 @@ impl TandemNetwork {
         utils
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap_or(0)
     }
@@ -247,9 +248,7 @@ mod tests {
     fn invalid_station_rejected() {
         assert!(TandemNetwork::new(vec![StationSpec::new(0.0, 1)]).is_err());
         assert!(TandemNetwork::new(vec![StationSpec::new(0.1, 0)]).is_err());
-        assert!(
-            TandemNetwork::new(vec![StationSpec::with_visit_ratio(0.1, 1, 0.0)]).is_err()
-        );
+        assert!(TandemNetwork::new(vec![StationSpec::with_visit_ratio(0.1, 1, 0.0)]).is_err());
     }
 
     #[test]

@@ -77,12 +77,14 @@ impl AutoScaler for Adapt {
         let envelope = projected.max(rate);
 
         let needed_raw = envelope * input.service_demand / self.target_utilization;
-        let needed = if (needed_raw - needed_raw.round()).abs() < 1e-9 {
-            needed_raw.round()
-        } else {
-            needed_raw.ceil()
-        }
-        .max(1.0) as i64;
+        let needed = crate::convert::i64_from_f64(
+            if (needed_raw - needed_raw.round()).abs() < 1e-9 {
+                needed_raw.round()
+            } else {
+                needed_raw.ceil()
+            }
+            .max(1.0),
+        );
         let current = i64::from(input.current_instances);
 
         if needed > current {
@@ -93,7 +95,9 @@ impl AutoScaler for Adapt {
             self.low_intervals += 1;
             if self.low_intervals >= self.release_hysteresis {
                 let surplus = current - needed;
-                let release = ((surplus as f64 * self.release_fraction).ceil() as i64).max(1);
+                let release =
+                    crate::convert::i64_from_f64((surplus as f64 * self.release_fraction).ceil())
+                        .max(1);
                 return -release.min(surplus);
             }
             return 0;
@@ -109,6 +113,11 @@ impl AutoScaler for Adapt {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)] // test fixtures cast freely
 mod tests {
     use super::*;
 
@@ -138,7 +147,11 @@ mod tests {
         let mut a = Adapt::default();
         a.decide(&input(0.0, 50.0, 6));
         // Load drops to ~9.5 req/s => needed 1, surplus 5.
-        assert_eq!(a.decide(&input(60.0, 9.5, 6)), 0, "first low interval holds");
+        assert_eq!(
+            a.decide(&input(60.0, 9.5, 6)),
+            0,
+            "first low interval holds"
+        );
         let delta = a.decide(&input(120.0, 9.5, 6));
         assert_eq!(delta, -3, "releases half the surplus of 5, rounded up");
     }

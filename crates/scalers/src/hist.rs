@@ -61,7 +61,7 @@ impl Hist {
     }
 
     fn bucket_of(&self, time: f64) -> usize {
-        (time.max(0.0) / self.bucket_length) as usize
+        crate::convert::usize_from_f64(time.max(0.0) / self.bucket_length)
     }
 
     fn percentile_of(&self, values: &[f64]) -> Option<f64> {
@@ -69,8 +69,10 @@ impl Hist {
             return None;
         }
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let rank = (self.percentile / 100.0 * (sorted.len() as f64 - 1.0)).round() as usize;
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let rank = crate::convert::usize_from_f64(
+            (self.percentile / 100.0 * (sorted.len() as f64 - 1.0)).round(),
+        );
         Some(sorted[rank.min(sorted.len() - 1)])
     }
 
@@ -121,7 +123,7 @@ impl AutoScaler for Hist {
                 let sized = ScalerInput::new(
                     input.time,
                     input.interval,
-                    (predicted * input.interval).round() as u64,
+                    crate::convert::u64_from_f64((predicted * input.interval).round()),
                     input.service_demand,
                     input.current_instances,
                 );
@@ -155,6 +157,11 @@ impl AutoScaler for Hist {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)] // test fixtures cast freely
 mod tests {
     use super::*;
 

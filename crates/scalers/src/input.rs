@@ -1,11 +1,9 @@
 //! The auto-scaler interface and its input tuple.
 
-use serde::{Deserialize, Serialize};
-
 /// The inputs every competing auto-scaler receives each scaling interval —
 /// the paper's §IV-C tuple plus the current time (needed by Hist's
 /// bucketed schedule).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScalerInput {
     /// Current time in seconds since experiment start.
     pub time: f64,
@@ -77,7 +75,7 @@ impl ScalerInput {
         } else {
             raw.ceil()
         };
-        (snapped.max(1.0)) as u32
+        chamulteon_queueing::capacity::saturating_f64_to_u32(snapped).max(1)
     }
 }
 

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod adapt;
+mod convert;
 pub mod hist;
 pub mod input;
 pub mod multi;

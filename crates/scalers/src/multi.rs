@@ -60,7 +60,10 @@ pub struct IndependentScalers {
 impl std::fmt::Debug for IndependentScalers {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("IndependentScalers")
-            .field("scalers", &self.scalers.iter().map(|s| s.name()).collect::<Vec<_>>())
+            .field(
+                "scalers",
+                &self.scalers.iter().map(|s| s.name()).collect::<Vec<_>>(),
+            )
             .field("service_demands", &self.service_demands)
             .finish()
     }
@@ -138,7 +141,7 @@ impl IndependentScalers {
             .iter_mut()
             .enumerate()
             .map(|(i, scaler)| {
-                let requests = (rates[i] * interval).round() as u64;
+                let requests = crate::convert::u64_from_f64((rates[i] * interval).round());
                 let input = ScalerInput::new(
                     time,
                     interval,
@@ -198,10 +201,8 @@ mod tests {
 
     #[test]
     fn independent_scalers_scale_each_tier() {
-        let mut multi = IndependentScalers::homogeneous(
-            vec![0.059, 0.1, 0.04],
-            || Box::new(React::default()),
-        );
+        let mut multi =
+            IndependentScalers::homogeneous(vec![0.059, 0.1, 0.04], || Box::new(React::default()));
         assert_eq!(multi.service_count(), 3);
         assert_eq!(multi.name(), "react");
         // 100 req/s at the entry; all tiers start at 1.
@@ -216,8 +217,7 @@ mod tests {
 
     #[test]
     fn demand_estimates_override_nominal() {
-        let mut multi =
-            IndependentScalers::homogeneous(vec![0.1], || Box::new(React::default()));
+        let mut multi = IndependentScalers::homogeneous(vec![0.1], || Box::new(React::default()));
         // Estimated demand twice the nominal: double the instances needed.
         let with_estimate = multi.decide(0.0, 60.0, 600, &[1], &[0.2]);
         multi.reset();

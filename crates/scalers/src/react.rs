@@ -84,6 +84,11 @@ impl AutoScaler for React {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)] // test fixtures cast freely
 mod tests {
     use super::*;
 

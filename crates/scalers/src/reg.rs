@@ -58,7 +58,11 @@ impl Reg {
         // Normalize time to improve conditioning.
         let t0 = self.history[0].0;
         let scale = (self.history[n - 1].0 - t0).max(1.0);
-        let xs: Vec<f64> = self.history.iter().map(|&(ti, _)| (ti - t0) / scale).collect();
+        let xs: Vec<f64> = self
+            .history
+            .iter()
+            .map(|&(ti, _)| (ti - t0) / scale)
+            .collect();
         let ys: Vec<f64> = self.history.iter().map(|&(_, r)| r).collect();
         // Normal equations for the quadratic fit.
         let mut s = [0.0f64; 5]; // sums of x^0..x^4
@@ -74,11 +78,7 @@ impl Reg {
             b[1] += y * x;
             b[2] += y * x2;
         }
-        let a = [
-            [s[0], s[1], s[2]],
-            [s[1], s[2], s[3]],
-            [s[2], s[3], s[4]],
-        ];
+        let a = [[s[0], s[1], s[2]], [s[1], s[2], s[3]], [s[2], s[3], s[4]]];
         match solve3(a, b) {
             Some(c) => {
                 let x = (t - t0) / scale;
@@ -147,7 +147,7 @@ impl AutoScaler for Reg {
         let sized = ScalerInput::new(
             input.time,
             input.interval,
-            (predicted * input.interval).round() as u64,
+            crate::convert::u64_from_f64((predicted * input.interval).round()),
             input.service_demand,
             input.current_instances,
         );
@@ -166,6 +166,11 @@ impl AutoScaler for Reg {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)] // test fixtures cast freely
 mod tests {
     use super::*;
 
@@ -203,7 +208,10 @@ mod tests {
             r.history.push((t, 0.001 * t * t));
         }
         let predicted = r.predict(360.0);
-        assert!((predicted - 0.001 * 360.0 * 360.0).abs() < 2.0, "{predicted}");
+        assert!(
+            (predicted - 0.001 * 360.0 * 360.0).abs() < 2.0,
+            "{predicted}"
+        );
     }
 
     #[test]

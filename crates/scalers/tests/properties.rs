@@ -1,5 +1,14 @@
 //! Property-based tests for the baseline auto-scalers.
 
+// Example/test/bench code: panics and lossy casts are acceptable here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
 use chamulteon_scalers::{
     chain_rates, Adapt, AutoScaler, Hist, IndependentScalers, React, Reg, ScalerInput,
 };

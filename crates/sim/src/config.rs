@@ -1,10 +1,8 @@
 //! Simulation configuration: deployment profiles, SLO policy, global knobs.
 
-use serde::{Deserialize, Serialize};
-
 /// How resources are provisioned — the knob that distinguishes the paper's
 /// Docker and VM scenarios (§IV-A, §V-B).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeploymentProfile {
     /// Human-readable profile name (`"docker"`, `"vm"`, …).
     pub name: String,
@@ -40,7 +38,11 @@ impl DeploymentProfile {
     }
 
     /// A profile with custom delays (both clamped to ≥ 0).
-    pub fn custom(name: impl Into<String>, provisioning_delay: f64, deprovisioning_delay: f64) -> Self {
+    pub fn custom(
+        name: impl Into<String>,
+        provisioning_delay: f64,
+        deprovisioning_delay: f64,
+    ) -> Self {
         DeploymentProfile {
             name: name.into(),
             provisioning_delay: provisioning_delay.max(0.0),
@@ -55,7 +57,7 @@ impl DeploymentProfile {
 /// The paper does not state its numeric SLO; we default to 0.5 s (≈2.5× the
 /// 0.199 s summed service demand) with the standard Apdex toleration of 4×
 /// the satisfaction threshold.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SloPolicy {
     /// End-to-end response-time target in seconds; a request within this is
     /// *satisfied*.
@@ -111,7 +113,7 @@ impl SloPolicy {
 }
 
 /// Global simulation knobs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimulationConfig {
     /// Deployment profile (provisioning delays).
     pub profile: DeploymentProfile,
@@ -123,7 +125,6 @@ pub struct SimulationConfig {
     pub seed: u64,
     /// Optional nested deployment: containers boot into a shared VM pool
     /// and stall when no slot is free (see [`crate::nested`]).
-    #[serde(default)]
     pub vm_pool: Option<crate::nested::VmPoolConfig>,
 }
 
@@ -149,7 +150,11 @@ impl SimulationConfig {
 
     /// Overrides the monitoring interval (clamped to ≥ 1 s).
     pub fn with_monitoring_interval(mut self, interval: f64) -> Self {
-        self.monitoring_interval = if interval.is_finite() { interval.max(1.0) } else { 60.0 };
+        self.monitoring_interval = if interval.is_finite() {
+            interval.max(1.0)
+        } else {
+            60.0
+        };
         self
     }
 }
@@ -160,7 +165,10 @@ mod tests {
 
     #[test]
     fn docker_faster_than_vm() {
-        assert!(DeploymentProfile::docker().provisioning_delay < DeploymentProfile::vm().provisioning_delay);
+        assert!(
+            DeploymentProfile::docker().provisioning_delay
+                < DeploymentProfile::vm().provisioning_delay
+        );
     }
 
     #[test]

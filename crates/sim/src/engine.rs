@@ -11,6 +11,23 @@ use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
+/// Second-granularity bucket index for a simulation time, saturating at
+/// the bounds (negative and NaN times map to 0).
+#[allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
+fn second_index(time: f64) -> usize {
+    if time.is_nan() || time <= 0.0 {
+        0
+    } else if time >= usize::MAX as f64 {
+        usize::MAX
+    } else {
+        time as usize
+    }
+}
+
 /// An event in the future-event list. Ordering is by time, then by a
 /// monotonically increasing sequence number so simultaneous events process
 /// in deterministic FIFO order.
@@ -44,8 +61,7 @@ impl Ord for Scheduled {
         // Reversed: BinaryHeap is a max-heap, we need earliest-first.
         other
             .time
-            .partial_cmp(&self.time)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -194,21 +210,27 @@ impl Simulation {
     /// model's invocation graph (the paper's chain).
     pub fn new(model: &ApplicationModel, trace: &LoadTrace, config: SimulationConfig) -> Self {
         let path: Vec<usize> = {
+            // A validated model is acyclic; fall back to index order if a
+            // cycle ever slips through so the request path stays complete.
             let order = model
                 .graph()
                 .topological_order()
-                .expect("validated model is acyclic");
+                .unwrap_or_else(|| (0..model.service_count()).collect());
             let ratios = model.visit_ratios();
             order.into_iter().filter(|&s| ratios[s] > 0.0).collect()
         };
-        let true_demands: Vec<f64> = model.services().iter().map(|s| s.nominal_demand()).collect();
+        let true_demands: Vec<f64> = model
+            .services()
+            .iter()
+            .map(|s| s.nominal_demand())
+            .collect();
         let services: Vec<ServiceState> = model
             .services()
             .iter()
             .map(|s| ServiceState::new(s.initial_instances()))
             .collect();
         let duration = trace.duration();
-        let seconds = duration.ceil() as usize + 1;
+        let seconds = second_index(duration.ceil()).saturating_add(1);
         let mut arrivals = PoissonArrivals::new(trace, config.seed.wrapping_add(1));
         let next_arrival = arrivals.next();
         let supply = services
@@ -543,8 +565,7 @@ impl Simulation {
             if is_arrival {
                 self.next_arrival = self.arrivals.next();
                 self.handle_external_arrival(time);
-            } else {
-                let ev = self.events.pop().expect("peeked event exists");
+            } else if let Some(ev) = self.events.pop() {
                 self.dispatch(ev.kind);
             }
         }
@@ -588,12 +609,7 @@ impl Simulation {
         if index >= self.intervals_completed() {
             return None;
         }
-        Some(
-            self.interval_history
-                .iter()
-                .map(|h| h[index])
-                .collect(),
-        )
+        Some(self.interval_history.iter().map(|h| h[index]).collect())
     }
 
     // ------------------------------------------------------------------
@@ -631,7 +647,7 @@ impl Simulation {
     }
 
     fn handle_external_arrival(&mut self, time: f64) {
-        let sec = time as usize;
+        let sec = second_index(time);
         if sec < self.sent_per_second.len() {
             self.sent_per_second[sec] += 1;
         }
@@ -667,7 +683,10 @@ impl Simulation {
         let state = &mut self.services[service];
         state.touch(now);
         state.busy += 1;
-        self.schedule(now + service_time, EventKind::Completion { service, request });
+        self.schedule(
+            now + service_time,
+            EventKind::Completion { service, request },
+        );
     }
 
     fn start_queued(&mut self, service: usize) {
@@ -733,7 +752,7 @@ impl Simulation {
         self.response_time_sum += response;
         if self.config.slo.is_satisfied(response) {
             self.satisfied += 1;
-            let sec = start as usize;
+            let sec = second_index(start);
             if sec < self.conformant_per_second.len() {
                 self.conformant_per_second[sec] += 1;
             }
@@ -848,6 +867,11 @@ impl Simulation {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)] // test fixtures cast freely
 mod tests {
     use super::*;
     use crate::config::{DeploymentProfile, SloPolicy};
@@ -867,9 +891,12 @@ mod tests {
         let model = ApplicationModel::paper_benchmark();
         let mut sim = Simulation::new(&model, &flat_trace(rate, duration), config(seed));
         // Generously size every tier for the offered rate.
-        sim.set_supply(0, ((rate * 0.059 / 0.6).ceil() as u32).max(2)).unwrap();
-        sim.set_supply(1, ((rate * 0.1 / 0.6).ceil() as u32).max(2)).unwrap();
-        sim.set_supply(2, ((rate * 0.04 / 0.6).ceil() as u32).max(2)).unwrap();
+        sim.set_supply(0, ((rate * 0.059 / 0.6).ceil() as u32).max(2))
+            .unwrap();
+        sim.set_supply(1, ((rate * 0.1 / 0.6).ceil() as u32).max(2))
+            .unwrap();
+        sim.set_supply(2, ((rate * 0.04 / 0.6).ceil() as u32).max(2))
+            .unwrap();
         sim
     }
 

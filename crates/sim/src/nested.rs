@@ -9,10 +9,8 @@
 //! pool ahead keeps container provisioning fast; one that scales VMs
 //! reactively sees its container scale-ups stall at the worst moments.
 
-use serde::{Deserialize, Serialize};
-
 /// Configuration of the shared VM pool underneath the containers.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VmPoolConfig {
     /// Containers that fit in one VM.
     pub slots_per_vm: u32,

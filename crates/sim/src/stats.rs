@@ -1,13 +1,11 @@
 //! Monitoring statistics and simulation results.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-service statistics aggregated over one monitoring interval — exactly
 /// the inputs the paper feeds every auto-scaler (§IV-C): "the accumulated
 /// number of requests during the last interval, … and the number of
 /// currently running instances", plus the utilization and response times
 /// that the demand estimator consumes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServiceIntervalStats {
     /// Interval start time in seconds.
     pub start: f64,
@@ -31,7 +29,7 @@ pub struct ServiceIntervalStats {
 
 /// One step of a service's supply timeline: from `time` onward, `running`
 /// instances were serving.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SupplyChange {
     /// Time of the change in seconds.
     pub time: f64,
@@ -41,7 +39,7 @@ pub struct SupplyChange {
 
 /// Everything a finished simulation hands to the metrics and plotting
 /// layers.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimulationResult {
     /// Total simulated duration in seconds.
     pub duration: f64,
@@ -125,8 +123,14 @@ mod tests {
         SimulationResult {
             duration: 10.0,
             supply: vec![vec![
-                SupplyChange { time: 0.0, running: 1 },
-                SupplyChange { time: 5.0, running: 3 },
+                SupplyChange {
+                    time: 0.0,
+                    running: 1,
+                },
+                SupplyChange {
+                    time: 5.0,
+                    running: 3,
+                },
             ]],
             sent_per_second: vec![10; 10],
             conformant_per_second: vec![8; 10],

@@ -1,5 +1,14 @@
 //! Property-based tests for the discrete-event simulator.
 
+// Example/test/bench code: panics and lossy casts are acceptable here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
 use chamulteon_perfmodel::ApplicationModel;
 use chamulteon_sim::{DeploymentProfile, Simulation, SimulationConfig, SloPolicy};
 use chamulteon_workload::LoadTrace;

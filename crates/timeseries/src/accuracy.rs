@@ -94,7 +94,11 @@ pub fn mase(history: &[f64], actual: &[f64], forecast: &[f64], season: usize) ->
         / (history.len() - season) as f64;
     let err = mae(actual, forecast);
     if scale <= f64::EPSILON {
-        return if err <= f64::EPSILON { 0.0 } else { f64::INFINITY };
+        return if err <= f64::EPSILON {
+            0.0
+        } else {
+            f64::INFINITY
+        };
     }
     err / scale
 }

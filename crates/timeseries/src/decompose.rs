@@ -161,10 +161,7 @@ fn centered_moving_average(values: &[f64], period: usize) -> Vec<f64> {
         }
     }
     // Pad the edges with the nearest defined value.
-    let first_defined = trend
-        .iter()
-        .position(|v| v.is_finite())
-        .unwrap_or(0);
+    let first_defined = trend.iter().position(|v| v.is_finite()).unwrap_or(0);
     let last_defined = trend
         .iter()
         .rposition(|v| v.is_finite())
@@ -227,9 +224,7 @@ mod tests {
 
     #[test]
     fn seasonal_component_is_zero_mean() {
-        let values: Vec<f64> = (0..60)
-            .map(|t| 50.0 + [3.0, 1.0, -4.0][t % 3])
-            .collect();
+        let values: Vec<f64> = (0..60).map(|t| 50.0 + [3.0, 1.0, -4.0][t % 3]).collect();
         let d = decompose_additive(&ts(values), 3).unwrap();
         let s: f64 = d.seasonal[..3].iter().sum();
         assert!(s.abs() < 1e-9);
@@ -250,11 +245,17 @@ mod tests {
 
     #[test]
     fn odd_period_supported() {
-        let values: Vec<f64> = (0..35).map(|t| [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0][t % 7]).collect();
+        let values: Vec<f64> = (0..35)
+            .map(|t| [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0][t % 7])
+            .collect();
         let d = decompose_additive(&ts(values), 7).unwrap();
         // Constant trend, the pattern carries all structure.
         for t in 5..30 {
-            assert!((d.trend[t] - 4.0).abs() < 0.01, "t={t} trend={}", d.trend[t]);
+            assert!(
+                (d.trend[t] - 4.0).abs() < 0.01,
+                "t={t} trend={}",
+                d.trend[t]
+            );
         }
     }
 

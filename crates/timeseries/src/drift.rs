@@ -7,7 +7,6 @@
 //! elapsed steps, scaled by the in-sample naive error of the history.
 
 use crate::accuracy::mase;
-use serde::{Deserialize, Serialize};
 
 /// MASE-based drift detector comparing a stored forecast against the
 /// observations that have arrived since.
@@ -24,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// // Forecast far off: drift.
 /// assert!(detector.has_drifted(&history, &[100.0, 101.0], &[300.0, 320.0]));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DriftDetector {
     threshold: f64,
 }

@@ -147,7 +147,10 @@ mod tests {
             let prev = *values.last().unwrap();
             values.push(2.0 + 0.8 * prev);
         }
-        let fc = ArForecaster::new(1).unwrap().forecast(&ts(values), 50).unwrap();
+        let fc = ArForecaster::new(1)
+            .unwrap()
+            .forecast(&ts(values), 50)
+            .unwrap();
         // Long-run forecast approaches 2 / (1 - 0.8) = 10.
         assert!((fc.values()[49] - 10.0).abs() < 0.5);
     }
@@ -183,8 +186,13 @@ mod tests {
         // A pure two-level alternation makes [1, y_{t-1}, y_{t-2}] linearly
         // dependent; the fit must not produce garbage — either a singular
         // fallback to the mean or a finite prediction is acceptable.
-        let values: Vec<f64> = (0..40).map(|t| if t % 2 == 0 { 5.0 } else { 15.0 }).collect();
-        let fc = ArForecaster::new(2).unwrap().forecast(&ts(values), 4).unwrap();
+        let values: Vec<f64> = (0..40)
+            .map(|t| if t % 2 == 0 { 5.0 } else { 15.0 })
+            .collect();
+        let fc = ArForecaster::new(2)
+            .unwrap()
+            .forecast(&ts(values), 4)
+            .unwrap();
         for &v in fc.values() {
             assert!(v.is_finite());
             assert!((0.0..=25.0).contains(&v));
@@ -207,7 +215,10 @@ mod tests {
     fn forecasts_never_explode() {
         // Near-unit-root data; iterated forecasts must stay within the clamp.
         let values: Vec<f64> = (0..50).map(|t| t as f64 * 3.0).collect();
-        let fc = ArForecaster::new(4).unwrap().forecast(&ts(values), 100).unwrap();
+        let fc = ArForecaster::new(4)
+            .unwrap()
+            .forecast(&ts(values), 100)
+            .unwrap();
         for &v in fc.values() {
             assert!(v.is_finite());
             assert!(v <= 147.0 + 2.0 * 147.0 + 1.0);

@@ -36,7 +36,9 @@ impl Forecaster for NaiveForecaster {
     fn forecast(&self, history: &TimeSeries, horizon: usize) -> Result<Forecast, ForecastError> {
         require_nonempty_horizon(horizon)?;
         require_len(history, 1)?;
-        let last = history.last().expect("length checked");
+        let Some(last) = history.last() else {
+            return Err(ForecastError::TooShort { have: 0, need: 1 });
+        };
         let m = holdout_mase(self, history, 1);
         Ok(Forecast::new(self.name(), vec![last; horizon], m))
     }
@@ -146,7 +148,9 @@ mod tests {
 
     #[test]
     fn naive_repeats_last() {
-        let fc = NaiveForecaster.forecast(&ts(vec![1.0, 5.0, 3.0]), 4).unwrap();
+        let fc = NaiveForecaster
+            .forecast(&ts(vec![1.0, 5.0, 3.0]), 4)
+            .unwrap();
         assert_eq!(fc.values(), &[3.0; 4]);
     }
 
@@ -181,14 +185,18 @@ mod tests {
 
     #[test]
     fn drift_extrapolates_line() {
-        let fc = DriftForecaster.forecast(&ts(vec![0.0, 1.0, 2.0, 3.0]), 3).unwrap();
+        let fc = DriftForecaster
+            .forecast(&ts(vec![0.0, 1.0, 2.0, 3.0]), 3)
+            .unwrap();
         assert_eq!(fc.values(), &[4.0, 5.0, 6.0]);
     }
 
     #[test]
     fn drift_clamps_negative_projection() {
         // Strong downward drift runs into the zero clamp.
-        let fc = DriftForecaster.forecast(&ts(vec![10.0, 5.0, 0.0]), 2).unwrap();
+        let fc = DriftForecaster
+            .forecast(&ts(vec![10.0, 5.0, 0.0]), 2)
+            .unwrap();
         assert_eq!(fc.values(), &[0.0, 0.0]);
     }
 
@@ -197,7 +205,9 @@ mod tests {
         let history = ts(vec![100.0, 100.0, 1.0, 3.0]);
         let all = MeanForecaster::new().forecast(&history, 1).unwrap();
         assert_eq!(all.values(), &[51.0]);
-        let windowed = MeanForecaster::with_window(2).forecast(&history, 1).unwrap();
+        let windowed = MeanForecaster::with_window(2)
+            .forecast(&history, 1)
+            .unwrap();
         assert_eq!(windowed.values(), &[2.0]);
     }
 
@@ -212,7 +222,9 @@ mod tests {
     #[test]
     fn in_sample_mase_populated_on_long_series() {
         let values: Vec<f64> = (0..40).map(|t| (t % 7) as f64).collect();
-        let fc = SeasonalNaiveForecaster::new(7).forecast(&ts(values), 3).unwrap();
+        let fc = SeasonalNaiveForecaster::new(7)
+            .forecast(&ts(values), 3)
+            .unwrap();
         assert!(fc.in_sample_mase().is_some());
         // A perfectly periodic series is predicted exactly.
         assert_eq!(fc.in_sample_mase().unwrap(), 0.0);

@@ -284,7 +284,9 @@ mod tests {
 
     #[test]
     fn holt_needs_two_points() {
-        assert!(HoltForecaster::default().forecast(&ts(vec![1.0]), 1).is_err());
+        assert!(HoltForecaster::default()
+            .forecast(&ts(vec![1.0]), 1)
+            .is_err());
     }
 
     #[test]

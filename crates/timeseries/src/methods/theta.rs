@@ -82,7 +82,9 @@ mod tests {
 
     #[test]
     fn constant_series_flat_forecast() {
-        let fc = ThetaForecaster::default().forecast(&ts(vec![5.0; 20]), 4).unwrap();
+        let fc = ThetaForecaster::default()
+            .forecast(&ts(vec![5.0; 20]), 4)
+            .unwrap();
         for &v in fc.values() {
             assert!((v - 5.0).abs() < 1e-9);
         }
@@ -91,7 +93,10 @@ mod tests {
     #[test]
     fn linear_series_continues_at_half_slope() {
         let line: Vec<f64> = (0..40).map(|t| 10.0 + 2.0 * t as f64).collect();
-        let fc = ThetaForecaster::new(0.9).unwrap().forecast(&ts(line), 10).unwrap();
+        let fc = ThetaForecaster::new(0.9)
+            .unwrap()
+            .forecast(&ts(line), 10)
+            .unwrap();
         // Drift is slope/2 = 1 per step.
         let d = fc.values()[9] - fc.values()[0];
         assert!((d - 9.0).abs() < 1e-9, "drift over 9 steps: {d}");
@@ -103,7 +108,11 @@ mod tests {
         let mut values = vec![10.0; 20];
         values.extend(vec![50.0; 20]);
         let fc = ThetaForecaster::default().forecast(&ts(values), 1).unwrap();
-        assert!(fc.values()[0] > 40.0, "level should be near 50, got {}", fc.values()[0]);
+        assert!(
+            fc.values()[0] > 40.0,
+            "level should be near 50, got {}",
+            fc.values()[0]
+        );
     }
 
     #[test]
@@ -111,7 +120,9 @@ mod tests {
         assert!(ThetaForecaster::new(0.0).is_err());
         assert!(ThetaForecaster::new(1.5).is_err());
         assert!(ThetaForecaster::new(f64::NAN).is_err());
-        assert!(ThetaForecaster::default().forecast(&ts(vec![1.0, 2.0]), 1).is_err());
+        assert!(ThetaForecaster::default()
+            .forecast(&ts(vec![1.0, 2.0]), 1)
+            .is_err());
         assert!(ThetaForecaster::default()
             .forecast(&ts(vec![1.0, 2.0, 3.0]), 0)
             .is_err());
@@ -120,7 +131,9 @@ mod tests {
     #[test]
     fn nonnegative_output() {
         let falling: Vec<f64> = (0..30).map(|t| 30.0 - t as f64).collect();
-        let fc = ThetaForecaster::default().forecast(&ts(falling), 40).unwrap();
+        let fc = ThetaForecaster::default()
+            .forecast(&ts(falling), 40)
+            .unwrap();
         assert!(fc.values().iter().all(|&v| v >= 0.0));
     }
 

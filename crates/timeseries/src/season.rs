@@ -65,7 +65,7 @@ pub fn detect_season_length(series: &TimeSeries) -> Option<usize> {
         .enumerate()
         .map(|(i, p)| (i + 1, p))
         .collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
 
     for &(freq, power) in ranked.iter().take(5) {
         if freq < 2 {
@@ -75,21 +75,17 @@ pub fn detect_season_length(series: &TimeSeries) -> Option<usize> {
         if power / total_power < 0.05 {
             break;
         }
-        let candidate = ((n as f64) / freq as f64).round() as usize;
+        let candidate = (n + freq / 2) / freq; // round(n / freq) in integers
         if candidate < 2 || candidate > n / 2 {
             continue;
         }
         // The integer-frequency periodogram quantizes the period when the
         // series does not span a whole number of cycles; refine by scanning
         // the ACF in a ±20% window around the candidate for its maximum.
-        let lo = ((candidate as f64 * 0.8).floor() as usize).max(2);
-        let hi = ((candidate as f64 * 1.2).ceil() as usize).min(n / 2);
+        let lo = (candidate * 4 / 5).max(2); // floor(0.8 · candidate)
+        let hi = (candidate * 6).div_ceil(5).min(n / 2); // ceil(1.2 · candidate)
         let refined = (lo..=hi)
-            .max_by(|&a, &b| {
-                autocorrelation(values, a)
-                    .partial_cmp(&autocorrelation(values, b))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .max_by(|&a, &b| autocorrelation(values, a).total_cmp(&autocorrelation(values, b)))
             .unwrap_or(candidate);
         if autocorrelation(values, refined) >= ACF_CONFIRMATION_THRESHOLD {
             return Some(refined);

@@ -1,7 +1,6 @@
 //! The equidistant [`TimeSeries`] container.
 
 use crate::error::ForecastError;
-use serde::{Deserialize, Serialize};
 
 /// An equidistantly sampled time series: a sampling step in seconds, an
 /// optional start offset, and a vector of finite values.
@@ -21,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(ts.time_at(2), 120.0);
 /// # Ok::<(), chamulteon_forecast::ForecastError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimeSeries {
     step: f64,
     start: f64,

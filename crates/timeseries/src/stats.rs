@@ -171,7 +171,9 @@ mod tests {
     #[test]
     fn autocorrelation_of_period_two_alternation() {
         // Alternating series: strong negative lag-1, strong positive lag-2.
-        let y: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let y: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(autocorrelation(&y, 1) < -0.9);
         assert!(autocorrelation(&y, 2) > 0.9);
     }
@@ -207,7 +209,7 @@ mod tests {
         let argmax = p
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert_eq!(argmax + 1, 4);

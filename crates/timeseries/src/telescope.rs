@@ -174,7 +174,8 @@ mod tests {
     fn seasonal_signal(n: usize, period: usize) -> Vec<f64> {
         (0..n)
             .map(|t| {
-                100.0 + 30.0 * (std::f64::consts::TAU * t as f64 / period as f64).sin()
+                100.0
+                    + 30.0 * (std::f64::consts::TAU * t as f64 / period as f64).sin()
                     + 0.05 * t as f64
             })
             .collect()
@@ -184,12 +185,14 @@ mod tests {
     fn continues_seasonal_signal() {
         let period = 24;
         let values = seasonal_signal(96, period);
-        let fc = TelescopeForecaster::default().forecast(&ts(values), period).unwrap();
+        let fc = TelescopeForecaster::default()
+            .forecast(&ts(values), period)
+            .unwrap();
         for (h, &v) in fc.values().iter().enumerate() {
             let t = 96 + h;
-            let expect =
-                100.0 + 30.0 * (std::f64::consts::TAU * t as f64 / period as f64).sin()
-                    + 0.05 * t as f64;
+            let expect = 100.0
+                + 30.0 * (std::f64::consts::TAU * t as f64 / period as f64).sin()
+                + 0.05 * t as f64;
             assert!((v - expect).abs() < 10.0, "h={h}: {v} vs {expect}");
         }
     }
@@ -201,7 +204,9 @@ mod tests {
         let history = ts(full[..96].to_vec());
         let actual = &full[96..120];
 
-        let telescope = TelescopeForecaster::default().forecast(&history, 24).unwrap();
+        let telescope = TelescopeForecaster::default()
+            .forecast(&history, 24)
+            .unwrap();
         let naive = NaiveForecaster.forecast(&history, 24).unwrap();
 
         let err_t = crate::accuracy::mae(actual, telescope.values());
@@ -219,13 +224,18 @@ mod tests {
         assert_eq!(f.season_for(&series), Some(24));
         // Override too long for the history is ignored.
         let short = ts(seasonal_signal(30, 24));
-        assert_eq!(TelescopeForecaster::with_season(24).season_for(&short), None);
+        assert_eq!(
+            TelescopeForecaster::with_season(24).season_for(&short),
+            None
+        );
     }
 
     #[test]
     fn no_season_falls_back_to_trend_method() {
         let line: Vec<f64> = (0..60).map(|t| 10.0 + 0.5 * t as f64).collect();
-        let fc = TelescopeForecaster::default().forecast(&ts(line), 5).unwrap();
+        let fc = TelescopeForecaster::default()
+            .forecast(&ts(line), 5)
+            .unwrap();
         // A damped-Holt continuation keeps rising at first.
         assert!(fc.values()[0] > 38.0);
         assert!(fc.values()[4] >= fc.values()[0]);
@@ -241,7 +251,9 @@ mod tests {
 
     #[test]
     fn empty_history_rejected() {
-        assert!(TelescopeForecaster::default().forecast(&ts(vec![]), 1).is_err());
+        assert!(TelescopeForecaster::default()
+            .forecast(&ts(vec![]), 1)
+            .is_err());
         assert!(TelescopeForecaster::default()
             .forecast(&ts(vec![1.0; 20]), 0)
             .is_err());
@@ -251,7 +263,9 @@ mod tests {
     fn forecasts_are_nonnegative() {
         // A plunging series must not forecast negative arrival rates.
         let values: Vec<f64> = (0..40).map(|t| (40 - t) as f64 * 2.0).collect();
-        let fc = TelescopeForecaster::default().forecast(&ts(values), 30).unwrap();
+        let fc = TelescopeForecaster::default()
+            .forecast(&ts(values), 30)
+            .unwrap();
         for &v in fc.values() {
             assert!(v >= 0.0);
         }

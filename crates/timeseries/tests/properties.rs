@@ -1,9 +1,18 @@
 //! Property-based tests for the forecasting crate.
 
+// Example/test/bench code: panics and lossy casts are acceptable here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
 use chamulteon_forecast::{
     decompose_additive, mase, ArForecaster, DriftForecaster, Forecaster, HoltForecaster,
-    HoltWintersForecaster, MeanForecaster, NaiveForecaster, SeasonalNaiveForecaster,
-    SesForecaster, TelescopeForecaster, TimeSeries,
+    HoltWintersForecaster, MeanForecaster, NaiveForecaster, SeasonalNaiveForecaster, SesForecaster,
+    TelescopeForecaster, TimeSeries,
 };
 use proptest::prelude::*;
 

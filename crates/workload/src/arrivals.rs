@@ -54,7 +54,7 @@ impl PoissonArrivals {
     }
 
     fn rate_index(&self, t: f64) -> usize {
-        ((t / self.step) as usize).min(self.rates.len() - 1)
+        crate::convert::usize_from_f64(t / self.step).min(self.rates.len() - 1)
     }
 }
 

@@ -28,7 +28,8 @@ fn diurnal_shape(t: f64) -> f64 {
     let day_phase = (t / DAY).fract();
     // Two harmonics give the characteristic asymmetric double-hump web
     // traffic profile.
-    let base = 0.55 - 0.35 * (TAU * (day_phase + 0.13)).cos() - 0.10 * (2.0 * TAU * day_phase).cos();
+    let base =
+        0.55 - 0.35 * (TAU * (day_phase + 0.13)).cos() - 0.10 * (2.0 * TAU * day_phase).cos();
     base.clamp(0.02, 1.0)
 }
 
@@ -41,10 +42,14 @@ fn diurnal_shape(t: f64) -> f64 {
 /// # Panics
 ///
 /// Panics if `step` or `duration` is not positive.
+#[allow(clippy::expect_used)] // rates are clamped finite and non-negative above
 pub fn wikipedia_like(seed: u64, step: f64, duration: f64) -> LoadTrace {
-    assert!(step > 0.0 && duration > 0.0, "step and duration must be positive");
+    assert!(
+        step > 0.0 && duration > 0.0,
+        "step and duration must be positive"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
-    let count = ((duration / step).ceil() as usize).max(1);
+    let count = crate::convert::usize_from_f64((duration / step).ceil()).max(1);
     let rates: Vec<f64> = (0..count)
         .map(|i| {
             let t = i as f64 * step;
@@ -65,15 +70,19 @@ pub fn wikipedia_like(seed: u64, step: f64, duration: f64) -> LoadTrace {
 /// # Panics
 ///
 /// Panics if `step` or `duration` is not positive.
+#[allow(clippy::expect_used)] // rates are clamped finite and non-negative above
 pub fn bibsonomy_like(seed: u64, step: f64, duration: f64) -> LoadTrace {
-    assert!(step > 0.0 && duration > 0.0, "step and duration must be positive");
+    assert!(
+        step > 0.0 && duration > 0.0,
+        "step and duration must be positive"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
-    let count = ((duration / step).ceil() as usize).max(1);
+    let count = crate::convert::usize_from_f64((duration / step).ceil()).max(1);
 
     // Pre-draw burst episodes: expected one burst per ~3 hours of trace
     // time, each lasting 3–15 samples with 1.5–3× amplification.
     let mut burst_factor = vec![1.0; count];
-    let expected_bursts = (duration / (3.0 * 3600.0)).ceil() as usize;
+    let expected_bursts = crate::convert::usize_from_f64((duration / (3.0 * 3600.0)).ceil());
     for _ in 0..expected_bursts {
         let start = rng.gen_range(0..count);
         let len = rng.gen_range(3..=15).min(count - start);
@@ -101,12 +110,22 @@ pub fn bibsonomy_like(seed: u64, step: f64, duration: f64) -> LoadTrace {
 /// # Panics
 ///
 /// Panics if `step` or `duration` is not positive, or rates are negative.
+#[allow(clippy::expect_used)] // rates are clamped finite and non-negative above
 pub fn step_load(step: f64, duration: f64, low: f64, high: f64, step_at: f64) -> LoadTrace {
-    assert!(step > 0.0 && duration > 0.0, "step and duration must be positive");
+    assert!(
+        step > 0.0 && duration > 0.0,
+        "step and duration must be positive"
+    );
     assert!(low >= 0.0 && high >= 0.0, "rates must be non-negative");
-    let count = ((duration / step).ceil() as usize).max(1);
+    let count = crate::convert::usize_from_f64((duration / step).ceil()).max(1);
     let rates: Vec<f64> = (0..count)
-        .map(|i| if (i as f64) * step < step_at { low } else { high })
+        .map(|i| {
+            if (i as f64) * step < step_at {
+                low
+            } else {
+                high
+            }
+        })
         .collect();
     LoadTrace::new(step, rates).expect("generated rates are valid")
 }
@@ -119,6 +138,7 @@ pub fn step_load(step: f64, duration: f64, low: f64, high: f64, step_at: f64) ->
 /// # Panics
 ///
 /// Panics if `step` or `duration` is not positive.
+#[allow(clippy::expect_used)] // rates are clamped finite and non-negative above
 pub fn flash_crowd(
     seed: u64,
     step: f64,
@@ -126,9 +146,12 @@ pub fn flash_crowd(
     baseline: f64,
     amplification: f64,
 ) -> LoadTrace {
-    assert!(step > 0.0 && duration > 0.0, "step and duration must be positive");
+    assert!(
+        step > 0.0 && duration > 0.0,
+        "step and duration must be positive"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
-    let count = ((duration / step).ceil() as usize).max(1);
+    let count = crate::convert::usize_from_f64((duration / step).ceil()).max(1);
     // Spike onset somewhere in the middle half of the trace.
     let onset = count / 4 + rng.gen_range(0..(count / 2).max(1));
     let decay_time = duration / 10.0; // spike decays over ~10% of the trace

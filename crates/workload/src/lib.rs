@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod arrivals;
+mod convert;
 pub mod error;
 pub mod generators;
 pub mod stats;

@@ -5,10 +5,9 @@
 //! importing their own CSV trace.
 
 use crate::trace::LoadTrace;
-use serde::{Deserialize, Serialize};
 
 /// Summary statistics of a load-intensity trace.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceStats {
     /// Largest sampled rate, req/s.
     pub peak_rate: f64,
@@ -39,12 +38,7 @@ pub fn trace_stats(trace: &LoadTrace) -> TraceStats {
     let std = variance.sqrt();
 
     let burstiness = if rates.len() >= 2 && mean > 0.0 {
-        rates
-            .windows(2)
-            .map(|w| (w[1] - w[0]).abs())
-            .sum::<f64>()
-            / (rates.len() - 1) as f64
-            / mean
+        rates.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (rates.len() - 1) as f64 / mean
     } else {
         0.0
     };

@@ -1,7 +1,6 @@
 //! The piecewise-constant load-intensity trace.
 
 use crate::error::WorkloadError;
-use serde::{Deserialize, Serialize};
 
 /// A load-intensity profile: request rates (req/s) sampled on an
 /// equidistant grid, interpreted as piecewise constant between samples.
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// ("accelerate them to last either an hour or six hours") and peak
 /// rescaling ("change the scale of peak demand") — plus CSV I/O compatible
 /// with the common `timestamp,rate` dump format of real traces.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LoadTrace {
     step: f64,
     rates: Vec<f64>,
@@ -72,7 +71,7 @@ impl LoadTrace {
         if t <= 0.0 {
             return self.rates[0];
         }
-        let idx = (t / self.step) as usize;
+        let idx = crate::convert::usize_from_f64(t / self.step);
         self.rates[idx.min(self.rates.len() - 1)]
     }
 
@@ -131,7 +130,7 @@ impl LoadTrace {
             return Err(WorkloadError::InvalidStep { step: new_step });
         }
         let duration = self.duration();
-        let count = ((duration / new_step).round() as usize).max(1);
+        let count = crate::convert::usize_from_f64((duration / new_step).round()).max(1);
         let mut rates = Vec::with_capacity(count);
         for i in 0..count {
             let lo = i as f64 * new_step;
@@ -140,7 +139,7 @@ impl LoadTrace {
             let mut acc = 0.0;
             let mut t = lo;
             while t < hi - 1e-12 {
-                let idx = ((t / self.step) as usize).min(self.rates.len() - 1);
+                let idx = crate::convert::usize_from_f64(t / self.step).min(self.rates.len() - 1);
                 let seg_end = ((idx + 1) as f64 * self.step).min(hi);
                 acc += self.rates[idx] * (seg_end - t);
                 t = seg_end;

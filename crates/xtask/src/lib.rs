@@ -1,0 +1,397 @@
+//! `cargo run -p xtask -- audit`: workspace-wide static analysis.
+//!
+//! Chamulteon is a *controller*: one panic on a degenerate queueing input
+//! (ρ ≥ 1, NaN forecast, zero service rate) kills scaling for every service
+//! in the chain — exactly the failure class the paper's reactive fallback
+//! exists to avoid. This crate enforces repo-specific robustness rules that
+//! `clippy` alone cannot express, with `file:line` diagnostics and a
+//! nonzero exit code on violations:
+//!
+//! | Rule | Name          | Scope                     | What it rejects |
+//! |------|---------------|---------------------------|-----------------|
+//! | R1   | panic-freedom | decision-path crate `src/`| `unwrap()`, `expect(`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
+//! | R2   | nan-safety    | all crate `src/`          | `partial_cmp(..).unwrap()` / `unwrap_or(Ordering::…)` in comparisons |
+//! | R3   | lossy-cast    | `core`, `queueing` `src/` | bare `as` numeric casts in capacity math |
+//! | R4   | layering      | `crates/*/Cargo.toml`     | forbidden dependency edges |
+//! | R5   | doc-coverage  | `core`, `queueing` `src/` | undocumented `pub fn` / `pub struct` |
+//!
+//! Code inside `#[cfg(test)]` modules is exempt from R1–R3 and R5. A
+//! finding can be suppressed — one line at a time, with a justification —
+//! by `// audit:allow(<rule-name>): why` on the offending line or on a
+//! comment line directly above it.
+//!
+//! The line rules run on a *stripped* view of each file (comments and
+//! string-literal contents blanked, line structure preserved), so a
+//! `panic!` inside a doc comment or an error message never false-positives.
+
+pub mod manifest;
+pub mod rules;
+pub mod strip;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The decision-path crates R1 (panic-freedom) applies to, by directory
+/// name under `crates/`. `workload` and `bench` are experiment harness
+/// code; `xtask` is this tool.
+pub const DECISION_PATH_CRATES: &[&str] = &[
+    "core",
+    "queueing",
+    "demand",
+    "perfmodel",
+    "scalers",
+    "sim",
+    "timeseries",
+    "metrics",
+];
+
+/// Crates whose capacity math must use checked conversions (R3).
+pub const CHECKED_CAST_CRATES: &[&str] = &["core", "queueing"];
+
+/// Crates whose public API must be fully documented (R5).
+pub const DOC_COVERAGE_CRATES: &[&str] = &["core", "queueing"];
+
+/// Identifier of an audit rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleId {
+    /// R1: no panicking constructs in decision-path library code.
+    PanicFreedom,
+    /// R2: no NaN-unsafe float comparisons.
+    NanSafety,
+    /// R3: no bare numeric `as` casts in capacity math.
+    LossyCast,
+    /// R4: no forbidden inter-crate dependency edges.
+    Layering,
+    /// R5: public API carries doc comments.
+    DocCoverage,
+}
+
+impl RuleId {
+    /// All rules, in numbering order.
+    pub const ALL: [RuleId; 5] = [
+        RuleId::PanicFreedom,
+        RuleId::NanSafety,
+        RuleId::LossyCast,
+        RuleId::Layering,
+        RuleId::DocCoverage,
+    ];
+
+    /// The short id (`"R1"`…`"R5"`).
+    pub fn id(self) -> &'static str {
+        match self {
+            RuleId::PanicFreedom => "R1",
+            RuleId::NanSafety => "R2",
+            RuleId::LossyCast => "R3",
+            RuleId::Layering => "R4",
+            RuleId::DocCoverage => "R5",
+        }
+    }
+
+    /// The rule's name, as used in `audit:allow(<name>)`.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::PanicFreedom => "panic-freedom",
+            RuleId::NanSafety => "nan-safety",
+            RuleId::LossyCast => "lossy-cast",
+            RuleId::Layering => "layering",
+            RuleId::DocCoverage => "doc-coverage",
+        }
+    }
+
+    /// Resolves an `audit:allow` argument — either the short id or the
+    /// name — to a rule.
+    pub fn parse(text: &str) -> Option<RuleId> {
+        let text = text.trim();
+        RuleId::ALL
+            .into_iter()
+            .find(|r| r.id().eq_ignore_ascii_case(text) || r.name() == text)
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.id(), self.name())
+    }
+}
+
+/// One rule violation, pointing at a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: RuleId,
+    /// File path, relative to the audited workspace root.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// A problem that prevented the audit itself from running (I/O, malformed
+/// workspace) — distinct from findings, and also a nonzero exit.
+#[derive(Debug)]
+pub struct AuditError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "audit error: {}", self.message)
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+impl AuditError {
+    fn new(message: impl Into<String>) -> Self {
+        AuditError {
+            message: message.into(),
+        }
+    }
+}
+
+/// Runs every rule over the workspace rooted at `root` (the directory
+/// containing `crates/`). Returns all findings, sorted by file and line.
+///
+/// # Errors
+///
+/// Returns [`AuditError`] when the workspace cannot be read — a missing
+/// `crates/` directory, unreadable files, or I/O failures mid-walk.
+pub fn run_audit(root: &Path) -> Result<Vec<Finding>, AuditError> {
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(AuditError::new(format!(
+            "`{}` is not a workspace root: no crates/ directory",
+            root.display()
+        )));
+    }
+
+    let mut findings = Vec::new();
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+        .map_err(|e| AuditError::new(format!("reading {}: {e}", crates_dir.display())))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    for crate_dir in &crate_dirs {
+        let crate_name = match crate_dir.file_name().and_then(|n| n.to_str()) {
+            Some(name) => name.to_owned(),
+            None => continue,
+        };
+
+        // R4 runs on the manifest.
+        let manifest = crate_dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = read(&manifest)?;
+            findings.extend(manifest::check_layering(
+                &crate_name,
+                &relative(root, &manifest),
+                &text,
+            ));
+        }
+
+        // Line rules run on src/ only: tests/, benches/ and examples/ are
+        // exempt by construction.
+        let src = crate_dir.join("src");
+        if src.is_dir() {
+            for file in rust_files(&src)? {
+                let text = read(&file)?;
+                let rel = relative(root, &file);
+                findings.extend(audit_source(&crate_name, &rel, &text));
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(findings)
+}
+
+/// Runs the line rules (R1, R2, R3, R5) over one source file belonging to
+/// `crate_name`, honoring test-region exemptions and `audit:allow`.
+pub fn audit_source(crate_name: &str, rel_path: &Path, text: &str) -> Vec<Finding> {
+    let stripped = strip::strip_source(text);
+    let source_lines: Vec<&str> = text.lines().collect();
+
+    let mut findings = Vec::new();
+    let decision_path = DECISION_PATH_CRATES.contains(&crate_name);
+    let checked_casts = CHECKED_CAST_CRATES.contains(&crate_name);
+    let doc_coverage = DOC_COVERAGE_CRATES.contains(&crate_name);
+
+    for (idx, line) in stripped.lines.iter().enumerate() {
+        if stripped.in_test_region[idx] {
+            continue;
+        }
+        let lineno = idx + 1;
+
+        let mut line_findings = Vec::new();
+        if let Some(f) = rules::check_nan_safety(line) {
+            line_findings.push((RuleId::NanSafety, f));
+        } else if decision_path {
+            // R2 subsumes R1 on `partial_cmp(..).unwrap()` lines: report
+            // the sharper diagnostic only.
+            if let Some(f) = rules::check_panic_freedom(line) {
+                line_findings.push((RuleId::PanicFreedom, f));
+            }
+        }
+        if checked_casts {
+            if let Some(f) = rules::check_lossy_cast(line) {
+                line_findings.push((RuleId::LossyCast, f));
+            }
+        }
+        if doc_coverage {
+            if let Some(f) = rules::check_doc_coverage(&stripped, idx) {
+                line_findings.push((RuleId::DocCoverage, f));
+            }
+        }
+
+        for (rule, message) in line_findings {
+            if allowed(&source_lines, idx, rule) {
+                continue;
+            }
+            findings.push(Finding {
+                rule,
+                file: rel_path.to_path_buf(),
+                line: lineno,
+                message,
+            });
+        }
+    }
+    findings
+}
+
+/// Whether a finding of `rule` on 0-based line `idx` is suppressed by an
+/// `audit:allow(<rule>)` marker on that line or on the line directly above.
+pub fn allowed(source_lines: &[&str], idx: usize, rule: RuleId) -> bool {
+    let mut candidates = Vec::with_capacity(2);
+    if let Some(line) = source_lines.get(idx) {
+        candidates.push(*line);
+    }
+    if idx > 0 {
+        if let Some(prev) = source_lines.get(idx - 1) {
+            // Only a pure comment line above can carry the marker: an
+            // allow trailing some other statement must not leak downward.
+            if prev.trim_start().starts_with("//") {
+                candidates.push(*prev);
+            }
+        }
+    }
+    candidates.iter().any(|line| line_allows(line, rule))
+}
+
+fn line_allows(line: &str, rule: RuleId) -> bool {
+    let mut rest = line;
+    while let Some(pos) = rest.find("audit:allow(") {
+        rest = &rest[pos + "audit:allow(".len()..];
+        if let Some(close) = rest.find(')') {
+            if RuleId::parse(&rest[..close]) == Some(rule) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn read(path: &Path) -> Result<String, AuditError> {
+    std::fs::read_to_string(path)
+        .map_err(|e| AuditError::new(format!("reading {}: {e}", path.display())))
+}
+
+fn relative(root: &Path, path: &Path) -> PathBuf {
+    path.strip_prefix(root).unwrap_or(path).to_path_buf()
+}
+
+/// All `.rs` files under `dir`, recursively, in sorted order.
+fn rust_files(dir: &Path) -> Result<Vec<PathBuf>, AuditError> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(current) = stack.pop() {
+        let entries = std::fs::read_dir(&current)
+            .map_err(|e| AuditError::new(format!("reading {}: {e}", current.display())))?;
+        for entry in entries {
+            let path = entry
+                .map_err(|e| AuditError::new(format!("walking {}: {e}", current.display())))?
+                .path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_round_trip() {
+        for rule in RuleId::ALL {
+            assert_eq!(RuleId::parse(rule.id()), Some(rule));
+            assert_eq!(RuleId::parse(rule.name()), Some(rule));
+            assert_eq!(RuleId::parse(&rule.id().to_lowercase()), Some(rule));
+        }
+        assert_eq!(RuleId::parse("R9"), None);
+        assert_eq!(RuleId::parse("unwrap"), None);
+    }
+
+    #[test]
+    fn allow_marker_scopes() {
+        let lines = [
+            "let a = x.unwrap(); // audit:allow(panic-freedom): startup only",
+            "// audit:allow(R1): fallback is worse",
+            "let b = y.unwrap();",
+            "let c = z.unwrap();",
+        ];
+        assert!(allowed(&lines, 0, RuleId::PanicFreedom));
+        assert!(allowed(&lines, 2, RuleId::PanicFreedom));
+        // Line 3 has no marker of its own; line 2 is not a comment line.
+        assert!(!allowed(&lines, 3, RuleId::PanicFreedom));
+        // The marker names R1, not R2.
+        assert!(!allowed(&lines, 2, RuleId::NanSafety));
+    }
+
+    #[test]
+    fn r2_subsumes_r1_on_same_line() {
+        let text = "fn f(v: &mut [f64]) {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+        let findings = audit_source("queueing", Path::new("x.rs"), text);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, RuleId::NanSafety);
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let text = "pub fn f() {}\n\
+                    #[cfg(test)]\n\
+                    mod tests {\n\
+                    \x20   fn g() { None::<u32>.unwrap(); }\n\
+                    }\n";
+        let findings = audit_source("sim", Path::new("x.rs"), text);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn non_decision_path_crates_skip_r1() {
+        let text = "fn f() { None::<u32>.unwrap(); }\n";
+        assert!(audit_source("bench", Path::new("x.rs"), text).is_empty());
+        assert_eq!(audit_source("core", Path::new("x.rs"), text).len(), 1);
+    }
+}

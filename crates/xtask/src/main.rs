@@ -1,0 +1,94 @@
+//! Workspace task runner. Currently one task:
+//!
+//! ```text
+//! cargo run -p xtask -- audit [--root DIR]
+//! ```
+//!
+//! Runs the repo's static-analysis rules (see [`xtask`] crate docs) and
+//! exits nonzero when violations are found, so CI can gate on it.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("audit") => audit(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n");
+            print_usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: cargo run -p xtask -- <command>\n\
+         \n\
+         commands:\n\
+         \x20 audit [--root DIR]   run the workspace static-analysis rules\n\
+         \x20                      (R1 panic-freedom, R2 nan-safety, R3 lossy-cast,\n\
+         \x20                       R4 layering, R5 doc-coverage); DIR defaults to\n\
+         \x20                      the workspace root (or the current directory)"
+    );
+}
+
+fn audit(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--root" => match iter.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown audit option `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Under `cargo run`, the manifest dir is crates/xtask; the workspace
+    // root is two levels up.
+    let root = root.unwrap_or_else(|| {
+        let manifest_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        manifest_dir
+            .parent()
+            .and_then(std::path::Path::parent)
+            .map_or_else(|| PathBuf::from("."), std::path::Path::to_path_buf)
+    });
+
+    match xtask::run_audit(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!(
+                "audit: clean ({} rules over {})",
+                xtask::RuleId::ALL.len(),
+                root.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for finding in &findings {
+                println!("{finding}");
+            }
+            println!("\naudit: {} violation(s)", findings.len());
+            println!(
+                "suppress a single line with `// audit:allow(<rule>): justification` \
+                 (see DESIGN.md, \"Static analysis & lint policy\")"
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! R4 — layering: parses `crates/*/Cargo.toml` (a minimal, line-oriented
+//! TOML subset: section headers and `key = value` pairs) and rejects
+//! forbidden dependency edges.
+//!
+//! The workspace is layered; a crate may depend only on *strictly lower*
+//! layers. In particular the foundations (`queueing`, `timeseries`,
+//! `workload`) and estimators (`demand`, `perfmodel`) must never depend on
+//! `core` or `sim`, and nothing but the harness may depend on `bench`:
+//!
+//! | Layer | Crates |
+//! |-------|--------|
+//! | 0     | `queueing`, `timeseries`, `workload` |
+//! | 1     | `demand`, `perfmodel` |
+//! | 2     | `scalers`, `sim`, `metrics` |
+//! | 3     | `core` |
+//! | 4     | `bench` |
+//!
+//! Only `[dependencies]` edges are checked: dev-dependencies exercise test
+//! scaffolding and may reach sideways. A violating line can be suppressed
+//! with `# audit:allow(layering): why` on or directly above it.
+
+use crate::{Finding, RuleId};
+use std::path::Path;
+
+/// Layer assignment by crate directory name. Unlisted crates (`xtask`,
+/// fixtures, future tooling) are not layered and produce no findings.
+const LAYERS: &[(&str, u8)] = &[
+    ("queueing", 0),
+    ("timeseries", 0),
+    ("workload", 0),
+    ("demand", 1),
+    ("perfmodel", 1),
+    ("scalers", 2),
+    ("sim", 2),
+    ("metrics", 2),
+    ("core", 3),
+    ("bench", 4),
+];
+
+fn layer_of(crate_dir: &str) -> Option<u8> {
+    LAYERS
+        .iter()
+        .find(|(name, _)| *name == crate_dir)
+        .map(|&(_, layer)| layer)
+}
+
+/// Maps a dependency *package* name to its crate directory name, for
+/// first-party packages (`chamulteon`, `chamulteon-forecast`,
+/// `chamulteon-<dir>`). Third-party (vendored) packages map to `None`.
+fn dep_crate_dir(package: &str) -> Option<&str> {
+    match package {
+        "chamulteon" => Some("core"),
+        "chamulteon-forecast" => Some("timeseries"),
+        _ => package.strip_prefix("chamulteon-"),
+    }
+}
+
+/// Checks the `[dependencies]` edges of one crate manifest.
+pub fn check_layering(crate_dir: &str, rel_path: &Path, text: &str) -> Vec<Finding> {
+    let Some(crate_layer) = layer_of(crate_dir) else {
+        return Vec::new();
+    };
+    let lines: Vec<&str> = text.lines().collect();
+    let mut findings = Vec::new();
+    let mut in_dependencies = false;
+
+    for (idx, raw) in lines.iter().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            // `[dependencies]` and `[target.….dependencies]`, but not
+            // `[dev-dependencies]` or `[build-dependencies]`.
+            let header = line.trim_matches(['[', ']']);
+            in_dependencies = header == "dependencies" || header.ends_with(".dependencies");
+            continue;
+        }
+        if !in_dependencies || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some(key) = line
+            .split(['=', '.', ' ', '\t'])
+            .next()
+            .map(|k| k.trim_matches('"'))
+        else {
+            continue;
+        };
+        let Some(dep_dir) = dep_crate_dir(key) else {
+            continue;
+        };
+        let Some(dep_layer) = layer_of(dep_dir) else {
+            continue;
+        };
+        if dep_layer >= crate_layer && !toml_allowed(&lines, idx) {
+            findings.push(Finding {
+                rule: RuleId::Layering,
+                file: rel_path.to_path_buf(),
+                line: idx + 1,
+                message: format!(
+                    "`{crate_dir}` (layer {crate_layer}) must not depend on `{dep_dir}` \
+                     (layer {dep_layer}): dependencies must point strictly downward"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// `audit:allow(layering)` on the dependency line or a `#` comment line
+/// directly above it.
+fn toml_allowed(lines: &[&str], idx: usize) -> bool {
+    let marker = |line: &str| {
+        line.find("audit:allow(").is_some_and(|pos| {
+            line[pos + "audit:allow(".len()..]
+                .split(')')
+                .next()
+                .and_then(RuleId::parse)
+                == Some(RuleId::Layering)
+        })
+    };
+    if marker(lines[idx]) {
+        return true;
+    }
+    idx > 0 && lines[idx - 1].trim_start().starts_with('#') && marker(lines[idx - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest(deps: &str) -> String {
+        format!("[package]\nname = \"x\"\n\n[dependencies]\n{deps}\n[dev-dependencies]\nchamulteon.workspace = true\n")
+    }
+
+    #[test]
+    fn upward_edge_rejected_with_line_number() {
+        let text = manifest("chamulteon.workspace = true\n");
+        let findings = check_layering("queueing", Path::new("crates/queueing/Cargo.toml"), &text);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 5);
+        assert!(findings[0].message.contains("`queueing`"));
+        assert!(findings[0].message.contains("`core`"));
+    }
+
+    #[test]
+    fn sideways_edge_rejected_downward_accepted() {
+        let text = manifest("chamulteon-sim = { path = \"../sim\" }\n");
+        assert_eq!(
+            check_layering("metrics", Path::new("m"), &text).len(),
+            1,
+            "same-layer edge must be rejected"
+        );
+        let text = manifest("chamulteon-queueing.workspace = true\nrand.workspace = true\n");
+        assert!(check_layering("metrics", Path::new("m"), &text).is_empty());
+    }
+
+    #[test]
+    fn dev_dependencies_are_exempt() {
+        let text = manifest("");
+        assert!(check_layering("queueing", Path::new("m"), &text).is_empty());
+    }
+
+    #[test]
+    fn bench_may_depend_on_everything_but_nothing_on_bench() {
+        let every = manifest(
+            "chamulteon.workspace = true\nchamulteon-sim.workspace = true\nchamulteon-queueing.workspace = true\n",
+        );
+        assert!(check_layering("bench", Path::new("m"), &every).is_empty());
+        let text = manifest("chamulteon-bench.workspace = true\n");
+        assert_eq!(check_layering("core", Path::new("m"), &text).len(), 1);
+    }
+
+    #[test]
+    fn allow_comment_suppresses_single_edge() {
+        let text = manifest(
+            "# audit:allow(layering): transitional, tracked in ROADMAP\nchamulteon.workspace = true\nchamulteon-sim.workspace = true\n",
+        );
+        let findings = check_layering("demand", Path::new("m"), &text);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("`sim`"));
+    }
+
+    #[test]
+    fn unlisted_crates_are_not_layered() {
+        let text = manifest("chamulteon.workspace = true\n");
+        assert!(check_layering("xtask", Path::new("m"), &text).is_empty());
+    }
+}

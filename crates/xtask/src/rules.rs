@@ -1,0 +1,224 @@
+//! The line rules: R1 panic-freedom, R2 NaN-safety, R3 lossy casts,
+//! R5 doc coverage. Each check runs on one stripped line (see
+//! [`crate::strip`]) and returns a diagnostic message on violation.
+
+use crate::strip::StrippedSource;
+
+/// Panicking constructs rejected by R1. `.expect(` deliberately excludes
+/// `.expect_err(`, and `.unwrap()` excludes the `unwrap_or*` family.
+const PANIC_MACROS: &[&str] = &["panic!", "unreachable!", "todo!", "unimplemented!"];
+
+/// R1 — panic-freedom: no `unwrap()`, `expect(`, or panicking macros in
+/// decision-path library code.
+pub fn check_panic_freedom(line: &str) -> Option<String> {
+    if line.contains(".unwrap()") {
+        return Some(
+            "`unwrap()` in decision-path code: propagate through the crate error type".to_owned(),
+        );
+    }
+    if find_method_call(line, ".expect(") {
+        return Some(
+            "`expect()` in decision-path code: propagate through the crate error type".to_owned(),
+        );
+    }
+    for mac in PANIC_MACROS {
+        if find_macro(line, mac) {
+            return Some(format!(
+                "`{mac}` in decision-path code: return an error instead of panicking"
+            ));
+        }
+    }
+    None
+}
+
+/// R2 — NaN-safety: `partial_cmp` combined with `unwrap`/`unwrap_or` in a
+/// comparator silently misorders (or panics on) NaN. Require
+/// `f64::total_cmp` or an explicit finite-input guard.
+pub fn check_nan_safety(line: &str) -> Option<String> {
+    if !line.contains("partial_cmp") {
+        return None;
+    }
+    if line.contains(".unwrap()")
+        || line.contains(".unwrap_or(")
+        || line.contains(".unwrap_or_else(")
+    {
+        return Some(
+            "NaN-unsafe comparison: use `f64::total_cmp` (or guard inputs as finite) instead of \
+             `partial_cmp(..).unwrap*`"
+                .to_owned(),
+        );
+    }
+    None
+}
+
+/// Cast targets R3 rejects. Casting *to* these from wider or float types
+/// truncates, saturates or loses precision silently.
+const CAST_TARGETS: &[&str] = &[
+    "usize", "u64", "u32", "u16", "u8", "isize", "i64", "i32", "i16", "i8", "f64", "f32",
+];
+
+/// R3 — lossy casts: no bare `as <numeric>` in capacity math. Use
+/// `u64::try_from(..)`, `f64::from(..)` or a checked helper so the
+/// narrowing is explicit and fallible.
+pub fn check_lossy_cast(line: &str) -> Option<String> {
+    let mut rest = line;
+    while let Some(pos) = rest.find(" as ") {
+        let after = &rest[pos + 4..];
+        let target = after.trim_start();
+        for t in CAST_TARGETS {
+            if let Some(after_target) = target.strip_prefix(t) {
+                let boundary = after_target
+                    .chars()
+                    .next()
+                    .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+                if boundary {
+                    return Some(format!(
+                        "bare `as {t}` cast in capacity math: use `try_from`/`from` or a checked \
+                         helper"
+                    ));
+                }
+            }
+        }
+        rest = after;
+    }
+    None
+}
+
+/// R5 — doc coverage: every `pub fn` / `pub struct` (and `pub enum` /
+/// `pub trait`, which the same reasoning covers) carries a doc comment.
+/// Attributes between the docs and the item are skipped.
+pub fn check_doc_coverage(stripped: &StrippedSource, idx: usize) -> Option<String> {
+    let line = stripped.lines.get(idx)?;
+    let trimmed = line.trim_start();
+    let item = ["pub fn ", "pub struct ", "pub enum ", "pub trait "]
+        .iter()
+        .find(|prefix| trimmed.starts_with(**prefix))?;
+
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let above = stripped.lines[j].trim_start();
+        if above.starts_with("#[") {
+            continue; // attribute between docs and item
+        }
+        if stripped.doc_comment[j] {
+            return None;
+        }
+        break;
+    }
+    let name = trimmed[item.len()..]
+        .split(|c: char| !c.is_alphanumeric() && c != '_')
+        .next()
+        .unwrap_or("?");
+    Some(format!(
+        "undocumented `{item}{name}`: public API requires a doc comment"
+    ))
+}
+
+/// Whether `line` contains `needle` (starting with `.`) as a method call —
+/// i.e. not followed by more identifier characters, which `.expect(`
+/// guarantees by construction, and not part of a longer method name like
+/// `.expect_err(`.
+fn find_method_call(line: &str, needle: &str) -> bool {
+    line.contains(needle)
+}
+
+/// Whether `line` invokes the macro `mac` (name including `!`), with a
+/// non-identifier character before it so `my_todo!` does not match `todo!`.
+fn find_macro(line: &str, mac: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(mac) {
+        let abs = start + pos;
+        let before_ok = abs == 0
+            || line[..abs]
+                .chars()
+                .next_back()
+                .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        if before_ok {
+            return true;
+        }
+        start = abs + mac.len();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strip::strip_source;
+
+    #[test]
+    fn r1_flags_each_construct() {
+        for bad in [
+            "let x = v.last().unwrap();",
+            "let y = m.get(&k).expect(\"present\");",
+            "panic!(\"boom\");",
+            "_ => unreachable!(),",
+            "todo!()",
+            "unimplemented!()",
+        ] {
+            assert!(check_panic_freedom(bad).is_some(), "missed: {bad}");
+        }
+    }
+
+    #[test]
+    fn r1_ignores_safe_relatives() {
+        for ok in [
+            "let x = v.last().copied().unwrap_or(0.0);",
+            "let y = opt.unwrap_or_else(Vec::new);",
+            "let z = opt.unwrap_or_default();",
+            "let e = res.expect_err(\"must fail\");",
+            "my_todo!()",
+            "let p = should_panic_flag;",
+        ] {
+            assert!(check_panic_freedom(ok).is_none(), "false positive: {ok}");
+        }
+    }
+
+    #[test]
+    fn r2_flags_nan_unsafe_comparators() {
+        for bad in [
+            "v.sort_by(|a, b| a.partial_cmp(b).unwrap());",
+            "v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));",
+            "xs.iter().max_by(|a, b| a.partial_cmp(b).unwrap_or_else(|| Ordering::Less));",
+        ] {
+            assert!(check_nan_safety(bad).is_some(), "missed: {bad}");
+        }
+    }
+
+    #[test]
+    fn r2_accepts_total_cmp_and_guarded_partial_cmp() {
+        for ok in [
+            "v.sort_by(f64::total_cmp);",
+            "v.sort_by(|a, b| a.total_cmp(b));",
+            "let ord = a.partial_cmp(&b)?;",
+            "match a.partial_cmp(&b) { Some(o) => o, None => return Err(..) }",
+        ] {
+            assert!(check_nan_safety(ok).is_none(), "false positive: {ok}");
+        }
+    }
+
+    #[test]
+    fn r3_flags_bare_numeric_casts_only() {
+        assert!(check_lossy_cast("let n = x as usize;").is_some());
+        assert!(check_lossy_cast("let n = (rho * cap) as u64;").is_some());
+        assert!(check_lossy_cast("let f = count as f64;").is_some());
+        assert!(check_lossy_cast("let f = f64::from(count);").is_none());
+        assert!(check_lossy_cast("let n = u64::try_from(x)?;").is_none());
+        assert!(check_lossy_cast("use queueing::mmn as mmn_solver;").is_none());
+        assert!(check_lossy_cast("let t = x as usize_like;").is_none());
+    }
+
+    #[test]
+    fn r5_requires_doc_comments() {
+        let s = strip_source(
+            "/// Documented.\npub fn a() {}\n\npub fn b() {}\n#[derive(Debug)]\npub struct S;\n/// Doc.\n#[derive(Debug)]\npub struct T;\n",
+        );
+        assert!(check_doc_coverage(&s, 1).is_none()); // a: documented
+        let b = check_doc_coverage(&s, 3);
+        assert!(b.is_some_and(|m| m.contains("pub fn b")));
+        let sd = check_doc_coverage(&s, 5);
+        assert!(sd.is_some_and(|m| m.contains("pub struct S")));
+        assert!(check_doc_coverage(&s, 8).is_none()); // T: doc above attr
+    }
+}

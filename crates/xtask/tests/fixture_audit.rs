@@ -1,0 +1,162 @@
+//! End-to-end audit over the committed fixture workspace in
+//! `tests/fixtures/ws/`, which seeds exactly one violation per rule
+//! (R1–R5) plus a suppressed twin for the line rules and the manifest
+//! rule. Asserts rule ids, `file:line` coordinates, and process exit
+//! codes of the `xtask` binary.
+
+// Example/test/bench code: panics and lossy casts are acceptable here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use xtask::{run_audit, Finding, RuleId};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
+}
+
+fn findings() -> Vec<Finding> {
+    run_audit(&fixture_root()).expect("fixture workspace is readable")
+}
+
+/// Whether a finding of `rule` at `line` exists in a file whose
+/// normalized path ends with `suffix`.
+fn has(findings: &[Finding], rule: RuleId, suffix: &str, line: usize) -> bool {
+    findings.iter().any(|f| {
+        f.rule == rule
+            && f.line == line
+            && f.file
+                .to_string_lossy()
+                .replace('\\', "/")
+                .ends_with(suffix)
+    })
+}
+
+#[test]
+fn every_rule_fires_at_its_seeded_location() {
+    let f = findings();
+    assert!(
+        has(&f, RuleId::NanSafety, "queueing/src/lib.rs", 5),
+        "R2 missing: {f:?}"
+    );
+    assert!(
+        has(&f, RuleId::DocCoverage, "queueing/src/lib.rs", 8),
+        "R5 missing: {f:?}"
+    );
+    assert!(
+        has(&f, RuleId::LossyCast, "queueing/src/lib.rs", 14),
+        "R3 missing: {f:?}"
+    );
+    assert!(
+        has(&f, RuleId::PanicFreedom, "queueing/src/lib.rs", 19),
+        "R1 missing: {f:?}"
+    );
+    assert!(
+        has(&f, RuleId::Layering, "queueing/Cargo.toml", 5),
+        "R4 missing: {f:?}"
+    );
+}
+
+#[test]
+fn seeded_violations_are_exactly_the_expected_set() {
+    // One finding per rule and nothing else: the suppressed twins, the
+    // `#[cfg(test)]` region and the clean `core` fixture stay silent.
+    let f = findings();
+    assert_eq!(f.len(), 5, "unexpected findings: {f:?}");
+    for rule in RuleId::ALL {
+        assert_eq!(
+            f.iter().filter(|x| x.rule == rule).count(),
+            1,
+            "expected exactly one {rule} finding: {f:?}"
+        );
+    }
+}
+
+#[test]
+fn allow_marker_suppresses_exactly_one_line_finding() {
+    // `panicky` (line 19) and `suppressed` (line 25) contain the same
+    // `x.unwrap()`; only the unsuppressed one may be reported.
+    let f = findings();
+    let r1: Vec<_> = f
+        .iter()
+        .filter(|x| x.rule == RuleId::PanicFreedom)
+        .collect();
+    assert_eq!(r1.len(), 1, "{r1:?}");
+    assert_eq!(r1[0].line, 19);
+}
+
+#[test]
+fn toml_allow_and_dev_dependencies_are_exempt() {
+    // core/Cargo.toml carries an upward edge under an allow marker and the
+    // same edge again under [dev-dependencies]: neither may be reported.
+    let f = findings();
+    assert!(
+        !f.iter().any(|x| {
+            x.rule == RuleId::Layering
+                && x.file
+                    .to_string_lossy()
+                    .replace('\\', "/")
+                    .ends_with("core/Cargo.toml")
+        }),
+        "{f:?}"
+    );
+}
+
+#[test]
+fn test_region_is_exempt() {
+    // The fixture's #[cfg(test)] module (lines 28+) unwraps and casts
+    // freely; none of it may be reported.
+    let f = findings();
+    assert!(
+        !f.iter().any(|x| x.line >= 28),
+        "test-region finding leaked: {f:?}"
+    );
+}
+
+#[test]
+fn binary_exits_nonzero_on_fixture_tree_and_reports_coordinates() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["audit", "--root"])
+        .arg(fixture_root())
+        .output()
+        .expect("xtask binary runs");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("queueing/src/lib.rs:19: [R1 panic-freedom]"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("5 violation(s)"), "{stdout}");
+}
+
+#[test]
+fn binary_exits_zero_on_clean_tree() {
+    // `fixtures/clean` holds a single violation-free crate.
+    let clean_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/clean");
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["audit", "--root"])
+        .arg(&clean_root)
+        .output()
+        .expect("xtask binary runs");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("audit: clean"),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn binary_exits_two_on_unusable_root() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["audit", "--root", "/nonexistent/definitely-not-a-workspace"])
+        .output()
+        .expect("xtask binary runs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}

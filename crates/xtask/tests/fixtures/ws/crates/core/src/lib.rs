@@ -1,0 +1,6 @@
+//! Clean fixture crate: no violations, the audit must stay silent here.
+
+/// Adds one, panic-free.
+pub fn documented(x: u32) -> u32 {
+    x.saturating_add(1)
+}

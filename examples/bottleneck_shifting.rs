@@ -6,6 +6,15 @@
 //!
 //! Run with: `cargo run --release --example bottleneck_shifting`
 
+// Example/test/bench code: panics and lossy casts are acceptable here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
 use chamulteon_repro::bench::{run_experiment, ExperimentSpec, ScalerKind};
 use chamulteon_repro::perfmodel::ApplicationModel;
 use chamulteon_repro::sim::{DeploymentProfile, SloPolicy};
@@ -57,7 +66,9 @@ fn main() {
 
     for kind in [ScalerKind::Reg, ScalerKind::React, ScalerKind::Chamulteon] {
         let outcome = run_experiment(&spec, kind);
-        let times: Vec<Option<f64>> = (0..3).map(|s| adequate_at(&outcome, s, needed[s])).collect();
+        let times: Vec<Option<f64>> = (0..3)
+            .map(|s| adequate_at(&outcome, s, needed[s]))
+            .collect();
         println!("{}:", kind.name());
         for (s, label) in ["ui", "validation", "data"].iter().enumerate() {
             match times[s] {

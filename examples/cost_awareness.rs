@@ -5,6 +5,15 @@
 //!
 //! Run with: `cargo run --release --example cost_awareness`
 
+// Example/test/bench code: panics and lossy casts are acceptable here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
 use chamulteon_repro::core::{Chamulteon, ChamulteonConfig, ChargingModel};
 use chamulteon_repro::demand::MonitoringSample;
 use chamulteon_repro::perfmodel::ApplicationModel;
@@ -54,7 +63,10 @@ fn drive(mut scaler: Chamulteon, label: &str) {
     let billed = scaler.billed_instance_seconds(3600.0);
     println!("{label}");
     println!("  instances released over the hour : {scale_downs}");
-    println!("  raw instance hours used          : {:.1}", instance_seconds / 3600.0);
+    println!(
+        "  raw instance hours used          : {:.1}",
+        instance_seconds / 3600.0
+    );
     match billed {
         Some(b) => println!("  FOX-accounted billed hours       : {:.1}", b / 3600.0),
         None => println!("  FOX-accounted billed hours       : (FOX disabled)"),

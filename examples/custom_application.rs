@@ -6,6 +6,15 @@
 //!
 //! Run with: `cargo run --release --example custom_application`
 
+// Example/test/bench code: panics and lossy casts are acceptable here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
 use chamulteon_repro::core::{Chamulteon, ChamulteonConfig};
 use chamulteon_repro::demand::MonitoringSample;
 use chamulteon_repro::perfmodel::ApplicationModelBuilder;
@@ -29,14 +38,28 @@ fn main() {
         .build()
         .expect("valid model");
 
-    println!("visit ratios per external request: {:?}", model.visit_ratios());
+    println!(
+        "visit ratios per external request: {:?}",
+        model.visit_ratios()
+    );
 
     let mut scaler = Chamulteon::new(model.clone(), ChamulteonConfig::default());
-    let mut instances: Vec<u32> = model.services().iter().map(|s| s.initial_instances()).collect();
-    let demands: Vec<f64> = model.services().iter().map(|s| s.nominal_demand()).collect();
+    let mut instances: Vec<u32> = model
+        .services()
+        .iter()
+        .map(|s| s.initial_instances())
+        .collect();
+    let demands: Vec<f64> = model
+        .services()
+        .iter()
+        .map(|s| s.nominal_demand())
+        .collect();
     let ratios = model.visit_ratios();
 
-    println!("\n{:<6} {:>6}  {:<30}", "time", "load", "instances [gw, cat, chk, db, audit]");
+    println!(
+        "\n{:<6} {:>6}  {:<30}",
+        "time", "load", "instances [gw, cat, chk, db, audit]"
+    );
     for minute in 1..=12 {
         let t = minute as f64 * 60.0;
         // Morning ramp: 50 -> 600 req/s.

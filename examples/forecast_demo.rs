@@ -4,6 +4,15 @@
 //!
 //! Run with: `cargo run --release --example forecast_demo`
 
+// Example/test/bench code: panics and lossy casts are acceptable here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
 use chamulteon_repro::forecast::{
     detect_season_length, mase, DriftDetector, Forecaster, NaiveForecaster,
     SeasonalNaiveForecaster, TelescopeForecaster, TimeSeries,
@@ -37,7 +46,10 @@ fn main() {
     let methods: Vec<(&str, Box<dyn Forecaster>)> = vec![
         ("telescope", Box::new(TelescopeForecaster::default())),
         ("naive", Box::new(NaiveForecaster)),
-        ("seasonal-naive", Box::new(SeasonalNaiveForecaster::new(144))),
+        (
+            "seasonal-naive",
+            Box::new(SeasonalNaiveForecaster::new(144)),
+        ),
     ];
     println!("\n{:<16} {:>10} {:>12}", "method", "MASE", "first value");
     let actual = test.values();
@@ -54,7 +66,10 @@ fn main() {
         .expect("forecast succeeds");
     let detector = DriftDetector::default();
     println!("\ndrift detection against the telescope forecast:");
-    for (label, factor) in [("reality as predicted", 1.0), ("reality 3x the forecast", 3.0)] {
+    for (label, factor) in [
+        ("reality as predicted", 1.0),
+        ("reality 3x the forecast", 3.0),
+    ] {
         let observed: Vec<f64> = actual.iter().take(6).map(|v| v * factor).collect();
         let drifted = detector.has_drifted(train.values(), &observed, &telescope.values()[..6]);
         println!("  {label:<24} -> drifted = {drifted}");

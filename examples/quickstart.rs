@@ -3,6 +3,15 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+// Example/test/bench code: panics and lossy casts are acceptable here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
 use chamulteon_repro::core::{Chamulteon, ChamulteonConfig};
 use chamulteon_repro::demand::MonitoringSample;
 use chamulteon_repro::perfmodel::ApplicationModel;
@@ -81,7 +90,13 @@ fn main() {
     let result = sim.finish();
     println!();
     println!("requests served     : {}", result.completed);
-    println!("SLO violations      : {:.1}%", result.slo_violation_percent());
+    println!(
+        "SLO violations      : {:.1}%",
+        result.slo_violation_percent()
+    );
     println!("Apdex               : {:.1}%", result.apdex_percent());
-    println!("mean response time  : {:.0} ms", result.mean_response_time() * 1000.0);
+    println!(
+        "mean response time  : {:.0} ms",
+        result.mean_response_time() * 1000.0
+    );
 }

@@ -1,6 +1,15 @@
 //! End-to-end integration tests: the full pipeline (workload → simulator →
 //! auto-scaler → metrics) across crates.
 
+// Example/test/bench code: panics and lossy casts are acceptable here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
 use chamulteon_repro::bench::setups::smoke_test;
 use chamulteon_repro::bench::{run_experiment, ExperimentSpec, ScalerKind};
 use chamulteon_repro::perfmodel::ApplicationModel;
@@ -106,18 +115,17 @@ fn bottleneck_shifting_staggered_for_react_not_chamulteon() {
         (250.0 * 0.1 / 0.8_f64).ceil() as u32,
         (250.0 * 0.04 / 0.8_f64).ceil() as u32,
     ];
-    let adequate_at = |outcome: &chamulteon_repro::bench::ExperimentOutcome,
-                       service: usize|
-     -> f64 {
-        let mut t = 0.0;
-        while t < outcome.result.duration {
-            if outcome.result.supply_at(service, t) >= needed[service] {
-                return t;
+    let adequate_at =
+        |outcome: &chamulteon_repro::bench::ExperimentOutcome, service: usize| -> f64 {
+            let mut t = 0.0;
+            while t < outcome.result.duration {
+                if outcome.result.supply_at(service, t) >= needed[service] {
+                    return t;
+                }
+                t += 1.0;
             }
-            t += 1.0;
-        }
-        outcome.result.duration
-    };
+            outcome.result.duration
+        };
 
     let react = run_experiment(&spec, ScalerKind::React);
     let cham = run_experiment(&spec, ScalerKind::Chamulteon);

@@ -2,6 +2,15 @@
 //! hybrid vertical scaling, and nested VM pools — each exercised
 //! end-to-end against the simulator.
 
+// Example/test/bench code: panics and lossy casts are acceptable here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
 use chamulteon_repro::core::{
     hybrid_decisions, proactive_decisions, Chamulteon, ChamulteonConfig, NestedPlanner,
     VerticalPolicy,
@@ -13,7 +22,11 @@ use chamulteon_repro::sim::{
 };
 use chamulteon_repro::workload::LoadTrace;
 
-fn sample_from_sim(sim: &Simulation, s: usize, stats: &chamulteon_repro::sim::ServiceIntervalStats) -> MonitoringSample {
+fn sample_from_sim(
+    sim: &Simulation,
+    s: usize,
+    stats: &chamulteon_repro::sim::ServiceIntervalStats,
+) -> MonitoringSample {
     let provisioned = sim.provisioned(s).max(1);
     let util = (stats.utilization * f64::from(stats.instances_end.max(1)) / f64::from(provisioned))
         .clamp(0.0, 1.0);
@@ -87,7 +100,8 @@ fn hybrid_vertical_scaling_runs_end_to_end() {
         let decisions = hybrid_decisions(&model, rate, &[0.059, 0.1, 0.04], &policy, &cham_config);
         for (s, d) in decisions.iter().enumerate() {
             sim.scale_to(s, d.instances).unwrap();
-            sim.scale_vertical(s, policy.sizes()[d.size_index].speed).unwrap();
+            sim.scale_vertical(s, policy.sizes()[d.size_index].speed)
+                .unwrap();
         }
     }
     let result = sim.finish();

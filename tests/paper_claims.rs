@@ -3,13 +3,28 @@
 //! and EXPERIMENTS.md; these tests keep the claims from silently
 //! regressing.
 
+// Example/test/bench code: panics and lossy casts are acceptable here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
 use chamulteon_repro::bench::setups::smoke_test;
 use chamulteon_repro::bench::{run_experiment, ExperimentSpec, ScalerKind};
 use chamulteon_repro::perfmodel::ApplicationModel;
 use chamulteon_repro::sim::{DeploymentProfile, SloPolicy};
 use chamulteon_repro::workload::generators::{bibsonomy_like, wikipedia_like};
 
-fn mini(name: &str, generator: fn(u64, f64, f64) -> chamulteon_repro::workload::LoadTrace, peak_rate: f64, profile: DeploymentProfile, interval: f64) -> ExperimentSpec {
+fn mini(
+    name: &str,
+    generator: fn(u64, f64, f64) -> chamulteon_repro::workload::LoadTrace,
+    peak_rate: f64,
+    profile: DeploymentProfile,
+    interval: f64,
+) -> ExperimentSpec {
     // One synthetic day compressed into 20 minutes — big enough for stable
     // orderings, small enough for the default test profile.
     let day = generator(99, 60.0, 86_400.0);
@@ -33,8 +48,20 @@ fn mini(name: &str, generator: fn(u64, f64, f64) -> chamulteon_repro::workload::
 #[test]
 fn chamulteon_best_user_metrics() {
     for spec in [
-        mini("wiki", wikipedia_like, 250.0, DeploymentProfile::docker(), 60.0),
-        mini("bib", bibsonomy_like, 250.0, DeploymentProfile::docker(), 60.0),
+        mini(
+            "wiki",
+            wikipedia_like,
+            250.0,
+            DeploymentProfile::docker(),
+            60.0,
+        ),
+        mini(
+            "bib",
+            bibsonomy_like,
+            250.0,
+            DeploymentProfile::docker(),
+            60.0,
+        ),
     ] {
         let mut results = Vec::new();
         for kind in ScalerKind::paper_lineup() {
@@ -58,7 +85,13 @@ fn chamulteon_best_user_metrics() {
 /// the worst user-oriented metrics."
 #[test]
 fn reg_and_adapt_worst_user_metrics() {
-    let spec = mini("wiki", wikipedia_like, 250.0, DeploymentProfile::docker(), 60.0);
+    let spec = mini(
+        "wiki",
+        wikipedia_like,
+        250.0,
+        DeploymentProfile::docker(),
+        60.0,
+    );
     let mut reports = Vec::new();
     for kind in ScalerKind::paper_lineup() {
         reports.push((kind.name(), run_experiment(&spec, kind).report));
@@ -92,7 +125,13 @@ fn reg_and_adapt_worst_user_metrics() {
 /// time share is high.
 #[test]
 fn chamulteon_slightly_overprovisions_by_design() {
-    let spec = mini("wiki", wikipedia_like, 250.0, DeploymentProfile::docker(), 60.0);
+    let spec = mini(
+        "wiki",
+        wikipedia_like,
+        250.0,
+        DeploymentProfile::docker(),
+        60.0,
+    );
     let report = run_experiment(&spec, ScalerKind::Chamulteon).report;
     let m = report.mean_elasticity();
     assert!(m.theta_u < 10.0, "theta_U {:.1}%", m.theta_u);
@@ -103,7 +142,13 @@ fn chamulteon_slightly_overprovisions_by_design() {
 /// Reg issues more scaling operations than Chamulteon for the same trace.
 #[test]
 fn reg_oscillates_more_than_chamulteon() {
-    let spec = mini("bib", bibsonomy_like, 250.0, DeploymentProfile::docker(), 60.0);
+    let spec = mini(
+        "bib",
+        bibsonomy_like,
+        250.0,
+        DeploymentProfile::docker(),
+        60.0,
+    );
     let cham = run_experiment(&spec, ScalerKind::Chamulteon).report;
     let reg = run_experiment(&spec, ScalerKind::Reg).report;
     assert!(
@@ -119,7 +164,13 @@ fn reg_oscillates_more_than_chamulteon() {
 /// Chamulteon variants must beat Adapt/Reg.
 #[test]
 fn vm_scenario_orderings() {
-    let spec = mini("wiki-vm", wikipedia_like, 80.0, DeploymentProfile::vm(), 120.0);
+    let spec = mini(
+        "wiki-vm",
+        wikipedia_like,
+        80.0,
+        DeploymentProfile::vm(),
+        120.0,
+    );
     let hybrid = run_experiment(&spec, ScalerKind::Chamulteon).report;
     let adapt = run_experiment(&spec, ScalerKind::Adapt).report;
     let reg = run_experiment(&spec, ScalerKind::Reg).report;

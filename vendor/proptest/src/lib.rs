@@ -1,0 +1,408 @@
+//! Vendored, dependency-free stand-in for the subset of the `proptest` API
+//! this workspace's property tests use.
+//!
+//! The build container has no network access to crates.io, so the real
+//! `proptest` crate cannot be resolved. This crate keeps the test files
+//! source-compatible: the [`proptest!`] macro, `prop_assert*` /
+//! `prop_assume!`, numeric-range and tuple [`Strategy`] impls,
+//! [`prop::collection::vec`] and [`any`]. It deliberately omits shrinking —
+//! on failure it reports the offending inputs verbatim instead of
+//! minimizing them. Case generation is deterministic per test (seeded from
+//! the test's module path and name), so failures reproduce exactly.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+
+/// The generator driving a property test; one per test function.
+pub type TestRng = StdRng;
+
+/// Builds the deterministic generator for a test, seeded from its fully
+/// qualified name so every test draws an independent, reproducible stream.
+pub fn test_rng(qualified_name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in qualified_name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// Per-block configuration, mirroring `proptest::test_runner::ProptestConfig`
+/// (subset: the case count).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases each test must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the offline suite quick while
+        // still exercising a meaningful slice of each input domain.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Outcome of one generated case, threaded out of the test body by the
+/// `prop_assert*` / `prop_assume!` macros.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the test panics with this message.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is retried with fresh
+    /// values and does not count toward the case budget.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+}
+
+/// A recipe for generating values of `Self::Value`, mirroring
+/// `proptest::strategy::Strategy` (subset: generation only, no shrinking).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value from the strategy.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(*self.start()..=*self.end())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (S0/0, S1/1)
+    (S0/0, S1/1, S2/2)
+    (S0/0, S1/1, S2/2, S3/3)
+}
+
+/// Values with a canonical "any value" strategy, mirroring
+/// `proptest::arbitrary::Arbitrary` (subset).
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Finite values spanning sign and magnitude; NaN/inf are left to
+    /// dedicated edge-case tests.
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let magnitude = (rng.gen::<f64>() * 600.0 - 300.0).exp2();
+        if rng.gen::<bool>() {
+            magnitude
+        } else {
+            -magnitude
+        }
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+pub mod prop {
+    //! Mirrors the `proptest::prop` facade module (subset: `collection`).
+
+    pub mod collection {
+        //! Collection strategies (subset: [`vec`]).
+
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Strategy producing `Vec`s with a length drawn from `len` and
+        /// elements drawn from `element`.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        /// A `Vec` strategy, mirroring `proptest::collection::vec`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let n = self.len.clone().generate(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Mirrors `proptest::prelude`: everything a property-test file needs.
+
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Defines property tests, mirroring `proptest::proptest!`.
+///
+/// Supported grammar (the subset this workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))] // optional
+///
+///     /// Doc comments and attributes are preserved.
+///     #[test]
+///     fn name(arg in strategy, other in strategy) { body }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($config:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_tests! {
+            (<$crate::ProptestConfig as ::core::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; expands one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng =
+                $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            let mut passed: u32 = 0;
+            let mut rejected: u32 = 0;
+            while passed < config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)*
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),*),
+                    $(&$arg),*
+                );
+                let case = move || {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = case();
+                match outcome {
+                    ::std::result::Result::Ok(()) => passed += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => {
+                        rejected += 1;
+                        assert!(
+                            rejected <= 65_536,
+                            "proptest: `{}` rejected too many cases (prop_assume too strict)",
+                            stringify!($name),
+                        );
+                    }
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(message)) => {
+                        panic!(
+                            "proptest: `{}` failed after {} passing case(s)\n  {}\n  inputs: {}",
+                            stringify!($name), passed, message, inputs,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, mirroring
+/// `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond),
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({})",
+                stringify!($cond),
+                format!($($fmt)+),
+            )));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body, mirroring
+/// `proptest::prop_assert_eq!`. Operands are borrowed, not moved.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+                        stringify!($left), stringify!($right), left, right,
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{} == {}` (left: {:?}, right: {:?}): {}",
+                        stringify!($left), stringify!($right), left, right, format!($($fmt)+),
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a [`proptest!`] body, mirroring
+/// `proptest::prop_assert_ne!`. Operands are borrowed, not moved.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if *left == *right {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{} != {}` (both: {:?})",
+                        stringify!($left),
+                        stringify!($right),
+                        left,
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Rejects the current case inside a [`proptest!`] body, mirroring
+/// `proptest::prop_assume!`. Rejected cases are retried with fresh inputs.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::Strategy;
+
+    #[test]
+    fn ranges_and_vec_strategies_generate_in_domain() {
+        let mut rng = crate::test_rng("vendored::smoke");
+        for _ in 0..1_000 {
+            let x = (1u32..10).generate(&mut rng);
+            assert!((1..10).contains(&x));
+            let f = (0.5f64..=1.5).generate(&mut rng);
+            assert!((0.5..=1.5).contains(&f));
+            let v = prop::collection::vec((0usize..3, 0.0f64..1.0), 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            for (i, u) in v {
+                assert!(i < 3);
+                assert!((0.0..1.0).contains(&u));
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro plumbing itself: generation, assume, assert.
+        #[test]
+        fn macro_round_trip(n in 1u32..100, flag in any::<bool>()) {
+            prop_assume!(n != 13);
+            prop_assert!((1..100).contains(&n));
+            prop_assert_ne!(n, 13);
+            prop_assert_eq!(flag, flag, "flag was {}", flag);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest: `always_fails` failed")]
+    fn failure_reports_inputs() {
+        // No #[test] on the inner fn: it is invoked directly below.
+        proptest! {
+            fn always_fails(n in 0u32..5) {
+                prop_assert!(n > 100, "n too small");
+            }
+        }
+        always_fails();
+    }
+}
