@@ -1,9 +1,13 @@
 //! Uniform driving of the five auto-scalers (plus ablation variants).
 
-use chamulteon::{ChamulteonConfig, ChargingModel};
+use chamulteon::{
+    ChamulteonConfig, ChargingModel, DegradationLog, DegradationReason, Observation, SpikeGate,
+};
 use chamulteon_demand::{MonitoringSample, RollingDemandEstimator};
 use chamulteon_perfmodel::ApplicationModel;
 use chamulteon_scalers::{Adapt, AutoScaler, Hist, IndependentScalers, React, Reg};
+use chamulteon_sim::ObservedSample;
+#[cfg(test)]
 use chamulteon_sim::ServiceIntervalStats;
 
 /// Which auto-scaler to run in an experiment.
@@ -57,16 +61,42 @@ impl ScalerKind {
     }
 }
 
-/// Rescales a measured utilization from the instances that produced it
+/// Rescales a reported utilization from the instances that produced it
 /// (`instances_end`, the running count) to the instance count the sample
 /// will report (`provisioned`, running + booting): the busy time
 /// `U·n·T` must stay the measured one, otherwise instances that are still
 /// booting would be counted as having worked and the demand estimate
-/// would inflate exactly during scale-ups.
-pub(crate) fn effective_utilization(stats: &ServiceIntervalStats, provisioned: u32) -> f64 {
-    let running = stats.instances_end.max(1);
-    let provisioned = provisioned.max(1);
-    (stats.utilization * f64::from(running) / f64::from(provisioned)).clamp(0.0, 1.0)
+/// would inflate exactly during scale-ups. NaN or negative readings pass
+/// through untouched so the validation boundary sees — and quarantines —
+/// the corruption instead of a laundered value.
+fn observed_utilization(observed: &ObservedSample, provisioned: u32) -> f64 {
+    if observed.utilization.is_finite() && observed.utilization >= 0.0 {
+        let running = observed.instances_end.max(1);
+        let provisioned = provisioned.max(1);
+        (observed.utilization * f64::from(running) / f64::from(provisioned)).clamp(0.0, 1.0)
+    } else {
+        observed.utilization
+    }
+}
+
+/// Maps an observed report (or its absence) to the controller's
+/// [`Observation`] input, applying the utilization rescale.
+fn observation_from(observed: Option<&ObservedSample>, provisioned: u32) -> Observation {
+    match observed {
+        None => Observation::Missing,
+        Some(o) => Observation::Raw {
+            duration: o.duration,
+            arrivals: o.arrivals,
+            completions: o.completions,
+            utilization: observed_utilization(o, provisioned),
+            instances: provisioned.max(1),
+            // Harmless zero response times are dropped like the truth
+            // path does; NaN passes through for the boundary to reject.
+            mean_response_time: o
+                .mean_response_time
+                .filter(|rt| !(rt.is_finite() && *rt <= 0.0)),
+        },
+    }
 }
 
 /// A running scaler instance bound to an experiment.
@@ -77,6 +107,16 @@ pub(crate) enum Driver {
         /// Shared demand estimation, "determined by LibReDE as used in
         /// Chamulteon" (§IV-C).
         estimators: Vec<RollingDemandEstimator>,
+        /// Last validated entry arrival rate, held through monitoring
+        /// dropouts so the competitors get the same degradation ladder
+        /// rung Chamulteon gets.
+        last_entry_rate: f64,
+        /// Degraded-decision record for the independent deployment (the
+        /// Chamulteon variant keeps its own inside the controller).
+        degradation: DegradationLog,
+        /// Per-service spike gates, same plausibility rung the controller
+        /// applies.
+        spike_gates: Vec<SpikeGate>,
     },
 }
 
@@ -114,20 +154,32 @@ impl Driver {
             )),
             ScalerKind::React => Driver::Independent {
                 estimators: make_estimators(),
+                last_entry_rate: 0.0,
+                degradation: DegradationLog::new(),
+                spike_gates: vec![SpikeGate::new(); model.service_count()],
                 multi: IndependentScalers::homogeneous(demands, || Box::new(React::default())),
             },
             ScalerKind::Adapt => Driver::Independent {
                 estimators: make_estimators(),
+                last_entry_rate: 0.0,
+                degradation: DegradationLog::new(),
+                spike_gates: vec![SpikeGate::new(); model.service_count()],
                 multi: IndependentScalers::homogeneous(demands, || Box::new(Adapt::default())),
             },
             ScalerKind::Hist => Driver::Independent {
                 estimators: make_estimators(),
+                last_entry_rate: 0.0,
+                degradation: DegradationLog::new(),
+                spike_gates: vec![SpikeGate::new(); model.service_count()],
                 multi: IndependentScalers::homogeneous(demands, move || {
                     Box::new(Hist::with_bucket_length(hist_bucket)) as Box<dyn AutoScaler + Send>
                 }),
             },
             ScalerKind::Reg => Driver::Independent {
                 estimators: make_estimators(),
+                last_entry_rate: 0.0,
+                degradation: DegradationLog::new(),
+                spike_gates: vec![SpikeGate::new(); model.service_count()],
                 multi: IndependentScalers::homogeneous(demands, || Box::new(Reg::default())),
             },
         }
@@ -141,8 +193,12 @@ impl Driver {
         }
     }
 
-    /// One scaling round: takes the interval stats of every service and
-    /// the currently provisioned counts, returns the new absolute targets.
+    /// One scaling round from ground-truth interval stats — a test
+    /// convenience; the experiment loop drives [`decide_observed`]
+    /// directly.
+    ///
+    /// [`decide_observed`]: Driver::decide_observed
+    #[cfg(test)]
     pub(crate) fn decide(
         &mut self,
         time: f64,
@@ -151,46 +207,113 @@ impl Driver {
         provisioned: &[u32],
         entry: usize,
     ) -> Vec<u32> {
+        // Route ground truth through the same validated-observation path
+        // the fault experiments use: on clean inputs the two are
+        // numerically identical (counts below 2^53 round-trip exactly).
+        let observed: Vec<Option<ObservedSample>> = stats
+            .iter()
+            .map(|s| Some(ObservedSample::from_stats(s)))
+            .collect();
+        self.decide_observed(time, interval, &observed, provisioned, entry)
+    }
+
+    /// One scaling round from what monitoring *reported* — possibly
+    /// dropped (`None`), stale or corrupt samples. Panic-free: invalid
+    /// readings are quarantined at the validation boundary and the
+    /// degradation ladder supplies the fallbacks.
+    pub(crate) fn decide_observed(
+        &mut self,
+        time: f64,
+        interval: f64,
+        observed: &[Option<ObservedSample>],
+        provisioned: &[u32],
+        entry: usize,
+    ) -> Vec<u32> {
         match self {
             Driver::Chamulteon(controller) => {
-                let samples: Vec<MonitoringSample> = stats
+                let observations: Vec<Observation> = observed
                     .iter()
                     .zip(provisioned)
-                    .map(|(s, &n)| {
-                        MonitoringSample::new(
-                            s.duration,
-                            s.arrivals,
-                            effective_utilization(s, n),
-                            n.max(1),
-                            s.mean_response_time.filter(|rt| *rt > 0.0),
-                        )
-                        .expect("simulator stats are valid")
-                        .with_completions(s.completions)
-                    })
+                    .map(|(o, &n)| observation_from(o.as_ref(), n))
                     .collect();
-                controller.tick(time, &samples)
+                controller.tick_observed(time, &observations)
             }
-            Driver::Independent { multi, estimators } => {
-                for ((estimator, s), &n) in estimators.iter_mut().zip(stats).zip(provisioned) {
-                    if let Ok(sample) = MonitoringSample::new(
-                        s.duration,
-                        s.arrivals,
-                        effective_utilization(s, n),
-                        n.max(1),
-                        s.mean_response_time.filter(|rt| *rt > 0.0),
-                    ) {
-                        estimator.observe(sample.with_completions(s.completions));
+            Driver::Independent {
+                multi,
+                estimators,
+                last_entry_rate,
+                degradation,
+                spike_gates,
+            } => {
+                // Validate every report at the boundary; feed estimators
+                // from fresh valid samples only.
+                let mut entry_sample: Option<MonitoringSample> = None;
+                for (service, ((estimator, o), &n)) in estimators
+                    .iter_mut()
+                    .zip(observed)
+                    .zip(provisioned)
+                    .enumerate()
+                {
+                    let mut validated = None;
+                    if let Some(o) = o.as_ref() {
+                        match MonitoringSample::from_observed(
+                            o.duration,
+                            o.arrivals,
+                            o.completions,
+                            observed_utilization(o, n),
+                            n.max(1),
+                            o.mean_response_time
+                                .filter(|rt| !(rt.is_finite() && *rt <= 0.0)),
+                        ) {
+                            Ok(sample) if !spike_gates[service].admit(sample.arrival_rate()) => {
+                                degradation
+                                    .record(time, DegradationReason::SampleImplausible { service });
+                            }
+                            Ok(sample) => validated = Some(sample),
+                            Err(_) => degradation
+                                .record(time, DegradationReason::SampleQuarantined { service }),
+                        }
+                    }
+                    match validated {
+                        Some(sample) => {
+                            estimator.observe(sample);
+                            if service == entry {
+                                entry_sample = Some(sample);
+                            }
+                        }
+                        None if o.is_none() => {
+                            degradation.record(time, DegradationReason::SampleHeld { service });
+                        }
+                        None => {}
                     }
                 }
+                // Entry rate: fresh when valid, held otherwise.
+                let entry_rate = match entry_sample {
+                    Some(s) => {
+                        *last_entry_rate = s.arrival_rate();
+                        s.arrival_rate()
+                    }
+                    None => {
+                        degradation.record(time, DegradationReason::EntryRateUnusable);
+                        *last_entry_rate
+                    }
+                };
                 let demands: Vec<f64> = estimators.iter().map(|e| e.current_demand()).collect();
-                let deltas =
-                    multi.decide(time, interval, stats[entry].arrivals, provisioned, &demands);
+                let deltas = multi.decide_rate(time, interval, entry_rate, provisioned, &demands);
                 provisioned
                     .iter()
                     .zip(&deltas)
-                    .map(|(&n, &d)| (i64::from(n) + d).max(1) as u32)
+                    .map(|(&n, &d)| u32::try_from((i64::from(n) + d).max(1)).unwrap_or(1))
                     .collect()
             }
+        }
+    }
+
+    /// Drains the degraded-decision record accumulated so far.
+    pub(crate) fn take_degradation(&mut self) -> DegradationLog {
+        match self {
+            Driver::Chamulteon(c) => c.take_degradation(),
+            Driver::Independent { degradation, .. } => std::mem::take(degradation),
         }
     }
 

@@ -1,6 +1,7 @@
 //! The measurement loop and scoring.
 
 use crate::drivers::{Driver, ScalerKind};
+use chamulteon::{DegradationLog, DegradationReason, RetryPolicy};
 use chamulteon_metrics::{
     adaptation_rate_per_hour, demand_curves, elasticity_metrics, instance_seconds, ScalerReport,
     StepFn,
@@ -8,7 +9,8 @@ use chamulteon_metrics::{
 use chamulteon_perfmodel::ApplicationModel;
 use chamulteon_queueing::capacity::min_instances_for_utilization;
 use chamulteon_sim::{
-    DeploymentProfile, Simulation, SimulationConfig, SimulationResult, SloPolicy, SupplyChange,
+    DeploymentProfile, FaultPlan, Simulation, SimulationConfig, SimulationResult, SloPolicy,
+    SupplyChange,
 };
 use chamulteon_workload::LoadTrace;
 
@@ -52,6 +54,17 @@ pub struct ExperimentOutcome {
     pub billed_instance_seconds: Option<f64>,
 }
 
+/// An [`ExperimentOutcome`] plus the record of every degraded decision —
+/// the return type of [`run_experiment_with_faults`].
+#[derive(Debug, Clone)]
+pub struct FaultedOutcome {
+    /// The scored experiment, exactly as for a clean run.
+    pub outcome: ExperimentOutcome,
+    /// Every rung of the degradation ladder the scaler (and the actuation
+    /// retry loop) took during the run.
+    pub degradation: DegradationLog,
+}
+
 /// Runs one auto-scaler through one experiment and scores it.
 ///
 /// The loop follows the paper's setup: the application starts sized for
@@ -59,6 +72,27 @@ pub struct ExperimentOutcome {
 /// monitoring tuple of the last interval and its decisions are applied
 /// with the deployment profile's provisioning delays.
 pub fn run_experiment(spec: &ExperimentSpec, kind: ScalerKind) -> ExperimentOutcome {
+    run_experiment_with_faults(spec, kind, None, &RetryPolicy::no_retries()).outcome
+}
+
+/// Like [`run_experiment`], but with an optional [`FaultPlan`] injecting
+/// monitoring, actuation and instance faults, and a [`RetryPolicy`]
+/// governing how failed scaling commands are retried (with backoff time
+/// advancing the simulation clock, capped so retries never cross into the
+/// next scaling interval).
+///
+/// With `fault_plan = None` and [`RetryPolicy::no_retries`] this is
+/// numerically identical to the clean run: the scaler sees the same
+/// observations (faithful copies of the interval truth) and no actuation
+/// ever fails. The injected-fault record is available on
+/// `outcome.result.fault_log`; the scaler's degraded decisions are in
+/// `degradation`.
+pub fn run_experiment_with_faults(
+    spec: &ExperimentSpec,
+    kind: ScalerKind,
+    fault_plan: Option<FaultPlan>,
+    retry: &RetryPolicy,
+) -> FaultedOutcome {
     let service_count = spec.model.service_count();
     let entry = spec.model.entry();
     let nominal: Vec<f64> = spec
@@ -68,8 +102,11 @@ pub fn run_experiment(spec: &ExperimentSpec, kind: ScalerKind) -> ExperimentOutc
         .map(|s| s.nominal_demand())
         .collect();
 
-    let config = SimulationConfig::new(spec.profile.clone(), spec.slo, spec.seed)
+    let mut config = SimulationConfig::new(spec.profile.clone(), spec.slo, spec.seed)
         .with_monitoring_interval(spec.scaling_interval);
+    if let Some(plan) = fault_plan {
+        config = config.with_fault_plan(plan);
+    }
     let mut sim = Simulation::new(&spec.model, &spec.trace, config);
 
     // Fair initial placement: size every tier for the trace's initial rate
@@ -78,7 +115,7 @@ pub fn run_experiment(spec: &ExperimentSpec, kind: ScalerKind) -> ExperimentOutc
     let visit_ratios0 = spec.model.visit_ratios();
     for (s, (&demand, &visits)) in nominal.iter().zip(&visit_ratios0).enumerate() {
         let n0 = min_instances_for_utilization(rate0 * visits, demand, 0.6);
-        sim.set_supply(s, n0).expect("service index in range");
+        let _ = sim.set_supply(s, n0); // s < service_count by construction
     }
 
     let mut driver = Driver::new(kind, &spec.model, spec.hist_bucket);
@@ -96,21 +133,56 @@ pub fn run_experiment(spec: &ExperimentSpec, kind: ScalerKind) -> ExperimentOutc
     }
 
     // The measurement loop.
+    let mut harness_log = DegradationLog::new();
     let intervals = (spec.trace.duration() / spec.scaling_interval).ceil() as usize;
     for k in 1..=intervals {
         let t = (k as f64 * spec.scaling_interval).min(spec.trace.duration());
-        sim.run_until(t);
-        let Some(stats) = sim.interval(k - 1) else {
+        if sim.run_until(t).is_err() {
+            break; // unreachable with a monotone schedule; degrade, don't panic
+        }
+        let Some(observed) = sim.observe_interval(k - 1) else {
             break; // trace ended mid-interval
         };
         let provisioned: Vec<u32> = (0..service_count).map(|s| sim.provisioned(s)).collect();
-        let targets = driver.decide(t, spec.scaling_interval, &stats, &provisioned, entry);
+        let targets =
+            driver.decide_observed(t, spec.scaling_interval, &observed, &provisioned, entry);
+        // Retries may not cross into the next scaling interval.
+        let deadline = ((k + 1) as f64 * spec.scaling_interval - 1e-6)
+            .min(spec.trace.duration())
+            .max(t);
+        let mut clock = t;
         for (s, &target) in targets.iter().enumerate() {
-            sim.scale_to(s, target).expect("service index in range");
+            let mut attempt = 0u32;
+            loop {
+                match sim.scale_to(s, target) {
+                    Ok(()) => break,
+                    Err(_) if attempt + 1 < retry.max_attempts && clock < deadline => {
+                        harness_log.record(
+                            clock,
+                            DegradationReason::ActuationRetried {
+                                service: s,
+                                attempt,
+                            },
+                        );
+                        clock = (clock + retry.backoff(attempt).max(0.0)).min(deadline);
+                        if sim.run_until(clock).is_err() {
+                            break;
+                        }
+                        attempt += 1;
+                    }
+                    Err(_) => {
+                        harness_log
+                            .record(clock, DegradationReason::ActuationAbandoned { service: s });
+                        break;
+                    }
+                }
+            }
         }
     }
-    sim.run_until(spec.trace.duration());
+    let _ = sim.run_until(spec.trace.duration()); // monotone: t_final >= every loop t
     let billed = driver.billed_instance_seconds(spec.trace.duration());
+    let mut degradation = driver.take_degradation();
+    degradation.merge(harness_log);
     let result = sim.finish();
 
     // Scoring.
@@ -155,11 +227,14 @@ pub fn run_experiment(spec: &ExperimentSpec, kind: ScalerKind) -> ExperimentOutc
         instance_hours,
         adaptations_per_hour,
     };
-    ExperimentOutcome {
-        result,
-        report,
-        demand,
-        billed_instance_seconds: billed,
+    FaultedOutcome {
+        outcome: ExperimentOutcome {
+            result,
+            report,
+            demand,
+            billed_instance_seconds: billed,
+        },
+        degradation,
     }
 }
 

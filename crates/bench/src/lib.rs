@@ -12,7 +12,10 @@
 //!   interval, hand each scaler the paper's input tuple, apply its
 //!   decisions with the deployment's provisioning delays, then score the
 //!   outcome with the elasticity and user metrics,
-//! * [`setups`] — the four paper experiments (Tables II–V) ready to run.
+//! * [`setups`] — the four paper experiments (Tables II–V) ready to run,
+//! * [`robustness`] — fault-class presets and the clean-vs-faulted
+//!   comparison runner ([`run_experiment_with_faults`]) for the chaos
+//!   experiments.
 //!
 //! Every bench target under `benches/` regenerates one table or figure;
 //! see DESIGN.md for the index.
@@ -27,9 +30,11 @@
 //! assert_eq!(outcome.report.scaler, "chamulteon");
 //! ```
 
-// The bench crate is the experiment harness (layer 4, outside the
-// decision path): panics surface misconfiguration directly and casts
-// size small loop/display counts from bounded trace durations.
+// The bench crate is the experiment harness (layer 4). Casts size small
+// loop/display counts from bounded trace durations; `expect` is allowed
+// only in the table/setup plumbing — the measurement loop itself
+// (`drivers`, `experiment`, `robustness`) is decision-path code and kept
+// panic-free, enforced by `xtask audit` rule R1.
 #![allow(
     clippy::expect_used,
     clippy::cast_possible_truncation,
@@ -43,8 +48,12 @@
 pub mod drivers;
 pub mod experiment;
 pub mod paper;
+pub mod robustness;
 pub mod setups;
 
 pub use drivers::ScalerKind;
-pub use experiment::{run_experiment, ExperimentOutcome, ExperimentSpec};
+pub use experiment::{
+    run_experiment, run_experiment_with_faults, ExperimentOutcome, ExperimentSpec, FaultedOutcome,
+};
 pub use paper::run_lineup;
+pub use robustness::{robustness_lineup, robustness_report, FaultClass};

@@ -3,6 +3,7 @@
 use crate::algorithm::proactive_decisions;
 use crate::config::ChamulteonConfig;
 use crate::decision::{DecisionOrigin, DecisionStore, ScalingDecision};
+use crate::degradation::{DegradationLog, DegradationReason, Observation, SpikeGate};
 use crate::fox::{ChargingModel, Fox};
 use chamulteon_demand::{MonitoringSample, RollingDemandEstimator};
 use chamulteon_forecast::{DriftDetector, Forecaster, TelescopeForecaster, TimeSeries};
@@ -37,6 +38,11 @@ pub struct Chamulteon {
     active_forecast: Option<ActiveForecast>,
     fox: Option<Fox>,
     forecasts_made: u64,
+    // Degradation-ladder state.
+    degradation: DegradationLog,
+    last_good_samples: Vec<Option<MonitoringSample>>,
+    spike_gates: Vec<SpikeGate>,
+    last_targets: Option<Vec<u32>>,
 }
 
 impl Chamulteon {
@@ -64,6 +70,10 @@ impl Chamulteon {
             active_forecast: None,
             fox: None,
             forecasts_made: 0,
+            degradation: DegradationLog::new(),
+            last_good_samples: vec![None; model.service_count()],
+            spike_gates: vec![SpikeGate::new(); model.service_count()],
+            last_targets: None,
             model,
             config,
         }
@@ -126,6 +136,18 @@ impl Chamulteon {
         self.active_forecast = None;
     }
 
+    /// The controller's record of every degraded decision so far (see
+    /// [`crate::degradation`]).
+    pub fn degradation(&self) -> &DegradationLog {
+        &self.degradation
+    }
+
+    /// Takes the degradation log, leaving an empty one — for merging into
+    /// an experiment-level record.
+    pub fn take_degradation(&mut self) -> DegradationLog {
+        std::mem::take(&mut self.degradation)
+    }
+
     /// One scaling round at time `time` with one monitoring sample per
     /// service (the paper's external monitoring component provides these).
     /// Returns the absolute target instance count per service.
@@ -139,9 +161,144 @@ impl Chamulteon {
             self.model.service_count(),
             "one monitoring sample per service required"
         );
-        // 1. Feed the demand estimators.
-        for (estimator, sample) in self.demand_estimators.iter_mut().zip(samples) {
-            estimator.observe(*sample);
+        for (held, sample) in self.last_good_samples.iter_mut().zip(samples) {
+            *held = Some(*sample);
+        }
+        for (gate, sample) in self.spike_gates.iter_mut().zip(samples) {
+            gate.reset_to(sample.arrival_rate());
+        }
+        let fresh = vec![true; samples.len()];
+        let targets = self.decide(time, samples, &fresh, true);
+        self.last_targets = Some(targets.clone());
+        targets
+    }
+
+    /// One scaling round under *possibly degraded* monitoring: each
+    /// service's input is an [`Observation`] that may be missing, already
+    /// validated, or raw untrusted readings. This is the panic-free entry
+    /// point of the degradation ladder (see [`crate::degradation`] for the
+    /// rungs); every degraded step is recorded in
+    /// [`degradation`](Chamulteon::degradation).
+    ///
+    /// With all-valid observations this behaves exactly like
+    /// [`tick`](Chamulteon::tick).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observations` does not contain one entry per service.
+    pub fn tick_observed(&mut self, time: f64, observations: &[Observation]) -> Vec<u32> {
+        assert_eq!(
+            observations.len(),
+            self.model.service_count(),
+            "one observation per service required"
+        );
+        let mut samples = Vec::with_capacity(observations.len());
+        let mut fresh = Vec::with_capacity(observations.len());
+        for (service, observation) in observations.iter().enumerate() {
+            // Rung 1: validate at the boundary.
+            let validated = match *observation {
+                Observation::Sample(sample) => Some(sample),
+                Observation::Missing => None,
+                Observation::Raw {
+                    duration,
+                    arrivals,
+                    completions,
+                    utilization,
+                    instances,
+                    mean_response_time,
+                } => match MonitoringSample::from_observed(
+                    duration,
+                    arrivals,
+                    completions,
+                    utilization,
+                    instances,
+                    mean_response_time,
+                ) {
+                    // Rung 1b: a field-valid reading whose arrival rate is
+                    // an implausible spike would poison the demand
+                    // estimator; the gate holds it out unless it persists.
+                    Ok(sample) if !self.spike_gates[service].admit(sample.arrival_rate()) => {
+                        self.degradation
+                            .record(time, DegradationReason::SampleImplausible { service });
+                        None
+                    }
+                    Ok(sample) => Some(sample),
+                    Err(_) => {
+                        self.degradation
+                            .record(time, DegradationReason::SampleQuarantined { service });
+                        None
+                    }
+                },
+            };
+            match validated {
+                Some(sample) => {
+                    self.last_good_samples[service] = Some(sample);
+                    samples.push(sample);
+                    fresh.push(true);
+                }
+                // Rungs 2 and 3: hold the last good sample, else
+                // synthesize a quiet one.
+                None => {
+                    let fallback = match self.last_good_samples[service] {
+                        Some(held) => {
+                            self.degradation
+                                .record(time, DegradationReason::SampleHeld { service });
+                            held
+                        }
+                        None => {
+                            self.degradation
+                                .record(time, DegradationReason::SampleSynthesized { service });
+                            MonitoringSample::zero(
+                                60.0,
+                                self.model.service(service).min_instances(),
+                            )
+                        }
+                    };
+                    samples.push(fallback);
+                    fresh.push(false);
+                }
+            }
+        }
+
+        // Rung 5: with nothing fresh at all, re-issue the previous targets
+        // rather than scaling on held or synthetic data.
+        if fresh.iter().all(|&f| !f) {
+            if let Some(last) = self.last_targets.clone() {
+                self.degradation
+                    .record(time, DegradationReason::HeldLastDecision);
+                return last;
+            }
+        }
+
+        // Rung 4: a stale entry rate stays out of the forecast history.
+        let entry_fresh = fresh[self.model.entry()];
+        if !entry_fresh {
+            self.degradation
+                .record(time, DegradationReason::EntryRateUnusable);
+        }
+        let targets = self.decide(time, &samples, &fresh, entry_fresh);
+        self.last_targets = Some(targets.clone());
+        targets
+    }
+
+    /// The shared decision core of [`tick`](Chamulteon::tick) and
+    /// [`tick_observed`](Chamulteon::tick_observed). `fresh[s]` marks
+    /// samples measured this tick (stale/synthetic ones are excluded from
+    /// the demand estimators); `entry_fresh` gates the forecast history.
+    fn decide(
+        &mut self,
+        time: f64,
+        samples: &[MonitoringSample],
+        fresh: &[bool],
+        entry_fresh: bool,
+    ) -> Vec<u32> {
+        // 1. Feed the demand estimators (fresh measurements only).
+        for ((estimator, sample), &is_fresh) in
+            self.demand_estimators.iter_mut().zip(samples).zip(fresh)
+        {
+            if is_fresh {
+                estimator.observe(*sample);
+            }
         }
         let demands = self.estimated_demands();
         let instances: Vec<u32> = samples.iter().map(|s| s.instances()).collect();
@@ -160,8 +317,10 @@ impl Chamulteon {
             };
             self.entry_history = TimeSeries::from_values(step, vec![]).ok();
         }
-        if let Some(history) = self.entry_history.as_mut() {
-            let _ = history.push(entry_rate);
+        if entry_fresh {
+            if let Some(history) = self.entry_history.as_mut() {
+                let _ = history.push(entry_rate);
+            }
         }
 
         // 3. Proactive cycle.
@@ -251,6 +410,10 @@ impl Chamulteon {
 
         let horizon = self.config.forecast_horizon;
         let Ok(forecast) = self.forecaster.forecast(history, horizon) else {
+            // Ladder: the proactive cycle sits this round out; the
+            // reactive cycle (or the held decision) still covers it.
+            self.degradation
+                .record(time, DegradationReason::ForecastFailed);
             return;
         };
         self.forecasts_made += 1;
@@ -501,5 +664,155 @@ mod tests {
     fn wrong_sample_count_panics() {
         let mut c = controller(ChamulteonConfig::default());
         let _ = c.tick(60.0, &samples_for(10.0, &[1, 1, 1])[..2]);
+    }
+
+    fn raw_from(s: &MonitoringSample) -> crate::degradation::Observation {
+        crate::degradation::Observation::Raw {
+            duration: s.duration(),
+            arrivals: s.arrivals() as f64,
+            completions: s.completions() as f64,
+            utilization: s.utilization(),
+            instances: s.instances(),
+            mean_response_time: s.mean_response_time(),
+        }
+    }
+
+    #[test]
+    fn tick_observed_with_clean_inputs_matches_tick() {
+        let mut a = controller(ChamulteonConfig::default());
+        let mut b = controller(ChamulteonConfig::default());
+        for k in 0..20 {
+            let t = 60.0 * (k as f64 + 1.0);
+            let samples = samples_for(50.0 + k as f64, &[5, 9, 4]);
+            let observations: Vec<_> = samples.iter().map(raw_from).collect();
+            assert_eq!(a.tick(t, &samples), b.tick_observed(t, &observations));
+        }
+        assert!(b.degradation().is_empty(), "clean inputs never degrade");
+    }
+
+    #[test]
+    fn corrupt_samples_are_quarantined_and_held() {
+        let mut c = controller(ChamulteonConfig::reactive_only());
+        let baseline = c.tick(60.0, &samples_for(100.0, &[10, 17, 7]));
+        // Next tick: service 1 reports NaN arrivals, service 2 negative.
+        let clean = samples_for(100.0, &[10, 17, 7]);
+        let observations = vec![
+            raw_from(&clean[0]),
+            crate::degradation::Observation::Raw {
+                duration: 60.0,
+                arrivals: f64::NAN,
+                completions: f64::NAN,
+                utilization: f64::NAN,
+                instances: 17,
+                mean_response_time: None,
+            },
+            crate::degradation::Observation::Raw {
+                duration: 60.0,
+                arrivals: -6001.0,
+                completions: -1.0,
+                utilization: -0.7,
+                instances: 7,
+                mean_response_time: None,
+            },
+        ];
+        let targets = c.tick_observed(120.0, &observations);
+        // Held samples carry the same load: the decision stays put.
+        assert_eq!(targets, baseline);
+        let log = c.degradation();
+        assert_eq!(
+            log.count_matching(|r| matches!(r, DegradationReason::SampleQuarantined { .. })),
+            2
+        );
+        assert_eq!(
+            log.count_matching(|r| matches!(r, DegradationReason::SampleHeld { .. })),
+            2
+        );
+    }
+
+    #[test]
+    fn all_samples_missing_holds_the_last_decision() {
+        let mut c = controller(ChamulteonConfig::reactive_only());
+        let first = c.tick(60.0, &samples_for(100.0, &[1, 1, 1]));
+        let blind = vec![crate::degradation::Observation::Missing; 3];
+        let held = c.tick_observed(120.0, &blind);
+        assert_eq!(held, first, "previous targets re-issued");
+        assert_eq!(
+            c.degradation()
+                .count_matching(|r| matches!(r, DegradationReason::HeldLastDecision)),
+            1
+        );
+    }
+
+    #[test]
+    fn blind_first_tick_synthesizes_and_survives() {
+        let mut c = controller(ChamulteonConfig::default());
+        let blind = vec![crate::degradation::Observation::Missing; 3];
+        // No history, no last decision: synthesized quiet samples, no panic.
+        let targets = c.tick_observed(60.0, &blind);
+        assert_eq!(targets.len(), 3);
+        assert_eq!(
+            c.degradation()
+                .count_matching(|r| matches!(r, DegradationReason::SampleSynthesized { .. })),
+            3
+        );
+    }
+
+    #[test]
+    fn stale_entry_rate_is_excluded_from_forecast_history() {
+        let mut c = controller(ChamulteonConfig::default());
+        let clean = samples_for(50.0, &[5, 9, 4]);
+        let _ = c.tick(60.0, &clean);
+        // Entry sample missing, others fresh.
+        let observations = vec![
+            crate::degradation::Observation::Missing,
+            raw_from(&clean[1]),
+            raw_from(&clean[2]),
+        ];
+        let _ = c.tick_observed(120.0, &observations);
+        assert_eq!(
+            c.degradation()
+                .count_matching(|r| matches!(r, DegradationReason::EntryRateUnusable)),
+            1
+        );
+    }
+
+    #[test]
+    fn take_degradation_drains_the_log() {
+        let mut c = controller(ChamulteonConfig::default());
+        let _ = c.tick_observed(60.0, &[crate::degradation::Observation::Missing; 3]);
+        assert!(!c.degradation().is_empty());
+        let taken = c.take_degradation();
+        assert!(!taken.is_empty());
+        assert!(c.degradation().is_empty());
+    }
+
+    #[test]
+    fn preload_history_empty_slice_is_harmless() {
+        let mut c = controller(ChamulteonConfig::proactive_only());
+        c.preload_history(60.0, &[]);
+        let targets = c.tick(60.0, &samples_for(50.0, &[5, 9, 4]));
+        assert_eq!(targets.len(), 3);
+        assert_eq!(c.forecasts_made(), 0, "no history, no forecast");
+    }
+
+    #[test]
+    fn preload_history_single_sample_is_harmless() {
+        let mut c = controller(ChamulteonConfig::proactive_only());
+        c.preload_history(60.0, &[42.0]);
+        let targets = c.tick(60.0, &samples_for(50.0, &[5, 9, 4]));
+        assert_eq!(targets.len(), 3);
+    }
+
+    #[test]
+    fn preload_history_degenerate_interval_is_harmless() {
+        let rates: Vec<f64> = (0..24).map(|k| 50.0 + (k % 12) as f64).collect();
+        for interval in [0.0, -60.0, f64::NAN] {
+            let mut c = controller(ChamulteonConfig::proactive_only());
+            c.preload_history(interval, &rates);
+            // Panic-freedom is the assertion (R1); the clamped step keeps
+            // the preloaded history usable.
+            let targets = c.tick(60.0, &samples_for(50.0, &[5, 9, 4]));
+            assert_eq!(targets.len(), 3);
+        }
     }
 }

@@ -54,6 +54,7 @@ pub mod algorithm;
 pub mod config;
 pub mod controller;
 pub mod decision;
+pub mod degradation;
 pub mod fox;
 pub mod nested;
 pub mod vertical;
@@ -62,6 +63,9 @@ pub use algorithm::proactive_decisions;
 pub use config::ChamulteonConfig;
 pub use controller::Chamulteon;
 pub use decision::{DecisionOrigin, DecisionStore, ScalingDecision};
+pub use degradation::{
+    DegradationEvent, DegradationLog, DegradationReason, Observation, RetryPolicy, SpikeGate,
+};
 pub use fox::{ChargingModel, Fox};
 pub use nested::NestedPlanner;
 pub use vertical::{hybrid_decisions, HybridDecision, InstanceSize, VerticalPolicy};

@@ -77,6 +77,91 @@ impl MonitoringSample {
         })
     }
 
+    /// Validates a sample whose counts come from an *untrusted* monitoring
+    /// pipeline (raw `f64` readings that may be NaN, negative or
+    /// non-finite — e.g. a faulted simulator report). This is the
+    /// ingestion boundary: NaN/negative arrival or completion counts, a
+    /// non-finite duration or utilization, and all the conditions of
+    /// [`MonitoringSample::new`] are rejected here so nothing downstream
+    /// ever sees them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DemandError::InvalidSample`] naming the offending field.
+    pub fn from_observed(
+        duration: f64,
+        arrivals: f64,
+        completions: f64,
+        utilization: f64,
+        instances: u32,
+        mean_response_time: Option<f64>,
+    ) -> Result<Self, DemandError> {
+        if !duration.is_finite() {
+            return Err(DemandError::InvalidSample {
+                field: "duration",
+                value: duration,
+            });
+        }
+        if !(arrivals >= 0.0) || !arrivals.is_finite() {
+            return Err(DemandError::InvalidSample {
+                field: "arrivals",
+                value: arrivals,
+            });
+        }
+        if !(completions >= 0.0) || !completions.is_finite() {
+            return Err(DemandError::InvalidSample {
+                field: "completions",
+                value: completions,
+            });
+        }
+        if !utilization.is_finite() {
+            return Err(DemandError::InvalidSample {
+                field: "utilization",
+                value: utilization,
+            });
+        }
+        if let Some(rt) = mean_response_time {
+            if !rt.is_finite() {
+                return Err(DemandError::InvalidSample {
+                    field: "mean_response_time",
+                    value: rt,
+                });
+            }
+        }
+        // Validated non-negative finite counts: the saturating float-to-int
+        // cast is exact below 2^53 and cannot go negative.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let sample = Self::new(
+            duration,
+            arrivals.round() as u64,
+            utilization,
+            instances,
+            mean_response_time,
+        )?
+        .with_completions(completions.round() as u64);
+        Ok(sample)
+    }
+
+    /// An empty window: a zero-arrival, zero-utilization sample used as a
+    /// last-resort stand-in when monitoring reports nothing usable and no
+    /// earlier sample is available. Infallible: the inputs are sanitized
+    /// (`duration` to ≥ 1 s, `instances` to ≥ 1).
+    pub fn zero(duration: f64, instances: u32) -> Self {
+        let duration = if duration.is_finite() {
+            duration.max(1.0)
+        } else {
+            60.0
+        };
+        MonitoringSample {
+            duration,
+            arrivals: 0,
+            completions: Some(0),
+            utilization: 0.0,
+            instances: instances.max(1),
+            mean_response_time: None,
+        }
+    }
+
     /// Sets the number of requests *completed* during the window, when it
     /// differs from the arrivals (an overloaded service completes fewer
     /// than arrive; a draining one completes more). Estimators use this
@@ -173,5 +258,46 @@ mod tests {
     fn zero_arrivals_is_valid_but_zero_rate() {
         let s = MonitoringSample::new(30.0, 0, 0.0, 1, None).unwrap();
         assert_eq!(s.arrival_rate(), 0.0);
+    }
+
+    #[test]
+    fn from_observed_accepts_clean_readings() {
+        let s = MonitoringSample::from_observed(60.0, 600.4, 590.6, 0.5, 4, Some(0.2)).unwrap();
+        assert_eq!(s.arrivals(), 600);
+        assert_eq!(s.completions(), 591);
+        assert_eq!(s.utilization(), 0.5);
+        assert_eq!(s.instances(), 4);
+    }
+
+    #[test]
+    fn from_observed_rejects_nan_and_negative_counts() {
+        // NaN arrivals — the corrupt-sample fault class.
+        assert!(MonitoringSample::from_observed(60.0, f64::NAN, 1.0, 0.5, 1, None).is_err());
+        assert!(MonitoringSample::from_observed(60.0, 1.0, f64::NAN, 0.5, 1, None).is_err());
+        // Negative counts.
+        assert!(MonitoringSample::from_observed(60.0, -601.0, 1.0, 0.5, 1, None).is_err());
+        assert!(MonitoringSample::from_observed(60.0, 1.0, -1.0, 0.5, 1, None).is_err());
+        // Non-finite everything else.
+        assert!(MonitoringSample::from_observed(f64::INFINITY, 1.0, 1.0, 0.5, 1, None).is_err());
+        assert!(MonitoringSample::from_observed(60.0, f64::INFINITY, 1.0, 0.5, 1, None).is_err());
+        assert!(MonitoringSample::from_observed(60.0, 1.0, 1.0, f64::NAN, 1, None).is_err());
+        assert!(MonitoringSample::from_observed(60.0, 1.0, 1.0, -0.6, 1, None).is_err());
+        assert!(MonitoringSample::from_observed(60.0, 1.0, 1.0, 0.5, 1, Some(f64::NAN)).is_err());
+        // The `new` conditions still apply.
+        assert!(MonitoringSample::from_observed(0.0, 1.0, 1.0, 0.5, 1, None).is_err());
+        assert!(MonitoringSample::from_observed(60.0, 1.0, 1.0, 0.5, 0, None).is_err());
+    }
+
+    #[test]
+    fn zero_sample_is_sanitized_and_quiet() {
+        let s = MonitoringSample::zero(60.0, 4);
+        assert_eq!(s.arrivals(), 0);
+        assert_eq!(s.completions(), 0);
+        assert_eq!(s.utilization(), 0.0);
+        assert_eq!(s.instances(), 4);
+        let degenerate = MonitoringSample::zero(f64::NAN, 0);
+        assert_eq!(degenerate.duration(), 60.0);
+        assert_eq!(degenerate.instances(), 1);
+        assert_eq!(MonitoringSample::zero(-5.0, 2).duration(), 1.0);
     }
 }

@@ -40,6 +40,7 @@ pub mod aggregate;
 pub mod demand_curve;
 pub mod elasticity;
 pub mod report;
+pub mod robustness;
 pub mod step;
 
 pub use accounting::{adaptation_rate_per_hour, adaptations, instance_seconds};
@@ -47,4 +48,5 @@ pub use aggregate::{worst_case_deviation, WorstCaseDeviation};
 pub use demand_curve::{demand_curve, demand_curves};
 pub use elasticity::{elasticity_metrics, ElasticityMetrics};
 pub use report::{render_table, ScalerReport};
+pub use robustness::{render_robustness_table, RobustnessReport};
 pub use step::StepFn;

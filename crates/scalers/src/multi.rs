@@ -127,6 +127,27 @@ impl IndependentScalers {
         estimated_demands: &[f64],
     ) -> Vec<i64> {
         let measured_rate = entry_requests as f64 / interval.max(1e-9);
+        self.decide_rate(time, interval, measured_rate, instances, estimated_demands)
+    }
+
+    /// Like [`decide`](IndependentScalers::decide), but takes the measured
+    /// entry *rate* directly — the form experiment harnesses use when the
+    /// rate comes from a validated (possibly held) monitoring sample
+    /// rather than a raw request count. Non-finite or negative rates are
+    /// treated as zero load.
+    pub fn decide_rate(
+        &mut self,
+        time: f64,
+        interval: f64,
+        entry_rate: f64,
+        instances: &[u32],
+        estimated_demands: &[f64],
+    ) -> Vec<i64> {
+        let measured_rate = if entry_rate.is_finite() {
+            entry_rate.max(0.0)
+        } else {
+            0.0
+        };
         let demands: Vec<f64> = (0..self.scalers.len())
             .map(|i| {
                 estimated_demands
@@ -229,5 +250,25 @@ mod tests {
     #[should_panic(expected = "one scaler per service")]
     fn mismatched_lengths_panic() {
         let _ = IndependentScalers::new(vec![Box::new(React::default())], vec![0.1, 0.2]);
+    }
+
+    #[test]
+    fn decide_rate_matches_decide_and_sanitizes() {
+        let mut by_count =
+            IndependentScalers::homogeneous(vec![0.059, 0.1, 0.04], || Box::new(React::default()));
+        let mut by_rate =
+            IndependentScalers::homogeneous(vec![0.059, 0.1, 0.04], || Box::new(React::default()));
+        let a = by_count.decide(0.0, 60.0, 6000, &[1, 1, 1], &[]);
+        let b = by_rate.decide_rate(0.0, 60.0, 100.0, &[1, 1, 1], &[]);
+        assert_eq!(a, b);
+        // Garbage rates are zero load, not a panic.
+        by_rate.reset();
+        let quiet = by_rate.decide_rate(60.0, 60.0, f64::NAN, &[5, 5, 5], &[]);
+        assert!(
+            quiet.iter().all(|&d| d <= 0),
+            "NaN rate scales down: {quiet:?}"
+        );
+        let quiet = by_rate.decide_rate(120.0, 60.0, -50.0, &[5, 5, 5], &[]);
+        assert!(quiet.iter().all(|&d| d <= 0));
     }
 }

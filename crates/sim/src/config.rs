@@ -126,6 +126,8 @@ pub struct SimulationConfig {
     /// Optional nested deployment: containers boot into a shared VM pool
     /// and stall when no slot is free (see [`crate::nested`]).
     pub vm_pool: Option<crate::nested::VmPoolConfig>,
+    /// Optional deterministic fault injection (see [`crate::fault`]).
+    pub fault_plan: Option<crate::fault::FaultPlan>,
 }
 
 impl SimulationConfig {
@@ -138,6 +140,7 @@ impl SimulationConfig {
             monitoring_interval: 60.0,
             seed,
             vm_pool: None,
+            fault_plan: None,
         }
     }
 
@@ -145,6 +148,14 @@ impl SimulationConfig {
     /// pool.
     pub fn with_vm_pool(mut self, pool: crate::nested::VmPoolConfig) -> Self {
         self.vm_pool = Some(pool);
+        self
+    }
+
+    /// Attaches a deterministic fault-injection plan: the engine then
+    /// drops/delays/corrupts monitoring samples, fails or slows
+    /// actuations, and crashes instances as the plan dictates.
+    pub fn with_fault_plan(mut self, plan: crate::fault::FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 

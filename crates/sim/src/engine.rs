@@ -2,8 +2,9 @@
 
 use crate::config::SimulationConfig;
 use crate::error::SimError;
+use crate::fault::{FaultKind, FaultRecord};
 use crate::nested::VmPoolState;
-use crate::stats::{ServiceIntervalStats, SimulationResult, SupplyChange};
+use crate::stats::{ObservedSample, ServiceIntervalStats, SimulationResult, SupplyChange};
 use chamulteon_perfmodel::ApplicationModel;
 use chamulteon_workload::{LoadTrace, PoissonArrivals};
 use rand::rngs::StdRng;
@@ -52,6 +53,9 @@ enum EventKind {
     VmReady,
     /// Monitoring interval boundary.
     MonitorTick,
+    /// An injected fault kills `count` running instances (idle ones die
+    /// instantly, busy ones drain their current request first).
+    Crash { service: usize, count: u32 },
 }
 
 impl Eq for Scheduled {}
@@ -187,6 +191,13 @@ pub struct Simulation {
     tolerating: u64,
     response_time_sum: f64,
     interval_history: Vec<Vec<ServiceIntervalStats>>,
+    // Fault injection.
+    observed_history: Vec<Vec<Option<ObservedSample>>>,
+    fault_log: Vec<FaultRecord>,
+    /// Per-target scaling-command counters (one per service plus one for
+    /// the VM pool) salting the fault plan's actuation rolls, so a retry
+    /// of a transiently failed command rolls afresh.
+    actuation_attempts: Vec<u64>,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -272,10 +283,41 @@ impl Simulation {
             tolerating: 0,
             response_time_sum: 0.0,
             interval_history: vec![Vec::new(); model.service_count()],
+            observed_history: vec![Vec::new(); model.service_count()],
+            fault_log: Vec::new(),
+            actuation_attempts: vec![0; model.service_count() + 1],
             config,
         };
         sim.schedule(sim.config.monitoring_interval, EventKind::MonitorTick);
+        sim.schedule_planned_crashes();
         sim
+    }
+
+    /// Pre-schedules every instance crash the fault plan dictates: one
+    /// roll per (service, monitoring interval), firing mid-interval.
+    fn schedule_planned_crashes(&mut self) {
+        let interval = self.config.monitoring_interval;
+        if !(interval > 0.0) {
+            return;
+        }
+        let mut crashes: Vec<(f64, usize, u32)> = Vec::new();
+        if let Some(plan) = &self.config.fault_plan {
+            let mut start = 0.0;
+            let mut k = 0usize;
+            while start + interval <= self.duration + 1e-9 {
+                let mid = start + interval / 2.0;
+                for service in 0..self.services.len() {
+                    if let Some(count) = plan.crash_fault(service, k, mid) {
+                        crashes.push((mid, service, count));
+                    }
+                }
+                start += interval;
+                k += 1;
+            }
+        }
+        for (time, service, count) in crashes {
+            self.schedule(time, EventKind::Crash { service, count });
+        }
     }
 
     /// Current simulation time in seconds.
@@ -353,18 +395,56 @@ impl Simulation {
         Ok(())
     }
 
+    /// Consults the fault plan for the next scaling command aimed at
+    /// `target_index` (a service index, or `service_count` for the VM
+    /// pool). Returns the extra provisioning delay to apply, or an error
+    /// for an injected transient failure. Every injected fault is logged.
+    fn check_actuation_fault(&mut self, target_index: usize) -> Result<f64, SimError> {
+        let attempt = self.actuation_attempts[target_index];
+        self.actuation_attempts[target_index] = attempt.wrapping_add(1);
+        let fault = self
+            .config
+            .fault_plan
+            .as_ref()
+            .and_then(|p| p.actuation_fault(target_index, attempt, self.now));
+        match fault {
+            Some(kind @ FaultKind::ActuationFail) => {
+                self.fault_log.push(FaultRecord {
+                    time: self.now,
+                    service: target_index,
+                    kind,
+                });
+                Err(SimError::ActuationFailed {
+                    service: target_index,
+                })
+            }
+            Some(kind @ FaultKind::ActuationDelay { extra }) => {
+                self.fault_log.push(FaultRecord {
+                    time: self.now,
+                    service: target_index,
+                    kind,
+                });
+                Ok(extra.max(0.0))
+            }
+            _ => Ok(0.0),
+        }
+    }
+
     /// Issues a scaling command: provisioning and deprovisioning delays
     /// from the deployment profile apply. The target is clamped into the
     /// model's `[min_instances, max_instances]`.
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::UnknownService`] for an out-of-range index.
+    /// Returns [`SimError::UnknownService`] for an out-of-range index and
+    /// [`SimError::ActuationFailed`] when an injected fault makes the
+    /// command fail transiently (retrying may succeed).
     pub fn scale_to(&mut self, service: usize, target: u32) -> Result<(), SimError> {
         let target = self.clamp_to_bounds(service, target)?;
+        let extra_delay = self.check_actuation_fault(service)?;
         let provisioned = self.services[service].provisioned();
-        let prov_delay = self.config.profile.provisioning_delay;
-        let deprov_delay = self.config.profile.deprovisioning_delay;
+        let prov_delay = self.config.profile.provisioning_delay + extra_delay;
+        let deprov_delay = self.config.profile.deprovisioning_delay + extra_delay;
         match target.cmp(&provisioned) {
             Ordering::Greater => {
                 let add = target - provisioned;
@@ -481,9 +561,12 @@ impl Simulation {
     /// # Errors
     ///
     /// Returns [`SimError::InvalidConfig`] when the simulation has no VM
-    /// pool.
+    /// pool and [`SimError::ActuationFailed`] when an injected fault makes
+    /// the command fail transiently.
     pub fn scale_vms(&mut self, target: u32) -> Result<(), SimError> {
         let now = self.now;
+        let pool_index = self.services.len();
+        let extra_delay = self.check_actuation_fault(pool_index)?;
         let Some(pool) = &mut self.pool else {
             return Err(SimError::InvalidConfig {
                 field: "vm_pool",
@@ -496,7 +579,7 @@ impl Simulation {
             Ordering::Greater => {
                 let add = target - provisioned;
                 pool.pending += add;
-                let delay = pool.config.vm_boot_delay;
+                let delay = pool.config.vm_boot_delay + extra_delay;
                 for _ in 0..add {
                     self.schedule(now + delay, EventKind::VmReady);
                 }
@@ -541,7 +624,27 @@ impl Simulation {
 
     /// Runs the simulation until time `t` (clamped to the trace duration),
     /// processing all arrivals and events in order.
-    pub fn run_until(&mut self, t: f64) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TimeReversed`] when `t` is NaN or earlier than
+    /// the current simulation time — simulated time is monotonic, and
+    /// silently rewinding `now` would corrupt every integral the
+    /// monitoring statistics are built from.
+    pub fn run_until(&mut self, t: f64) -> Result<(), SimError> {
+        if t.is_nan() || t < self.now {
+            return Err(SimError::TimeReversed {
+                target: t,
+                now: self.now,
+            });
+        }
+        self.advance_to(t);
+        Ok(())
+    }
+
+    /// Infallible core of [`run_until`](Simulation::run_until): `t` has
+    /// been validated as monotonic.
+    fn advance_to(&mut self, t: f64) {
         let t = t.min(self.duration);
         loop {
             let next_event_time = self.events.peek().map(|e| e.time);
@@ -574,7 +677,7 @@ impl Simulation {
 
     /// Runs to the end of the trace and returns the collected result.
     pub fn run_to_end(mut self) -> SimulationResult {
-        self.run_until(self.duration);
+        self.advance_to(self.duration);
         self.finish()
     }
 
@@ -595,6 +698,7 @@ impl Simulation {
             in_flight_at_end: self.in_flight,
             response_time_sum: self.response_time_sum,
             interval_history: self.interval_history,
+            fault_log: self.fault_log,
         }
     }
 
@@ -610,6 +714,25 @@ impl Simulation {
             return None;
         }
         Some(self.interval_history.iter().map(|h| h[index]).collect())
+    }
+
+    /// What monitoring *reported* for interval `index` (0-based), one
+    /// entry per service: `None` inside the vector is a dropped sample,
+    /// and reported values may be stale or corrupt under an active fault
+    /// plan (without one they faithfully mirror [`interval`]). Returns
+    /// `None` if the interval has not completed yet.
+    ///
+    /// [`interval`]: Simulation::interval
+    pub fn observe_interval(&self, index: usize) -> Option<Vec<Option<ObservedSample>>> {
+        if index >= self.intervals_completed() {
+            return None;
+        }
+        Some(self.observed_history.iter().map(|h| h[index]).collect())
+    }
+
+    /// Every fault injected so far, in time order.
+    pub fn fault_log(&self) -> &[FaultRecord] {
+        &self.fault_log
     }
 
     // ------------------------------------------------------------------
@@ -708,7 +831,38 @@ impl Simulation {
             }
             EventKind::VmReady => self.on_vm_ready(),
             EventKind::MonitorTick => self.on_monitor_tick(),
+            EventKind::Crash { service, count } => self.on_crash(service, count),
         }
+    }
+
+    /// An injected crash: idle instances die immediately, busy ones drain
+    /// their current request and then die (via the retiring path). The
+    /// scaling `target` is deliberately left untouched — the controller
+    /// observes the shortfall through monitoring and must re-order the
+    /// lost capacity itself.
+    fn on_crash(&mut self, service: usize, count: u32) {
+        let now = self.now;
+        {
+            let state = &mut self.services[service];
+            state.touch(now);
+            let idle = state.running - state.busy;
+            let kill_idle = count.min(idle);
+            state.running -= kill_idle;
+            let drain = (count - kill_idle).min(state.busy.saturating_sub(state.retiring));
+            state.retiring += drain;
+            if kill_idle > 0 {
+                if let Some(pool) = &mut self.pool {
+                    pool.slots_in_use = pool.slots_in_use.saturating_sub(kill_idle);
+                }
+            }
+        }
+        self.fault_log.push(FaultRecord {
+            time: now,
+            service,
+            kind: FaultKind::InstanceCrash { count },
+        });
+        self.drain_waiting_boots();
+        self.record_supply(service);
     }
 
     fn on_completion(&mut self, service: usize, request: usize) {
@@ -860,8 +1014,43 @@ impl Simulation {
             state.interval_response_sum = 0.0;
             state.interval_response_count = 0;
         }
+        self.record_observations(now);
         if now + interval <= self.duration + 1e-9 {
             self.schedule(now + interval, EventKind::MonitorTick);
+        }
+    }
+
+    /// Derives what monitoring *reports* for the interval that just closed:
+    /// faithful copies of the truth without a fault plan, and dropped,
+    /// stale or corrupted samples under one. Every injected monitoring
+    /// fault is logged.
+    fn record_observations(&mut self, now: f64) {
+        let k = self.intervals_completed().saturating_sub(1);
+        for idx in 0..self.services.len() {
+            let fault = self
+                .config
+                .fault_plan
+                .as_ref()
+                .and_then(|p| p.monitor_fault(idx, k, now));
+            let observed = match fault {
+                Some(FaultKind::DropSample) => None,
+                Some(FaultKind::DelaySample { intervals }) => k
+                    .checked_sub(intervals)
+                    .map(|j| ObservedSample::from_stats(&self.interval_history[idx][j])),
+                Some(FaultKind::CorruptSample { mode }) => {
+                    Some(ObservedSample::from_stats(&self.interval_history[idx][k]).corrupted(mode))
+                }
+                // `monitor_fault` only returns monitoring kinds.
+                None | Some(_) => Some(ObservedSample::from_stats(&self.interval_history[idx][k])),
+            };
+            if let Some(kind) = fault {
+                self.fault_log.push(FaultRecord {
+                    time: now,
+                    service: idx,
+                    kind,
+                });
+            }
+            self.observed_history[idx].push(observed);
         }
     }
 }
@@ -954,7 +1143,7 @@ mod tests {
         sim.set_supply(0, 10).unwrap();
         sim.set_supply(1, 10).unwrap();
         sim.set_supply(2, 10).unwrap();
-        sim.run_until(600.0);
+        sim.run_until(600.0).unwrap();
         // Expected utilizations: λ·D/n = 50·0.059/10, 50·0.1/10, 50·0.04/10.
         let expect = [0.295, 0.5, 0.2];
         let last = sim.intervals_completed() - 1;
@@ -976,7 +1165,7 @@ mod tests {
         sim.set_supply(0, 20).unwrap();
         sim.set_supply(1, 20).unwrap();
         sim.set_supply(2, 20).unwrap();
-        sim.run_until(300.0);
+        sim.run_until(300.0).unwrap();
         assert_eq!(sim.intervals_completed(), 5);
         let stats = sim.interval(0).unwrap();
         // ~6000 arrivals per 60 s window at the entry; Poisson sd ≈ 77.
@@ -996,9 +1185,9 @@ mod tests {
         assert_eq!(sim.running(0), 1);
         sim.scale_to(0, 5).unwrap();
         assert_eq!(sim.provisioned(0), 5);
-        sim.run_until(50.0);
+        sim.run_until(50.0).unwrap();
         assert_eq!(sim.running(0), 1, "instances not ready before the delay");
-        sim.run_until(150.0);
+        sim.run_until(150.0).unwrap();
         assert_eq!(sim.running(0), 5, "instances ready after the delay");
     }
 
@@ -1008,7 +1197,7 @@ mod tests {
         let mut sim = Simulation::new(&model, &flat_trace(0.0, 300.0), config(9));
         sim.set_supply(1, 10).unwrap();
         sim.scale_to(1, 2).unwrap();
-        sim.run_until(10.0);
+        sim.run_until(10.0).unwrap();
         assert_eq!(sim.running(1), 2);
     }
 
@@ -1020,7 +1209,7 @@ mod tests {
         assert_eq!(sim.provisioned(0), 10);
         sim.scale_to(0, 3).unwrap();
         assert_eq!(sim.provisioned(0), 3);
-        sim.run_until(60.0);
+        sim.run_until(60.0).unwrap();
         assert_eq!(sim.running(0), 3);
     }
 
@@ -1039,9 +1228,9 @@ mod tests {
     fn supply_timeline_records_changes() {
         let model = ApplicationModel::paper_benchmark();
         let mut sim = Simulation::new(&model, &flat_trace(0.0, 300.0), config(12));
-        sim.run_until(100.0);
+        sim.run_until(100.0).unwrap();
         sim.scale_to(0, 4).unwrap();
-        sim.run_until(300.0);
+        sim.run_until(300.0).unwrap();
         let result = sim.finish();
         assert_eq!(result.supply_at(0, 0.0), 1);
         // Docker delay is 10 s.
@@ -1052,7 +1241,7 @@ mod tests {
     #[test]
     fn requests_flow_through_all_services() {
         let mut sim = well_provisioned(30.0, 120.0, 13);
-        sim.run_until(120.0);
+        sim.run_until(120.0).unwrap();
         let stats = sim.interval(0).unwrap();
         // Every tier sees roughly the same number of requests on a chain.
         let a0 = stats[0].arrivals as f64;
@@ -1069,7 +1258,7 @@ mod tests {
         sim.set_supply(0, 1).unwrap(); // capacity ≈ 16.9 req/s
         sim.set_supply(1, 20).unwrap();
         sim.set_supply(2, 20).unwrap();
-        sim.run_until(300.0);
+        sim.run_until(300.0).unwrap();
         let stats = sim.interval(3).unwrap();
         // Validation tier receives roughly the UI's saturation throughput.
         let downstream_rate = stats[1].arrivals as f64 / 60.0;
@@ -1112,9 +1301,9 @@ mod tests {
         let cfg = SimulationConfig::new(profile, SloPolicy::default(), 22);
         let mut sim = Simulation::new(&model, &flat_trace(1.0, 400.0), cfg);
         sim.scale_vertical(0, 4.0).unwrap();
-        sim.run_until(50.0);
+        sim.run_until(50.0).unwrap();
         assert_eq!(sim.speed(0), 1.0, "resize not yet effective");
-        sim.run_until(150.0);
+        sim.run_until(150.0).unwrap();
         assert_eq!(sim.speed(0), 4.0);
     }
 
@@ -1142,13 +1331,13 @@ mod tests {
         sim.scale_to(0, 6).unwrap();
         assert_eq!(sim.provisioned(0), 6);
         assert_eq!(sim.waiting_containers(), Some(4));
-        sim.run_until(60.0);
+        sim.run_until(60.0).unwrap();
         assert_eq!(sim.running(0), 2, "only one slot was free");
         // Add a VM: after its 300 s boot the waiting containers start.
         sim.scale_vms(2).unwrap();
-        sim.run_until(200.0);
+        sim.run_until(200.0).unwrap();
         assert_eq!(sim.running(0), 2, "VM not ready yet");
-        sim.run_until(400.0);
+        sim.run_until(400.0).unwrap();
         assert_eq!(sim.running(0), 6, "waiting boots drained after VM ready");
         assert_eq!(sim.waiting_containers(), Some(0));
     }
@@ -1162,14 +1351,14 @@ mod tests {
         let mut sim = Simulation::new(&model, &flat_trace(0.0, 600.0), cfg);
         // Fill the pool: ui 1->2 (slot 4 taken).
         sim.scale_to(0, 2).unwrap();
-        sim.run_until(30.0);
+        sim.run_until(30.0).unwrap();
         assert_eq!(sim.free_slots(), Some(0));
         // Validation wants one more: must wait.
         sim.scale_to(1, 2).unwrap();
         assert_eq!(sim.waiting_containers(), Some(1));
         // UI scales back down; the freed slot unblocks validation.
         sim.scale_to(0, 1).unwrap();
-        sim.run_until(100.0);
+        sim.run_until(100.0).unwrap();
         assert_eq!(sim.running(1), 2);
         assert_eq!(sim.waiting_containers(), Some(0));
     }
@@ -1186,7 +1375,7 @@ mod tests {
         // Scale back: waiting boots are dropped first, cheaply.
         sim.scale_to(0, 1).unwrap();
         assert_eq!(sim.waiting_containers(), Some(0));
-        sim.run_until(120.0);
+        sim.run_until(120.0).unwrap();
         assert_eq!(sim.running(0), 1);
     }
 
@@ -1220,5 +1409,183 @@ mod tests {
         let result = sim.run_to_end();
         assert_eq!(result.total_requests(), 0);
         assert_eq!(result.apdex_percent(), 100.0);
+    }
+
+    #[test]
+    fn run_until_rejects_time_reversal() {
+        let model = ApplicationModel::paper_benchmark();
+        let mut sim = Simulation::new(&model, &flat_trace(1.0, 120.0), config(40));
+        sim.run_until(60.0).unwrap();
+        assert_eq!(
+            sim.run_until(30.0),
+            Err(SimError::TimeReversed {
+                target: 30.0,
+                now: 60.0
+            })
+        );
+        assert!(sim.run_until(f64::NAN).is_err());
+        // Equal and forward targets stay fine, as does running past the end.
+        sim.run_until(60.0).unwrap();
+        sim.run_until(500.0).unwrap();
+        assert_eq!(sim.now(), 120.0);
+    }
+
+    #[test]
+    fn observations_mirror_truth_without_faults() {
+        let mut sim = well_provisioned(30.0, 180.0, 41);
+        sim.run_until(180.0).unwrap();
+        assert!(sim.fault_log().is_empty());
+        for k in 0..sim.intervals_completed() {
+            let truth = sim.interval(k).unwrap();
+            let observed = sim.observe_interval(k).unwrap();
+            for (t, o) in truth.iter().zip(&observed) {
+                let o = o.expect("no sample dropped without a fault plan");
+                assert_eq!(o.arrivals, t.arrivals as f64);
+                assert_eq!(o.utilization, t.utilization);
+                assert_eq!(o.instances_end, t.instances_end);
+            }
+        }
+        assert!(sim.observe_interval(sim.intervals_completed()).is_none());
+    }
+
+    #[test]
+    fn dropped_and_corrupted_samples_are_observed_and_logged() {
+        use crate::fault::{CorruptionMode, FaultPlan};
+        let model = ApplicationModel::paper_benchmark();
+        let plan = FaultPlan::new(9)
+            .drop_samples(Some(0), 0.0, 1e9, 1.0)
+            .corrupt_samples(Some(1), 0.0, 1e9, 1.0, CorruptionMode::Nan);
+        let cfg = config(42).with_fault_plan(plan);
+        let mut sim = Simulation::new(&model, &flat_trace(20.0, 180.0), cfg);
+        sim.set_supply(0, 4).unwrap();
+        sim.set_supply(1, 4).unwrap();
+        sim.set_supply(2, 4).unwrap();
+        sim.run_until(180.0).unwrap();
+        let observed = sim.observe_interval(0).unwrap();
+        assert!(observed[0].is_none(), "service 0 samples are dropped");
+        let corrupt = observed[1].expect("corrupt samples still arrive");
+        assert!(corrupt.arrivals.is_nan());
+        let clean = observed[2].expect("service 2 untouched");
+        assert!(clean.arrivals > 0.0);
+        // Ground truth is unaffected by monitoring faults.
+        assert!(sim.interval(0).unwrap()[0].arrivals > 0);
+        // Two faults per completed interval (services 0 and 1).
+        assert_eq!(sim.fault_log().len(), 2 * sim.intervals_completed());
+    }
+
+    #[test]
+    fn delayed_samples_report_stale_intervals() {
+        use crate::fault::FaultPlan;
+        let model = ApplicationModel::paper_benchmark();
+        let plan = FaultPlan::new(9).delay_samples(Some(0), 0.0, 1e9, 1.0, 1);
+        let cfg = config(43).with_fault_plan(plan);
+        let mut sim = Simulation::new(&model, &flat_trace(20.0, 240.0), cfg);
+        sim.set_supply(0, 4).unwrap();
+        sim.run_until(240.0).unwrap();
+        // Interval 0 has no predecessor: the delayed sample is missing.
+        assert!(sim.observe_interval(0).unwrap()[0].is_none());
+        // Later intervals report the previous window's truth.
+        for k in 1..sim.intervals_completed() {
+            let stale = sim.observe_interval(k).unwrap()[0].expect("stale sample present");
+            let prev = sim.interval(k - 1).unwrap()[0];
+            assert_eq!(stale.arrivals, prev.arrivals as f64);
+            assert_eq!(stale.start, prev.start);
+        }
+    }
+
+    #[test]
+    fn actuation_failures_surface_and_retries_can_succeed() {
+        use crate::fault::FaultPlan;
+        let model = ApplicationModel::paper_benchmark();
+        let plan = FaultPlan::new(5).fail_actuations(None, 0.0, 1e9, 0.5);
+        let cfg = config(44).with_fault_plan(plan);
+        let mut sim = Simulation::new(&model, &flat_trace(1.0, 600.0), cfg);
+        let mut failures = 0;
+        let mut successes = 0;
+        for _ in 0..40 {
+            match sim.scale_to(0, 5) {
+                Ok(()) => successes += 1,
+                Err(SimError::ActuationFailed { service: 0 }) => failures += 1,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(failures > 0, "some commands fail under p=0.5");
+        assert!(successes > 0, "retries eventually succeed under p=0.5");
+        assert_eq!(sim.fault_log().len(), failures);
+    }
+
+    #[test]
+    fn actuation_delay_slows_provisioning() {
+        use crate::fault::FaultPlan;
+        let model = ApplicationModel::paper_benchmark();
+        let plan = FaultPlan::new(6).delay_actuations(None, 0.0, 1e9, 1.0, 200.0);
+        let cfg = config(45).with_fault_plan(plan);
+        let mut sim = Simulation::new(&model, &flat_trace(1.0, 400.0), cfg);
+        sim.scale_to(0, 5).unwrap();
+        // Docker delay is 10 s; the injected extra is 200 s.
+        sim.run_until(100.0).unwrap();
+        assert_eq!(sim.running(0), 1, "boot delayed by the injected fault");
+        sim.run_until(250.0).unwrap();
+        assert_eq!(sim.running(0), 5);
+        assert_eq!(sim.fault_log().len(), 1);
+    }
+
+    #[test]
+    fn instance_crashes_drop_supply_but_not_target() {
+        use crate::fault::FaultPlan;
+        let model = ApplicationModel::paper_benchmark();
+        let plan = FaultPlan::new(8).crash_instances(Some(0), 0.0, 60.0, 1.0, 3);
+        let cfg = config(46).with_fault_plan(plan);
+        let mut sim = Simulation::new(&model, &flat_trace(0.0, 300.0), cfg);
+        sim.set_supply(0, 8).unwrap();
+        sim.run_until(60.0).unwrap();
+        assert_eq!(sim.running(0), 5, "three instances crashed");
+        assert_eq!(
+            sim.fault_log(),
+            &[FaultRecord {
+                time: 30.0,
+                service: 0,
+                kind: FaultKind::InstanceCrash { count: 3 },
+            }]
+        );
+        // The controller can re-order the lost capacity.
+        sim.scale_to(0, 8).unwrap();
+        sim.run_until(120.0).unwrap();
+        assert_eq!(sim.running(0), 8);
+    }
+
+    #[test]
+    fn crash_never_underflows_a_small_service() {
+        use crate::fault::FaultPlan;
+        let model = ApplicationModel::paper_benchmark();
+        let plan = FaultPlan::new(8).crash_instances(None, 0.0, 1e9, 1.0, 50);
+        let cfg = config(47).with_fault_plan(plan);
+        let mut sim = Simulation::new(&model, &flat_trace(10.0, 300.0), cfg);
+        sim.run_until(300.0).unwrap();
+        // Crashing more instances than exist kills what is there, no panic.
+        assert!(sim.running(0) == 0 || sim.running(0) <= 1);
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_end_to_end() {
+        use crate::fault::{CorruptionMode, FaultPlan};
+        let build = || {
+            let plan = FaultPlan::new(123)
+                .drop_samples(None, 0.0, 1e9, 0.3)
+                .corrupt_samples(None, 0.0, 1e9, 0.2, CorruptionMode::Negative)
+                .crash_instances(None, 0.0, 1e9, 0.2, 1);
+            let cfg = config(48).with_fault_plan(plan);
+            let model = ApplicationModel::paper_benchmark();
+            let mut sim = Simulation::new(&model, &flat_trace(30.0, 600.0), cfg);
+            sim.set_supply(0, 6).unwrap();
+            sim.set_supply(1, 8).unwrap();
+            sim.set_supply(2, 6).unwrap();
+            sim.run_to_end()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.fault_log, b.fault_log);
+        assert!(!a.fault_log.is_empty(), "plan injected something");
+        assert_eq!(a, b);
     }
 }

@@ -21,6 +21,21 @@ pub enum SimError {
         /// The value that was passed.
         value: f64,
     },
+    /// An injected fault made a scaling command fail transiently; the
+    /// caller may retry.
+    ActuationFailed {
+        /// The service whose actuation failed (`service_count` denotes
+        /// the VM pool).
+        service: usize,
+    },
+    /// `run_until` was asked to run to a target time earlier than the
+    /// current simulation time (or NaN) — simulated time is monotonic.
+    TimeReversed {
+        /// The requested target time.
+        target: f64,
+        /// The current simulation time.
+        now: f64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -31,6 +46,15 @@ impl fmt::Display for SimError {
             }
             SimError::InvalidConfig { field, value } => {
                 write!(f, "invalid configuration `{field}`: {value}")
+            }
+            SimError::ActuationFailed { service } => {
+                write!(f, "transient actuation failure on service {service}")
+            }
+            SimError::TimeReversed { target, now } => {
+                write!(
+                    f,
+                    "cannot run the simulation backwards: target {target} s is before now {now} s"
+                )
             }
         }
     }
@@ -53,5 +77,24 @@ mod tests {
         }
         .to_string()
         .contains("slo"));
+    }
+
+    #[test]
+    fn actuation_failed_display_names_the_service() {
+        let msg = SimError::ActuationFailed { service: 2 }.to_string();
+        assert!(msg.contains("actuation failure"), "{msg}");
+        assert!(msg.contains('2'), "{msg}");
+    }
+
+    #[test]
+    fn time_reversed_display_names_both_times() {
+        let msg = SimError::TimeReversed {
+            target: 10.0,
+            now: 50.0,
+        }
+        .to_string();
+        assert!(msg.contains("backwards"), "{msg}");
+        assert!(msg.contains("10"), "{msg}");
+        assert!(msg.contains("50"), "{msg}");
     }
 }

@@ -1,0 +1,463 @@
+//! Deterministic fault injection for the simulator.
+//!
+//! A [`FaultPlan`] describes *when* and *where* the environment misbehaves:
+//! monitoring samples get dropped, delayed or corrupted, actuations fail
+//! transiently or complete late, and running instances crash mid-interval.
+//! The plan is attached to a [`crate::SimulationConfig`] and consulted by
+//! the engine; every injected fault is recorded as a [`FaultRecord`] so
+//! experiments can report exactly what the scaler was subjected to.
+//!
+//! # Determinism
+//!
+//! Every fault decision is a *pure function* of the plan seed and the
+//! decision coordinates (window index, service, monitoring interval or
+//! actuation attempt): each roll seeds a fresh [`StdRng`] from a hash of
+//! those coordinates. Two plans with the same seed and windows therefore
+//! produce byte-identical fault schedules regardless of query order — the
+//! property the chaos suite pins.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How a corrupted monitoring sample is mangled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CorruptionMode {
+    /// Arrival counts, utilization and response times become NaN.
+    Nan,
+    /// Arrival counts and utilization become negative.
+    Negative,
+    /// Arrival counts are multiplied by `factor` — a monitoring spike
+    /// that is numerically valid but wildly implausible.
+    Spike {
+        /// Multiplier applied to the reported arrivals and completions.
+        factor: f64,
+    },
+}
+
+/// One class of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The monitoring sample for the interval never arrives.
+    DropSample,
+    /// The monitoring sample is stale: the stats of `intervals` windows
+    /// ago are reported instead of the current window's.
+    DelaySample {
+        /// Age of the reported sample in whole monitoring intervals.
+        intervals: usize,
+    },
+    /// The monitoring sample arrives mangled.
+    CorruptSample {
+        /// How the sample is mangled.
+        mode: CorruptionMode,
+    },
+    /// The scaling command fails transiently (the caller may retry).
+    ActuationFail,
+    /// The scaling command is accepted but completes late.
+    ActuationDelay {
+        /// Extra seconds added to the deployment's provisioning delay.
+        extra: f64,
+    },
+    /// Running instances of the service crash mid-interval.
+    InstanceCrash {
+        /// Number of instances killed (idle ones die instantly, busy ones
+        /// drain their current request first).
+        count: u32,
+    },
+}
+
+impl FaultKind {
+    /// Whether this kind targets the monitoring path.
+    fn is_monitor(self) -> bool {
+        matches!(
+            self,
+            FaultKind::DropSample | FaultKind::DelaySample { .. } | FaultKind::CorruptSample { .. }
+        )
+    }
+
+    /// Whether this kind targets the actuation path.
+    fn is_actuation(self) -> bool {
+        matches!(
+            self,
+            FaultKind::ActuationFail | FaultKind::ActuationDelay { .. }
+        )
+    }
+}
+
+/// One fault-injection window: a fault class active for `service` (or all
+/// services) between `start` and `end`, firing with `probability` at each
+/// decision point (monitoring interval, actuation attempt).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultWindow {
+    /// Target service index; `None` hits every service (and, for
+    /// actuation faults, the VM pool).
+    pub service: Option<usize>,
+    /// Window start in simulation seconds (inclusive).
+    pub start: f64,
+    /// Window end in simulation seconds (exclusive).
+    pub end: f64,
+    /// Probability in `[0, 1]` that the fault fires at a decision point
+    /// inside the window.
+    pub probability: f64,
+    /// The fault class injected.
+    pub kind: FaultKind,
+}
+
+/// A fault injected by the engine, for the experiment record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRecord {
+    /// Simulation time at which the fault took effect.
+    pub time: f64,
+    /// Service hit (`service_count` denotes the VM pool).
+    pub service: usize,
+    /// What was injected.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, seeded schedule of environment faults.
+///
+/// Build one with the `with_*` constructors and attach it via
+/// [`crate::SimulationConfig::with_fault_plan`]:
+///
+/// ```
+/// use chamulteon_sim::fault::{CorruptionMode, FaultPlan};
+///
+/// let plan = FaultPlan::new(42)
+///     .drop_samples(None, 600.0, 1200.0, 0.5)
+///     .corrupt_samples(Some(1), 0.0, 600.0, 0.3, CorruptionMode::Nan)
+///     .fail_actuations(None, 0.0, 3600.0, 0.25);
+/// assert_eq!(plan.windows().len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    windows: Vec<FaultWindow>,
+}
+
+/// Mixes decision coordinates into a single 64-bit salt (splitmix-style
+/// multipliers keep nearby coordinates decorrelated).
+fn mix(window: u64, class: u64, service: u64, slot: u64) -> u64 {
+    window.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ class.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ service.wrapping_mul(0xD1B5_4A32_D192_ED03)
+        ^ slot.wrapping_mul(0x94D0_49BB_1331_11EB)
+}
+
+/// Saturating usize → u64 for salt material.
+fn salt(value: usize) -> u64 {
+    u64::try_from(value).unwrap_or(u64::MAX)
+}
+
+impl FaultPlan {
+    /// Creates an empty plan with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            windows: Vec::new(),
+        }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured fault windows, in insertion order.
+    pub fn windows(&self) -> &[FaultWindow] {
+        &self.windows
+    }
+
+    /// Adds a window; the probability is clamped into `[0, 1]` (NaN maps
+    /// to 0) and an inverted or non-finite time range is discarded.
+    pub fn with_window(mut self, mut window: FaultWindow) -> Self {
+        window.probability = if window.probability.is_nan() {
+            0.0
+        } else {
+            window.probability.clamp(0.0, 1.0)
+        };
+        if window.start.is_finite() && window.end.is_finite() && window.end > window.start {
+            self.windows.push(window);
+        }
+        self
+    }
+
+    /// Adds a sample-drop window.
+    pub fn drop_samples(
+        self,
+        service: Option<usize>,
+        start: f64,
+        end: f64,
+        probability: f64,
+    ) -> Self {
+        self.with_window(FaultWindow {
+            service,
+            start,
+            end,
+            probability,
+            kind: FaultKind::DropSample,
+        })
+    }
+
+    /// Adds a sample-delay window (stale samples, `intervals` windows old).
+    pub fn delay_samples(
+        self,
+        service: Option<usize>,
+        start: f64,
+        end: f64,
+        probability: f64,
+        intervals: usize,
+    ) -> Self {
+        self.with_window(FaultWindow {
+            service,
+            start,
+            end,
+            probability,
+            kind: FaultKind::DelaySample {
+                intervals: intervals.max(1),
+            },
+        })
+    }
+
+    /// Adds a sample-corruption window.
+    pub fn corrupt_samples(
+        self,
+        service: Option<usize>,
+        start: f64,
+        end: f64,
+        probability: f64,
+        mode: CorruptionMode,
+    ) -> Self {
+        self.with_window(FaultWindow {
+            service,
+            start,
+            end,
+            probability,
+            kind: FaultKind::CorruptSample { mode },
+        })
+    }
+
+    /// Adds a transient actuation-failure window.
+    pub fn fail_actuations(
+        self,
+        service: Option<usize>,
+        start: f64,
+        end: f64,
+        probability: f64,
+    ) -> Self {
+        self.with_window(FaultWindow {
+            service,
+            start,
+            end,
+            probability,
+            kind: FaultKind::ActuationFail,
+        })
+    }
+
+    /// Adds a slow-actuation window (`extra` seconds on top of the
+    /// deployment's provisioning delay).
+    pub fn delay_actuations(
+        self,
+        service: Option<usize>,
+        start: f64,
+        end: f64,
+        probability: f64,
+        extra: f64,
+    ) -> Self {
+        self.with_window(FaultWindow {
+            service,
+            start,
+            end,
+            probability,
+            kind: FaultKind::ActuationDelay {
+                extra: extra.max(0.0),
+            },
+        })
+    }
+
+    /// Adds an instance-crash window (`count` instances per firing).
+    pub fn crash_instances(
+        self,
+        service: Option<usize>,
+        start: f64,
+        end: f64,
+        probability: f64,
+        count: u32,
+    ) -> Self {
+        self.with_window(FaultWindow {
+            service,
+            start,
+            end,
+            probability,
+            kind: FaultKind::InstanceCrash {
+                count: count.max(1),
+            },
+        })
+    }
+
+    /// One deterministic uniform roll in `[0, 1)` for a decision point.
+    fn roll(&self, window: usize, class: u64, service: usize, slot: u64) -> f64 {
+        let salt = mix(salt(window), class, salt(service), slot);
+        StdRng::seed_from_u64(self.seed ^ salt).gen::<f64>()
+    }
+
+    fn window_hits(
+        &self,
+        window_idx: usize,
+        window: &FaultWindow,
+        class: u64,
+        service: usize,
+        slot: u64,
+        time: f64,
+    ) -> bool {
+        window.service.is_none_or(|s| s == service)
+            && time >= window.start
+            && time < window.end
+            && self.roll(window_idx, class, service, slot) < window.probability
+    }
+
+    /// The monitoring fault (drop, delay or corrupt) hitting `service`'s
+    /// monitoring interval `interval_index` (closing at `time`), if any.
+    /// The first matching window wins.
+    pub fn monitor_fault(
+        &self,
+        service: usize,
+        interval_index: usize,
+        time: f64,
+    ) -> Option<FaultKind> {
+        self.windows
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.kind.is_monitor())
+            .find(|(i, w)| self.window_hits(*i, w, 1, service, salt(interval_index), time))
+            .map(|(_, w)| w.kind)
+    }
+
+    /// The actuation fault hitting `service`'s scaling command number
+    /// `attempt` issued at `time`, if any. Distinct attempts roll
+    /// independently, so a retry of a transient failure may succeed.
+    /// `service == service_count` denotes the VM pool.
+    pub fn actuation_fault(&self, service: usize, attempt: u64, time: f64) -> Option<FaultKind> {
+        self.windows
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.kind.is_actuation())
+            .find(|(i, w)| self.window_hits(*i, w, 2, service, attempt, time))
+            .map(|(_, w)| w.kind)
+    }
+
+    /// The number of instances of `service` crashing during monitoring
+    /// interval `interval_index` (whose midpoint is `time`), if any.
+    pub fn crash_fault(&self, service: usize, interval_index: usize, time: f64) -> Option<u32> {
+        self.windows
+            .iter()
+            .enumerate()
+            .find_map(|(i, w)| match w.kind {
+                FaultKind::InstanceCrash { count }
+                    if self.window_hits(i, w, 3, service, salt(interval_index), time) =>
+                {
+                    Some(count)
+                }
+                _ => None,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> FaultPlan {
+        FaultPlan::new(7)
+            .drop_samples(None, 100.0, 200.0, 0.5)
+            .fail_actuations(Some(1), 0.0, 1000.0, 0.5)
+            .crash_instances(Some(0), 300.0, 400.0, 1.0, 2)
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_schedules() {
+        let a = plan();
+        let b = plan();
+        for k in 0..50 {
+            let t = 100.0 + k as f64 * 2.0;
+            assert_eq!(a.monitor_fault(0, k, t), b.monitor_fault(0, k, t));
+            assert_eq!(
+                a.actuation_fault(1, k as u64, t),
+                b.actuation_fault(1, k as u64, t)
+            );
+            assert_eq!(a.crash_fault(0, k, 350.0), b.crash_fault(0, k, 350.0));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::new(1).drop_samples(None, 0.0, 1000.0, 0.5);
+        let b = FaultPlan::new(2).drop_samples(None, 0.0, 1000.0, 0.5);
+        let hits_a: Vec<bool> = (0..200)
+            .map(|k| a.monitor_fault(0, k, 10.0).is_some())
+            .collect();
+        let hits_b: Vec<bool> = (0..200)
+            .map(|k| b.monitor_fault(0, k, 10.0).is_some())
+            .collect();
+        assert_ne!(hits_a, hits_b);
+    }
+
+    #[test]
+    fn windows_gate_by_time_and_service() {
+        let p = plan();
+        // Outside the drop window: never fires.
+        assert_eq!(p.monitor_fault(0, 3, 99.0), None);
+        assert_eq!(p.monitor_fault(0, 3, 200.0), None);
+        // Actuation window targets service 1 only.
+        assert_eq!(p.actuation_fault(0, 0, 50.0), None);
+        assert_eq!(p.actuation_fault(2, 0, 50.0), None);
+        // Crash window targets service 0 only, probability 1.
+        assert_eq!(p.crash_fault(0, 5, 350.0), Some(2));
+        assert_eq!(p.crash_fault(1, 5, 350.0), None);
+    }
+
+    #[test]
+    fn probability_extremes() {
+        let never = FaultPlan::new(3).drop_samples(None, 0.0, 1000.0, 0.0);
+        let always = FaultPlan::new(3).drop_samples(None, 0.0, 1000.0, 1.0);
+        for k in 0..100 {
+            assert_eq!(never.monitor_fault(0, k, 10.0), None);
+            assert_eq!(
+                always.monitor_fault(0, k, 10.0),
+                Some(FaultKind::DropSample)
+            );
+        }
+    }
+
+    #[test]
+    fn probability_roughly_respected() {
+        let p = FaultPlan::new(11).drop_samples(None, 0.0, 1e9, 0.3);
+        let hits = (0..1000)
+            .filter(|&k| p.monitor_fault(0, k, 10.0).is_some())
+            .count();
+        assert!((200..400).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn builder_sanitizes_inputs() {
+        let p = FaultPlan::new(1)
+            .drop_samples(None, 10.0, 5.0, 0.5) // inverted range: discarded
+            .drop_samples(None, 0.0, f64::NAN, 0.5) // non-finite: discarded
+            .corrupt_samples(None, 0.0, 10.0, 7.0, CorruptionMode::Nan) // p clamped to 1
+            .delay_samples(None, 0.0, 10.0, f64::NAN, 0) // NaN p -> 0, intervals -> 1
+            .crash_instances(None, 0.0, 10.0, 1.0, 0); // count -> 1
+        assert_eq!(p.windows().len(), 3);
+        assert_eq!(p.windows()[0].probability, 1.0);
+        assert_eq!(p.windows()[1].probability, 0.0);
+        assert_eq!(p.windows()[1].kind, FaultKind::DelaySample { intervals: 1 });
+        assert_eq!(p.windows()[2].kind, FaultKind::InstanceCrash { count: 1 });
+    }
+
+    #[test]
+    fn retry_attempts_roll_independently() {
+        let p = FaultPlan::new(5).fail_actuations(None, 0.0, 1000.0, 0.5);
+        let outcomes: Vec<bool> = (0..50)
+            .map(|a| p.actuation_fault(0, a, 10.0).is_some())
+            .collect();
+        assert!(outcomes.iter().any(|&x| x), "some attempts fail");
+        assert!(outcomes.iter().any(|&x| !x), "some attempts succeed");
+    }
+}

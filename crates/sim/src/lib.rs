@@ -52,11 +52,13 @@
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod nested;
 pub mod stats;
 
 pub use config::{DeploymentProfile, SimulationConfig, SloPolicy};
 pub use engine::Simulation;
 pub use error::SimError;
+pub use fault::{CorruptionMode, FaultKind, FaultPlan, FaultRecord, FaultWindow};
 pub use nested::VmPoolConfig;
-pub use stats::{ServiceIntervalStats, SimulationResult, SupplyChange};
+pub use stats::{ObservedSample, ServiceIntervalStats, SimulationResult, SupplyChange};

@@ -1,5 +1,7 @@
 //! Monitoring statistics and simulation results.
 
+use crate::fault::{CorruptionMode, FaultRecord};
+
 /// Per-service statistics aggregated over one monitoring interval — exactly
 /// the inputs the paper feeds every auto-scaler (§IV-C): "the accumulated
 /// number of requests during the last interval, … and the number of
@@ -25,6 +27,79 @@ pub struct ServiceIntervalStats {
     pub instances_end: u32,
     /// Requests waiting in this service's queue at the end of the interval.
     pub queue_length_end: usize,
+}
+
+/// What the monitoring pipeline *reported* for one service and interval —
+/// as opposed to [`ServiceIntervalStats`], which is the ground truth.
+///
+/// Under an active [`crate::fault::FaultPlan`] the reported values may be
+/// stale or corrupt: arrivals and completions are `f64` here precisely so
+/// NaN and negative counts are representable, and consumers must validate
+/// them at their boundary (`MonitoringSample::from_observed` in
+/// `chamulteon-demand` does this).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObservedSample {
+    /// Reported interval start time in seconds.
+    pub start: f64,
+    /// Reported interval length in seconds.
+    pub duration: f64,
+    /// Reported request arrivals (may be NaN/negative when corrupted).
+    pub arrivals: f64,
+    /// Reported request completions (may be NaN/negative when corrupted).
+    pub completions: f64,
+    /// Reported utilization (may be NaN/negative when corrupted).
+    pub utilization: f64,
+    /// Reported mean response time, when measured.
+    pub mean_response_time: Option<f64>,
+    /// Reported running instances at the end of the interval.
+    pub instances_end: u32,
+    /// Reported queue length at the end of the interval.
+    pub queue_length_end: usize,
+}
+
+#[allow(clippy::cast_precision_loss)] // u64 counts are far below 2^52 here
+impl ObservedSample {
+    /// A faithful report of the ground-truth stats.
+    pub fn from_stats(stats: &ServiceIntervalStats) -> Self {
+        ObservedSample {
+            start: stats.start,
+            duration: stats.duration,
+            arrivals: stats.arrivals as f64,
+            completions: stats.completions as f64,
+            utilization: stats.utilization,
+            mean_response_time: stats.mean_response_time,
+            instances_end: stats.instances_end,
+            queue_length_end: stats.queue_length_end,
+        }
+    }
+
+    /// This report mangled by a corruption fault.
+    pub fn corrupted(mut self, mode: CorruptionMode) -> Self {
+        match mode {
+            CorruptionMode::Nan => {
+                self.arrivals = f64::NAN;
+                self.completions = f64::NAN;
+                self.utilization = f64::NAN;
+                self.mean_response_time = self.mean_response_time.map(|_| f64::NAN);
+            }
+            CorruptionMode::Negative => {
+                self.arrivals = -(self.arrivals + 1.0);
+                self.completions = -(self.completions + 1.0);
+                self.utilization = -(self.utilization + 0.1);
+            }
+            CorruptionMode::Spike { factor } => {
+                let factor = if factor.is_finite() {
+                    factor.max(1.0)
+                } else {
+                    1.0
+                };
+                self.arrivals *= factor;
+                self.completions *= factor;
+                self.utilization = (self.utilization * factor).clamp(0.0, 1.0);
+            }
+        }
+        self
+    }
 }
 
 /// One step of a service's supply timeline: from `time` onward, `running`
@@ -61,6 +136,9 @@ pub struct SimulationResult {
     pub response_time_sum: f64,
     /// Per-service monitoring history (all intervals, in order).
     pub interval_history: Vec<Vec<ServiceIntervalStats>>,
+    /// Every fault the engine injected, in time order (empty without a
+    /// fault plan).
+    pub fault_log: Vec<FaultRecord>,
 }
 
 impl SimulationResult {
@@ -140,6 +218,7 @@ mod tests {
             in_flight_at_end: 10,
             response_time_sum: 45.0,
             interval_history: vec![vec![]],
+            fault_log: Vec::new(),
         }
     }
 
@@ -165,10 +244,46 @@ mod tests {
             in_flight_at_end: 0,
             response_time_sum: 0.0,
             interval_history: vec![vec![]],
+            fault_log: Vec::new(),
         };
         assert_eq!(r.slo_violation_percent(), 0.0);
         assert_eq!(r.apdex_percent(), 100.0);
         assert_eq!(r.mean_response_time(), 0.0);
+    }
+
+    #[test]
+    fn observed_sample_roundtrip_and_corruption() {
+        let truth = ServiceIntervalStats {
+            start: 0.0,
+            duration: 60.0,
+            arrivals: 600,
+            completions: 590,
+            utilization: 0.5,
+            mean_response_time: Some(0.2),
+            instances_end: 4,
+            queue_length_end: 2,
+        };
+        let clean = ObservedSample::from_stats(&truth);
+        assert_eq!(clean.arrivals, 600.0);
+        assert_eq!(clean.completions, 590.0);
+        assert_eq!(clean.instances_end, 4);
+
+        let nan = clean.corrupted(CorruptionMode::Nan);
+        assert!(nan.arrivals.is_nan());
+        assert!(nan.utilization.is_nan());
+        assert!(nan.mean_response_time.unwrap().is_nan());
+
+        let neg = clean.corrupted(CorruptionMode::Negative);
+        assert!(neg.arrivals < 0.0);
+        assert!(neg.utilization < 0.0);
+
+        let spike = clean.corrupted(CorruptionMode::Spike { factor: 100.0 });
+        assert_eq!(spike.arrivals, 60_000.0);
+        assert_eq!(spike.utilization, 1.0);
+
+        // Degenerate spike factors are neutralized.
+        let flat = clean.corrupted(CorruptionMode::Spike { factor: f64::NAN });
+        assert_eq!(flat.arrivals, 600.0);
     }
 
     #[test]

@@ -38,7 +38,7 @@ proptest! {
         // Spread the scaling actions over the run.
         let slots = actions.len().max(1) as f64;
         for (i, (service, target)) in actions.iter().enumerate() {
-            sim.run_until(duration * (i as f64 + 1.0) / (slots + 1.0));
+            sim.run_until(duration * (i as f64 + 1.0) / (slots + 1.0)).unwrap();
             sim.scale_to(*service, *target).unwrap();
         }
         let result = sim.run_to_end();
@@ -61,7 +61,7 @@ proptest! {
         let mut sim = simulation(&rates, seed);
         let duration = sim.duration();
         for (i, (service, target)) in actions.iter().enumerate() {
-            sim.run_until(duration * (i as f64 + 1.0) / (actions.len() as f64 + 1.0));
+            sim.run_until(duration * (i as f64 + 1.0) / (actions.len() as f64 + 1.0)).unwrap();
             sim.scale_to(*service, *target).unwrap();
         }
         let result = sim.run_to_end();
@@ -89,7 +89,7 @@ proptest! {
         for s in 0..3 {
             sim.set_supply(s, supply).unwrap();
         }
-        sim.run_until(sim.duration());
+        sim.run_until(sim.duration()).unwrap();
         let intervals = sim.intervals_completed();
         let mut total_completions = 0u64;
         for k in 0..intervals {
@@ -120,7 +120,7 @@ proptest! {
             let mut sim = simulation(&rates, seed);
             let duration = sim.duration();
             for (i, (service, target)) in actions.iter().enumerate() {
-                sim.run_until(duration * (i as f64 + 1.0) / (actions.len() as f64 + 1.0));
+                sim.run_until(duration * (i as f64 + 1.0) / (actions.len() as f64 + 1.0)).unwrap();
                 sim.scale_to(*service, *target).unwrap();
             }
             sim.run_to_end()

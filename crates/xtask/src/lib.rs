@@ -9,7 +9,7 @@
 //!
 //! | Rule | Name          | Scope                     | What it rejects |
 //! |------|---------------|---------------------------|-----------------|
-//! | R1   | panic-freedom | decision-path crate `src/`| `unwrap()`, `expect(`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
+//! | R1   | panic-freedom | decision-path crate `src/` + listed modules | `unwrap()`, `expect(`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
 //! | R2   | nan-safety    | all crate `src/`          | `partial_cmp(..).unwrap()` / `unwrap_or(Ordering::…)` in comparisons |
 //! | R3   | lossy-cast    | `core`, `queueing` `src/` | bare `as` numeric casts in capacity math |
 //! | R4   | layering      | `crates/*/Cargo.toml`     | forbidden dependency edges |
@@ -43,6 +43,17 @@ pub const DECISION_PATH_CRATES: &[&str] = &[
     "sim",
     "timeseries",
     "metrics",
+];
+
+/// Individual decision-path modules inside otherwise-exempt crates,
+/// matched by path suffix: the bench harness is mostly layer-4 plumbing,
+/// but its measurement loop executes scaling decisions — under injected
+/// faults — so the fault-path files carry the same panic-freedom bar R1
+/// applies to the decision-path crates.
+pub const DECISION_PATH_MODULES: &[&str] = &[
+    "bench/src/drivers.rs",
+    "bench/src/experiment.rs",
+    "bench/src/robustness.rs",
 ];
 
 /// Crates whose capacity math must use checked conversions (R3).
@@ -228,7 +239,8 @@ pub fn audit_source(crate_name: &str, rel_path: &Path, text: &str) -> Vec<Findin
     let source_lines: Vec<&str> = text.lines().collect();
 
     let mut findings = Vec::new();
-    let decision_path = DECISION_PATH_CRATES.contains(&crate_name);
+    let decision_path = DECISION_PATH_CRATES.contains(&crate_name)
+        || DECISION_PATH_MODULES.iter().any(|m| rel_path.ends_with(m));
     let checked_casts = CHECKED_CAST_CRATES.contains(&crate_name);
     let doc_coverage = DOC_COVERAGE_CRATES.contains(&crate_name);
 
@@ -393,5 +405,18 @@ mod tests {
         let text = "fn f() { None::<u32>.unwrap(); }\n";
         assert!(audit_source("bench", Path::new("x.rs"), text).is_empty());
         assert_eq!(audit_source("core", Path::new("x.rs"), text).len(), 1);
+    }
+
+    #[test]
+    fn decision_path_modules_get_r1_by_suffix() {
+        let text = "fn f() { None::<u32>.unwrap(); }\n";
+        for module in DECISION_PATH_MODULES {
+            let rel = Path::new("crates").join(module);
+            let findings = audit_source("bench", &rel, text);
+            assert_eq!(findings.len(), 1, "{module} should be decision-path");
+            assert_eq!(findings[0].rule, RuleId::PanicFreedom);
+        }
+        // Sibling bench files stay exempt.
+        assert!(audit_source("bench", Path::new("crates/bench/src/paper.rs"), text).is_empty());
     }
 }

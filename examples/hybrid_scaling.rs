@@ -46,7 +46,7 @@ fn drive(policy: &VerticalPolicy, label: &str) -> RunSummary {
     let intervals = (trace.duration() / 60.0) as usize;
     for k in 1..=intervals {
         let t = k as f64 * 60.0;
-        sim.run_until(t);
+        sim.run_until(t).expect("time is monotonic");
         let stats = sim.interval(k - 1).expect("interval done");
         let rate = stats[0].arrivals as f64 / 60.0;
         let decisions = hybrid_decisions(&model, rate, &demands, policy, &cham_config);

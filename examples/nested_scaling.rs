@@ -52,7 +52,7 @@ fn drive(planner: Option<NestedPlanner>, label: &str) {
     let mut max_waiting = 0usize;
     for k in 1..=intervals {
         let t = k as f64 * 60.0;
-        sim.run_until(t);
+        sim.run_until(t).expect("time is monotonic");
         let stats = sim.interval(k - 1).expect("interval done");
         let samples: Vec<MonitoringSample> = stats
             .iter()

@@ -46,7 +46,7 @@ fn main() {
     let intervals = (trace.duration() / interval) as usize;
     for k in 1..=intervals {
         let t = k as f64 * interval;
-        sim.run_until(t);
+        sim.run_until(t).expect("time is monotonic");
         let stats = sim.interval(k - 1).expect("interval completed");
 
         // Build the monitoring tuple the paper's external monitor provides.

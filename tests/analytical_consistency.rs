@@ -56,7 +56,7 @@ fn simulated_utilization_matches_theory_per_tier() {
     let rate = 60.0;
     let supply = [6, 9, 4];
     let mut sim = fixed_supply_simulation(rate, supply, 1_800.0, 43);
-    sim.run_until(1_800.0);
+    sim.run_until(1_800.0).unwrap();
     let demands = [0.059, 0.1, 0.04];
     let last = sim.intervals_completed() - 1;
     // Average utilization across all full intervals but the first (warmup).
@@ -114,7 +114,7 @@ fn saturated_tier_throughput_matches_capacity() {
     let rate = 100.0;
     let supply = [10, 3, 10]; // validation capacity = 30 req/s
     let mut sim = fixed_supply_simulation(rate, supply, 1_200.0, 45);
-    sim.run_until(1_200.0);
+    sim.run_until(1_200.0).unwrap();
     let last = sim.intervals_completed() - 1;
     let stats = sim.interval(last).unwrap();
     let completion_rate = stats[1].completions as f64 / 60.0;

@@ -94,7 +94,7 @@ fn hybrid_vertical_scaling_runs_end_to_end() {
     let cham_config = ChamulteonConfig::default();
     for k in 1..=15 {
         let t = k as f64 * 60.0;
-        sim.run_until(t);
+        sim.run_until(t).unwrap();
         let stats = sim.interval(k - 1).unwrap();
         let rate = stats[0].arrivals as f64 / 60.0;
         let decisions = hybrid_decisions(&model, rate, &[0.059, 0.1, 0.04], &policy, &cham_config);
@@ -133,7 +133,7 @@ fn nested_planner_keeps_container_layer_fast() {
         let mut max_waiting = 0;
         for k in 1..=25 {
             let t = k as f64 * 60.0;
-            sim.run_until(t);
+            sim.run_until(t).unwrap();
             let stats = sim.interval(k - 1).unwrap();
             let samples: Vec<MonitoringSample> = stats
                 .iter()
