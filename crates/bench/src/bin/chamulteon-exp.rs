@@ -8,6 +8,8 @@
 //!   chamulteon-exp [--setup NAME | --trace FILE.csv] [--scaler NAME | --all]
 //!                  [--profile docker|vm] [--interval SECONDS] [--seed N]
 //!                  [--slo SECONDS] [--series]
+//!   chamulteon-exp bench [--setup NAME] [--iters N] [--threads N]
+//!                  [--out FILE.json] [--quick]
 //!
 //! SETUPS:   wikipedia-docker  wikipedia-vm  bibsonomy-small  bibsonomy-large  smoke
 //! SCALERS:  chamulteon  cham-reactive  cham-proactive  cham-fox-ec2
@@ -30,13 +32,20 @@
     clippy::cast_precision_loss
 )]
 
+use chamulteon::RetryPolicy;
 use chamulteon_bench::setups;
-use chamulteon_bench::{run_experiment, ExperimentSpec, ScalerKind};
-use chamulteon_metrics::render_table;
+use chamulteon_bench::{
+    default_threads, evaluation_grid, evaluation_grid_seq, run_experiment, ExperimentSpec,
+    ScalerKind,
+};
+use chamulteon_metrics::{render_table, DEMAND_QUANTILE};
 use chamulteon_perfmodel::ApplicationModel;
+use chamulteon_queueing::{capacity, CapacityCache};
 use chamulteon_sim::{DeploymentProfile, SloPolicy};
 use chamulteon_workload::LoadTrace;
+use std::hint::black_box;
 use std::process::ExitCode;
+use std::time::Instant;
 
 struct Args {
     setup: Option<String>,
@@ -134,6 +143,7 @@ fn usage() -> &'static str {
      \n\
      usage: chamulteon-exp [--setup NAME | --trace FILE.csv] [--scaler NAME | --all]\n\
             [--profile docker|vm] [--interval SECONDS] [--seed N] [--slo SECONDS] [--series]\n\
+            chamulteon-exp bench [--setup NAME] [--iters N] [--threads N] [--out FILE.json] [--quick]\n\
      \n\
      setups:  wikipedia-docker wikipedia-vm bibsonomy-small bibsonomy-large smoke\n\
      scalers: chamulteon cham-reactive cham-proactive cham-fox-ec2 cham-fox-gcp\n\
@@ -143,7 +153,302 @@ fn usage() -> &'static str {
      per-interval demand/supply series after the table."
 }
 
+// --- `bench` subcommand -------------------------------------------------
+
+struct BenchArgs {
+    setup: String,
+    iters: usize,
+    threads: usize,
+    out: String,
+    quick: bool,
+}
+
+fn parse_bench_args(argv: &[String]) -> Result<BenchArgs, String> {
+    let mut args = BenchArgs {
+        setup: "wikipedia-docker".to_owned(),
+        iters: 3,
+        threads: default_threads(),
+        out: "BENCH_3.json".to_owned(),
+        quick: false,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {name} requires a value"))
+        };
+        match flag.as_str() {
+            "--setup" => args.setup = value("--setup")?,
+            "--iters" => {
+                args.iters = value("--iters")?
+                    .parse()
+                    .map_err(|e| format!("bad --iters: {e}"))?
+            }
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?
+            }
+            "--out" => args.out = value("--out")?,
+            "--quick" => args.quick = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown bench flag `{other}`")),
+        }
+    }
+    if args.quick {
+        args.setup = "smoke".to_owned();
+        args.iters = args.iters.min(1);
+    }
+    args.iters = args.iters.max(1);
+    Ok(args)
+}
+
+fn bench_usage() -> &'static str {
+    "chamulteon-exp bench — time the capacity solvers and the lineup grid\n\
+     \n\
+     usage: chamulteon-exp bench [--setup NAME] [--iters N] [--threads N]\n\
+            [--out FILE.json] [--quick]\n\
+     \n\
+     Times (a) the naive vs. incremental vs. memoized capacity solvers over\n\
+     the setup's demand-curve workload and (b) the full lineup+robustness\n\
+     evaluation grid, sequential baseline vs. checkpoint-forked parallel\n\
+     runner, asserting both produce bit-identical reports. Writes the\n\
+     measurements as JSON (default BENCH_3.json). --quick switches to the\n\
+     smoke setup with a single iteration for CI."
+}
+
+/// Median/min/max of a sample in milliseconds.
+struct Stat {
+    median: f64,
+    min: f64,
+    max: f64,
+}
+
+fn stat(samples: &[f64]) -> Stat {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let median = if sorted.is_empty() {
+        0.0
+    } else {
+        sorted[sorted.len() / 2]
+    };
+    Stat {
+        median,
+        min: sorted.first().copied().unwrap_or(0.0),
+        max: sorted.last().copied().unwrap_or(0.0),
+    }
+}
+
+fn time_iters(iters: usize, mut work: impl FnMut()) -> Vec<f64> {
+    (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            work();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect()
+}
+
+fn json_stat(s: &Stat) -> String {
+    format!(
+        "{{\"median\": {:.3}, \"min\": {:.3}, \"max\": {:.3}}}",
+        s.median, s.min, s.max
+    )
+}
+
+/// The per-(service, segment) capacity cells of the setup's demand-curve
+/// workload: `(local arrival rate, service demand, per-visit SLO share)`,
+/// with the same proportional SLO split `demand_curves` applies.
+fn solver_cells(spec: &ExperimentSpec) -> (Vec<(f64, f64, f64)>, u32) {
+    let demands: Vec<f64> = spec
+        .model
+        .services()
+        .iter()
+        .map(|s| s.nominal_demand())
+        .collect();
+    let visits = spec.model.visit_ratios();
+    let max_instances = spec
+        .model
+        .services()
+        .iter()
+        .map(|s| s.max_instances())
+        .max()
+        .unwrap_or(200);
+    let total: f64 = demands.iter().zip(&visits).map(|(d, v)| d * v).sum();
+    let mut cells = Vec::new();
+    for (&demand, &visit) in demands.iter().zip(&visits) {
+        let share = if total > 0.0 {
+            spec.slo.response_time_target * (demand * visit) / total
+        } else {
+            spec.slo.response_time_target
+        };
+        let per_visit = if visit > 0.0 { share / visit } else { share };
+        for &rate in spec.trace.rates() {
+            cells.push((rate * visit, demand, per_visit));
+        }
+    }
+    (cells, max_instances)
+}
+
+fn bench_main(argv: &[String]) -> ExitCode {
+    let args = match parse_bench_args(argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", bench_usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{}", bench_usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(spec) = setup_by_name(&args.setup) else {
+        eprintln!("error: unknown setup `{}`\n\n{}", args.setup, bench_usage());
+        return ExitCode::FAILURE;
+    };
+
+    // (a) Capacity-solver microbench over the demand-curve workload.
+    let (cells, max_instances) = solver_cells(&spec);
+    eprintln!(
+        "solver microbench: {} cells ({} services x {} segments), {} iter(s)",
+        cells.len(),
+        spec.model.service_count(),
+        spec.trace.len(),
+        args.iters
+    );
+    let naive_ms = time_iters(args.iters, || {
+        for &(rate, demand, target) in &cells {
+            let _ = black_box(capacity::naive::min_instances_for_response_time_quantile(
+                black_box(rate),
+                demand,
+                target,
+                DEMAND_QUANTILE,
+                max_instances,
+            ));
+        }
+    });
+    let incremental_ms = time_iters(args.iters, || {
+        for &(rate, demand, target) in &cells {
+            let _ = black_box(capacity::min_instances_for_response_time_quantile(
+                black_box(rate),
+                demand,
+                target,
+                DEMAND_QUANTILE,
+                max_instances,
+            ));
+        }
+    });
+    let cache = CapacityCache::new();
+    for &(rate, demand, target) in &cells {
+        // Prime the memo so the timed passes measure steady state.
+        let _ = cache.min_instances_for_response_time_quantile(
+            rate,
+            demand,
+            target,
+            DEMAND_QUANTILE,
+            max_instances,
+        );
+    }
+    let cached_ms = time_iters(args.iters, || {
+        for &(rate, demand, target) in &cells {
+            let _ = black_box(cache.min_instances_for_response_time_quantile(
+                black_box(rate),
+                demand,
+                target,
+                DEMAND_QUANTILE,
+                max_instances,
+            ));
+        }
+    });
+    let cache_stats = cache.stats();
+
+    // (b) Full evaluation grid: sequential no-sharing baseline vs. the
+    // checkpoint-forked parallel runner, in the same process and run.
+    let retry = RetryPolicy::default();
+    let lineup = ScalerKind::paper_lineup().len();
+    let classes = chamulteon_bench::FaultClass::ALL.len();
+    let runs_sequential = lineup + classes * lineup * 2;
+    eprintln!(
+        "lineup grid: {} sequential runs vs shared-checkpoint runner, {} thread(s), {} iter(s)",
+        runs_sequential, args.threads, args.iters
+    );
+    let mut seq_grids = Vec::with_capacity(args.iters);
+    let sequential_ms = time_iters(args.iters, || {
+        seq_grids.push(evaluation_grid_seq(&spec, &retry));
+    });
+    let mut opt_grids = Vec::with_capacity(args.iters);
+    let optimized_ms = time_iters(args.iters, || {
+        opt_grids.push(evaluation_grid(&spec, &retry, args.threads));
+    });
+    let identical = seq_grids
+        .iter()
+        .zip(&opt_grids)
+        .all(|(seq, opt)| seq == opt);
+    if !identical {
+        eprintln!("error: optimized grid diverged from the sequential baseline");
+        return ExitCode::FAILURE;
+    }
+
+    // Report.
+    let naive = stat(&naive_ms);
+    let incremental = stat(&incremental_ms);
+    let cached = stat(&cached_ms);
+    let sequential = stat(&sequential_ms);
+    let optimized = stat(&optimized_ms);
+    let guard = |x: f64| x.max(1e-9);
+    let speedup_incremental = naive.median / guard(incremental.median);
+    let speedup_cached = naive.median / guard(cached.median);
+    let speedup_grid = sequential.median / guard(optimized.median);
+    println!("solver microbench ({} cells/iter):", cells.len());
+    println!("  naive        {:>10.3} ms", naive.median);
+    println!(
+        "  incremental  {:>10.3} ms   ({speedup_incremental:.1}x)",
+        incremental.median
+    );
+    println!(
+        "  cached warm  {:>10.3} ms   ({speedup_cached:.1}x)",
+        cached.median
+    );
+    println!("lineup grid ({runs_sequential} runs sequential):");
+    println!("  sequential   {:>10.1} ms", sequential.median);
+    println!(
+        "  optimized    {:>10.1} ms   ({speedup_grid:.2}x, reports bit-identical)",
+        optimized.median
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"chamulteon solver + lineup-grid timings\",\n  \"setup\": \"{}\",\n  \"iters\": {},\n  \"threads\": {},\n  \"solver_microbench\": {{\n    \"cells\": {},\n    \"naive_ms\": {},\n    \"incremental_ms\": {},\n    \"cached_warm_ms\": {},\n    \"cache_hits\": {},\n    \"cache_misses\": {},\n    \"speedup_incremental_vs_naive\": {:.2},\n    \"speedup_cached_vs_naive\": {:.2}\n  }},\n  \"lineup_grid\": {{\n    \"runs_sequential\": {},\n    \"sequential_ms\": {},\n    \"optimized_ms\": {},\n    \"speedup_optimized_vs_sequential\": {:.3},\n    \"reports_bit_identical\": {}\n  }}\n}}\n",
+        args.setup,
+        args.iters,
+        args.threads,
+        cells.len(),
+        json_stat(&naive),
+        json_stat(&incremental),
+        json_stat(&cached),
+        cache_stats.hits,
+        cache_stats.misses,
+        speedup_incremental,
+        speedup_cached,
+        runs_sequential,
+        json_stat(&sequential),
+        json_stat(&optimized),
+        speedup_grid,
+        identical,
+    );
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("error: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", args.out);
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("bench") {
+        return bench_main(&argv[1..]);
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {

@@ -3,11 +3,12 @@
 use crate::drivers::{Driver, ScalerKind};
 use chamulteon::{DegradationLog, DegradationReason, RetryPolicy};
 use chamulteon_metrics::{
-    adaptation_rate_per_hour, demand_curves, elasticity_metrics, instance_seconds, ScalerReport,
-    StepFn,
+    adaptation_rate_per_hour, demand_curves_with_cache, elasticity_metrics, instance_seconds,
+    ScalerReport, StepFn,
 };
 use chamulteon_perfmodel::ApplicationModel;
 use chamulteon_queueing::capacity::min_instances_for_utilization;
+use chamulteon_queueing::CapacityCache;
 use chamulteon_sim::{
     DeploymentProfile, FaultPlan, Simulation, SimulationConfig, SimulationResult, SloPolicy,
     SupplyChange,
@@ -93,8 +94,74 @@ pub fn run_experiment_with_faults(
     fault_plan: Option<FaultPlan>,
     retry: &RetryPolicy,
 ) -> FaultedOutcome {
-    let service_count = spec.model.service_count();
-    let entry = spec.model.entry();
+    let cache = CapacityCache::new();
+    run_experiment_with_faults_cached(spec, kind, fault_plan, retry, &cache)
+}
+
+/// [`run_experiment_with_faults`] scoring its demand curves through the
+/// given capacity cache, so grid runners can share one warm cache across
+/// many runs of the same spec. Results are independent of cache sharing:
+/// every cached lookup evaluates the solver at the quantization-bucket
+/// corner, a pure function of the inputs.
+pub(crate) fn run_experiment_with_faults_cached(
+    spec: &ExperimentSpec,
+    kind: ScalerKind,
+    fault_plan: Option<FaultPlan>,
+    retry: &RetryPolicy,
+    cache: &CapacityCache,
+) -> FaultedOutcome {
+    finalize_run(init_run(spec, kind, fault_plan), spec, retry, cache)
+}
+
+/// A benchmark run paused between scaling intervals: the simulation, the
+/// scaler driver, the harness's degradation record and the next interval
+/// index. Cloning a `RunState` is a checkpoint — the robustness grid runs
+/// the clean prefix once, clones it, and forks each faulted variant from
+/// the clone instead of replaying the prefix from scratch.
+#[derive(Clone)]
+pub(crate) struct RunState {
+    sim: Simulation,
+    driver: Driver,
+    kind: ScalerKind,
+    harness_log: DegradationLog,
+    /// 1-based index of the next scaling interval to process; past
+    /// `interval_count` (or `usize::MAX` after a degraded break) the
+    /// measurement loop is done.
+    next_k: usize,
+}
+
+/// Number of scaling intervals a spec's measurement loop processes.
+pub(crate) fn interval_count(spec: &ExperimentSpec) -> usize {
+    (spec.trace.duration() / spec.scaling_interval).ceil() as usize
+}
+
+/// The latest interval index `k` whose boundary `k·Δ` lies strictly
+/// before the fault windows' opening time `0.25·D` — the checkpoint from
+/// which a faulted run can be forked bit-identically.
+pub(crate) fn checkpoint_interval(spec: &ExperimentSpec) -> usize {
+    let start = 0.25 * spec.trace.duration();
+    let delta = spec.scaling_interval;
+    if !(delta > 0.0) || !(start > 0.0) {
+        return 0;
+    }
+    let mut k = (start / delta).floor() as usize;
+    while k > 0 && k as f64 * delta >= start {
+        k -= 1;
+    }
+    if k as f64 * delta >= start {
+        0
+    } else {
+        k
+    }
+}
+
+/// Builds the simulation, initial placement, driver and warmup history —
+/// everything up to the first scaling interval.
+pub(crate) fn init_run(
+    spec: &ExperimentSpec,
+    kind: ScalerKind,
+    fault_plan: Option<FaultPlan>,
+) -> RunState {
     let nominal: Vec<f64> = spec
         .model
         .services()
@@ -132,20 +199,63 @@ pub fn run_experiment_with_faults(
         }
     }
 
-    // The measurement loop.
-    let mut harness_log = DegradationLog::new();
-    let intervals = (spec.trace.duration() / spec.scaling_interval).ceil() as usize;
-    for k in 1..=intervals {
+    RunState {
+        sim,
+        driver,
+        kind,
+        harness_log: DegradationLog::new(),
+        next_k: 1,
+    }
+}
+
+/// Forks a checkpointed clean run into a faulted continuation: the
+/// simulation is forked under the plan (bit-identical to a from-scratch
+/// faulted run, see [`Simulation::fork_with_fault_plan`]) and the driver
+/// and harness log are cloned. `None` when the fork preconditions do not
+/// hold (checkpoint at or past the window opening) — callers fall back to
+/// a from-scratch run.
+pub(crate) fn fork_run(state: &RunState, plan: FaultPlan) -> Option<RunState> {
+    let sim = state.sim.fork_with_fault_plan(plan).ok()?;
+    Some(RunState {
+        sim,
+        driver: state.driver.clone(),
+        kind: state.kind,
+        harness_log: state.harness_log.clone(),
+        next_k: state.next_k,
+    })
+}
+
+/// Advances the measurement loop up to and including interval
+/// `through_k` (clamped to the spec's interval count). Processing is
+/// identical to the original single-pass loop; a degraded break (clock
+/// error or trace ending mid-interval) marks the run done.
+pub(crate) fn advance_run(
+    state: &mut RunState,
+    spec: &ExperimentSpec,
+    retry: &RetryPolicy,
+    through_k: usize,
+) {
+    let service_count = spec.model.service_count();
+    let entry = spec.model.entry();
+    let last = through_k.min(interval_count(spec));
+    while state.next_k <= last {
+        let k = state.next_k;
         let t = (k as f64 * spec.scaling_interval).min(spec.trace.duration());
-        if sim.run_until(t).is_err() {
-            break; // unreachable with a monotone schedule; degrade, don't panic
+        if state.sim.run_until(t).is_err() {
+            state.next_k = usize::MAX; // unreachable with a monotone schedule; degrade, don't panic
+            return;
         }
-        let Some(observed) = sim.observe_interval(k - 1) else {
-            break; // trace ended mid-interval
+        let Some(observed) = state.sim.observe_interval(k - 1) else {
+            state.next_k = usize::MAX; // trace ended mid-interval
+            return;
         };
-        let provisioned: Vec<u32> = (0..service_count).map(|s| sim.provisioned(s)).collect();
+        let provisioned: Vec<u32> = (0..service_count)
+            .map(|s| state.sim.provisioned(s))
+            .collect();
         let targets =
-            driver.decide_observed(t, spec.scaling_interval, &observed, &provisioned, entry);
+            state
+                .driver
+                .decide_observed(t, spec.scaling_interval, &observed, &provisioned, entry);
         // Retries may not cross into the next scaling interval.
         let deadline = ((k + 1) as f64 * spec.scaling_interval - 1e-6)
             .min(spec.trace.duration())
@@ -154,10 +264,10 @@ pub fn run_experiment_with_faults(
         for (s, &target) in targets.iter().enumerate() {
             let mut attempt = 0u32;
             loop {
-                match sim.scale_to(s, target) {
+                match state.sim.scale_to(s, target) {
                     Ok(()) => break,
                     Err(_) if attempt + 1 < retry.max_attempts && clock < deadline => {
-                        harness_log.record(
+                        state.harness_log.record(
                             clock,
                             DegradationReason::ActuationRetried {
                                 service: s,
@@ -165,20 +275,42 @@ pub fn run_experiment_with_faults(
                             },
                         );
                         clock = (clock + retry.backoff(attempt).max(0.0)).min(deadline);
-                        if sim.run_until(clock).is_err() {
+                        if state.sim.run_until(clock).is_err() {
                             break;
                         }
                         attempt += 1;
                     }
                     Err(_) => {
-                        harness_log
+                        state
+                            .harness_log
                             .record(clock, DegradationReason::ActuationAbandoned { service: s });
                         break;
                     }
                 }
             }
         }
+        state.next_k = k + 1;
     }
+}
+
+/// Runs any remaining intervals, drains the simulation to the end of the
+/// trace and scores the outcome. Demand curves are derived through
+/// `cache`, so repeated scoring of the same spec reuses the capacity
+/// solves.
+pub(crate) fn finalize_run(
+    mut state: RunState,
+    spec: &ExperimentSpec,
+    retry: &RetryPolicy,
+    cache: &CapacityCache,
+) -> FaultedOutcome {
+    advance_run(&mut state, spec, retry, usize::MAX - 1);
+    let RunState {
+        mut sim,
+        mut driver,
+        kind,
+        harness_log,
+        ..
+    } = state;
     let _ = sim.run_until(spec.trace.duration()); // monotone: t_final >= every loop t
     let billed = driver.billed_instance_seconds(spec.trace.duration());
     let mut degradation = driver.take_degradation();
@@ -186,6 +318,13 @@ pub fn run_experiment_with_faults(
     let result = sim.finish();
 
     // Scoring.
+    let service_count = spec.model.service_count();
+    let nominal: Vec<f64> = spec
+        .model
+        .services()
+        .iter()
+        .map(|s| s.nominal_demand())
+        .collect();
     let visit_ratios = spec.model.visit_ratios();
     let max_instances = spec
         .model
@@ -194,7 +333,8 @@ pub fn run_experiment_with_faults(
         .map(|s| s.max_instances())
         .max()
         .unwrap_or(200);
-    let demand = demand_curves(
+    let demand = demand_curves_with_cache(
+        cache,
         &spec.trace,
         &nominal,
         &visit_ratios,
@@ -247,6 +387,32 @@ pub fn supply_step_fn(timeline: &[SupplyChange]) -> StepFn {
 mod tests {
     use super::*;
     use crate::setups::smoke_test;
+
+    #[test]
+    fn checkpoint_interval_is_strictly_before_fault_windows() {
+        let spec = smoke_test();
+        let k = checkpoint_interval(&spec);
+        let start = 0.25 * spec.trace.duration();
+        assert!((k as f64) * spec.scaling_interval < start, "k = {k}");
+        assert!(((k + 1) as f64) * spec.scaling_interval >= start, "k = {k}");
+    }
+
+    #[test]
+    fn split_run_matches_single_pass() {
+        // Advancing in two arbitrary chunks and finalizing is identical to
+        // the one-shot runner.
+        let spec = smoke_test();
+        let retry = chamulteon::RetryPolicy::default();
+        let cache = CapacityCache::new();
+        let mut state = init_run(&spec, ScalerKind::Adapt, None);
+        advance_run(&mut state, &spec, &retry, 3);
+        advance_run(&mut state, &spec, &retry, 11);
+        let split = finalize_run(state, &spec, &retry, &cache);
+        let single = run_experiment_with_faults(&spec, ScalerKind::Adapt, None, &retry);
+        assert_eq!(split.outcome.result, single.outcome.result);
+        assert_eq!(split.outcome.report, single.outcome.report);
+        assert_eq!(split.degradation, single.degradation);
+    }
 
     #[test]
     fn smoke_experiment_runs_all_scalers() {

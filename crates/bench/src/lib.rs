@@ -48,6 +48,7 @@
 pub mod drivers;
 pub mod experiment;
 pub mod paper;
+pub mod pool;
 pub mod robustness;
 pub mod setups;
 
@@ -55,5 +56,9 @@ pub use drivers::ScalerKind;
 pub use experiment::{
     run_experiment, run_experiment_with_faults, ExperimentOutcome, ExperimentSpec, FaultedOutcome,
 };
-pub use paper::run_lineup;
-pub use robustness::{robustness_lineup, robustness_report, FaultClass};
+pub use paper::{run_lineup, run_lineup_seq, run_lineup_with_threads};
+pub use pool::{default_threads, parallel_map};
+pub use robustness::{
+    evaluation_grid, evaluation_grid_seq, robustness_lineup, robustness_lineup_seq,
+    robustness_lineup_with_threads, robustness_report, EvaluationGrid, FaultClass,
+};

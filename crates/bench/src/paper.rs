@@ -145,8 +145,24 @@ pub fn render_paper_table(title: &str, rows: &[PaperRow]) -> String {
     out
 }
 
-/// Runs the paper's five-scaler lineup through one experiment.
+/// Runs the paper's five-scaler lineup through one experiment, one cell
+/// per worker thread (up to the available cores). Every cell is
+/// deterministic in the spec's seed and the pool returns results in
+/// input order, so the reports are identical to [`run_lineup_seq`].
 pub fn run_lineup(spec: &ExperimentSpec) -> Vec<ScalerReport> {
+    run_lineup_with_threads(spec, crate::pool::default_threads())
+}
+
+/// [`run_lineup`] with an explicit worker-thread count.
+pub fn run_lineup_with_threads(spec: &ExperimentSpec, threads: usize) -> Vec<ScalerReport> {
+    let kinds = ScalerKind::paper_lineup();
+    crate::pool::parallel_map(&kinds, threads, |_, &k| run_experiment(spec, k).report)
+}
+
+/// The sequential reference for [`run_lineup`]: one scaler at a time on
+/// the calling thread. Kept as the benchmark baseline and the
+/// equivalence oracle for the parallel path.
+pub fn run_lineup_seq(spec: &ExperimentSpec) -> Vec<ScalerReport> {
     ScalerKind::paper_lineup()
         .iter()
         .map(|&k| run_experiment(spec, k).report)
@@ -156,6 +172,12 @@ pub fn run_lineup(spec: &ExperimentSpec) -> Vec<ScalerReport> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parallel_lineup_matches_sequential() {
+        let spec = crate::setups::smoke_test();
+        assert_eq!(run_lineup_with_threads(&spec, 3), run_lineup_seq(&spec));
+    }
 
     #[test]
     fn paper_tables_have_five_scalers_each() {

@@ -3,6 +3,7 @@
 use crate::config::ChamulteonConfig;
 use chamulteon_perfmodel::ApplicationModel;
 use chamulteon_queueing::capacity::min_instances_for_utilization;
+use chamulteon_queueing::CapacityCache;
 
 /// Sizes one service for an offered arrival rate — the while-loops of
 /// Algorithm 1 in closed form.
@@ -19,11 +20,57 @@ pub fn size_service(
     max_instances: u32,
     config: &ChamulteonConfig,
 ) -> u32 {
+    size_service_with(
+        &min_instances_for_utilization,
+        arrival_rate,
+        service_demand,
+        current,
+        min_instances,
+        max_instances,
+        config,
+    )
+}
+
+/// [`size_service`] answered through a shared [`CapacityCache`]: repeated
+/// (rate, demand) sizing queries — ubiquitous across the forecast horizon
+/// and across monitoring intervals with similar load — hit the memo
+/// instead of re-running the solver.
+pub fn size_service_cached(
+    cache: &CapacityCache,
+    arrival_rate: f64,
+    service_demand: f64,
+    current: u32,
+    min_instances: u32,
+    max_instances: u32,
+    config: &ChamulteonConfig,
+) -> u32 {
+    size_service_with(
+        &|rate, demand, rho| cache.min_instances_for_utilization(rate, demand, rho),
+        arrival_rate,
+        service_demand,
+        current,
+        min_instances,
+        max_instances,
+        config,
+    )
+}
+
+/// The shared sizing logic; `solve(λ, D, ρ_target)` answers the
+/// utilization inversion (exactly or through a cache).
+fn size_service_with(
+    solve: &dyn Fn(f64, f64, f64) -> u32,
+    arrival_rate: f64,
+    service_demand: f64,
+    current: u32,
+    min_instances: u32,
+    max_instances: u32,
+    config: &ChamulteonConfig,
+) -> u32 {
     let current = current.max(1);
     let load = arrival_rate.max(0.0) * service_demand.max(0.0);
     let rho = load / f64::from(current);
     let desired = if rho >= config.rho_upper || rho < config.rho_lower {
-        min_instances_for_utilization(
+        solve(
             arrival_rate.max(0.0),
             service_demand.max(0.0),
             config.rho_target,
@@ -50,6 +97,51 @@ pub fn size_service(
 /// earlier on succeeding services. This approach allows removing
 /// oscillations" (§III-A).
 pub fn proactive_decisions(
+    model: &ApplicationModel,
+    forecast_entry_rate: f64,
+    estimated_demands: &[f64],
+    current_instances: &[u32],
+    config: &ChamulteonConfig,
+) -> Vec<u32> {
+    proactive_decisions_with(
+        &min_instances_for_utilization,
+        model,
+        forecast_entry_rate,
+        estimated_demands,
+        current_instances,
+        config,
+    )
+}
+
+/// [`proactive_decisions`] answered through a shared [`CapacityCache`].
+///
+/// The cache evaluates the solver at a quantized key (buckets of 2^12
+/// ulps, see the cache docs); the 2⁻⁴⁰ relative rounding this introduces
+/// is absorbed by the solver's own 1e-9 integer snap, so the decision per
+/// tick is the same while repeated sizing queries across the forecast
+/// horizon become hash lookups.
+pub fn proactive_decisions_cached(
+    cache: &CapacityCache,
+    model: &ApplicationModel,
+    forecast_entry_rate: f64,
+    estimated_demands: &[f64],
+    current_instances: &[u32],
+    config: &ChamulteonConfig,
+) -> Vec<u32> {
+    proactive_decisions_with(
+        &|rate, demand, rho| cache.min_instances_for_utilization(rate, demand, rho),
+        model,
+        forecast_entry_rate,
+        estimated_demands,
+        current_instances,
+        config,
+    )
+}
+
+/// The shared decision pass behind [`proactive_decisions`] and
+/// [`proactive_decisions_cached`].
+fn proactive_decisions_with(
+    solve: &dyn Fn(f64, f64, f64) -> u32,
     model: &ApplicationModel,
     forecast_entry_rate: f64,
     estimated_demands: &[f64],
@@ -88,7 +180,8 @@ pub fn proactive_decisions(
     offered[model.entry()] = forecast_entry_rate.max(0.0);
     for &node in &order {
         let spec = model.service(node);
-        targets[node] = size_service(
+        targets[node] = size_service_with(
+            solve,
             offered[node],
             demands[node],
             targets[node],
@@ -105,7 +198,14 @@ pub fn proactive_decisions(
     }
 
     if config.backpressure_enabled {
-        apply_backpressure(model, forecast_entry_rate, &demands, &mut targets, config);
+        apply_backpressure(
+            solve,
+            model,
+            forecast_entry_rate,
+            &demands,
+            &mut targets,
+            config,
+        );
     }
     targets
 }
@@ -119,6 +219,7 @@ pub fn proactive_decisions(
 ///
 /// A no-op when no service is capped below its offered load.
 fn apply_backpressure(
+    solve: &dyn Fn(f64, f64, f64) -> u32,
     model: &ApplicationModel,
     entry_rate: f64,
     demands: &[f64],
@@ -150,7 +251,8 @@ fn apply_backpressure(
     // stays at max).
     for (i, spec) in model.services().iter().enumerate() {
         let local = achievable * ratios[i];
-        let resized = size_service(
+        let resized = size_service_with(
+            solve,
             local,
             demands[i],
             targets[i],
@@ -328,6 +430,38 @@ mod tests {
         );
         assert!(aware[0] >= 4);
         assert_eq!(aware[1], 2);
+    }
+
+    #[test]
+    fn cached_decisions_match_exact_decisions() {
+        let model = ApplicationModel::paper_benchmark();
+        let cache = chamulteon_queueing::CapacityCache::new();
+        for &rate in &[0.0, 1.0, 33.9, 100.0, 123.456, 999.0] {
+            let exact =
+                proactive_decisions(&model, rate, &[0.059, 0.1, 0.04], &[1, 1, 1], &config());
+            let cached = proactive_decisions_cached(
+                &cache,
+                &model,
+                rate,
+                &[0.059, 0.1, 0.04],
+                &[1, 1, 1],
+                &config(),
+            );
+            assert_eq!(exact, cached, "rate {rate}");
+        }
+        // The second sweep is answered from the memo.
+        let misses_after_first_sweep = cache.stats().misses;
+        for &rate in &[0.0, 1.0, 33.9, 100.0, 123.456, 999.0] {
+            let _ = proactive_decisions_cached(
+                &cache,
+                &model,
+                rate,
+                &[0.059, 0.1, 0.04],
+                &[1, 1, 1],
+                &config(),
+            );
+        }
+        assert_eq!(cache.stats().misses, misses_after_first_sweep);
     }
 
     #[test]

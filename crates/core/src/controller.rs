@@ -1,6 +1,6 @@
 //! The Chamulteon controller: both cycles, wired together.
 
-use crate::algorithm::proactive_decisions;
+use crate::algorithm::proactive_decisions_cached;
 use crate::config::ChamulteonConfig;
 use crate::decision::{DecisionOrigin, DecisionStore, ScalingDecision};
 use crate::degradation::{DegradationLog, DegradationReason, Observation, SpikeGate};
@@ -8,6 +8,7 @@ use crate::fox::{ChargingModel, Fox};
 use chamulteon_demand::{MonitoringSample, RollingDemandEstimator};
 use chamulteon_forecast::{DriftDetector, Forecaster, TelescopeForecaster, TimeSeries};
 use chamulteon_perfmodel::ApplicationModel;
+use chamulteon_queueing::{CacheStats, CapacityCache};
 
 /// The forecast currently driving the proactive cycle.
 #[derive(Debug, Clone)]
@@ -25,10 +26,13 @@ struct ActiveForecast {
 /// interval with one [`MonitoringSample`] per service; it returns the
 /// target instance count per service. See the crate docs for the overall
 /// architecture.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Chamulteon {
     model: ApplicationModel,
     config: ChamulteonConfig,
+    /// Memoizes the Algorithm-1 utilization inversions; cloning a
+    /// controller (checkpointing) carries the warm cache along.
+    capacity_cache: CapacityCache,
     demand_estimators: Vec<RollingDemandEstimator>,
     entry_history: Option<TimeSeries>,
     forecaster: TelescopeForecaster,
@@ -62,6 +66,7 @@ impl Chamulteon {
             .collect();
         Chamulteon {
             drift: DriftDetector::new(config.drift_threshold),
+            capacity_cache: CapacityCache::new(),
             demand_estimators,
             entry_history: None,
             forecaster: TelescopeForecaster::default(),
@@ -108,6 +113,13 @@ impl Chamulteon {
     /// this far smaller than the tick count).
     pub fn forecasts_made(&self) -> u64 {
         self.forecasts_made
+    }
+
+    /// Hit/miss counters of the capacity memo cache serving Algorithm 1's
+    /// sizing queries (each proactive round issues `horizon × services`
+    /// inversions, so steady load makes this overwhelmingly hits).
+    pub fn capacity_cache_stats(&self) -> CacheStats {
+        self.capacity_cache.stats()
     }
 
     /// Total billed instance seconds, when FOX is attached.
@@ -330,8 +342,14 @@ impl Chamulteon {
 
         // 4. Reactive cycle.
         let reactive: Vec<Option<ScalingDecision>> = if self.config.reactive_enabled {
-            let targets =
-                proactive_decisions(&self.model, entry_rate, &demands, &instances, &self.config);
+            let targets = proactive_decisions_cached(
+                &self.capacity_cache,
+                &self.model,
+                entry_rate,
+                &demands,
+                &instances,
+                &self.config,
+            );
             targets
                 .iter()
                 .enumerate()
@@ -432,7 +450,14 @@ impl Chamulteon {
         let mut current = instances.to_vec();
         let mut decisions = Vec::with_capacity(horizon * self.model.service_count());
         for (h, &rate) in forecast.values().iter().enumerate() {
-            let targets = proactive_decisions(&self.model, rate, demands, &current, &self.config);
+            let targets = proactive_decisions_cached(
+                &self.capacity_cache,
+                &self.model,
+                rate,
+                demands,
+                &current,
+                &self.config,
+            );
             let offset = f64::from(u32::try_from(h).unwrap_or(u32::MAX));
             let start = time + offset * interval;
             let end = start + interval;

@@ -59,7 +59,7 @@ pub mod fox;
 pub mod nested;
 pub mod vertical;
 
-pub use algorithm::proactive_decisions;
+pub use algorithm::{proactive_decisions, proactive_decisions_cached};
 pub use config::ChamulteonConfig;
 pub use controller::Chamulteon;
 pub use decision::{DecisionOrigin, DecisionStore, ScalingDecision};

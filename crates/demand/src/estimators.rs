@@ -22,6 +22,11 @@ pub trait DemandEstimator {
     /// signal and [`DemandError::MissingObservation`] when a required
     /// observation (e.g. response times) is absent.
     fn estimate(&self, samples: &[MonitoringSample]) -> Result<f64, DemandError>;
+
+    /// Clones the estimator into a fresh box, so holders of trait objects
+    /// (e.g. [`RollingDemandEstimator`](crate::RollingDemandEstimator)) can
+    /// themselves be `Clone` — needed to checkpoint a controller mid-run.
+    fn clone_box(&self) -> Box<dyn DemandEstimator + Send + Sync>;
 }
 
 /// The Service Demand Law estimator — the approach the paper selects "to
@@ -52,6 +57,10 @@ impl DemandEstimator for ServiceDemandLawEstimator {
             return Err(DemandError::NoUsableSamples);
         }
         Ok(busy / completions as f64)
+    }
+
+    fn clone_box(&self) -> Box<dyn DemandEstimator + Send + Sync> {
+        Box::new(*self)
     }
 }
 
@@ -84,6 +93,10 @@ impl DemandEstimator for UtilizationRegressionEstimator {
             return Err(DemandError::NoUsableSamples);
         }
         Ok(sxy / sxx)
+    }
+
+    fn clone_box(&self) -> Box<dyn DemandEstimator + Send + Sync> {
+        Box::new(*self)
     }
 }
 
@@ -130,6 +143,10 @@ impl DemandEstimator for ResponseTimeApproximationEstimator {
             return Err(DemandError::NoUsableSamples);
         }
         Ok(weighted / weight)
+    }
+
+    fn clone_box(&self) -> Box<dyn DemandEstimator + Send + Sync> {
+        Box::new(*self)
     }
 }
 

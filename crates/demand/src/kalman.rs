@@ -100,6 +100,10 @@ impl DemandEstimator for KalmanFilterEstimator {
             _ => Err(DemandError::NoUsableSamples),
         }
     }
+
+    fn clone_box(&self) -> Box<dyn DemandEstimator + Send + Sync> {
+        Box::new(*self)
+    }
 }
 
 #[cfg(test)]

@@ -118,6 +118,9 @@ mod tests {
             fn estimate(&self, _: &[MonitoringSample]) -> Result<f64, DemandError> {
                 Ok(42.0)
             }
+            fn clone_box(&self) -> Box<dyn DemandEstimator + Send + Sync> {
+                Box::new(Fixed)
+            }
         }
         let mut r = EstimatorRegistry::with_builtins();
         r.register(Box::new(Fixed));

@@ -30,6 +30,19 @@ pub struct RollingDemandEstimator {
     initialized: bool,
 }
 
+impl Clone for RollingDemandEstimator {
+    fn clone(&self) -> Self {
+        RollingDemandEstimator {
+            estimator: self.estimator.clone_box(),
+            window: self.window.clone(),
+            capacity: self.capacity,
+            smoothing: self.smoothing,
+            current: self.current,
+            initialized: self.initialized,
+        }
+    }
+}
+
 impl std::fmt::Debug for RollingDemandEstimator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RollingDemandEstimator")

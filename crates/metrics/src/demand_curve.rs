@@ -2,6 +2,7 @@
 
 use crate::step::StepFn;
 use chamulteon_queueing::capacity::min_instances_for_response_time_quantile;
+use chamulteon_queueing::CapacityCache;
 use chamulteon_workload::LoadTrace;
 
 /// The response-time quantile the demand curve targets: the optimal
@@ -27,19 +28,52 @@ pub fn demand_curve(
     slo_share: f64,
     max_instances: u32,
 ) -> StepFn {
-    let mut points = Vec::with_capacity(trace.len());
-    let mut last: Option<u32> = None;
-    for (i, &rate) in trace.rates().iter().enumerate() {
-        let local_rate = rate * visit_ratio.max(0.0);
-        let needed = min_instances_for_response_time_quantile(
+    derive_curve(trace, visit_ratio, max_instances, |local_rate| {
+        min_instances_for_response_time_quantile(
             local_rate,
             service_demand,
             slo_share,
             DEMAND_QUANTILE,
             max_instances,
         )
-        .unwrap_or(max_instances)
-        .max(1);
+    })
+}
+
+/// [`demand_curve`] answered through a [`CapacityCache`]: repeated rates
+/// within the trace — and identical curves re-derived across scalers or
+/// fault classes — hit the memo instead of re-running the solver. The
+/// cached solver rounds conservatively (see the cache docs), so the curve
+/// never undersizes.
+pub fn demand_curve_with_cache(
+    cache: &CapacityCache,
+    trace: &LoadTrace,
+    service_demand: f64,
+    visit_ratio: f64,
+    slo_share: f64,
+    max_instances: u32,
+) -> StepFn {
+    derive_curve(trace, visit_ratio, max_instances, |local_rate| {
+        cache.min_instances_for_response_time_quantile(
+            local_rate,
+            service_demand,
+            slo_share,
+            DEMAND_QUANTILE,
+            max_instances,
+        )
+    })
+}
+
+/// The shared curve-derivation loop: solves per trace segment, pins
+/// infeasible segments at `max_instances`, dedups consecutive levels.
+fn derive_curve<S>(trace: &LoadTrace, visit_ratio: f64, max_instances: u32, solve: S) -> StepFn
+where
+    S: Fn(f64) -> Result<u32, chamulteon_queueing::QueueingError>,
+{
+    let mut points = Vec::with_capacity(trace.len());
+    let mut last: Option<u32> = None;
+    for (i, &rate) in trace.rates().iter().enumerate() {
+        let local_rate = rate * visit_ratio.max(0.0);
+        let needed = solve(local_rate).unwrap_or(max_instances).max(1);
         if last != Some(needed) {
             points.push((i as f64 * trace.step(), needed));
             last = Some(needed);
@@ -61,6 +95,53 @@ pub fn demand_curves(
     slo_response_time: f64,
     max_instances: u32,
 ) -> Vec<StepFn> {
+    derive_curves(
+        trace,
+        service_demands,
+        visit_ratios,
+        slo_response_time,
+        max_instances,
+        demand_curve,
+    )
+}
+
+/// [`demand_curves`] answered through a [`CapacityCache`] — see
+/// [`demand_curve_with_cache`]. Sharing one cache across the scalers and
+/// fault classes of a benchmark grid collapses the repeated ground-truth
+/// derivations into hash lookups.
+pub fn demand_curves_with_cache(
+    cache: &CapacityCache,
+    trace: &LoadTrace,
+    service_demands: &[f64],
+    visit_ratios: &[f64],
+    slo_response_time: f64,
+    max_instances: u32,
+) -> Vec<StepFn> {
+    derive_curves(
+        trace,
+        service_demands,
+        visit_ratios,
+        slo_response_time,
+        max_instances,
+        |trace, demand, ratio, per_visit, max_instances| {
+            demand_curve_with_cache(cache, trace, demand, ratio, per_visit, max_instances)
+        },
+    )
+}
+
+/// The shared SLO-splitting loop behind [`demand_curves`] and
+/// [`demand_curves_with_cache`].
+fn derive_curves<C>(
+    trace: &LoadTrace,
+    service_demands: &[f64],
+    visit_ratios: &[f64],
+    slo_response_time: f64,
+    max_instances: u32,
+    curve: C,
+) -> Vec<StepFn>
+where
+    C: Fn(&LoadTrace, f64, f64, f64, u32) -> StepFn,
+{
     let ratios: Vec<f64> = (0..service_demands.len())
         .map(|i| visit_ratios.get(i).copied().unwrap_or(1.0).max(0.0))
         .collect();
@@ -80,7 +161,7 @@ pub fn demand_curves(
             };
             // Per-visit budget.
             let per_visit = if ratio > 0.0 { share / ratio } else { share };
-            demand_curve(trace, demand, ratio, per_visit, max_instances)
+            curve(trace, demand, ratio, per_visit, max_instances)
         })
         .collect()
 }
@@ -141,6 +222,25 @@ mod tests {
             total_rt += q.mean_response_time().unwrap();
         }
         assert!(total_rt <= 0.5, "end-to-end {total_rt}");
+    }
+
+    #[test]
+    fn cached_curves_match_plain_curves() {
+        let t = trace(vec![50.0, 120.0, 80.0, 120.0, 50.0]);
+        let cache = chamulteon_queueing::CapacityCache::new();
+        let plain = demand_curves(&t, &[0.059, 0.1, 0.04], &[1.0, 1.0, 1.0], 0.5, 1000);
+        let cached =
+            demand_curves_with_cache(&cache, &t, &[0.059, 0.1, 0.04], &[1.0, 1.0, 1.0], 0.5, 1000);
+        for (p, c) in plain.iter().zip(&cached) {
+            for time in [0.0, 60.0, 120.0, 180.0, 240.0] {
+                assert_eq!(p.value_at(time), c.value_at(time));
+            }
+        }
+        // Repeated rates hit the memo: 5 segments × 3 services = 15
+        // lookups but only the distinct (rate, service) pairs miss.
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 15);
+        assert_eq!(stats.misses, 9);
     }
 
     #[test]

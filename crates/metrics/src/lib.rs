@@ -45,7 +45,9 @@ pub mod step;
 
 pub use accounting::{adaptation_rate_per_hour, adaptations, instance_seconds};
 pub use aggregate::{worst_case_deviation, WorstCaseDeviation};
-pub use demand_curve::{demand_curve, demand_curves};
+pub use demand_curve::{
+    demand_curve, demand_curve_with_cache, demand_curves, demand_curves_with_cache, DEMAND_QUANTILE,
+};
 pub use elasticity::{elasticity_metrics, ElasticityMetrics};
 pub use report::{render_table, ScalerReport};
 pub use robustness::{render_robustness_table, RobustnessReport};

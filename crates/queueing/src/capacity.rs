@@ -9,6 +9,7 @@
 //!   `d_t` of the elasticity metrics needs: the minimal `n` such that the
 //!   M/M/n mean response time meets the SLO.
 
+use crate::erlang::ErlangSweep;
 use crate::error::QueueingError;
 use crate::mmn::MmnQueue;
 
@@ -86,8 +87,10 @@ pub fn min_instances_for_utilization(
 /// * [`QueueingError::NonPositive`] if the service demand or target is not
 ///   positive.
 /// * [`QueueingError::Infeasible`] if the target is below the bare service
-///   demand (no amount of horizontal scaling can beat `s`), or if more than
-///   `max_instances` would be required.
+///   demand (no amount of horizontal scaling can beat `s`) — `required` is
+///   `None`, no finite count works — or if more than `max_instances` would
+///   be required, in which case `required` carries the stability bound
+///   `⌊λ·s⌋ + 1` (the least count any feasible configuration needs).
 ///
 /// # Examples
 ///
@@ -125,25 +128,17 @@ pub fn min_instances_for_response_time(
             max_allowed: max_instances,
         });
     }
-    // Stability requires n > a; start the search there.
-    let a = arrival_rate * service_demand;
-    let mut n = saturating_f64_to_u32(a.floor()).saturating_add(1).max(1);
-    while n <= max_instances {
-        let station = MmnQueue::new(arrival_rate, service_demand, n)?;
-        if let Ok(r) = station.mean_response_time() {
-            if r <= response_time_target {
-                return Ok(n);
-            }
-        }
-        n = n.saturating_add(1);
-        if n == u32::MAX {
-            break;
-        }
-    }
-    Err(QueueingError::Infeasible {
-        required: None,
-        max_allowed: max_instances,
-    })
+    incremental_search(
+        arrival_rate,
+        service_demand,
+        response_time_target,
+        max_instances,
+        |c, n| {
+            // MmnQueue::mean_response_time, op for op: E[W_q] + s with
+            // E[W_q] = C(n, a) / (n·μ − λ) and μ = 1/s.
+            c / (f64::from(n) * (1.0 / service_demand) - arrival_rate) + service_demand
+        },
+    )
 }
 
 /// Minimal number of instances such that the approximate `p`-quantile of
@@ -192,12 +187,52 @@ pub fn min_instances_for_response_time_quantile(
             max_allowed: max_instances,
         });
     }
+    incremental_search(
+        arrival_rate,
+        service_demand,
+        response_time_target,
+        max_instances,
+        |c, n| {
+            // MmnQueue::response_time_quantile, op for op: the waiting-time
+            // quantile ln(C/(1−p)) / (n·μ − λ) (0 when C ≤ 1−p) plus s.
+            let wait = if c <= 1.0 - p {
+                0.0
+            } else {
+                (c / (1.0 - p)).ln() / (f64::from(n) * (1.0 / service_demand) - arrival_rate)
+            };
+            wait + service_demand
+        },
+    )
+}
+
+/// The shared incremental search: walks `n` upward from the stability
+/// bound, carrying the Erlang recurrence state in an [`ErlangSweep`] so the
+/// whole search costs O(n_final) recurrence steps instead of the O(n²) of
+/// re-deriving the blocking probability from scratch per candidate.
+///
+/// `metric(c, n)` maps the Erlang-C waiting probability at `n` servers to
+/// the response-time measure under test; it must replicate the
+/// corresponding [`MmnQueue`] accessor bit-for-bit, which keeps this search
+/// bit-equal to the naive [`naive`] reference (pinned by property tests).
+fn incremental_search<M>(
+    arrival_rate: f64,
+    service_demand: f64,
+    response_time_target: f64,
+    max_instances: u32,
+    metric: M,
+) -> Result<u32, QueueingError>
+where
+    M: Fn(f64, u32) -> f64,
+{
+    // Stability requires n > a; start the search there.
     let a = arrival_rate * service_demand;
-    let mut n = saturating_f64_to_u32(a.floor()).saturating_add(1).max(1);
+    let stability_bound = saturating_f64_to_u32(a.floor()).saturating_add(1).max(1);
+    let mut sweep = ErlangSweep::new(a)?;
+    sweep.advance_to(stability_bound);
+    let mut n = stability_bound;
     while n <= max_instances {
-        let station = MmnQueue::new(arrival_rate, service_demand, n)?;
-        if let Ok(r) = station.response_time_quantile(p) {
-            if r <= response_time_target {
+        if let Ok(c) = sweep.waiting() {
+            if metric(c, n) <= response_time_target {
                 return Ok(n);
             }
         }
@@ -205,9 +240,10 @@ pub fn min_instances_for_response_time_quantile(
         if n == u32::MAX {
             break;
         }
+        sweep.advance_to(n);
     }
     Err(QueueingError::Infeasible {
-        required: None,
+        required: Some(stability_bound),
         max_allowed: max_instances,
     })
 }
@@ -238,7 +274,140 @@ pub fn max_arrival_rate_for_utilization(
     if servers == 0 || !(service_demand > 0.0) || !(target_utilization > 0.0) {
         return 0.0;
     }
-    f64::from(servers) * target_utilization / service_demand
+    // Clamp the target into (0, 1] like `min_instances_for_utilization`
+    // does: a target above full utilization would claim capacity the
+    // instances do not have, inflating the chain-input cap
+    // `r(i) = min(r(i-1), n(i-1)/s(i-1))`.
+    f64::from(servers) * target_utilization.min(1.0) / service_demand
+}
+
+/// The original O(n²) reference searches, retained verbatim so property
+/// tests can pin the incremental solvers bit-equal to them and so the
+/// solver microbenchmark has a faithful "before" baseline.
+///
+/// These rebuild the Erlang-B recurrence from `k = 1` for every candidate
+/// `n` via a fresh [`MmnQueue`]; production code should use the
+/// incremental entry points in the parent module instead.
+pub mod naive {
+    use super::{saturating_f64_to_u32, MmnQueue, QueueingError};
+
+    /// Reference implementation of
+    /// [`min_instances_for_response_time`](super::min_instances_for_response_time):
+    /// identical contract and — by construction — identical results,
+    /// at O(n²) recurrence cost.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as the incremental solver.
+    pub fn min_instances_for_response_time(
+        arrival_rate: f64,
+        service_demand: f64,
+        response_time_target: f64,
+        max_instances: u32,
+    ) -> Result<u32, QueueingError> {
+        if !(service_demand > 0.0) {
+            return Err(QueueingError::NonPositive {
+                name: "service_demand",
+                value: service_demand,
+            });
+        }
+        if !(response_time_target > 0.0) {
+            return Err(QueueingError::NonPositive {
+                name: "response_time_target",
+                value: response_time_target,
+            });
+        }
+        if !(arrival_rate > 0.0) {
+            return Ok(1);
+        }
+        if response_time_target < service_demand {
+            return Err(QueueingError::Infeasible {
+                required: None,
+                max_allowed: max_instances,
+            });
+        }
+        let a = arrival_rate * service_demand;
+        let stability_bound = saturating_f64_to_u32(a.floor()).saturating_add(1).max(1);
+        let mut n = stability_bound;
+        while n <= max_instances {
+            let station = MmnQueue::new(arrival_rate, service_demand, n)?;
+            if let Ok(r) = station.mean_response_time() {
+                if r <= response_time_target {
+                    return Ok(n);
+                }
+            }
+            n = n.saturating_add(1);
+            if n == u32::MAX {
+                break;
+            }
+        }
+        Err(QueueingError::Infeasible {
+            required: Some(stability_bound),
+            max_allowed: max_instances,
+        })
+    }
+
+    /// Reference implementation of
+    /// [`min_instances_for_response_time_quantile`](super::min_instances_for_response_time_quantile),
+    /// at O(n²) recurrence cost.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as the incremental solver.
+    pub fn min_instances_for_response_time_quantile(
+        arrival_rate: f64,
+        service_demand: f64,
+        response_time_target: f64,
+        p: f64,
+        max_instances: u32,
+    ) -> Result<u32, QueueingError> {
+        if !(p > 0.0 && p < 1.0) {
+            return Err(QueueingError::OutOfRange {
+                name: "quantile",
+                value: p,
+            });
+        }
+        if !(service_demand > 0.0) {
+            return Err(QueueingError::NonPositive {
+                name: "service_demand",
+                value: service_demand,
+            });
+        }
+        if !(response_time_target > 0.0) {
+            return Err(QueueingError::NonPositive {
+                name: "response_time_target",
+                value: response_time_target,
+            });
+        }
+        if !(arrival_rate > 0.0) {
+            return Ok(1);
+        }
+        if response_time_target < service_demand {
+            return Err(QueueingError::Infeasible {
+                required: None,
+                max_allowed: max_instances,
+            });
+        }
+        let a = arrival_rate * service_demand;
+        let stability_bound = saturating_f64_to_u32(a.floor()).saturating_add(1).max(1);
+        let mut n = stability_bound;
+        while n <= max_instances {
+            let station = MmnQueue::new(arrival_rate, service_demand, n)?;
+            if let Ok(r) = station.response_time_quantile(p) {
+                if r <= response_time_target {
+                    return Ok(n);
+                }
+            }
+            n = n.saturating_add(1);
+            if n == u32::MAX {
+                break;
+            }
+        }
+        Err(QueueingError::Infeasible {
+            required: Some(stability_bound),
+            max_allowed: max_instances,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -395,5 +564,63 @@ mod tests {
         assert_eq!(max_arrival_rate_for_utilization(0, 0.1, 0.8), 0.0);
         assert_eq!(max_arrival_rate_for_utilization(5, 0.0, 0.8), 0.0);
         assert_eq!(max_arrival_rate_for_utilization(5, 0.1, 0.0), 0.0);
+        assert_eq!(max_arrival_rate_for_utilization(5, 0.1, f64::NAN), 0.0);
+    }
+
+    #[test]
+    fn max_rate_clamps_target_above_full_utilization() {
+        // A target of 5.0 must not claim 5× the real capacity: it behaves
+        // like full utilization, the same clamp the instance solver applies.
+        let clamped = max_arrival_rate_for_utilization(10, 0.1, 5.0);
+        let full = max_arrival_rate_for_utilization(10, 0.1, 1.0);
+        assert_eq!(clamped, full);
+        assert!((clamped - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infeasible_reports_stability_bound() {
+        // 1000 req/s · 0.1 s = 100 Erlangs: stability needs ≥ 101, more
+        // than the 50 allowed — the error says how far out of reach.
+        match min_instances_for_response_time(1000.0, 0.1, 0.11, 50) {
+            Err(QueueingError::Infeasible {
+                required,
+                max_allowed,
+            }) => {
+                assert_eq!(required, Some(101));
+                assert_eq!(max_allowed, 50);
+            }
+            other => panic!("expected Infeasible, got {other:?}"),
+        }
+        match min_instances_for_response_time_quantile(1000.0, 0.1, 0.11, 0.9, 50) {
+            Err(QueueingError::Infeasible { required, .. }) => assert_eq!(required, Some(101)),
+            other => panic!("expected Infeasible, got {other:?}"),
+        }
+        // An impossible target (below the bare demand) stays `None`: no
+        // finite instance count works at all.
+        match min_instances_for_response_time(10.0, 0.1, 0.05, 100) {
+            Err(QueueingError::Infeasible { required, .. }) => assert_eq!(required, None),
+            other => panic!("expected Infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_matches_naive_on_grid() {
+        for &lambda in &[0.5, 17.0, 85.0, 150.0, 456.0, 1000.0] {
+            for &s in &[0.04, 0.059, 0.1, 1.0] {
+                for &target in &[0.05, 0.12, 0.25, 0.5, 2.0] {
+                    let fast = min_instances_for_response_time(lambda, s, target, 500);
+                    let slow = naive::min_instances_for_response_time(lambda, s, target, 500);
+                    assert_eq!(fast, slow, "mean λ={lambda} s={s} t={target}");
+                    for &p in &[0.5, 0.9, 0.99] {
+                        let fast =
+                            min_instances_for_response_time_quantile(lambda, s, target, p, 500);
+                        let slow = naive::min_instances_for_response_time_quantile(
+                            lambda, s, target, p, 500,
+                        );
+                        assert_eq!(fast, slow, "q λ={lambda} s={s} t={target} p={p}");
+                    }
+                }
+            }
+        }
     }
 }

@@ -94,6 +94,134 @@ pub fn erlang_c(n: u32, a: f64) -> Result<f64, QueueingError> {
     Ok(c.clamp(0.0, 1.0))
 }
 
+/// Incremental Erlang-B/C evaluator: carries the blocking-probability
+/// recurrence state across successive server counts, so sweeping
+/// `n = 1, 2, …, N` costs O(N) recurrence steps in total instead of the
+/// O(N²) of calling [`erlang_b`] afresh for every `n`.
+///
+/// Each [`step`](ErlangSweep::step) executes exactly one iteration of the
+/// same recurrence `erlang_b` runs, in the same order — so after advancing
+/// to `n` servers, [`blocking`](ErlangSweep::blocking) and
+/// [`waiting`](ErlangSweep::waiting) are **bit-identical** to
+/// `erlang_b(n, a)` and `erlang_c(n, a)` (the property tests pin this).
+/// This is what makes the incremental capacity solvers in
+/// [`crate::capacity`] drop-in replacements for the naive searches.
+///
+/// # Examples
+///
+/// ```
+/// use chamulteon_queueing::erlang::{erlang_b, ErlangSweep};
+///
+/// let mut sweep = ErlangSweep::new(10.0)?;
+/// sweep.advance_to(12);
+/// assert_eq!(sweep.blocking()?, erlang_b(12, 10.0)?);
+/// sweep.step(); // one more server, one more recurrence step
+/// assert_eq!(sweep.blocking()?, erlang_b(13, 10.0)?);
+/// # Ok::<(), chamulteon_queueing::QueueingError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErlangSweep {
+    offered_load: f64,
+    servers: u32,
+    blocking: f64,
+}
+
+impl ErlangSweep {
+    /// Starts a sweep at zero servers for the given offered load `a = λ·s`
+    /// (Erlangs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueingError::NonPositive`] if `a` is negative or NaN —
+    /// the same validation [`erlang_b`] applies.
+    pub fn new(offered_load: f64) -> Result<Self, QueueingError> {
+        if !(offered_load >= 0.0) {
+            return Err(QueueingError::NonPositive {
+                name: "offered_load",
+                value: offered_load,
+            });
+        }
+        Ok(ErlangSweep {
+            offered_load,
+            servers: 0,
+            blocking: 1.0,
+        })
+    }
+
+    /// The offered load this sweep was created with.
+    pub fn offered_load(&self) -> f64 {
+        self.offered_load
+    }
+
+    /// The server count the sweep currently sits at.
+    pub fn servers(&self) -> u32 {
+        self.servers
+    }
+
+    /// Advances the sweep by one server (one recurrence step), returning
+    /// the new server count. Saturates at `u32::MAX`.
+    pub fn step(&mut self) -> u32 {
+        if self.servers < u32::MAX {
+            let k = self.servers + 1;
+            let a = self.offered_load;
+            // The exact update `erlang_b` performs for iteration k.
+            self.blocking = a * self.blocking / (f64::from(k) + a * self.blocking);
+            self.servers = k;
+        }
+        self.servers
+    }
+
+    /// Advances the sweep until it reaches `servers` (no-op if already at
+    /// or beyond it — the recurrence cannot run backwards).
+    pub fn advance_to(&mut self, servers: u32) {
+        while self.servers < servers {
+            self.step();
+        }
+    }
+
+    /// Erlang-B blocking probability at the current server count,
+    /// bit-identical to `erlang_b(self.servers(), a)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueingError::OutOfRange`] at zero servers (the sweep has
+    /// not stepped yet), matching [`erlang_b`].
+    pub fn blocking(&self) -> Result<f64, QueueingError> {
+        if self.servers == 0 {
+            return Err(QueueingError::OutOfRange {
+                name: "servers",
+                value: 0.0,
+            });
+        }
+        if self.offered_load == 0.0 {
+            return Ok(0.0);
+        }
+        Ok(self.blocking)
+    }
+
+    /// Erlang-C waiting probability at the current server count,
+    /// bit-identical to `erlang_c(self.servers(), a)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueingError::Unstable`] when `a ≥ n` and
+    /// [`QueueingError::OutOfRange`] at zero servers, matching
+    /// [`erlang_c`].
+    pub fn waiting(&self) -> Result<f64, QueueingError> {
+        let b = self.blocking()?;
+        let n_f = f64::from(self.servers);
+        if self.offered_load >= n_f {
+            return Err(QueueingError::Unstable {
+                offered_load: self.offered_load,
+                servers: self.servers,
+            });
+        }
+        let c = n_f * b / (n_f - self.offered_load * (1.0 - b));
+        // Clamp tiny negative round-off; mathematically c ∈ [0, 1].
+        Ok(c.clamp(0.0, 1.0))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,5 +318,53 @@ mod tests {
     fn erlang_c_approaches_one_near_saturation() {
         let c = erlang_c(8, 7.999).unwrap();
         assert!(c > 0.99);
+    }
+
+    #[test]
+    fn sweep_matches_from_scratch_bitwise() {
+        for &a in &[0.0, 0.1, 0.5, 1.0, 3.7, 10.0, 950.0] {
+            let mut sweep = ErlangSweep::new(a).unwrap();
+            for n in 1..=64u32 {
+                sweep.step();
+                assert_eq!(sweep.servers(), n);
+                assert_eq!(
+                    sweep.blocking().unwrap().to_bits(),
+                    erlang_b(n, a).unwrap().to_bits(),
+                    "B(n={n}, a={a})"
+                );
+                match (sweep.waiting(), erlang_c(n, a)) {
+                    (Ok(x), Ok(y)) => assert_eq!(x.to_bits(), y.to_bits(), "C(n={n}, a={a})"),
+                    (Err(_), Err(_)) => {}
+                    (x, y) => panic!("divergent errors for n={n} a={a}: {x:?} vs {y:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_advance_to_is_idempotent_backwards() {
+        let mut sweep = ErlangSweep::new(5.0).unwrap();
+        sweep.advance_to(10);
+        let at_ten = sweep.clone();
+        sweep.advance_to(3); // cannot run backwards: no-op
+        assert_eq!(sweep, at_ten);
+    }
+
+    #[test]
+    fn sweep_validates_like_erlang_b() {
+        assert!(matches!(
+            ErlangSweep::new(-1.0),
+            Err(QueueingError::NonPositive { .. })
+        ));
+        assert!(matches!(
+            ErlangSweep::new(f64::NAN),
+            Err(QueueingError::NonPositive { .. })
+        ));
+        let sweep = ErlangSweep::new(1.0).unwrap();
+        assert!(matches!(
+            sweep.blocking(),
+            Err(QueueingError::OutOfRange { .. })
+        ));
+        assert!(sweep.waiting().is_err());
     }
 }

@@ -30,17 +30,19 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0.0)` deliberately rejects NaN
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod capacity;
 pub mod erlang;
 pub mod error;
 pub mod mmn;
 pub mod network;
 
+pub use cache::{CacheStats, CapacityCache};
 pub use capacity::{
     max_arrival_rate_for_utilization, min_instances_for_response_time,
     min_instances_for_response_time_quantile, min_instances_for_utilization,
 };
-pub use erlang::{erlang_b, erlang_c};
+pub use erlang::{erlang_b, erlang_c, ErlangSweep};
 pub use error::QueueingError;
 pub use mmn::MmnQueue;
 pub use network::{StationSpec, TandemNetwork};

@@ -10,11 +10,11 @@
     clippy::cast_precision_loss
 )]
 use chamulteon_queueing::capacity::{
-    max_arrival_rate_for_utilization, min_instances_for_response_time,
-    min_instances_for_utilization,
+    self, max_arrival_rate_for_utilization, min_instances_for_response_time,
+    min_instances_for_response_time_quantile, min_instances_for_utilization,
 };
-use chamulteon_queueing::erlang::{erlang_b, erlang_c};
-use chamulteon_queueing::{MmnQueue, StationSpec, TandemNetwork};
+use chamulteon_queueing::erlang::{erlang_b, erlang_c, ErlangSweep};
+use chamulteon_queueing::{CapacityCache, MmnQueue, StationSpec, TandemNetwork};
 use proptest::prelude::*;
 
 proptest! {
@@ -121,6 +121,76 @@ proptest! {
         for w in rates.windows(2) {
             prop_assert!(w[1] <= w[0] + 1e-9);
         }
+    }
+
+    /// The incremental Erlang sweep is bit-identical to the from-scratch
+    /// formulas at every server count it passes through.
+    #[test]
+    fn sweep_bit_equal_to_from_scratch(a in 0.0f64..400.0, upto in 1u32..300) {
+        let mut sweep = ErlangSweep::new(a).unwrap();
+        for n in 1..=upto {
+            sweep.step();
+            prop_assert_eq!(
+                sweep.blocking().unwrap().to_bits(),
+                erlang_b(n, a).unwrap().to_bits()
+            );
+            match (sweep.waiting(), erlang_c(n, a)) {
+                (Ok(x), Ok(y)) => prop_assert_eq!(x.to_bits(), y.to_bits()),
+                (Err(_), Err(_)) => {}
+                (x, y) => prop_assert!(false, "divergent errors: {:?} vs {:?}", x, y),
+            }
+        }
+    }
+
+    /// The incremental mean-response-time solver is bit-equal to the naive
+    /// O(n²) reference search across random inputs — results *and* errors.
+    #[test]
+    fn incremental_mean_solver_equals_naive(
+        lambda in 0.0f64..2000.0,
+        s in 0.0005f64..2.0,
+        slack in 0.5f64..10.0,
+        max in 1u32..400,
+    ) {
+        let target = s * slack;
+        let fast = min_instances_for_response_time(lambda, s, target, max);
+        let slow = capacity::naive::min_instances_for_response_time(lambda, s, target, max);
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Same bit-equality for the quantile solver, across random quantiles.
+    #[test]
+    fn incremental_quantile_solver_equals_naive(
+        lambda in 0.0f64..2000.0,
+        s in 0.0005f64..2.0,
+        slack in 0.5f64..10.0,
+        p in 0.01f64..0.999,
+        max in 1u32..400,
+    ) {
+        let target = s * slack;
+        let fast = min_instances_for_response_time_quantile(lambda, s, target, p, max);
+        let slow =
+            capacity::naive::min_instances_for_response_time_quantile(lambda, s, target, p, max);
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// The memo cache never undersizes relative to the exact solver, and
+    /// overshoots by at most one instance (quantization boundary cases).
+    #[test]
+    fn cache_is_conservative(
+        lambda in 0.1f64..1000.0,
+        s in 0.005f64..0.5,
+        slack in 1.05f64..8.0,
+        p in 0.5f64..0.99,
+    ) {
+        let target = s * slack;
+        let cache = CapacityCache::new();
+        let cached = cache
+            .min_instances_for_response_time_quantile(lambda, s, target, p, 1_000_000)
+            .unwrap();
+        let exact =
+            min_instances_for_response_time_quantile(lambda, s, target, p, 1_000_000).unwrap();
+        prop_assert!(cached >= exact, "cached {} < exact {}", cached, exact);
+        prop_assert!(cached <= exact + 1, "cached {} ≫ exact {}", cached, exact);
     }
 
     /// The demand vector from the SLO sizing keeps every tier stable.

@@ -110,6 +110,10 @@ impl AutoScaler for Adapt {
         self.prev_rate = None;
         self.low_intervals = 0;
     }
+
+    fn clone_box(&self) -> Box<dyn AutoScaler + Send> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -154,6 +154,10 @@ impl AutoScaler for Hist {
         self.current_bucket = None;
         self.predicted_base = None;
     }
+
+    fn clone_box(&self) -> Box<dyn AutoScaler + Send> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -94,6 +94,11 @@ pub trait AutoScaler {
 
     /// Resets all internal state (for reuse across experiments).
     fn reset(&mut self);
+
+    /// Clones the scaler into a fresh box, so holders of trait objects
+    /// (e.g. [`IndependentScalers`](crate::IndependentScalers)) can
+    /// themselves be `Clone` — needed to checkpoint a benchmark run.
+    fn clone_box(&self) -> Box<dyn AutoScaler + Send>;
 }
 
 #[cfg(test)]

@@ -57,6 +57,15 @@ pub struct IndependentScalers {
     service_demands: Vec<f64>,
 }
 
+impl Clone for IndependentScalers {
+    fn clone(&self) -> Self {
+        IndependentScalers {
+            scalers: self.scalers.iter().map(|s| s.clone_box()).collect(),
+            service_demands: self.service_demands.clone(),
+        }
+    }
+}
+
 impl std::fmt::Debug for IndependentScalers {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("IndependentScalers")

@@ -81,6 +81,10 @@ impl AutoScaler for React {
     }
 
     fn reset(&mut self) {}
+
+    fn clone_box(&self) -> Box<dyn AutoScaler + Send> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

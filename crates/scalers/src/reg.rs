@@ -163,6 +163,10 @@ impl AutoScaler for Reg {
     fn reset(&mut self) {
         self.history.clear();
     }
+
+    fn clone_box(&self) -> Box<dyn AutoScaler + Send> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

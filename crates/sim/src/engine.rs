@@ -2,7 +2,7 @@
 
 use crate::config::SimulationConfig;
 use crate::error::SimError;
-use crate::fault::{FaultKind, FaultRecord};
+use crate::fault::{FaultKind, FaultPlan, FaultRecord};
 use crate::nested::VmPoolState;
 use crate::stats::{ObservedSample, ServiceIntervalStats, SimulationResult, SupplyChange};
 use chamulteon_perfmodel::ApplicationModel;
@@ -27,6 +27,35 @@ fn second_index(time: f64) -> usize {
     } else {
         time as usize
     }
+}
+
+/// Every instance crash a fault plan dictates over a run, in schedule
+/// order: one roll per (monitoring interval, service), firing
+/// mid-interval. Shared between construction-time scheduling and the
+/// checkpoint fork so both walk the identical query sequence.
+fn planned_crashes(
+    plan: &FaultPlan,
+    interval: f64,
+    duration: f64,
+    service_count: usize,
+) -> Vec<(f64, usize, u32)> {
+    if !(interval > 0.0) {
+        return Vec::new();
+    }
+    let mut crashes: Vec<(f64, usize, u32)> = Vec::new();
+    let mut start = 0.0;
+    let mut k = 0usize;
+    while start + interval <= duration + 1e-9 {
+        let mid = start + interval / 2.0;
+        for service in 0..service_count {
+            if let Some(count) = plan.crash_fault(service, k, mid) {
+                crashes.push((mid, service, count));
+            }
+        }
+        start += interval;
+        k += 1;
+    }
+    crashes
 }
 
 /// An event in the future-event list. Ordering is by time, then by a
@@ -77,7 +106,7 @@ impl PartialOrd for Scheduled {
 }
 
 /// Per-service runtime state.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ServiceState {
     /// Ready (booted) instances.
     running: u32,
@@ -163,6 +192,11 @@ struct RequestState {
 /// The request-level discrete-event simulation of a multi-service
 /// application under a load trace. See the crate docs for the modeling
 /// assumptions.
+///
+/// A simulation is `Clone`: a clone is an independent checkpoint sharing
+/// no state with the original, which is what
+/// [`fork_with_fault_plan`](Simulation::fork_with_fault_plan) builds on.
+#[derive(Clone)]
 pub struct Simulation {
     // Static configuration.
     path: Vec<usize>,
@@ -296,28 +330,95 @@ impl Simulation {
     /// Pre-schedules every instance crash the fault plan dictates: one
     /// roll per (service, monitoring interval), firing mid-interval.
     fn schedule_planned_crashes(&mut self) {
-        let interval = self.config.monitoring_interval;
-        if !(interval > 0.0) {
-            return;
-        }
-        let mut crashes: Vec<(f64, usize, u32)> = Vec::new();
-        if let Some(plan) = &self.config.fault_plan {
-            let mut start = 0.0;
-            let mut k = 0usize;
-            while start + interval <= self.duration + 1e-9 {
-                let mid = start + interval / 2.0;
-                for service in 0..self.services.len() {
-                    if let Some(count) = plan.crash_fault(service, k, mid) {
-                        crashes.push((mid, service, count));
-                    }
-                }
-                start += interval;
-                k += 1;
-            }
-        }
+        let crashes = match &self.config.fault_plan {
+            Some(plan) => planned_crashes(
+                plan,
+                self.config.monitoring_interval,
+                self.duration,
+                self.services.len(),
+            ),
+            None => Vec::new(),
+        };
         for (time, service, count) in crashes {
             self.schedule(time, EventKind::Crash { service, count });
         }
+    }
+
+    /// Forks an independent *faulted* continuation of this clean run:
+    /// the returned simulation carries `plan` and is bit-identical — same
+    /// event order, same random draws, same fault schedule — to a
+    /// simulation constructed with `plan` from the start and run to the
+    /// same point.
+    ///
+    /// This is the checkpoint primitive of the robustness grid: the clean
+    /// prefix up to the first fault window is shared once instead of
+    /// re-simulated per fault class.
+    ///
+    /// Soundness argument (why bit-identity holds): before the earliest
+    /// fault window every fault query is time-gated to `None` and each
+    /// roll seeds its own generator, so a faulted run's clean prefix
+    /// performs exactly the same state transitions as a clean run. The
+    /// only construction-time difference is that the `m` planned crash
+    /// events occupy sequence numbers `2..=m+1` (the initial monitor tick
+    /// holds 1) and every later event is displaced by `+m` — which is
+    /// precisely the renumbering applied here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CannotFork`] when this run already has a fault
+    /// plan, or when the earliest window of `plan` has already opened
+    /// (`now ≥ start`) — in both cases a from-scratch faulted run could
+    /// have diverged from this one, so the caller must fall back to one.
+    pub fn fork_with_fault_plan(&self, plan: FaultPlan) -> Result<Simulation, SimError> {
+        if self.config.fault_plan.is_some() {
+            return Err(SimError::CannotFork {
+                reason: "a fault plan is already installed",
+            });
+        }
+        let earliest = plan
+            .windows()
+            .iter()
+            .map(|w| w.start)
+            .fold(f64::INFINITY, f64::min);
+        if !(self.now < earliest) {
+            return Err(SimError::CannotFork {
+                reason: "the earliest fault window has already opened",
+            });
+        }
+        let crashes = planned_crashes(
+            &plan,
+            self.config.monitoring_interval,
+            self.duration,
+            self.services.len(),
+        );
+        let m = u64::try_from(crashes.len()).unwrap_or(u64::MAX);
+        let mut forked = self.clone();
+        forked.config.fault_plan = Some(plan);
+        if m > 0 {
+            if let Some(&(first_crash, _, _)) = crashes.first() {
+                if first_crash <= self.now {
+                    return Err(SimError::CannotFork {
+                        reason: "a planned crash predates the checkpoint",
+                    });
+                }
+            }
+            let mut events = std::mem::take(&mut forked.events).into_vec();
+            for ev in &mut events {
+                if ev.seq >= 2 {
+                    ev.seq = ev.seq.saturating_add(m);
+                }
+            }
+            for (i, &(time, service, count)) in crashes.iter().enumerate() {
+                events.push(Scheduled {
+                    time,
+                    seq: u64::try_from(i).unwrap_or(u64::MAX).saturating_add(2),
+                    kind: EventKind::Crash { service, count },
+                });
+            }
+            forked.events = BinaryHeap::from(events);
+            forked.seq = forked.seq.saturating_add(m);
+        }
+        Ok(forked)
     }
 
     /// Current simulation time in seconds.
@@ -1104,6 +1205,63 @@ mod tests {
         let c = well_provisioned(40.0, 300.0, 8).run_to_end();
         assert_ne!(a.completed, 0);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fork_matches_from_scratch_faulted_run() {
+        use crate::fault::CorruptionMode;
+        let model = ApplicationModel::paper_benchmark();
+        let trace = flat_trace(50.0, 600.0);
+        let plans = [
+            FaultPlan::new(9).crash_instances(None, 300.0, 450.0, 1.0, 1),
+            FaultPlan::new(9).drop_samples(None, 300.0, 450.0, 0.8),
+            FaultPlan::new(9)
+                .corrupt_samples(Some(1), 300.0, 450.0, 0.5, CorruptionMode::Nan)
+                .crash_instances(Some(0), 300.0, 450.0, 0.7, 2)
+                .fail_actuations(None, 300.0, 450.0, 0.5),
+        ];
+        for plan in plans {
+            // Clean prefix shared up to 150 s — before the 300 s window.
+            let mut clean = Simulation::new(&model, &trace, config(6));
+            clean.set_supply(0, 6).unwrap();
+            clean.set_supply(1, 9).unwrap();
+            clean.set_supply(2, 4).unwrap();
+            clean.run_until(150.0).unwrap();
+            let forked = clean
+                .fork_with_fault_plan(plan.clone())
+                .unwrap()
+                .run_to_end();
+
+            let mut scratch =
+                Simulation::new(&model, &trace, config(6).with_fault_plan(plan.clone()));
+            scratch.set_supply(0, 6).unwrap();
+            scratch.set_supply(1, 9).unwrap();
+            scratch.set_supply(2, 4).unwrap();
+            let scratch = scratch.run_to_end();
+            assert_eq!(forked, scratch, "plan {plan:?}");
+        }
+    }
+
+    #[test]
+    fn fork_rejects_unsound_checkpoints() {
+        let model = ApplicationModel::paper_benchmark();
+        let trace = flat_trace(30.0, 600.0);
+        let plan = FaultPlan::new(2).drop_samples(None, 120.0, 300.0, 1.0);
+
+        // Checkpoint past the window start: refused.
+        let mut late = Simulation::new(&model, &trace, config(1));
+        late.run_until(120.0).unwrap();
+        assert!(matches!(
+            late.fork_with_fault_plan(plan.clone()),
+            Err(SimError::CannotFork { .. })
+        ));
+
+        // A run that already has a plan: refused.
+        let seeded = Simulation::new(&model, &trace, config(1).with_fault_plan(plan.clone()));
+        assert!(matches!(
+            seeded.fork_with_fault_plan(plan),
+            Err(SimError::CannotFork { .. })
+        ));
     }
 
     #[test]

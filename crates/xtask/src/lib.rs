@@ -53,6 +53,7 @@ pub const DECISION_PATH_CRATES: &[&str] = &[
 pub const DECISION_PATH_MODULES: &[&str] = &[
     "bench/src/drivers.rs",
     "bench/src/experiment.rs",
+    "bench/src/pool.rs",
     "bench/src/robustness.rs",
 ];
 
