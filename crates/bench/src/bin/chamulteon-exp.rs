@@ -10,6 +10,8 @@
 //!                  [--slo SECONDS] [--series]
 //!   chamulteon-exp bench [--setup NAME] [--iters N] [--threads N]
 //!                  [--out FILE.json] [--quick]
+//!   chamulteon-exp trace [--setup NAME] [--scaler NAME] [--faults CLASS]
+//!                  [--out FILE.jsonl] [--tail N]
 //!
 //! SETUPS:   wikipedia-docker  wikipedia-vm  bibsonomy-small  bibsonomy-large  smoke
 //! SCALERS:  chamulteon  cham-reactive  cham-proactive  cham-fox-ec2
@@ -22,7 +24,7 @@
 //! cargo run --release --bin chamulteon-exp -- --trace mytrace.csv --all
 //! ```
 
-// The bench crate is the experiment harness (layer 4, outside the
+// The bench crate is the experiment harness (layer 5, outside the
 // decision path): panics surface misconfiguration directly and casts
 // size small loop/display counts from bounded trace durations.
 #![allow(
@@ -35,10 +37,11 @@
 use chamulteon::RetryPolicy;
 use chamulteon_bench::setups;
 use chamulteon_bench::{
-    default_threads, evaluation_grid, evaluation_grid_seq, run_experiment, ExperimentSpec,
-    ScalerKind,
+    default_threads, evaluation_grid, evaluation_grid_seq, run_experiment, run_experiment_observed,
+    ExperimentSpec, FaultClass, ScalerKind,
 };
 use chamulteon_metrics::{render_table, DEMAND_QUANTILE};
+use chamulteon_obs::{jsonl, EventKind, Obs, Winner, EVENT_KIND_CODES};
 use chamulteon_perfmodel::ApplicationModel;
 use chamulteon_queueing::{capacity, CapacityCache};
 use chamulteon_sim::{DeploymentProfile, SloPolicy};
@@ -150,7 +153,10 @@ fn usage() -> &'static str {
               react adapt hist reg\n\
      \n\
      --trace expects `time,rate` CSV (header optional); --series prints the\n\
-     per-interval demand/supply series after the table."
+     per-interval demand/supply series after the table.\n\
+     \n\
+     See also: chamulteon-exp trace --help (decision-provenance JSONL traces)\n\
+     and chamulteon-exp bench --help (solver/grid timings)."
 }
 
 // --- `bench` subcommand -------------------------------------------------
@@ -444,10 +450,240 @@ fn bench_main(argv: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+// --- `trace` subcommand -------------------------------------------------
+
+struct TraceArgs {
+    setup: String,
+    scaler: String,
+    faults: Option<String>,
+    out: String,
+    tail: usize,
+}
+
+fn parse_trace_args(argv: &[String]) -> Result<TraceArgs, String> {
+    let mut args = TraceArgs {
+        setup: "smoke".to_owned(),
+        scaler: "chamulteon".to_owned(),
+        faults: None,
+        out: "trace.jsonl".to_owned(),
+        tail: 6,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {name} requires a value"))
+        };
+        match flag.as_str() {
+            "--setup" => args.setup = value("--setup")?,
+            "--scaler" => args.scaler = value("--scaler")?,
+            "--faults" => args.faults = Some(value("--faults")?),
+            "--out" => args.out = value("--out")?,
+            "--tail" => {
+                args.tail = value("--tail")?
+                    .parse()
+                    .map_err(|e| format!("bad --tail: {e}"))?
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown trace flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn trace_usage() -> &'static str {
+    "chamulteon-exp trace — capture a decision-provenance JSONL trace\n\
+     \n\
+     usage: chamulteon-exp trace [--setup NAME] [--scaler NAME] [--faults CLASS]\n\
+            [--out FILE.jsonl] [--tail N]\n\
+     \n\
+     Runs one scaler through the setup with the tracing recorder attached,\n\
+     writes every control-loop event (cycle starts, forecasts, conflict\n\
+     resolutions, per-service decision provenance, actuation outcomes,\n\
+     injected faults) as one JSON object per line, validates the file\n\
+     round-trips (emit -> parse -> re-emit is identity), and prints per-kind\n\
+     event counts, the metrics snapshot and the last N decisions.\n\
+     \n\
+     fault classes: clean (default)  drop-samples  corrupt-samples\n\
+                    actuation-failures  instance-crashes"
+}
+
+/// Pretty-prints one decision-provenance event for the `--tail` report.
+fn render_decision(event: &chamulteon_obs::Event) -> Option<String> {
+    let EventKind::Decision(p) = &event.kind else {
+        return None;
+    };
+    let service = event
+        .service
+        .map_or_else(|| "?".to_owned(), |s| s.to_string());
+    let forecast = match (p.forecast_rate, p.forecast_generation, p.forecast_trusted) {
+        (Some(rate), Some(generation), trusted) => format!(
+            "{rate:.1} req/s (gen {generation}{})",
+            match trusted {
+                Some(true) => ", trusted",
+                Some(false) => ", untrusted",
+                None => "",
+            }
+        ),
+        _ => "-".to_owned(),
+    };
+    let cache = match p.cache_hit {
+        Some(true) => "hit",
+        Some(false) => "miss",
+        None => "-",
+    };
+    let fox = match p.fox_suppressed {
+        Some(true) => "suppressed",
+        Some(false) => "passed",
+        None => "-",
+    };
+    Some(format!(
+        "t={:>7.0}  tick={:<4} s{} {}  {} -> {}  rate={:.1}  demand={:.4}  forecast={}  cache={}  fox={}",
+        event.time,
+        p.tick,
+        service,
+        p.winner.as_code(),
+        p.proposed,
+        p.target,
+        p.measured_rate,
+        p.demand,
+        forecast,
+        cache,
+        fox,
+    ))
+}
+
+fn trace_main(argv: &[String]) -> ExitCode {
+    let args = match parse_trace_args(argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", trace_usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{}", trace_usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(spec) = setup_by_name(&args.setup) else {
+        eprintln!("error: unknown setup `{}`\n\n{}", args.setup, trace_usage());
+        return ExitCode::FAILURE;
+    };
+    let Some(kind) = scaler_by_name(&args.scaler) else {
+        eprintln!(
+            "error: unknown scaler `{}`\n\n{}",
+            args.scaler,
+            trace_usage()
+        );
+        return ExitCode::FAILURE;
+    };
+    let plan = match args.faults.as_deref() {
+        None | Some("clean") => None,
+        Some(name) => match FaultClass::ALL.iter().find(|c| c.name() == name) {
+            Some(class) => Some(class.plan(spec.seed, spec.trace.duration())),
+            None => {
+                eprintln!("error: unknown fault class `{name}`\n\n{}", trace_usage());
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    eprintln!(
+        "tracing {} on {} ({}), {:.0} s simulated...",
+        args.scaler,
+        spec.name,
+        args.faults.as_deref().unwrap_or("clean"),
+        spec.trace.duration()
+    );
+    let (obs, ring) = Obs::recording(1 << 20);
+    let faulted = run_experiment_observed(&spec, kind, plan, &RetryPolicy::default(), &obs);
+    let events = ring.take();
+    if ring.dropped() > 0 {
+        eprintln!(
+            "warning: ring buffer overflowed, {} oldest events dropped",
+            ring.dropped()
+        );
+    }
+
+    // Emit, then self-validate the schema: emit -> parse -> re-emit must
+    // be the identity on the text.
+    let text = jsonl::emit(&events);
+    match jsonl::parse(&text) {
+        Ok(parsed) => {
+            if jsonl::emit(&parsed) != text {
+                eprintln!("error: JSONL round-trip is not the identity");
+                return ExitCode::FAILURE;
+            }
+        }
+        Err(e) => {
+            eprintln!("error: emitted JSONL does not parse back: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = std::fs::write(&args.out, &text) {
+        eprintln!("error: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "trace: {} events, round-trip validated -> {}",
+        events.len(),
+        args.out
+    );
+    println!("event counts:");
+    for code in EVENT_KIND_CODES {
+        let n = events.iter().filter(|e| e.kind.code() == *code).count();
+        if n > 0 {
+            println!("  {code:<20} {n:>8}");
+        }
+    }
+    let decisions: Vec<&chamulteon_obs::Event> = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Decision(_)))
+        .collect();
+    let provenanced = decisions.len();
+    let with_winner = |w: Winner| {
+        decisions
+            .iter()
+            .filter(|e| matches!(&e.kind, EventKind::Decision(p) if p.winner == w))
+            .count()
+    };
+    println!(
+        "decisions: {provenanced} with provenance ({} proactive, {} reactive, {} hold)",
+        with_winner(Winner::Proactive),
+        with_winner(Winner::Reactive),
+        with_winner(Winner::Hold),
+    );
+    println!(
+        "outcome: {:.2}% SLO violations, {:.1} instance-hours, {} degradations, {} faults injected",
+        faulted.outcome.report.slo_violations,
+        faulted.outcome.report.instance_hours,
+        faulted.degradation.len(),
+        faulted.outcome.result.fault_log.len(),
+    );
+    if args.tail > 0 && !decisions.is_empty() {
+        println!("last {} decisions:", args.tail.min(decisions.len()));
+        for event in decisions.iter().rev().take(args.tail).rev() {
+            if let Some(line) = render_decision(event) {
+                println!("  {line}");
+            }
+        }
+    }
+    println!("metrics snapshot:");
+    for line in obs.metrics().snapshot().lines() {
+        println!("  {line}");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("bench") {
         return bench_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("trace") {
+        return trace_main(&argv[1..]);
     }
     let args = match parse_args() {
         Ok(a) => a,

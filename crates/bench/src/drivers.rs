@@ -4,6 +4,7 @@ use chamulteon::{
     ChamulteonConfig, ChargingModel, DegradationLog, DegradationReason, Observation, SpikeGate,
 };
 use chamulteon_demand::{MonitoringSample, RollingDemandEstimator};
+use chamulteon_obs::{Event, EventKind, Obs};
 use chamulteon_perfmodel::ApplicationModel;
 use chamulteon_scalers::{Adapt, AutoScaler, Hist, IndependentScalers, React, Reg};
 use chamulteon_sim::ObservedSample;
@@ -123,11 +124,29 @@ pub(crate) enum Driver {
         /// Per-service spike gates, same plausibility rung the controller
         /// applies.
         spike_gates: Vec<SpikeGate>,
+        /// Trace/metrics sink, mirroring the events the Chamulteon
+        /// controller emits for its own degradation rungs.
+        obs: Obs,
     },
 }
 
 impl Driver {
+    /// Test convenience; the experiment loop constructs drivers through
+    /// [`new_observed`](Driver::new_observed) with the run's sink.
+    #[cfg(test)]
     pub(crate) fn new(kind: ScalerKind, model: &ApplicationModel, hist_bucket: f64) -> Driver {
+        Self::new_observed(kind, model, hist_bucket, Obs::disabled())
+    }
+
+    /// [`Driver::new`] with a trace/metrics sink attached: Chamulteon
+    /// variants route it into the controller; independent baselines emit
+    /// the same boundary-degradation events the controller would.
+    pub(crate) fn new_observed(
+        kind: ScalerKind,
+        model: &ApplicationModel,
+        hist_bucket: f64,
+        obs: Obs,
+    ) -> Driver {
         let demands: Vec<f64> = model
             .services()
             .iter()
@@ -140,7 +159,9 @@ impl Driver {
                 .collect::<Vec<_>>()
         };
         let chamulteon_with = |config: ChamulteonConfig| {
-            Driver::Chamulteon(Box::new(chamulteon::Chamulteon::new(model.clone(), config)))
+            Driver::Chamulteon(Box::new(
+                chamulteon::Chamulteon::new(model.clone(), config).with_obs(obs.clone()),
+            ))
         };
         match kind {
             ScalerKind::Chamulteon => chamulteon_with(ChamulteonConfig::default()),
@@ -152,11 +173,13 @@ impl Driver {
             }
             ScalerKind::ChamulteonFoxEc2 => Driver::Chamulteon(Box::new(
                 chamulteon::Chamulteon::new(model.clone(), ChamulteonConfig::default())
-                    .with_fox(ChargingModel::ec2_hourly()),
+                    .with_fox(ChargingModel::ec2_hourly())
+                    .with_obs(obs),
             )),
             ScalerKind::ChamulteonFoxGcp => Driver::Chamulteon(Box::new(
                 chamulteon::Chamulteon::new(model.clone(), ChamulteonConfig::default())
-                    .with_fox(ChargingModel::gcp_per_minute()),
+                    .with_fox(ChargingModel::gcp_per_minute())
+                    .with_obs(obs),
             )),
             ScalerKind::React => Driver::Independent {
                 estimators: make_estimators(),
@@ -164,6 +187,7 @@ impl Driver {
                 degradation: DegradationLog::new(),
                 spike_gates: vec![SpikeGate::new(); model.service_count()],
                 multi: IndependentScalers::homogeneous(demands, || Box::new(React::default())),
+                obs,
             },
             ScalerKind::Adapt => Driver::Independent {
                 estimators: make_estimators(),
@@ -171,6 +195,7 @@ impl Driver {
                 degradation: DegradationLog::new(),
                 spike_gates: vec![SpikeGate::new(); model.service_count()],
                 multi: IndependentScalers::homogeneous(demands, || Box::new(Adapt::default())),
+                obs,
             },
             ScalerKind::Hist => Driver::Independent {
                 estimators: make_estimators(),
@@ -180,6 +205,7 @@ impl Driver {
                 multi: IndependentScalers::homogeneous(demands, move || {
                     Box::new(Hist::with_bucket_length(hist_bucket)) as Box<dyn AutoScaler + Send>
                 }),
+                obs,
             },
             ScalerKind::Reg => Driver::Independent {
                 estimators: make_estimators(),
@@ -187,6 +213,7 @@ impl Driver {
                 degradation: DegradationLog::new(),
                 spike_gates: vec![SpikeGate::new(); model.service_count()],
                 multi: IndependentScalers::homogeneous(demands, || Box::new(Reg::default())),
+                obs,
             },
         }
     }
@@ -250,7 +277,22 @@ impl Driver {
                 last_entry_rate,
                 degradation,
                 spike_gates,
+                obs,
             } => {
+                let mut degrade = |time: f64, reason: DegradationReason| {
+                    obs.record_with(|| {
+                        let kind = EventKind::Degradation {
+                            code: reason.as_code().to_owned(),
+                            attempt: reason.attempt(),
+                        };
+                        match reason.service() {
+                            Some(service) => Event::service(time, service, kind),
+                            None => Event::cycle(time, kind),
+                        }
+                    });
+                    obs.metrics().increment("degradation.events");
+                    degradation.record(time, reason);
+                };
                 // Validate every report at the boundary; feed estimators
                 // from fresh valid samples only.
                 let mut entry_sample: Option<MonitoringSample> = None;
@@ -272,12 +314,12 @@ impl Driver {
                                 .filter(|rt| !(rt.is_finite() && *rt <= 0.0)),
                         ) {
                             Ok(sample) if !spike_gates[service].admit(sample.arrival_rate()) => {
-                                degradation
-                                    .record(time, DegradationReason::SampleImplausible { service });
+                                degrade(time, DegradationReason::SampleImplausible { service });
                             }
                             Ok(sample) => validated = Some(sample),
-                            Err(_) => degradation
-                                .record(time, DegradationReason::SampleQuarantined { service }),
+                            Err(_) => {
+                                degrade(time, DegradationReason::SampleQuarantined { service });
+                            }
                         }
                     }
                     match validated {
@@ -288,7 +330,7 @@ impl Driver {
                             }
                         }
                         None if o.is_none() => {
-                            degradation.record(time, DegradationReason::SampleHeld { service });
+                            degrade(time, DegradationReason::SampleHeld { service });
                         }
                         None => {}
                     }
@@ -300,7 +342,7 @@ impl Driver {
                         s.arrival_rate()
                     }
                     None => {
-                        degradation.record(time, DegradationReason::EntryRateUnusable);
+                        degrade(time, DegradationReason::EntryRateUnusable);
                         *last_entry_rate
                     }
                 };

@@ -6,6 +6,7 @@ use chamulteon_metrics::{
     adaptation_rate_per_hour, demand_curves_with_cache, elasticity_metrics, instance_seconds,
     ScalerReport, StepFn,
 };
+use chamulteon_obs::{ActuationOutcome, Event, EventKind, Obs};
 use chamulteon_perfmodel::ApplicationModel;
 use chamulteon_queueing::capacity::min_instances_for_utilization;
 use chamulteon_queueing::CapacityCache;
@@ -98,6 +99,28 @@ pub fn run_experiment_with_faults(
     run_experiment_with_faults_cached(spec, kind, fault_plan, retry, &cache)
 }
 
+/// [`run_experiment_with_faults`] with a trace/metrics sink attached:
+/// every control-loop event (cycle starts, forecasts, conflict
+/// resolutions, per-service decision provenance, actuation outcomes,
+/// injected faults) flows into `obs`. With a disabled sink this is the
+/// plain runner; with any sink the outcome is bit-identical to the
+/// uninstrumented run (pinned by the `obs_identity` proptest).
+pub fn run_experiment_observed(
+    spec: &ExperimentSpec,
+    kind: ScalerKind,
+    fault_plan: Option<FaultPlan>,
+    retry: &RetryPolicy,
+    obs: &Obs,
+) -> FaultedOutcome {
+    let cache = CapacityCache::new();
+    finalize_run(
+        init_run_observed(spec, kind, fault_plan, obs),
+        spec,
+        retry,
+        &cache,
+    )
+}
+
 /// [`run_experiment_with_faults`] scoring its demand curves through the
 /// given capacity cache, so grid runners can share one warm cache across
 /// many runs of the same spec. Results are independent of cache sharing:
@@ -124,6 +147,8 @@ pub(crate) struct RunState {
     driver: Driver,
     kind: ScalerKind,
     harness_log: DegradationLog,
+    /// Trace/metrics sink shared with the driver; disabled on plain runs.
+    obs: Obs,
     /// 1-based index of the next scaling interval to process; past
     /// `interval_count` (or `usize::MAX` after a degraded break) the
     /// measurement loop is done.
@@ -162,6 +187,17 @@ pub(crate) fn init_run(
     kind: ScalerKind,
     fault_plan: Option<FaultPlan>,
 ) -> RunState {
+    init_run_observed(spec, kind, fault_plan, &Obs::disabled())
+}
+
+/// [`init_run`] with a trace/metrics sink handed to the driver and kept
+/// on the run state for the harness's own actuation/fault events.
+pub(crate) fn init_run_observed(
+    spec: &ExperimentSpec,
+    kind: ScalerKind,
+    fault_plan: Option<FaultPlan>,
+    obs: &Obs,
+) -> RunState {
     let nominal: Vec<f64> = spec
         .model
         .services()
@@ -185,7 +221,7 @@ pub(crate) fn init_run(
         let _ = sim.set_supply(s, n0); // s < service_count by construction
     }
 
-    let mut driver = Driver::new(kind, &spec.model, spec.hist_bucket);
+    let mut driver = Driver::new_observed(kind, &spec.model, spec.hist_bucket, obs.clone());
 
     // Warmup history for the proactive cycle: the same compressed day
     // repeated, at scaling-interval resolution.
@@ -204,6 +240,7 @@ pub(crate) fn init_run(
         driver,
         kind,
         harness_log: DegradationLog::new(),
+        obs: obs.clone(),
         next_k: 1,
     }
 }
@@ -221,6 +258,7 @@ pub(crate) fn fork_run(state: &RunState, plan: FaultPlan) -> Option<RunState> {
         driver: state.driver.clone(),
         kind: state.kind,
         harness_log: state.harness_log.clone(),
+        obs: state.obs.clone(),
         next_k: state.next_k,
     })
 }
@@ -264,16 +302,51 @@ pub(crate) fn advance_run(
         for (s, &target) in targets.iter().enumerate() {
             let mut attempt = 0u32;
             loop {
+                state.obs.metrics().increment("actuation.attempts");
                 match state.sim.scale_to(s, target) {
-                    Ok(()) => break,
+                    Ok(()) => {
+                        state.obs.record_with(|| {
+                            Event::service(
+                                clock,
+                                s,
+                                EventKind::Actuation {
+                                    target,
+                                    outcome: ActuationOutcome::Applied,
+                                    attempt,
+                                },
+                            )
+                        });
+                        break;
+                    }
                     Err(_) if attempt + 1 < retry.max_attempts && clock < deadline => {
-                        state.harness_log.record(
-                            clock,
-                            DegradationReason::ActuationRetried {
-                                service: s,
-                                attempt,
-                            },
-                        );
+                        state.obs.metrics().increment("actuation.retries");
+                        state.obs.metrics().increment("degradation.events");
+                        state.obs.record_with(|| {
+                            Event::service(
+                                clock,
+                                s,
+                                EventKind::Actuation {
+                                    target,
+                                    outcome: ActuationOutcome::Retried,
+                                    attempt,
+                                },
+                            )
+                        });
+                        let reason = DegradationReason::ActuationRetried {
+                            service: s,
+                            attempt,
+                        };
+                        state.obs.record_with(|| {
+                            Event::service(
+                                clock,
+                                s,
+                                EventKind::Degradation {
+                                    code: reason.as_code().to_owned(),
+                                    attempt: reason.attempt(),
+                                },
+                            )
+                        });
+                        state.harness_log.record(clock, reason);
                         clock = (clock + retry.backoff(attempt).max(0.0)).min(deadline);
                         if state.sim.run_until(clock).is_err() {
                             break;
@@ -281,9 +354,31 @@ pub(crate) fn advance_run(
                         attempt += 1;
                     }
                     Err(_) => {
-                        state
-                            .harness_log
-                            .record(clock, DegradationReason::ActuationAbandoned { service: s });
+                        state.obs.metrics().increment("actuation.abandoned");
+                        state.obs.metrics().increment("degradation.events");
+                        state.obs.record_with(|| {
+                            Event::service(
+                                clock,
+                                s,
+                                EventKind::Actuation {
+                                    target,
+                                    outcome: ActuationOutcome::Abandoned,
+                                    attempt,
+                                },
+                            )
+                        });
+                        let reason = DegradationReason::ActuationAbandoned { service: s };
+                        state.obs.record_with(|| {
+                            Event::service(
+                                clock,
+                                s,
+                                EventKind::Degradation {
+                                    code: reason.as_code().to_owned(),
+                                    attempt: reason.attempt(),
+                                },
+                            )
+                        });
+                        state.harness_log.record(clock, reason);
                         break;
                     }
                 }
@@ -309,6 +404,7 @@ pub(crate) fn finalize_run(
         mut driver,
         kind,
         harness_log,
+        obs,
         ..
     } = state;
     let _ = sim.run_until(spec.trace.duration()); // monotone: t_final >= every loop t
@@ -316,6 +412,23 @@ pub(crate) fn finalize_run(
     let mut degradation = driver.take_degradation();
     degradation.merge(harness_log);
     let result = sim.finish();
+    if obs.tracing() {
+        for record in &result.fault_log {
+            obs.record_with(|| {
+                Event::service(
+                    record.time,
+                    record.service,
+                    EventKind::Fault {
+                        code: record.kind.as_code().to_owned(),
+                    },
+                )
+            });
+        }
+    }
+    obs.metrics().count(
+        "faults.injected",
+        u64::try_from(result.fault_log.len()).unwrap_or(u64::MAX),
+    );
 
     // Scoring.
     let service_count = spec.model.service_count();

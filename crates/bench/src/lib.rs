@@ -30,7 +30,7 @@
 //! assert_eq!(outcome.report.scaler, "chamulteon");
 //! ```
 
-// The bench crate is the experiment harness (layer 4). Casts size small
+// The bench crate is the experiment harness (layer 5). Casts size small
 // loop/display counts from bounded trace durations; `expect` is allowed
 // only in the table/setup plumbing — the measurement loop itself
 // (`drivers`, `experiment`, `robustness`) is decision-path code and kept
@@ -54,7 +54,8 @@ pub mod setups;
 
 pub use drivers::ScalerKind;
 pub use experiment::{
-    run_experiment, run_experiment_with_faults, ExperimentOutcome, ExperimentSpec, FaultedOutcome,
+    run_experiment, run_experiment_observed, run_experiment_with_faults, ExperimentOutcome,
+    ExperimentSpec, FaultedOutcome,
 };
 pub use paper::{run_lineup, run_lineup_seq, run_lineup_with_threads};
 pub use pool::{default_threads, parallel_map};

@@ -110,6 +110,7 @@ pub fn proactive_decisions(
         estimated_demands,
         current_instances,
         config,
+        &mut |_, _| {},
     )
 }
 
@@ -135,11 +136,86 @@ pub fn proactive_decisions_cached(
         estimated_demands,
         current_instances,
         config,
+        &mut |_, _| {},
     )
 }
 
+/// Per-service sizing context captured by
+/// [`proactive_decisions_cached_traced`], for decision provenance: the
+/// local arrival rate each service was sized for and whether its sizing
+/// solve was answered from the capacity cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizingTrace {
+    /// The offered (predecessor-forwarded) arrival rate per service at
+    /// sizing time.
+    pub offered: Vec<f64>,
+    /// Whether the service's sizing solve hit the cache: `Some(true)` for
+    /// a memo hit, `Some(false)` for a solver run, `None` when no solve
+    /// was issued (utilization inside the hold band, or the degenerate
+    /// bypass).
+    pub cache_hit: Vec<Option<bool>>,
+}
+
+/// [`proactive_decisions_cached`] that additionally captures a
+/// [`SizingTrace`]. The targets are identical by construction: the exact
+/// same solve closure runs against the same cache, with only counter
+/// reads interleaved.
+pub fn proactive_decisions_cached_traced(
+    cache: &CapacityCache,
+    model: &ApplicationModel,
+    forecast_entry_rate: f64,
+    estimated_demands: &[f64],
+    current_instances: &[u32],
+    config: &ChamulteonConfig,
+) -> (Vec<u32>, SizingTrace) {
+    let n = model.service_count();
+    // Whether the most recent solve hit the memo, diffed from the shared
+    // counters (this thread's solve is the only one between the reads in
+    // the single-threaded decision pass; under concurrent cache sharing
+    // the flag is best-effort, the target is exact either way).
+    let last_hit: std::cell::Cell<Option<bool>> = std::cell::Cell::new(None);
+    let solve = |rate: f64, demand: f64, rho: f64| {
+        let before = cache.stats();
+        let result = cache.min_instances_for_utilization(rate, demand, rho);
+        let after = cache.stats();
+        last_hit.set(if after.hits > before.hits {
+            Some(true)
+        } else if after.misses > before.misses {
+            Some(false)
+        } else {
+            None // degenerate bypass: no lookup was counted
+        });
+        result
+    };
+    let mut trace = SizingTrace {
+        offered: vec![f64::NAN; n],
+        cache_hit: vec![None; n],
+    };
+    let targets = proactive_decisions_with(
+        &solve,
+        model,
+        forecast_entry_rate,
+        estimated_demands,
+        current_instances,
+        config,
+        &mut |node, offered_rate| {
+            if let Some(slot) = trace.offered.get_mut(node) {
+                *slot = offered_rate;
+            }
+            if let Some(slot) = trace.cache_hit.get_mut(node) {
+                *slot = last_hit.take();
+            }
+        },
+    );
+    (targets, trace)
+}
+
 /// The shared decision pass behind [`proactive_decisions`] and
-/// [`proactive_decisions_cached`].
+/// [`proactive_decisions_cached`]; `observe(node, offered)` fires right
+/// after each service is sized in topological order, with the offered
+/// rate it was sized for (backpressure re-sizing is not re-observed — the
+/// trace reflects the primary coordinated pass).
+#[allow(clippy::too_many_arguments)]
 fn proactive_decisions_with(
     solve: &dyn Fn(f64, f64, f64) -> u32,
     model: &ApplicationModel,
@@ -147,6 +223,7 @@ fn proactive_decisions_with(
     estimated_demands: &[f64],
     current_instances: &[u32],
     config: &ChamulteonConfig,
+    observe: &mut dyn FnMut(usize, f64),
 ) -> Vec<u32> {
     let n = model.service_count();
     let demands: Vec<f64> = (0..n)
@@ -189,6 +266,7 @@ fn proactive_decisions_with(
             spec.max_instances(),
             config,
         );
+        observe(node, offered[node]);
         // Forward at most what the newly sized deployment can complete.
         let capacity = f64::from(targets[node]) / demands[node];
         let completed = offered[node].min(capacity);
@@ -462,6 +540,70 @@ mod tests {
             );
         }
         assert_eq!(cache.stats().misses, misses_after_first_sweep);
+    }
+
+    #[test]
+    fn traced_decisions_match_untraced_and_capture_context() {
+        let model = ApplicationModel::paper_benchmark();
+        let cache = chamulteon_queueing::CapacityCache::new();
+        let shadow = chamulteon_queueing::CapacityCache::new();
+        for &rate in &[0.0, 1.0, 33.9, 100.0, 123.456, 999.0] {
+            let plain = proactive_decisions_cached(
+                &cache,
+                &model,
+                rate,
+                &[0.059, 0.1, 0.04],
+                &[1, 1, 1],
+                &config(),
+            );
+            let (traced, trace) = proactive_decisions_cached_traced(
+                &shadow,
+                &model,
+                rate,
+                &[0.059, 0.1, 0.04],
+                &[1, 1, 1],
+                &config(),
+            );
+            assert_eq!(plain, traced, "rate {rate}");
+            assert_eq!(trace.offered.len(), 3);
+            assert_eq!(trace.cache_hit.len(), 3);
+            // The entry's offered rate is the forecast rate itself.
+            assert_eq!(trace.offered[model.entry()], rate.max(0.0));
+        }
+        // Counters agree: tracing issues exactly the same lookups.
+        assert_eq!(cache.stats(), shadow.stats());
+
+        // First solve of a fresh cache is a miss; repeating it is a hit.
+        let fresh = chamulteon_queueing::CapacityCache::new();
+        let (_, first) = proactive_decisions_cached_traced(
+            &fresh,
+            &model,
+            100.0,
+            &[0.059, 0.1, 0.04],
+            &[1, 1, 1],
+            &config(),
+        );
+        assert_eq!(first.cache_hit, vec![Some(false); 3]);
+        let (_, second) = proactive_decisions_cached_traced(
+            &fresh,
+            &model,
+            100.0,
+            &[0.059, 0.1, 0.04],
+            &[1, 1, 1],
+            &config(),
+        );
+        assert_eq!(second.cache_hit, vec![Some(true); 3]);
+        // A zero-rate degenerate sizing bypasses the cache: solve runs
+        // (rho 0 under the band) but no lookup is counted.
+        let (_, idle) = proactive_decisions_cached_traced(
+            &fresh,
+            &model,
+            0.0,
+            &[0.059, 0.1, 0.04],
+            &[50, 80, 30],
+            &config(),
+        );
+        assert_eq!(idle.cache_hit, vec![None; 3]);
     }
 
     #[test]

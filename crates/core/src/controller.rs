@@ -1,12 +1,15 @@
 //! The Chamulteon controller: both cycles, wired together.
 
-use crate::algorithm::proactive_decisions_cached;
+use crate::algorithm::{
+    proactive_decisions_cached, proactive_decisions_cached_traced, SizingTrace,
+};
 use crate::config::ChamulteonConfig;
 use crate::decision::{DecisionOrigin, DecisionStore, ScalingDecision};
 use crate::degradation::{DegradationLog, DegradationReason, Observation, SpikeGate};
 use crate::fox::{ChargingModel, Fox};
 use chamulteon_demand::{MonitoringSample, RollingDemandEstimator};
 use chamulteon_forecast::{DriftDetector, Forecaster, TelescopeForecaster, TimeSeries};
+use chamulteon_obs::{Event, EventKind, Obs, PhaseTimer, Provenance, Winner};
 use chamulteon_perfmodel::ApplicationModel;
 use chamulteon_queueing::{CacheStats, CapacityCache};
 
@@ -18,6 +21,10 @@ struct ActiveForecast {
     made_at: usize,
     /// Predicted entry arrival rates, one per future tick.
     values: Vec<f64>,
+    /// Generation counter at which this forecast was produced.
+    generation: u64,
+    /// Whether the forecast passed the trust (MASE) threshold.
+    trusted: bool,
 }
 
 /// The coordinated multi-service auto-scaler.
@@ -47,6 +54,11 @@ pub struct Chamulteon {
     last_good_samples: Vec<Option<MonitoringSample>>,
     spike_gates: Vec<SpikeGate>,
     last_targets: Option<Vec<u32>>,
+    /// Observability bundle: event recorder + metrics registry. Disabled
+    /// by default, in which case every emission point is one branch.
+    obs: Obs,
+    /// 1-based control-cycle counter (ties trace events to cycles).
+    ticks: u64,
 }
 
 impl Chamulteon {
@@ -79,9 +91,30 @@ impl Chamulteon {
             last_good_samples: vec![None; model.service_count()],
             spike_gates: vec![SpikeGate::new(); model.service_count()],
             last_targets: None,
+            obs: Obs::disabled(),
+            ticks: 0,
             model,
             config,
         }
+    }
+
+    /// Attaches an observability bundle (builder form): decision
+    /// provenance and cycle events flow to its recorder, counters and
+    /// phase timings to its metrics registry. Instrumentation never
+    /// changes a decision (pinned by the bit-identity tests).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Replaces the observability bundle in place.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// The observability bundle in use.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Attaches the FOX cost-awareness component ("This component, if
@@ -160,6 +193,45 @@ impl Chamulteon {
         std::mem::take(&mut self.degradation)
     }
 
+    /// Records one degradation rung in the log AND on the obs channel
+    /// (a `degradation` trace event plus the `degradation.events`
+    /// counter).
+    fn degrade(&mut self, time: f64, reason: DegradationReason) {
+        self.obs.record_with(|| {
+            let kind = EventKind::Degradation {
+                code: reason.as_code().to_owned(),
+                attempt: reason.attempt(),
+            };
+            match reason.service() {
+                Some(service) => Event::service(time, service, kind),
+                None => Event::cycle(time, kind),
+            }
+        });
+        self.obs.metrics().increment("degradation.events");
+        self.degradation.record(time, reason);
+    }
+
+    /// The active forecast's `(rate, generation, trusted)` for the
+    /// upcoming interval, when one is in play. Past the horizon the last
+    /// predicted value is reported (the store's decisions have expired by
+    /// then, but provenance should still name what the controller last
+    /// believed).
+    fn active_forecast_now(&self) -> Option<(f64, u64, bool)> {
+        let forecast = self.active_forecast.as_ref()?;
+        let history_len = self
+            .entry_history
+            .as_ref()
+            .map(TimeSeries::len)
+            .unwrap_or(forecast.made_at);
+        let elapsed = history_len.saturating_sub(forecast.made_at);
+        let rate = forecast
+            .values
+            .get(elapsed)
+            .or_else(|| forecast.values.last())
+            .copied()?;
+        Some((rate, forecast.generation, forecast.trusted))
+    }
+
     /// One scaling round at time `time` with one monitoring sample per
     /// service (the paper's external monitoring component provides these).
     /// Returns the absolute target instance count per service.
@@ -230,14 +302,12 @@ impl Chamulteon {
                     // an implausible spike would poison the demand
                     // estimator; the gate holds it out unless it persists.
                     Ok(sample) if !self.spike_gates[service].admit(sample.arrival_rate()) => {
-                        self.degradation
-                            .record(time, DegradationReason::SampleImplausible { service });
+                        self.degrade(time, DegradationReason::SampleImplausible { service });
                         None
                     }
                     Ok(sample) => Some(sample),
                     Err(_) => {
-                        self.degradation
-                            .record(time, DegradationReason::SampleQuarantined { service });
+                        self.degrade(time, DegradationReason::SampleQuarantined { service });
                         None
                     }
                 },
@@ -253,13 +323,11 @@ impl Chamulteon {
                 None => {
                     let fallback = match self.last_good_samples[service] {
                         Some(held) => {
-                            self.degradation
-                                .record(time, DegradationReason::SampleHeld { service });
+                            self.degrade(time, DegradationReason::SampleHeld { service });
                             held
                         }
                         None => {
-                            self.degradation
-                                .record(time, DegradationReason::SampleSynthesized { service });
+                            self.degrade(time, DegradationReason::SampleSynthesized { service });
                             MonitoringSample::zero(
                                 60.0,
                                 self.model.service(service).min_instances(),
@@ -276,21 +344,69 @@ impl Chamulteon {
         // rather than scaling on held or synthetic data.
         if fresh.iter().all(|&f| !f) {
             if let Some(last) = self.last_targets.clone() {
-                self.degradation
-                    .record(time, DegradationReason::HeldLastDecision);
-                return last;
+                return self.hold_cycle(time, last);
             }
         }
 
         // Rung 4: a stale entry rate stays out of the forecast history.
         let entry_fresh = fresh[self.model.entry()];
         if !entry_fresh {
-            self.degradation
-                .record(time, DegradationReason::EntryRateUnusable);
+            self.degrade(time, DegradationReason::EntryRateUnusable);
         }
         let targets = self.decide(time, &samples, &fresh, entry_fresh);
         self.last_targets = Some(targets.clone());
         targets
+    }
+
+    /// Ladder rung 5 as a full (instrumented) cycle: re-issues `last`
+    /// unchanged, with a `cycle_start`, the `held_last_decision` rung and
+    /// one hold-provenance record per service on the trace.
+    fn hold_cycle(&mut self, time: f64, last: Vec<u32>) -> Vec<u32> {
+        self.ticks += 1;
+        let tick = self.ticks;
+        self.obs.record_with(|| {
+            Event::cycle(
+                time,
+                EventKind::CycleStart {
+                    tick,
+                    measured_rate: f64::NAN,
+                    entry_fresh: false,
+                },
+            )
+        });
+        self.degrade(time, DegradationReason::HeldLastDecision);
+        if self.obs.tracing() {
+            let demands = self.estimated_demands();
+            let forecast_now = self.active_forecast_now();
+            for (service, &target) in last.iter().enumerate() {
+                let demand = demands.get(service).copied().unwrap_or(f64::NAN);
+                self.obs.record_with(|| {
+                    Event::service(
+                        time,
+                        service,
+                        EventKind::Decision(Provenance {
+                            tick,
+                            measured_rate: f64::NAN,
+                            offered_rate: None,
+                            demand,
+                            forecast_rate: forecast_now.map(|(rate, _, _)| rate),
+                            forecast_generation: forecast_now.map(|(_, generation, _)| generation),
+                            forecast_trusted: forecast_now.map(|(_, _, trusted)| trusted),
+                            winner: Winner::Hold,
+                            cache_hit: None,
+                            fox_suppressed: None,
+                            proposed: target,
+                            target,
+                        }),
+                    )
+                });
+            }
+        }
+        self.obs.metrics().count(
+            "decisions.hold",
+            u64::try_from(last.len()).unwrap_or(u64::MAX),
+        );
+        last
     }
 
     /// The shared decision core of [`tick`](Chamulteon::tick) and
@@ -304,6 +420,11 @@ impl Chamulteon {
         fresh: &[bool],
         entry_fresh: bool,
     ) -> Vec<u32> {
+        self.ticks += 1;
+        let tick = self.ticks;
+        let tracing = self.obs.tracing();
+        let mut timer = PhaseTimer::start(self.obs.metrics().enabled());
+
         // 1. Feed the demand estimators (fresh measurements only).
         for ((estimator, sample), &is_fresh) in
             self.demand_estimators.iter_mut().zip(samples).zip(fresh)
@@ -335,21 +456,64 @@ impl Chamulteon {
             }
         }
 
+        self.obs.record_with(|| {
+            Event::cycle(
+                time,
+                EventKind::CycleStart {
+                    tick,
+                    measured_rate: entry_rate,
+                    entry_fresh,
+                },
+            )
+        });
+        if tracing {
+            for (service, (&demand, &is_fresh)) in demands.iter().zip(fresh).enumerate() {
+                self.obs.record_with(|| {
+                    Event::service(
+                        time,
+                        service,
+                        EventKind::DemandEstimate {
+                            demand,
+                            fresh: is_fresh,
+                        },
+                    )
+                });
+            }
+        }
+        timer.lap(self.obs.metrics(), "cycle.demand_us");
+
         // 3. Proactive cycle.
         if self.config.proactive_enabled {
             self.run_proactive_cycle(time, interval, &demands, &instances);
         }
+        timer.lap(self.obs.metrics(), "cycle.proactive_us");
 
-        // 4. Reactive cycle.
+        // 4. Reactive cycle. The traced sizing pass issues the exact same
+        // cache lookups as the untraced one — tracing never changes a
+        // target (pinned by the bit-identity tests).
+        let mut reactive_trace: Option<SizingTrace> = None;
         let reactive: Vec<Option<ScalingDecision>> = if self.config.reactive_enabled {
-            let targets = proactive_decisions_cached(
-                &self.capacity_cache,
-                &self.model,
-                entry_rate,
-                &demands,
-                &instances,
-                &self.config,
-            );
+            let targets = if tracing {
+                let (targets, trace) = proactive_decisions_cached_traced(
+                    &self.capacity_cache,
+                    &self.model,
+                    entry_rate,
+                    &demands,
+                    &instances,
+                    &self.config,
+                );
+                reactive_trace = Some(trace);
+                targets
+            } else {
+                proactive_decisions_cached(
+                    &self.capacity_cache,
+                    &self.model,
+                    entry_rate,
+                    &demands,
+                    &instances,
+                    &self.config,
+                )
+            };
             targets
                 .iter()
                 .enumerate()
@@ -366,26 +530,141 @@ impl Chamulteon {
         } else {
             vec![None; self.model.service_count()]
         };
+        timer.lap(self.obs.metrics(), "cycle.reactive_us");
+
+        if tracing {
+            let stats = self.capacity_cache.stats();
+            self.obs.record_with(|| {
+                Event::cycle(
+                    time,
+                    EventKind::CapacitySolve {
+                        hits: stats.hits,
+                        misses: stats.misses,
+                    },
+                )
+            });
+        }
 
         // 5. Conflict resolution + 6. FOX review.
         self.store.evict_expired(time);
-        (0..self.model.service_count())
-            .map(|service| {
-                let chosen = self
-                    .store
-                    .resolve(service, time, instances[service], reactive[service])
-                    .map(|d| d.target)
-                    .unwrap_or(instances[service]);
-                let reviewed = match &mut self.fox {
-                    Some(fox) => fox.review(service, time, instances[service], chosen),
-                    None => chosen,
-                };
-                reviewed.clamp(
-                    self.model.service(service).min_instances(),
-                    self.model.service(service).max_instances(),
-                )
-            })
-            .collect()
+        let forecast_now = self.active_forecast_now();
+        let service_count = self.model.service_count();
+        let mut targets = Vec::with_capacity(service_count);
+        for service in 0..service_count {
+            let current = instances[service];
+            let resolved = self
+                .store
+                .resolve(service, time, current, reactive[service]);
+            let (chosen, winner, origin_generation, origin_trusted) = match resolved {
+                Some(decision) => match decision.origin {
+                    DecisionOrigin::Proactive {
+                        generation,
+                        trusted,
+                    } => (
+                        decision.target,
+                        Winner::Proactive,
+                        Some(generation),
+                        Some(trusted),
+                    ),
+                    DecisionOrigin::Reactive => (decision.target, Winner::Reactive, None, None),
+                },
+                None => (current, Winner::Hold, None, None),
+            };
+            if tracing {
+                let proactive_candidate = self.store.proactive_at(service, time);
+                let reactive_candidate = reactive[service];
+                self.obs.record_with(|| {
+                    Event::service(
+                        time,
+                        service,
+                        EventKind::ConflictResolution {
+                            proactive: proactive_candidate.map(|d| d.target),
+                            proactive_trusted: proactive_candidate.and_then(|d| match d.origin {
+                                DecisionOrigin::Proactive { trusted, .. } => Some(trusted),
+                                DecisionOrigin::Reactive => None,
+                            }),
+                            reactive: reactive_candidate.map(|d| d.target),
+                            winner,
+                            chosen,
+                        },
+                    )
+                });
+            }
+            let (reviewed, fox_suppressed) = match &mut self.fox {
+                Some(fox) => {
+                    let reviewed = fox.review(service, time, current, chosen);
+                    if tracing {
+                        let paid_remaining = fox.min_paid_fraction(service, time);
+                        self.obs.record_with(|| {
+                            Event::service(
+                                time,
+                                service,
+                                EventKind::FoxVerdict {
+                                    proposed: chosen,
+                                    reviewed,
+                                    suppressed: reviewed != chosen,
+                                    paid_remaining,
+                                },
+                            )
+                        });
+                    }
+                    (reviewed, Some(reviewed != chosen))
+                }
+                None => (chosen, None),
+            };
+            let target = reviewed.clamp(
+                self.model.service(service).min_instances(),
+                self.model.service(service).max_instances(),
+            );
+            self.obs.metrics().increment(match winner {
+                Winner::Proactive => "decisions.proactive",
+                Winner::Reactive => "decisions.reactive",
+                Winner::Hold => "decisions.hold",
+            });
+            if fox_suppressed == Some(true) {
+                self.obs.metrics().increment("fox.suppressed");
+            }
+            if tracing {
+                let (offered_rate, cache_hit) = reactive_trace
+                    .as_ref()
+                    .map(|trace| {
+                        (
+                            trace.offered.get(service).copied(),
+                            trace.cache_hit.get(service).copied().flatten(),
+                        )
+                    })
+                    .unwrap_or((None, None));
+                let demand = demands.get(service).copied().unwrap_or(f64::NAN);
+                self.obs.record_with(|| {
+                    Event::service(
+                        time,
+                        service,
+                        EventKind::Decision(Provenance {
+                            tick,
+                            measured_rate: entry_rate,
+                            offered_rate,
+                            demand,
+                            forecast_rate: forecast_now.map(|(rate, _, _)| rate),
+                            forecast_generation: origin_generation
+                                .or(forecast_now.map(|(_, generation, _)| generation)),
+                            forecast_trusted: origin_trusted
+                                .or(forecast_now.map(|(_, _, trusted)| trusted)),
+                            winner,
+                            cache_hit,
+                            fox_suppressed,
+                            proposed: chosen,
+                            target,
+                        }),
+                    )
+                });
+            }
+            targets.push(target);
+        }
+        timer.lap(self.obs.metrics(), "cycle.resolve_us");
+        if self.obs.metrics().enabled() {
+            self.capacity_cache.export_metrics(self.obs.metrics());
+        }
+        targets
     }
 
     /// Runs the proactive cycle: re-forecasts when needed (forecast
@@ -430,8 +709,7 @@ impl Chamulteon {
         let Ok(forecast) = self.forecaster.forecast(history, horizon) else {
             // Ladder: the proactive cycle sits this round out; the
             // reactive cycle (or the held decision) still covers it.
-            self.degradation
-                .record(time, DegradationReason::ForecastFailed);
+            self.degrade(time, DegradationReason::ForecastFailed);
             return;
         };
         self.forecasts_made += 1;
@@ -443,7 +721,23 @@ impl Chamulteon {
         self.active_forecast = Some(ActiveForecast {
             made_at: history.len(),
             values: forecast.values().to_vec(),
+            generation: self.forecast_generation,
+            trusted,
         });
+        let generation = self.forecast_generation;
+        let mase = forecast.in_sample_mase();
+        self.obs.record_with(|| {
+            Event::cycle(
+                time,
+                EventKind::Forecast {
+                    generation,
+                    horizon: u64::try_from(horizon).unwrap_or(u64::MAX),
+                    trusted,
+                    mase,
+                },
+            )
+        });
+        self.obs.metrics().increment("forecasts.made");
 
         // Chain decisions across the horizon: each window starts from the
         // previous window's targets.
@@ -839,5 +1133,110 @@ mod tests {
             let targets = c.tick(60.0, &samples_for(50.0, &[5, 9, 4]));
             assert_eq!(targets.len(), 3);
         }
+    }
+
+    #[test]
+    fn traced_controller_is_bit_identical_to_untraced() {
+        use chamulteon_obs::EventKind;
+
+        let mut plain = controller(ChamulteonConfig::default());
+        let (obs, ring) = chamulteon_obs::Obs::recording(1 << 16);
+        let mut traced = controller(ChamulteonConfig::default()).with_obs(obs);
+
+        let ticks = 30usize;
+        let mut n = [5u32, 9, 4];
+        for k in 0..ticks {
+            // Sawtooth load so forecasts, drift checks and both decision
+            // origins all fire over the run.
+            let rate = 40.0 + 20.0 * ((k % 12) as f64);
+            let time = 60.0 * (k as f64 + 1.0);
+            let samples = samples_for(rate, &n);
+            let a = plain.tick(time, &samples);
+            let b = traced.tick(time, &samples);
+            assert_eq!(a, b, "tick {k}: tracing changed the decision");
+            n = [b[0], b[1], b[2]];
+        }
+        assert_eq!(plain.forecasts_made(), traced.forecasts_made());
+
+        let events = ring.take();
+        assert_eq!(ring.dropped(), 0, "ring too small for the run");
+        let cycle_starts = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::CycleStart { .. }))
+            .count();
+        assert_eq!(cycle_starts, ticks);
+        let decisions: Vec<_> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Decision(p) => Some((e.service, p)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            decisions.len(),
+            ticks * 3,
+            "one provenance per service per tick"
+        );
+        for (service, provenance) in &decisions {
+            assert!(service.is_some(), "decision events are per-service");
+            assert!(provenance.tick >= 1 && provenance.tick <= ticks as u64);
+            assert!(provenance.measured_rate.is_finite());
+            assert!(provenance.demand.is_finite());
+            assert!(provenance.target >= 1);
+        }
+        // The reactive sizing pass records offered rates and cache verdicts.
+        assert!(
+            decisions
+                .iter()
+                .any(|(_, p)| p.offered_rate.is_some() && p.cache_hit.is_some()),
+            "no decision captured reactive sizing context"
+        );
+        // Forecast events carry the active generation into provenance.
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::Forecast { .. })),
+            "no forecast event despite {} forecasts",
+            traced.forecasts_made()
+        );
+        assert!(
+            decisions
+                .iter()
+                .any(|(_, p)| p.forecast_generation.is_some()),
+            "no decision linked to a forecast generation"
+        );
+
+        let metrics = traced.obs().metrics();
+        let total = metrics.counter_value("decisions.proactive").unwrap_or(0)
+            + metrics.counter_value("decisions.reactive").unwrap_or(0)
+            + metrics.counter_value("decisions.hold").unwrap_or(0);
+        assert_eq!(total, (ticks * 3) as u64);
+        assert!(metrics.counter_value("forecasts.made").unwrap_or(0) >= 1);
+        assert!(metrics.gauge_value("capacity_cache.entries").is_some());
+    }
+
+    #[test]
+    fn blind_ticks_trace_hold_provenance() {
+        let (obs, ring) = chamulteon_obs::Obs::recording(1 << 12);
+        let mut c = controller(ChamulteonConfig::default()).with_obs(obs);
+        let last = c.tick(60.0, &samples_for(50.0, &[5, 9, 4]));
+        // Fully blind tick after a good one: rung 5 re-issues `last`.
+        let held = c.tick_observed(120.0, &[crate::degradation::Observation::Missing; 3]);
+        assert_eq!(held, last);
+
+        let events = ring.take();
+        use chamulteon_obs::{EventKind, Winner};
+        assert!(events.iter().any(|e| matches!(
+            &e.kind,
+            EventKind::Degradation { code, .. } if code == "held_last_decision"
+        )));
+        let holds = events
+            .iter()
+            .filter(|e| {
+                matches!(&e.kind, EventKind::Decision(p)
+                    if p.winner == Winner::Hold && p.tick == 2)
+            })
+            .count();
+        assert_eq!(holds, 3, "one hold provenance per service");
     }
 }

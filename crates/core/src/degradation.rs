@@ -81,6 +81,54 @@ pub enum DegradationReason {
     },
 }
 
+impl DegradationReason {
+    /// Stable snake_case code for reports, traces and chaos tests —
+    /// matching on this, not on debug formatting, is the supported way
+    /// to identify a rung.
+    pub fn as_code(&self) -> &'static str {
+        match self {
+            DegradationReason::SampleQuarantined { .. } => "sample_quarantined",
+            DegradationReason::SampleImplausible { .. } => "sample_implausible",
+            DegradationReason::SampleHeld { .. } => "sample_held",
+            DegradationReason::SampleSynthesized { .. } => "sample_synthesized",
+            DegradationReason::EntryRateUnusable => "entry_rate_unusable",
+            DegradationReason::ForecastFailed => "forecast_failed",
+            DegradationReason::HeldLastDecision => "held_last_decision",
+            DegradationReason::ActuationRetried { .. } => "actuation_retried",
+            DegradationReason::ActuationAbandoned { .. } => "actuation_abandoned",
+        }
+    }
+
+    /// The service the rung concerns, when it is per-service.
+    pub fn service(&self) -> Option<usize> {
+        match self {
+            DegradationReason::SampleQuarantined { service }
+            | DegradationReason::SampleImplausible { service }
+            | DegradationReason::SampleHeld { service }
+            | DegradationReason::SampleSynthesized { service }
+            | DegradationReason::ActuationRetried { service, .. }
+            | DegradationReason::ActuationAbandoned { service } => Some(*service),
+            DegradationReason::EntryRateUnusable
+            | DegradationReason::ForecastFailed
+            | DegradationReason::HeldLastDecision => None,
+        }
+    }
+
+    /// The retry attempt number, for the actuation-retry rung.
+    pub fn attempt(&self) -> Option<u32> {
+        match self {
+            DegradationReason::ActuationRetried { attempt, .. } => Some(*attempt),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for DegradationReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_code())
+    }
+}
+
 /// A [`DegradationReason`] stamped with the decision time it occurred at.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DegradationEvent {
@@ -203,13 +251,36 @@ impl RetryPolicy {
     /// # Errors
     ///
     /// Propagates `op`'s final error after `max_attempts` failures.
-    pub fn run<E>(&self, mut op: impl FnMut(u32) -> Result<(), E>) -> Result<u32, E> {
+    pub fn run<E>(&self, op: impl FnMut(u32) -> Result<(), E>) -> Result<u32, E> {
+        self.run_observed(&chamulteon_obs::DISABLED_METRICS, op)
+    }
+
+    /// [`run`](RetryPolicy::run), additionally feeding the obs metrics
+    /// registry: `actuation.attempts` counts every call of `op`,
+    /// `actuation.retries` every failed attempt that gets another try,
+    /// and `actuation.abandoned` every command that exhausts the budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `op`'s final error after `max_attempts` failures.
+    pub fn run_observed<E>(
+        &self,
+        metrics: &chamulteon_obs::MetricsRegistry,
+        mut op: impl FnMut(u32) -> Result<(), E>,
+    ) -> Result<u32, E> {
         let mut attempt = 0u32;
         loop {
+            metrics.increment("actuation.attempts");
             match op(attempt) {
                 Ok(()) => return Ok(attempt + 1),
-                Err(e) if attempt + 1 >= self.max_attempts => return Err(e),
-                Err(_) => attempt += 1,
+                Err(e) if attempt + 1 >= self.max_attempts => {
+                    metrics.increment("actuation.abandoned");
+                    return Err(e);
+                }
+                Err(_) => {
+                    metrics.increment("actuation.retries");
+                    attempt += 1;
+                }
             }
         }
     }
@@ -374,6 +445,92 @@ mod tests {
         assert!(gate.admit(5.0));
         assert!(gate.admit(39.0), "just under 4x the 10 req/s floor");
         assert!(!gate.admit(250.0), "above 4x the 39 baseline");
+    }
+
+    #[test]
+    fn reason_codes_are_stable() {
+        let cases = [
+            (
+                DegradationReason::SampleQuarantined { service: 2 },
+                "sample_quarantined",
+                Some(2),
+                None,
+            ),
+            (
+                DegradationReason::SampleImplausible { service: 0 },
+                "sample_implausible",
+                Some(0),
+                None,
+            ),
+            (
+                DegradationReason::SampleHeld { service: 1 },
+                "sample_held",
+                Some(1),
+                None,
+            ),
+            (
+                DegradationReason::SampleSynthesized { service: 3 },
+                "sample_synthesized",
+                Some(3),
+                None,
+            ),
+            (
+                DegradationReason::EntryRateUnusable,
+                "entry_rate_unusable",
+                None,
+                None,
+            ),
+            (
+                DegradationReason::ForecastFailed,
+                "forecast_failed",
+                None,
+                None,
+            ),
+            (
+                DegradationReason::HeldLastDecision,
+                "held_last_decision",
+                None,
+                None,
+            ),
+            (
+                DegradationReason::ActuationRetried {
+                    service: 4,
+                    attempt: 1,
+                },
+                "actuation_retried",
+                Some(4),
+                Some(1),
+            ),
+            (
+                DegradationReason::ActuationAbandoned { service: 5 },
+                "actuation_abandoned",
+                Some(5),
+                None,
+            ),
+        ];
+        for (reason, code, service, attempt) in cases {
+            assert_eq!(reason.as_code(), code);
+            assert_eq!(reason.to_string(), code);
+            assert_eq!(reason.service(), service);
+            assert_eq!(reason.attempt(), attempt);
+        }
+    }
+
+    #[test]
+    fn run_observed_counts_attempts_retries_and_abandons() {
+        let metrics = chamulteon_obs::MetricsRegistry::new();
+        let p = RetryPolicy::new(3, 0.0, 0.0);
+        // Success on the second attempt: 2 attempts, 1 retry.
+        p.run_observed(&metrics, |a| if a >= 1 { Ok(()) } else { Err(()) })
+            .unwrap();
+        assert_eq!(metrics.counter_value("actuation.attempts"), Some(2));
+        assert_eq!(metrics.counter_value("actuation.retries"), Some(1));
+        assert_eq!(metrics.counter_value("actuation.abandoned"), None);
+        // Exhausted budget: 3 more attempts, 2 more retries, 1 abandon.
+        let _ = p.run_observed(&metrics, |_| Err::<(), ()>(()));
+        assert_eq!(metrics.counter_value("actuation.attempts"), Some(5));
+        assert_eq!(metrics.counter_value("actuation.retries"), Some(3));
+        assert_eq!(metrics.counter_value("actuation.abandoned"), Some(1));
     }
 
     #[test]

@@ -127,6 +127,22 @@ impl Fox {
         current - released
     }
 
+    /// The smallest remaining paid fraction of the charging interval
+    /// across the service's leases at `now` — FOX's release criterion
+    /// (an instance may go once this drops to the release window).
+    /// `None` when the service holds no leases or the model's interval
+    /// is degenerate.
+    pub fn min_paid_fraction(&self, service: usize, now: f64) -> Option<f64> {
+        if self.model.interval <= 0.0 || !self.model.interval.is_finite() {
+            return None;
+        }
+        self.leases
+            .get(service)?
+            .iter()
+            .map(|&start| self.model.paid_time_remaining(start, now) / self.model.interval)
+            .min_by(f64::total_cmp)
+    }
+
     /// Total billed instance-seconds so far: every released lease's billed
     /// duration plus the running leases billed as of `now`.
     pub fn billed_instance_seconds(&self, now: f64) -> f64 {
@@ -223,6 +239,19 @@ mod tests {
         let target = fox.review(0, 599.0, 1, 0);
         assert_eq!(target, 0);
         assert!((fox.billed_instance_seconds(599.0) - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_paid_fraction_tracks_the_oldest_lease() {
+        let mut fox = Fox::new(ChargingModel::ec2_hourly(), 1);
+        assert_eq!(fox.min_paid_fraction(0, 0.0), None, "no leases yet");
+        fox.review(0, 0.0, 2, 2);
+        fox.review(0, 1800.0, 3, 3);
+        // At t = 3240 the two t = 0 leases have 360 s paid left (10% of
+        // the hour); the t = 1800 lease has 2160 s (60%).
+        let frac = fox.min_paid_fraction(0, 3240.0).unwrap();
+        assert!((frac - 0.1).abs() < 1e-9, "{frac}");
+        assert_eq!(fox.min_paid_fraction(9, 3240.0), None, "unknown service");
     }
 
     #[test]

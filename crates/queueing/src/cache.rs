@@ -31,8 +31,9 @@
 //! sequential path.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+use chamulteon_obs::{Counter, MetricsRegistry};
 
 use crate::capacity::{
     min_instances_for_response_time, min_instances_for_response_time_quantile,
@@ -217,8 +218,8 @@ impl CacheStats {
 #[derive(Debug, Default)]
 pub struct CapacityCache {
     map: Mutex<HashMap<CapacityKey, Result<u32, QueueingError>, CapacityHashBuilder>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Counter,
+    misses: Counter,
 }
 
 impl Clone for CapacityCache {
@@ -234,8 +235,8 @@ impl Clone for CapacityCache {
         };
         CapacityCache {
             map: Mutex::new(map),
-            hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),
-            misses: AtomicU64::new(self.misses.load(Ordering::Relaxed)),
+            hits: self.hits.clone(),
+            misses: self.misses.clone(),
         }
     }
 }
@@ -246,12 +247,27 @@ impl CapacityCache {
         CapacityCache::default()
     }
 
-    /// Current hit/miss counters.
+    /// Current hit/miss counters. (Thin shim over the obs
+    /// [`Counter`]s the cache keeps internally.)
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
         }
+    }
+
+    /// Publishes the cache's current state as gauges on an obs metrics
+    /// registry: `capacity_cache.hits`, `capacity_cache.misses`,
+    /// `capacity_cache.hit_rate` and `capacity_cache.entries`.
+    pub fn export_metrics(&self, registry: &MetricsRegistry) {
+        let stats = self.stats();
+        // audit:allow(lossy-cast): counters fit f64's 53-bit integer range
+        registry.set_gauge("capacity_cache.hits", stats.hits as f64);
+        // audit:allow(lossy-cast): counters fit f64's 53-bit integer range
+        registry.set_gauge("capacity_cache.misses", stats.misses as f64);
+        registry.set_gauge("capacity_cache.hit_rate", stats.hit_rate());
+        // audit:allow(lossy-cast): counters fit f64's 53-bit integer range
+        registry.set_gauge("capacity_cache.entries", self.len() as f64);
     }
 
     /// Number of distinct quantized keys currently stored.
@@ -271,11 +287,11 @@ impl CapacityCache {
     {
         if let Ok(mut map) = self.map.lock() {
             if let Some(found) = map.get(&key) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.increment();
                 return found.clone();
             }
             let computed = solve();
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.increment();
             map.insert(key, computed.clone());
             return computed;
         }
@@ -547,6 +563,19 @@ mod tests {
             ));
         }
         assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn export_metrics_publishes_gauges() {
+        let cache = CapacityCache::new();
+        let _ = cache.min_instances_for_response_time(100.0, 0.1, 0.5, 1000);
+        let _ = cache.min_instances_for_response_time(100.0, 0.1, 0.5, 1000);
+        let registry = MetricsRegistry::new();
+        cache.export_metrics(&registry);
+        assert_eq!(registry.gauge_value("capacity_cache.hits"), Some(1.0));
+        assert_eq!(registry.gauge_value("capacity_cache.misses"), Some(1.0));
+        assert_eq!(registry.gauge_value("capacity_cache.hit_rate"), Some(0.5));
+        assert_eq!(registry.gauge_value("capacity_cache.entries"), Some(1.0));
     }
 
     #[test]

@@ -34,6 +34,23 @@ pub enum CorruptionMode {
     },
 }
 
+impl CorruptionMode {
+    /// Stable snake_case code for traces and reports.
+    pub fn as_code(&self) -> &'static str {
+        match self {
+            CorruptionMode::Nan => "nan",
+            CorruptionMode::Negative => "negative",
+            CorruptionMode::Spike { .. } => "spike",
+        }
+    }
+}
+
+impl std::fmt::Display for CorruptionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_code())
+    }
+}
+
 /// One class of injected fault.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultKind {
@@ -66,6 +83,20 @@ pub enum FaultKind {
 }
 
 impl FaultKind {
+    /// Stable snake_case code for traces, reports and chaos tests —
+    /// matching on this, not on debug formatting, is the supported way
+    /// to identify a fault class.
+    pub fn as_code(&self) -> &'static str {
+        match self {
+            FaultKind::DropSample => "drop_sample",
+            FaultKind::DelaySample { .. } => "delay_sample",
+            FaultKind::CorruptSample { .. } => "corrupt_sample",
+            FaultKind::ActuationFail => "actuation_fail",
+            FaultKind::ActuationDelay { .. } => "actuation_delay",
+            FaultKind::InstanceCrash { .. } => "instance_crash",
+        }
+    }
+
     /// Whether this kind targets the monitoring path.
     fn is_monitor(self) -> bool {
         matches!(
@@ -80,6 +111,12 @@ impl FaultKind {
             self,
             FaultKind::ActuationFail | FaultKind::ActuationDelay { .. }
         )
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_code())
     }
 }
 
@@ -449,6 +486,35 @@ mod tests {
         assert_eq!(p.windows()[1].probability, 0.0);
         assert_eq!(p.windows()[1].kind, FaultKind::DelaySample { intervals: 1 });
         assert_eq!(p.windows()[2].kind, FaultKind::InstanceCrash { count: 1 });
+    }
+
+    #[test]
+    fn fault_codes_are_stable() {
+        let kinds = [
+            (FaultKind::DropSample, "drop_sample"),
+            (FaultKind::DelaySample { intervals: 2 }, "delay_sample"),
+            (
+                FaultKind::CorruptSample {
+                    mode: CorruptionMode::Nan,
+                },
+                "corrupt_sample",
+            ),
+            (FaultKind::ActuationFail, "actuation_fail"),
+            (FaultKind::ActuationDelay { extra: 5.0 }, "actuation_delay"),
+            (FaultKind::InstanceCrash { count: 1 }, "instance_crash"),
+        ];
+        for (kind, code) in kinds {
+            assert_eq!(kind.as_code(), code);
+            assert_eq!(kind.to_string(), code);
+        }
+        for (mode, code) in [
+            (CorruptionMode::Nan, "nan"),
+            (CorruptionMode::Negative, "negative"),
+            (CorruptionMode::Spike { factor: 8.0 }, "spike"),
+        ] {
+            assert_eq!(mode.as_code(), code);
+            assert_eq!(mode.to_string(), code);
+        }
     }
 
     #[test]

@@ -36,6 +36,7 @@ use std::path::{Path, PathBuf};
 /// code; `xtask` is this tool.
 pub const DECISION_PATH_CRATES: &[&str] = &[
     "core",
+    "obs",
     "queueing",
     "demand",
     "perfmodel",

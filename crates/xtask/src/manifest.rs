@@ -9,11 +9,12 @@
 //!
 //! | Layer | Crates |
 //! |-------|--------|
-//! | 0     | `queueing`, `timeseries`, `workload` |
-//! | 1     | `demand`, `perfmodel` |
-//! | 2     | `scalers`, `sim`, `metrics` |
-//! | 3     | `core` |
-//! | 4     | `bench` |
+//! | 0     | `obs` |
+//! | 1     | `queueing`, `timeseries`, `workload` |
+//! | 2     | `demand`, `perfmodel` |
+//! | 3     | `scalers`, `sim`, `metrics` |
+//! | 4     | `core` |
+//! | 5     | `bench` |
 //!
 //! Only `[dependencies]` edges are checked: dev-dependencies exercise test
 //! scaffolding and may reach sideways. A violating line can be suppressed
@@ -25,16 +26,17 @@ use std::path::Path;
 /// Layer assignment by crate directory name. Unlisted crates (`xtask`,
 /// fixtures, future tooling) are not layered and produce no findings.
 const LAYERS: &[(&str, u8)] = &[
-    ("queueing", 0),
-    ("timeseries", 0),
-    ("workload", 0),
-    ("demand", 1),
-    ("perfmodel", 1),
-    ("scalers", 2),
-    ("sim", 2),
-    ("metrics", 2),
-    ("core", 3),
-    ("bench", 4),
+    ("obs", 0),
+    ("queueing", 1),
+    ("timeseries", 1),
+    ("workload", 1),
+    ("demand", 2),
+    ("perfmodel", 2),
+    ("scalers", 3),
+    ("sim", 3),
+    ("metrics", 3),
+    ("core", 4),
+    ("bench", 5),
 ];
 
 fn layer_of(crate_dir: &str) -> Option<u8> {
