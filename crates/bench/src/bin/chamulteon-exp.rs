@@ -12,6 +12,8 @@
 //!                  [--out FILE.json] [--quick]
 //!   chamulteon-exp trace [--setup NAME] [--scaler NAME] [--faults CLASS]
 //!                  [--out FILE.jsonl] [--tail N]
+//!   chamulteon-exp conformance [--seed N] [--cases N] [--replays N]
+//!                  [--arrivals N] [--quick] [--out FILE.json]
 //!
 //! SETUPS:   wikipedia-docker  wikipedia-vm  bibsonomy-small  bibsonomy-large  smoke
 //! SCALERS:  chamulteon  cham-reactive  cham-proactive  cham-fox-ec2
@@ -40,6 +42,7 @@ use chamulteon_bench::{
     default_threads, evaluation_grid, evaluation_grid_seq, run_experiment, run_experiment_observed,
     ExperimentSpec, FaultClass, ScalerKind,
 };
+use chamulteon_conformance::{self as conformance, ConformanceConfig};
 use chamulteon_metrics::{render_table, DEMAND_QUANTILE};
 use chamulteon_obs::{jsonl, EventKind, Obs, Winner, EVENT_KIND_CODES};
 use chamulteon_perfmodel::ApplicationModel;
@@ -155,8 +158,9 @@ fn usage() -> &'static str {
      --trace expects `time,rate` CSV (header optional); --series prints the\n\
      per-interval demand/supply series after the table.\n\
      \n\
-     See also: chamulteon-exp trace --help (decision-provenance JSONL traces)\n\
-     and chamulteon-exp bench --help (solver/grid timings)."
+     See also: chamulteon-exp trace --help (decision-provenance JSONL traces),\n\
+     chamulteon-exp bench --help (solver/grid timings) and\n\
+     chamulteon-exp conformance --help (differential-oracle verdict)."
 }
 
 // --- `bench` subcommand -------------------------------------------------
@@ -450,6 +454,134 @@ fn bench_main(argv: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+// --- `conformance` subcommand -------------------------------------------
+
+struct ConformanceArgs {
+    config: ConformanceConfig,
+    out: Option<String>,
+}
+
+fn parse_conformance_args(argv: &[String]) -> Result<ConformanceArgs, String> {
+    let mut config = ConformanceConfig::default();
+    let mut out = None;
+    let mut quick = false;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {name} requires a value"))
+        };
+        match flag.as_str() {
+            "--seed" => {
+                config.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--cases" => {
+                config.algorithm1_cases = value("--cases")?
+                    .parse()
+                    .map_err(|e| format!("bad --cases: {e}"))?
+            }
+            "--replays" => {
+                config.ledger_replays = value("--replays")?
+                    .parse()
+                    .map_err(|e| format!("bad --replays: {e}"))?
+            }
+            "--arrivals" => {
+                config.sim_arrivals = value("--arrivals")?
+                    .parse()
+                    .map_err(|e| format!("bad --arrivals: {e}"))?
+            }
+            "--quick" => quick = true,
+            "--out" => out = Some(value("--out")?),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown conformance flag `{other}`")),
+        }
+    }
+    if quick {
+        let seed = config.seed;
+        config = ConformanceConfig {
+            seed,
+            ..ConformanceConfig::quick()
+        };
+    }
+    Ok(ConformanceArgs { config, out })
+}
+
+fn conformance_usage() -> &'static str {
+    "chamulteon-exp conformance — cross-check the analytic spine against\n\
+     independent oracles\n\
+     \n\
+     usage: chamulteon-exp conformance [--seed N] [--cases N] [--replays N]\n\
+            [--arrivals N] [--quick] [--out FILE.json]\n\
+     \n\
+     Runs three differential oracles: a brute-force Algorithm 1 grid\n\
+     (bit-level agreement of the naive, exact and cached decision paths),\n\
+     a FOX ledger replay (exact agreement on vetoes, lease books and\n\
+     billed instance-seconds), and a discrete-event M/M/n micro-simulator\n\
+     (Erlang-C measures and capacity answers within batch-means confidence\n\
+     bands). Prints the verdict, optionally writes it as JSON, and exits\n\
+     non-zero on any mismatch. --quick shrinks the grid for CI."
+}
+
+fn conformance_main(argv: &[String]) -> ExitCode {
+    let args = match parse_conformance_args(argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", conformance_usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{}", conformance_usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "conformance: {} Algorithm 1 cases, {} ledger replays, {} arrivals/station, seed {}...",
+        args.config.algorithm1_cases,
+        args.config.ledger_replays,
+        args.config.sim_arrivals,
+        args.config.seed
+    );
+    let started = Instant::now();
+    let report = conformance::run_all(&args.config);
+    let elapsed = started.elapsed().as_secs_f64();
+    for oracle in &report.oracles {
+        println!(
+            "  {:<14} {:>5} cases  {}",
+            oracle.oracle,
+            oracle.cases,
+            if oracle.passed() {
+                "ok".to_owned()
+            } else {
+                format!("{} MISMATCH(ES)", oracle.mismatches.len())
+            }
+        );
+        for mismatch in &oracle.mismatches {
+            println!("    {mismatch}");
+        }
+    }
+    println!(
+        "verdict: {} ({} cases, {} mismatches, {elapsed:.1} s)",
+        if report.passed() { "PASS" } else { "FAIL" },
+        report.total_cases(),
+        report.total_mismatches()
+    );
+    if let Some(out) = &args.out {
+        if let Err(e) = std::fs::write(out, report.to_json()) {
+            eprintln!("error: cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {out}");
+    }
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 // --- `trace` subcommand -------------------------------------------------
 
 struct TraceArgs {
@@ -684,6 +816,9 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("trace") {
         return trace_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("conformance") {
+        return conformance_main(&argv[1..]);
     }
     let args = match parse_args() {
         Ok(a) => a,

@@ -1,0 +1,58 @@
+//! Knobs for a conformance run.
+
+/// Configuration for a full differential run ([`crate::run_all`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConformanceConfig {
+    /// Base seed; each oracle derives its own stream by XORing a constant.
+    pub seed: u64,
+    /// Number of generated Algorithm 1 grid cases.
+    pub algorithm1_cases: usize,
+    /// Number of generated FOX ledger replays.
+    pub ledger_replays: usize,
+    /// Arrivals simulated per M/M/n scenario (before warmup removal).
+    pub sim_arrivals: u64,
+    /// Width of the micro-simulator's acceptance band, in standard errors.
+    pub tolerance_sigmas: f64,
+}
+
+impl Default for ConformanceConfig {
+    fn default() -> Self {
+        ConformanceConfig {
+            seed: 0x00C0_FFEE,
+            algorithm1_cases: 600,
+            ledger_replays: 60,
+            sim_arrivals: 200_000,
+            tolerance_sigmas: 4.0,
+        }
+    }
+}
+
+impl ConformanceConfig {
+    /// A cheaper profile for CI smoke runs: fewer cases, shorter
+    /// simulations, a slightly wider band to keep the false-positive rate
+    /// comparable.
+    pub fn quick() -> Self {
+        ConformanceConfig {
+            algorithm1_cases: 120,
+            ledger_replays: 20,
+            sim_arrivals: 30_000,
+            tolerance_sigmas: 5.0,
+            ..ConformanceConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_strictly_cheaper() {
+        let full = ConformanceConfig::default();
+        let quick = ConformanceConfig::quick();
+        assert!(quick.algorithm1_cases < full.algorithm1_cases);
+        assert!(quick.ledger_replays < full.ledger_replays);
+        assert!(quick.sim_arrivals < full.sim_arrivals);
+        assert_eq!(quick.seed, full.seed);
+    }
+}

@@ -1,0 +1,310 @@
+//! Ledger-replay FOX oracle.
+//!
+//! Generates randomized decision logs — time advances that deliberately
+//! include exact charging-interval multiples and float-drifted starts,
+//! external fleet growth/shrinkage, and arbitrary proposed targets — and
+//! replays each log twice: once through [`Fox`] and once through an
+//! independent re-implementation of the published policy that derives
+//! billed durations by *counting* started intervals instead of `ceil`,
+//! and keeps its lease book with plain selection loops instead of
+//! sort-and-pop.
+//!
+//! Per step, the allowed target and per-service lease counts must agree
+//! exactly; at the end of the replay the total billed instance-seconds
+//! must agree exactly (billed durations are integer multiples of the
+//! charging interval, so float addition is exact and bit-level equality
+//! is the correct comparison).
+
+use crate::config::ConformanceConfig;
+use crate::report::OracleReport;
+use chamulteon::{ChargingModel, Fox};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Billed duration derived by counting started intervals: the smallest
+/// `k` with `k ≥ elapsed/interval` (up to the documented relative `1e-9`
+/// boundary snap), times the interval. Deliberately avoids `ceil`/`round`
+/// so it cannot share a bug with [`ChargingModel::billed_duration`].
+pub fn naive_billed_duration(model: &ChargingModel, elapsed: f64) -> f64 {
+    let elapsed = elapsed.max(0.0).max(model.minimum);
+    let ratio = elapsed / model.interval;
+    let tolerance = 1e-9 * ratio.max(1.0);
+    let mut k: u32 = 0;
+    while f64::from(k) < ratio - tolerance {
+        if k == u32::MAX {
+            break;
+        }
+        k = k.saturating_add(1);
+    }
+    f64::from(k) * model.interval
+}
+
+/// Paid time remaining under the naive billing rule, never negative.
+fn naive_remaining(model: &ChargingModel, start: f64, now: f64) -> f64 {
+    let elapsed = (now - start).max(0.0);
+    (naive_billed_duration(model, elapsed) - elapsed).max(0.0)
+}
+
+/// Independent replay of FOX's lease policy from the raw decision log.
+struct LedgerOracle {
+    model: ChargingModel,
+    leases: Vec<Vec<f64>>,
+    billed_released: f64,
+}
+
+impl LedgerOracle {
+    fn new(model: ChargingModel, services: usize) -> Self {
+        LedgerOracle {
+            model,
+            leases: vec![Vec::new(); services],
+            billed_released: 0.0,
+        }
+    }
+
+    /// Index of the lease cheapest to close: least remaining paid time,
+    /// ties broken towards the earliest start. Plain selection loop — no
+    /// sorting, no comparator chaining.
+    fn cheapest(&self, service: usize, now: f64) -> Option<usize> {
+        let leases = self.leases.get(service)?;
+        let mut best: Option<(usize, f64, f64)> = None;
+        for (i, &start) in leases.iter().enumerate() {
+            let remaining = naive_remaining(&self.model, start, now);
+            let better = match best {
+                None => true,
+                Some((_, r, s)) => remaining < r || (remaining == r && start < s),
+            };
+            if better {
+                best = Some((i, remaining, start));
+            }
+        }
+        best.map(|(i, _, _)| i)
+    }
+
+    /// Replays one review step and returns the allowed target.
+    fn review(&mut self, service: usize, now: f64, current: u32, proposed: u32) -> u32 {
+        if service >= self.leases.len() {
+            self.leases.resize(service + 1, Vec::new());
+        }
+        let current_len = usize::try_from(current).unwrap_or(usize::MAX);
+        while self.leases[service].len() < current_len {
+            self.leases[service].push(now);
+        }
+        while self.leases[service].len() > current_len {
+            let Some(idx) = self.cheapest(service, now) else {
+                break;
+            };
+            let start = self.leases[service].remove(idx);
+            self.billed_released += naive_billed_duration(&self.model, now - start);
+        }
+        if proposed >= current {
+            return proposed;
+        }
+        let window = self.model.interval * 0.1;
+        let want_release = current - proposed;
+        let mut released = 0u32;
+        while released < want_release {
+            let Some(idx) = self.cheapest(service, now) else {
+                break;
+            };
+            let start = self.leases[service][idx];
+            if naive_remaining(&self.model, start, now) <= window {
+                self.leases[service].remove(idx);
+                self.billed_released += naive_billed_duration(&self.model, now - start);
+                released += 1;
+            } else {
+                break;
+            }
+        }
+        current - released
+    }
+
+    /// Total billed instance-seconds: released leases plus running leases
+    /// as of `now`.
+    fn billed_instance_seconds(&self, now: f64) -> f64 {
+        let running: f64 = self
+            .leases
+            .iter()
+            .flatten()
+            .map(|&start| naive_billed_duration(&self.model, now - start))
+            .sum();
+        self.billed_released + running
+    }
+}
+
+/// One review step of a generated decision log.
+struct Step {
+    service: usize,
+    now: f64,
+    current: u32,
+    proposed: u32,
+}
+
+/// Draws one decision log: a charging model, 1–2 services, 20–60 steps
+/// whose time advances mix exact interval multiples, half-intervals, the
+/// billing minimum, zero (same-instant reviews), and arbitrary drift, and
+/// whose fleet sizes mix FOX-honoring evolution with external changes.
+fn generate_replay(rng: &mut StdRng) -> (ChargingModel, usize, Vec<Step>) {
+    let model = if rng.gen_bool(0.5) {
+        ChargingModel::ec2_hourly()
+    } else {
+        ChargingModel::gcp_per_minute()
+    };
+    let services = rng.gen_range(1..=2usize);
+    let steps = rng.gen_range(20..=60usize);
+    // A drifted epoch start exercises the float-boundary snap: reviews at
+    // `0.1 + k·interval` land ulps past exact interval boundaries.
+    let mut now = if rng.gen_bool(0.5) { 0.0 } else { 0.1 };
+    let mut fleet = vec![0u32; services];
+    let mut log = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        now += match rng.gen_range(0..6u32) {
+            0 => model.interval,
+            1 => 2.0 * model.interval,
+            2 => model.interval / 2.0,
+            3 => model.minimum,
+            4 => 0.0,
+            _ => rng.gen_range(1.0..1.5 * model.interval),
+        };
+        for (service, slot) in fleet.iter_mut().enumerate().take(services) {
+            // Most steps the observed fleet honors the previous allowed
+            // target; some steps it changes externally (drain, failure,
+            // manual intervention).
+            let current = if rng.gen_bool(0.25) {
+                rng.gen_range(0..=12u32)
+            } else {
+                *slot
+            };
+            let proposed = rng.gen_range(0..=current.saturating_add(3));
+            log.push(Step {
+                service,
+                now,
+                current,
+                proposed,
+            });
+            // The generated fleet follows the *proposed* target even when
+            // FOX would veto it — that is exactly the externally-shrunk
+            // fleet the sync path must bill correctly, and both replays
+            // observe the same `current` either way.
+            *slot = proposed;
+        }
+    }
+    (model, services, log)
+}
+
+/// Runs the ledger differential: every generated log is replayed through
+/// [`Fox`] and the naive oracle; allowed targets, lease counts, and total
+/// billed instance-seconds must match exactly.
+pub fn run(config: &ConformanceConfig) -> OracleReport {
+    let mut report = OracleReport::new("fox-ledger");
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xF0F0_F0F0);
+    for replay_index in 0..config.ledger_replays {
+        report.count_case();
+        let (model, services, log) = generate_replay(&mut rng);
+        let mut fox = Fox::new(model.clone(), services);
+        let mut oracle = LedgerOracle::new(model.clone(), services);
+        let mut last_now = 0.0;
+        let mut clean = true;
+        for (step_index, step) in log.iter().enumerate() {
+            let allowed_fox = fox.review(step.service, step.now, step.current, step.proposed);
+            let allowed_oracle = oracle.review(step.service, step.now, step.current, step.proposed);
+            if allowed_fox != allowed_oracle {
+                report.mismatch(format!(
+                    "replay {replay_index} step {step_index} ({}): fox allowed {allowed_fox}, \
+                     oracle allowed {allowed_oracle} (now {:.3}, current {}, proposed {})",
+                    model.name, step.now, step.current, step.proposed
+                ));
+                clean = false;
+                break;
+            }
+            let fox_leased = fox.leased(step.service);
+            let oracle_leased = oracle.leases.get(step.service).map_or(0, Vec::len);
+            if fox_leased != oracle_leased {
+                report.mismatch(format!(
+                    "replay {replay_index} step {step_index} ({}): fox holds {fox_leased} \
+                     leases, oracle {oracle_leased} (now {:.3})",
+                    model.name, step.now
+                ));
+                clean = false;
+                break;
+            }
+            last_now = step.now;
+        }
+        if !clean {
+            continue;
+        }
+        let fox_billed = fox.billed_instance_seconds(last_now);
+        let oracle_billed = oracle.billed_instance_seconds(last_now);
+        // Billed durations are integer multiples of the interval; their sums
+        // are exact, so any difference at all is a real divergence.
+        if fox_billed != oracle_billed {
+            report.mismatch(format!(
+                "replay {replay_index} ({}): fox billed {fox_billed} s, oracle {oracle_billed} s",
+                model.name
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_billing_matches_charging_model_everywhere_probed() {
+        for model in [ChargingModel::ec2_hourly(), ChargingModel::gcp_per_minute()] {
+            for k in 0..500u32 {
+                let elapsed = f64::from(k) * 37.3;
+                assert_eq!(
+                    naive_billed_duration(&model, elapsed),
+                    model.billed_duration(elapsed),
+                    "{} elapsed {elapsed}",
+                    model.name
+                );
+            }
+            // Exact boundaries and drifted boundaries.
+            for k in 1..10u32 {
+                let exact = f64::from(k) * model.interval;
+                assert_eq!(
+                    naive_billed_duration(&model, exact),
+                    model.billed_duration(exact)
+                );
+                let drifted = (0.1 + exact) - 0.1;
+                assert_eq!(
+                    naive_billed_duration(&model, drifted),
+                    model.billed_duration(drifted)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_agrees_on_the_partial_release_scenario() {
+        // Mirror of fox::tests::partial_release_when_leases_differ.
+        let model = ChargingModel::ec2_hourly();
+        let mut fox = Fox::new(model.clone(), 1);
+        let mut oracle = LedgerOracle::new(model, 1);
+        for (now, current, proposed) in [(0.0, 2, 2), (1800.0, 3, 3), (3550.0, 3, 0)] {
+            assert_eq!(
+                fox.review(0, now, current, proposed),
+                oracle.review(0, now, current, proposed),
+                "t={now}"
+            );
+        }
+        assert_eq!(
+            fox.billed_instance_seconds(3550.0),
+            oracle.billed_instance_seconds(3550.0)
+        );
+    }
+
+    #[test]
+    fn small_replay_batch_is_clean() {
+        let config = ConformanceConfig {
+            ledger_replays: 10,
+            ..ConformanceConfig::quick()
+        };
+        let report = run(&config);
+        assert_eq!(report.cases, 10);
+        assert!(report.passed(), "{:?}", report.mismatches);
+    }
+}

@@ -1,0 +1,403 @@
+//! Discrete-event M/M/n micro-simulator oracle.
+//!
+//! A seeded continuous-time Markov-chain simulation of a single M/M/n/∞
+//! station, independent of every analytic formula in `queueing`: the wait
+//! probability is estimated by PASTA (fraction of arrivals that find all
+//! servers busy), the mean queue length by time-weighting `(k − n)⁺`, and
+//! the mean waiting time by sampling each waiting arrival's delay as a
+//! sum of exponential service-completion stages.
+//!
+//! Each analytic quantity ([`MmnQueue::wait_probability`],
+//! [`MmnQueue::mean_queue_length`], [`MmnQueue::mean_waiting_time`]) must
+//! fall inside a batch-means confidence band around the simulated value;
+//! the capacity solver's answers are additionally cross-checked by
+//! simulating at `n*` (must meet the response-time target) and at
+//! `n* − 1` (must miss it whenever the analytic gap is wide enough to
+//! resolve statistically).
+
+use crate::config::ConformanceConfig;
+use crate::report::OracleReport;
+use chamulteon_queueing::capacity::min_instances_for_response_time;
+use chamulteon_queueing::MmnQueue;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of batches for the batch-means variance estimate.
+const BATCHES: u64 = 32;
+
+/// A simulated point estimate with its batch-means standard error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Point estimate (mean of batch means).
+    pub value: f64,
+    /// Standard error of the batch means.
+    pub se: f64,
+}
+
+/// The three station measures one simulation run produces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimMeasures {
+    /// PASTA estimate of the Erlang-C wait probability.
+    pub wait_probability: Estimate,
+    /// Time-average of `(k − n)⁺`.
+    pub mean_queue_length: Estimate,
+    /// Mean sampled queueing delay (zero for non-waiting arrivals).
+    pub mean_waiting_time: Estimate,
+}
+
+/// Per-batch accumulator for arrival-indexed statistics.
+struct Batcher {
+    batch_size: u64,
+    in_batch: u64,
+    sum: f64,
+    means: Vec<f64>,
+}
+
+impl Batcher {
+    fn new(batch_size: u64) -> Self {
+        Batcher {
+            batch_size: batch_size.max(1),
+            in_batch: 0,
+            sum: 0.0,
+            means: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, value: f64) {
+        self.sum += value;
+        self.in_batch += 1;
+        if self.in_batch >= self.batch_size {
+            self.means.push(self.sum / u64_to_f64(self.in_batch));
+            self.sum = 0.0;
+            self.in_batch = 0;
+        }
+    }
+
+    fn estimate(&self) -> Option<Estimate> {
+        mean_and_se(&self.means)
+    }
+}
+
+/// Lossless-enough `u64 → f64` for event counts (all values here are far
+/// below 2⁵³).
+fn u64_to_f64(value: u64) -> f64 {
+    let high = u32::try_from(value >> 32).unwrap_or(u32::MAX);
+    let low = u32::try_from(value & 0xFFFF_FFFF).unwrap_or(u32::MAX);
+    f64::from(high) * 4_294_967_296.0 + f64::from(low)
+}
+
+/// Mean of batch means and its standard error; `None` below two batches.
+fn mean_and_se(batch_means: &[f64]) -> Option<Estimate> {
+    if batch_means.len() < 2 {
+        return None;
+    }
+    let b = u64_to_f64(u64::try_from(batch_means.len()).unwrap_or(u64::MAX));
+    let mean = batch_means.iter().sum::<f64>() / b;
+    let var = batch_means
+        .iter()
+        .map(|m| (m - mean) * (m - mean))
+        .sum::<f64>()
+        / (b - 1.0);
+    Some(Estimate {
+        value: mean,
+        se: (var / b).sqrt(),
+    })
+}
+
+/// Simulates an M/M/n/∞ station and returns the measured statistics, or
+/// `None` when the run is too short to form confidence intervals.
+pub fn simulate(
+    arrival_rate: f64,
+    service_demand: f64,
+    servers: u32,
+    total_arrivals: u64,
+    rng: &mut StdRng,
+) -> Option<SimMeasures> {
+    if !(arrival_rate > 0.0) || !(service_demand > 0.0) || servers == 0 {
+        return None;
+    }
+    let mu = 1.0 / service_demand;
+    let warmup = total_arrivals / 10;
+    let measured = total_arrivals.saturating_sub(warmup);
+    if measured < BATCHES * 8 {
+        return None; // too short for a meaningful batch-means band
+    }
+    let batch_size = (measured / BATCHES).max(1);
+
+    let mut wait_flags = Batcher::new(batch_size);
+    let mut waits = Batcher::new(batch_size);
+    // Queue-length batches are time-weighted, segmented by arrival count.
+    let mut lq_means = Vec::new();
+    let mut lq_area = 0.0;
+    let mut lq_duration = 0.0;
+    let mut lq_in_batch: u64 = 0;
+
+    let mut in_system: u32 = 0;
+    let mut arrivals_seen: u64 = 0;
+    while arrivals_seen < total_arrivals {
+        let busy = f64::from(in_system.min(servers));
+        let total_rate = arrival_rate + busy * mu;
+        let dt = -(1.0 - rng.gen::<f64>()).ln() / total_rate;
+        if arrivals_seen >= warmup {
+            lq_area += f64::from(in_system.saturating_sub(servers)) * dt;
+            lq_duration += dt;
+        }
+        let is_arrival = rng.gen::<f64>() * total_rate < arrival_rate;
+        if is_arrival {
+            arrivals_seen += 1;
+            let waiting = in_system >= servers;
+            if arrivals_seen > warmup {
+                wait_flags.push(if waiting { 1.0 } else { 0.0 });
+                let wait = if waiting {
+                    // The arrival leaves the queue after `in_system − n + 1`
+                    // service completions, each Exp(n·μ).
+                    let stages = in_system - servers + 1;
+                    let drain = f64::from(servers) * mu;
+                    let mut w = 0.0;
+                    for _ in 0..stages.min(100_000) {
+                        w += -(1.0 - rng.gen::<f64>()).ln() / drain;
+                    }
+                    w
+                } else {
+                    0.0
+                };
+                waits.push(wait);
+                lq_in_batch += 1;
+                if lq_in_batch >= batch_size && lq_duration > 0.0 {
+                    lq_means.push(lq_area / lq_duration);
+                    lq_area = 0.0;
+                    lq_duration = 0.0;
+                    lq_in_batch = 0;
+                }
+            }
+            in_system = in_system.saturating_add(1);
+        } else {
+            in_system = in_system.saturating_sub(1);
+        }
+    }
+
+    Some(SimMeasures {
+        wait_probability: wait_flags.estimate()?,
+        mean_queue_length: mean_and_se(&lq_means)?,
+        mean_waiting_time: waits.estimate()?,
+    })
+}
+
+/// Acceptance band half-width for one comparison: `σ`-scaled standard
+/// error plus a small slack for the deliberate discreteness of batching.
+fn band(analytic: f64, estimate: Estimate, sigmas: f64) -> f64 {
+    sigmas * estimate.se + 1e-3 + 0.005 * analytic.abs()
+}
+
+/// Stations the statistical validation sweeps: `(λ, s, n)`, all stable,
+/// spanning light to heavy traffic and the paper's service demands.
+const QUEUE_SCENARIOS: &[(f64, f64, u32)] = &[
+    (8.0, 1.0, 10),
+    (50.0, 0.1, 7),
+    (100.0, 0.059, 9),
+    (20.0, 0.2, 5),
+    (3.0, 0.5, 2),
+];
+
+/// Capacity-solver scenarios: `(λ, s, mean-response-time target)`.
+const CAPACITY_SCENARIOS: &[(f64, f64, f64)] = &[
+    (100.0, 0.1, 0.15),
+    (50.0, 0.2, 0.30),
+    (200.0, 0.05, 0.06),
+    (30.0, 0.3, 0.5),
+];
+
+/// Validates one station's analytic measures against a simulation run.
+fn check_station(
+    report: &mut OracleReport,
+    rng: &mut StdRng,
+    config: &ConformanceConfig,
+    arrival_rate: f64,
+    service_demand: f64,
+    servers: u32,
+) {
+    report.count_case();
+    let label = format!("λ={arrival_rate} s={service_demand} n={servers}");
+    let queue = match MmnQueue::new(arrival_rate, service_demand, servers) {
+        Ok(q) => q,
+        Err(e) => {
+            report.mismatch(format!("{label}: analytic model rejected inputs: {e}"));
+            return;
+        }
+    };
+    let analytic = (
+        queue.wait_probability(),
+        queue.mean_queue_length(),
+        queue.mean_waiting_time(),
+    );
+    let (Ok(c), Ok(lq), Ok(wq)) = analytic else {
+        report.mismatch(format!(
+            "{label}: analytic measures unavailable for a stable station"
+        ));
+        return;
+    };
+    let Some(sim) = simulate(
+        arrival_rate,
+        service_demand,
+        servers,
+        config.sim_arrivals,
+        rng,
+    ) else {
+        report.mismatch(format!("{label}: simulation produced no estimate"));
+        return;
+    };
+    let sigmas = config.tolerance_sigmas;
+    for (name, analytic_value, estimate) in [
+        ("wait probability", c, sim.wait_probability),
+        ("mean queue length", lq, sim.mean_queue_length),
+        ("mean waiting time", wq, sim.mean_waiting_time),
+    ] {
+        let delta = (estimate.value - analytic_value).abs();
+        let tolerance = band(analytic_value, estimate, sigmas);
+        if delta > tolerance {
+            report.mismatch(format!(
+                "{label}: {name} analytic {analytic_value:.6} vs simulated {:.6} \
+                 (se {:.6}, band {tolerance:.6})",
+                estimate.value, estimate.se
+            ));
+        }
+    }
+}
+
+/// Validates one capacity answer: at `n*` the simulated mean wait meets
+/// the target; at `n* − 1` it misses it when the analytic gap is wide
+/// enough to resolve.
+fn check_capacity(
+    report: &mut OracleReport,
+    rng: &mut StdRng,
+    config: &ConformanceConfig,
+    arrival_rate: f64,
+    service_demand: f64,
+    target: f64,
+) {
+    report.count_case();
+    let label = format!("λ={arrival_rate} s={service_demand} R≤{target}");
+    let n_star = match min_instances_for_response_time(arrival_rate, service_demand, target, 10_000)
+    {
+        Ok(n) => n,
+        Err(e) => {
+            report.mismatch(format!(
+                "{label}: solver failed on a feasible scenario: {e}"
+            ));
+            return;
+        }
+    };
+    let wait_target = target - service_demand;
+    let sigmas = config.tolerance_sigmas;
+    let Some(at_star) = simulate(
+        arrival_rate,
+        service_demand,
+        n_star,
+        config.sim_arrivals,
+        rng,
+    ) else {
+        report.mismatch(format!(
+            "{label}: simulation at n*={n_star} produced no estimate"
+        ));
+        return;
+    };
+    let est = at_star.mean_waiting_time;
+    if est.value > wait_target + band(wait_target, est, sigmas) {
+        report.mismatch(format!(
+            "{label}: solver says n*={n_star} meets the target, but simulated mean wait \
+             {:.6} exceeds {wait_target:.6} (se {:.6})",
+            est.value, est.se
+        ));
+    }
+    // Minimality: n* − 1 must violate the target. An unstable station
+    // violates it trivially; a stable one is simulated, and only gaps the
+    // run can statistically resolve are asserted.
+    if n_star <= 1 {
+        return;
+    }
+    let below = n_star - 1;
+    let analytic_wait =
+        MmnQueue::new(arrival_rate, service_demand, below).and_then(|q| q.mean_waiting_time());
+    let Ok(analytic_wait) = analytic_wait else {
+        return; // unstable at n* − 1: target unboundedly missed
+    };
+    if analytic_wait <= wait_target {
+        report.mismatch(format!(
+            "{label}: n*−1={below} already meets the target analytically \
+             (wait {analytic_wait:.6} ≤ {wait_target:.6}) — n* is not minimal"
+        ));
+        return;
+    }
+    let Some(at_below) = simulate(
+        arrival_rate,
+        service_demand,
+        below,
+        config.sim_arrivals,
+        rng,
+    ) else {
+        return;
+    };
+    let est = at_below.mean_waiting_time;
+    let tolerance = band(wait_target, est, sigmas);
+    if analytic_wait - wait_target > tolerance && est.value < wait_target - tolerance {
+        report.mismatch(format!(
+            "{label}: n*−1={below} should miss the target, but simulated mean wait \
+             {:.6} is below {wait_target:.6} (se {:.6})",
+            est.value, est.se
+        ));
+    }
+}
+
+/// Runs the statistical differential: every queue scenario and every
+/// capacity scenario must agree with the simulator within its confidence
+/// band.
+pub fn run(config: &ConformanceConfig) -> OracleReport {
+    let mut report = OracleReport::new("mmn-microsim");
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5111_0000);
+    for &(rate, demand, servers) in QUEUE_SCENARIOS {
+        check_station(&mut report, &mut rng, config, rate, demand, servers);
+    }
+    for &(rate, demand, target) in CAPACITY_SCENARIOS {
+        check_capacity(&mut report, &mut rng, config, rate, demand, target);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulator_matches_mm1_closed_form() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let sim = simulate(8.0, 0.1, 1, 60_000, &mut rng).expect("estimate");
+        // M/M/1 at ρ = 0.8: P(wait) = 0.8, Lq = 3.2, Wq = 0.4.
+        assert!((sim.wait_probability.value - 0.8).abs() < 0.02, "{sim:?}");
+        assert!((sim.mean_queue_length.value - 3.2).abs() < 0.5, "{sim:?}");
+        assert!((sim.mean_waiting_time.value - 0.4).abs() < 0.06, "{sim:?}");
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_no_estimate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(simulate(0.0, 0.1, 1, 1000, &mut rng).is_none());
+        assert!(simulate(1.0, 0.0, 1, 1000, &mut rng).is_none());
+        assert!(simulate(1.0, 0.1, 0, 1000, &mut rng).is_none());
+        assert!(simulate(1.0, 0.1, 1, 10, &mut rng).is_none(), "too short");
+    }
+
+    #[test]
+    fn quick_profile_run_is_clean() {
+        let report = run(&ConformanceConfig::quick());
+        assert_eq!(report.cases, 9);
+        assert!(report.passed(), "{:?}", report.mismatches);
+    }
+
+    #[test]
+    fn batch_means_standard_error_shrinks_with_data() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let short = simulate(8.0, 1.0, 10, 20_000, &mut rng).expect("short");
+        let long = simulate(8.0, 1.0, 10, 200_000, &mut rng).expect("long");
+        assert!(long.wait_probability.se < short.wait_probability.se);
+    }
+}

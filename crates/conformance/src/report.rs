@@ -1,0 +1,159 @@
+//! Machine-readable verdicts for the conformance oracles.
+
+/// The outcome of one oracle's differential run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleReport {
+    /// Stable oracle identifier (`"algorithm1"`, `"fox-ledger"`,
+    /// `"mmn-microsim"`).
+    pub oracle: String,
+    /// Number of differential cases executed.
+    pub cases: u64,
+    /// One human-readable line per disagreement; empty means conformance.
+    pub mismatches: Vec<String>,
+}
+
+impl OracleReport {
+    /// Creates an empty report for `oracle`.
+    pub fn new(oracle: &str) -> Self {
+        OracleReport {
+            oracle: oracle.to_string(),
+            cases: 0,
+            mismatches: Vec::new(),
+        }
+    }
+
+    /// Whether the oracle found no disagreement.
+    pub fn passed(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+
+    /// Records one executed case.
+    pub fn count_case(&mut self) {
+        self.cases = self.cases.saturating_add(1);
+    }
+
+    /// Records a disagreement.
+    pub fn mismatch(&mut self, description: String) {
+        self.mismatches.push(description);
+    }
+}
+
+/// The combined verdict of all oracles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConformanceReport {
+    /// Per-oracle outcomes, in execution order.
+    pub oracles: Vec<OracleReport>,
+}
+
+impl ConformanceReport {
+    /// Whether every oracle agreed with the implementation everywhere.
+    pub fn passed(&self) -> bool {
+        self.oracles.iter().all(OracleReport::passed)
+    }
+
+    /// Total cases across all oracles.
+    pub fn total_cases(&self) -> u64 {
+        self.oracles.iter().map(|o| o.cases).sum()
+    }
+
+    /// Total disagreements across all oracles.
+    pub fn total_mismatches(&self) -> usize {
+        self.oracles.iter().map(|o| o.mismatches.len()).sum()
+    }
+
+    /// Serializes the verdict as a small JSON document (hand-rolled — the
+    /// workspace is offline and carries no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"passed\": ");
+        out.push_str(if self.passed() { "true" } else { "false" });
+        out.push_str(",\n  \"total_cases\": ");
+        out.push_str(&self.total_cases().to_string());
+        out.push_str(",\n  \"total_mismatches\": ");
+        out.push_str(&self.total_mismatches().to_string());
+        out.push_str(",\n  \"oracles\": [\n");
+        for (i, oracle) in self.oracles.iter().enumerate() {
+            out.push_str("    {\"oracle\": ");
+            push_json_string(&mut out, &oracle.oracle);
+            out.push_str(", \"cases\": ");
+            out.push_str(&oracle.cases.to_string());
+            out.push_str(", \"passed\": ");
+            out.push_str(if oracle.passed() { "true" } else { "false" });
+            out.push_str(", \"mismatches\": [");
+            for (j, m) in oracle.mismatches.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                push_json_string(&mut out, m);
+            }
+            out.push_str("]}");
+            if i + 1 < self.oracles.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Appends `value` as a JSON string literal (quotes, backslashes, and
+/// control characters escaped).
+fn push_json_string(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u00");
+                let b = c as u32;
+                for shift in [4u32, 0] {
+                    let digit = (b >> shift) & 0xF;
+                    out.push(char::from_digit(digit, 16).unwrap_or('0'));
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_reports_pass() {
+        let report = ConformanceReport {
+            oracles: vec![OracleReport::new("a"), OracleReport::new("b")],
+        };
+        assert!(report.passed());
+        assert_eq!(report.total_cases(), 0);
+        assert_eq!(report.total_mismatches(), 0);
+    }
+
+    #[test]
+    fn mismatches_fail_the_run_and_serialize() {
+        let mut oracle = OracleReport::new("algorithm1");
+        oracle.count_case();
+        oracle.mismatch("case 7: expected [2], got [3] \"quoted\"".to_string());
+        let report = ConformanceReport {
+            oracles: vec![oracle],
+        };
+        assert!(!report.passed());
+        let json = report.to_json();
+        assert!(json.contains("\"passed\": false"), "{json}");
+        assert!(json.contains("\\\"quoted\\\""), "{json}");
+        assert!(json.contains("\"total_cases\": 1"), "{json}");
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        let mut out = String::new();
+        push_json_string(&mut out, "a\u{1}b\tc");
+        assert_eq!(out, "\"a\\u0001b\\tc\"");
+    }
+}

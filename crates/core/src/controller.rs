@@ -969,6 +969,69 @@ mod tests {
     }
 
     #[test]
+    fn preload_spike_yields_untrusted_forecast_then_drift_reforecast() {
+        // In-sample MASE of the hybrid forecaster on this noisy seasonal
+        // signal sits near 1.2; a threshold of 2 separates "normal signal"
+        // (trusted) from "history ends on garbage" (MASE ≈ 80) with a wide
+        // margin on both sides.
+        let config = || ChamulteonConfig {
+            trust_threshold: 2.0,
+            ..ChamulteonConfig::proactive_only()
+        };
+        // Four seasons of sine plus deterministic noise (noise keeps the
+        // seasonal-naive MASE denominator away from zero).
+        let season = |k: usize| {
+            50.0 + 20.0 * ((k % 12) as f64 / 12.0 * std::f64::consts::TAU).sin()
+                + 3.0 * (((k * 7919) % 13) as f64 / 13.0 - 0.5)
+        };
+        let rates: Vec<f64> = (0..48).map(season).collect();
+
+        // Baseline: a clean preload produces a *trusted* first forecast.
+        let mut clean = controller(config());
+        clean.preload_history(60.0, &rates);
+        let _ = clean.tick(60.0, &samples_for(50.0, &[5, 9, 4]));
+        assert_eq!(clean.forecasts_made(), 1);
+        assert!(
+            clean.active_forecast.as_ref().is_some_and(|f| f.trusted),
+            "clean preload must yield a trusted forecast"
+        );
+
+        // Same preload but the history *ends on an implausible sample*: a
+        // finite positive spike that per-value validation rightly keeps
+        // (preload only drops NaN and clamps negatives). The forecast made
+        // from it must carry an untrusted verdict — not just survive.
+        let mut bad = rates.clone();
+        if let Some(last) = bad.last_mut() {
+            *last = 5000.0;
+        }
+        let mut spiked = controller(config());
+        spiked.preload_history(60.0, &bad);
+        let _ = spiked.tick(60.0, &samples_for(50.0, &[5, 9, 4]));
+        assert_eq!(
+            spiked.forecasts_made(),
+            1,
+            "spike must not block forecasting"
+        );
+        assert!(
+            spiked.active_forecast.as_ref().is_some_and(|f| !f.trusted),
+            "forecast from spike-ending history must be untrusted"
+        );
+
+        // As normal load keeps arriving, drift detection notices the
+        // spiked forecast mispredicts and re-forecasts *before* the
+        // 8-tick horizon exhausts (elapsed stays ≤ 7 here, so a second
+        // forecast can only come from the drift path).
+        for k in 1..=7u32 {
+            let _ = spiked.tick(60.0 * f64::from(k + 1), &samples_for(50.0, &[5, 9, 4]));
+        }
+        assert!(
+            spiked.forecasts_made() >= 2,
+            "drift must trigger a re-forecast within the horizon, made {}",
+            spiked.forecasts_made()
+        );
+    }
+
+    #[test]
     fn preload_skips_bad_rates() {
         let mut c = controller(ChamulteonConfig::default());
         c.preload_history(60.0, &[1.0, f64::NAN, -3.0, 2.0]);

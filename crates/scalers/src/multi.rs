@@ -15,12 +15,29 @@
 
 use crate::input::{AutoScaler, ScalerInput};
 
+/// The interval policy shared with [`ScalerInput::new`]: non-finite or
+/// non-positive intervals mean "one second", never a near-zero divisor.
+fn sanitize_interval(interval: f64) -> f64 {
+    if interval.is_finite() && interval > 0.0 {
+        interval
+    } else {
+        1.0
+    }
+}
+
 /// Computes the per-service input rates along a chain from the measured
 /// entry rate — the paper's `r(i)` formula.
 ///
 /// `instances[i]` and `service_demands[i]` describe service `i`; the
 /// per-instance service rate is `s(i) = 1 / demand`. The returned vector
 /// has one rate per service.
+///
+/// Degenerate tiers must not poison the chain: a non-finite or negative
+/// measured rate is zero load, and a non-finite or non-positive demand is
+/// treated as unlimited capacity (the tier imposes no cap) — the same
+/// forgiving validation [`ScalerInput::new`] applies to its tuple. Without
+/// that, an `inf` demand would zero every downstream rate and an `inf`
+/// measured rate would propagate to every tier.
 ///
 /// # Examples
 ///
@@ -35,11 +52,15 @@ use crate::input::{AutoScaler, ScalerInput};
 pub fn chain_rates(measured_rate: f64, instances: &[u32], service_demands: &[f64]) -> Vec<f64> {
     let count = instances.len().min(service_demands.len());
     let mut rates = Vec::with_capacity(count);
-    let mut upstream = measured_rate.max(0.0);
+    let mut upstream = if measured_rate.is_finite() {
+        measured_rate.max(0.0)
+    } else {
+        0.0
+    };
     for i in 0..count {
         rates.push(upstream);
         let demand = service_demands[i];
-        let capacity = if demand > 0.0 {
+        let capacity = if demand.is_finite() && demand > 0.0 {
             f64::from(instances[i]) / demand
         } else {
             f64::INFINITY
@@ -83,6 +104,10 @@ impl IndependentScalers {
     /// per-service demands (used for the capacity term of the chain
     /// formula when no estimate is supplied).
     ///
+    /// Non-finite or non-positive nominal demands are sanitized to the
+    /// same 0.001 s floor [`ScalerInput::new`] uses, so a degenerate
+    /// config cannot later poison the chain-capacity term.
+    ///
     /// # Panics
     ///
     /// Panics if the two vectors differ in length or are empty.
@@ -93,6 +118,10 @@ impl IndependentScalers {
             "one scaler per service required"
         );
         assert!(!scalers.is_empty(), "at least one service required");
+        let service_demands = service_demands
+            .into_iter()
+            .map(|d| if d.is_finite() && d > 0.0 { d } else { 0.001 })
+            .collect();
         IndependentScalers {
             scalers,
             service_demands,
@@ -135,7 +164,12 @@ impl IndependentScalers {
         instances: &[u32],
         estimated_demands: &[f64],
     ) -> Vec<i64> {
-        let measured_rate = entry_requests as f64 / interval.max(1e-9);
+        // Sanitize the interval with the same policy as `ScalerInput::new`
+        // (non-finite or ≤ 0 becomes 1 s) *before* deriving the rate: a
+        // NaN interval used to hit `.max(1e-9)` and turn a modest request
+        // count into a rate of billions of req/s.
+        let interval = sanitize_interval(interval);
+        let measured_rate = entry_requests as f64 / interval;
         self.decide_rate(time, interval, measured_rate, instances, estimated_demands)
     }
 
@@ -152,6 +186,7 @@ impl IndependentScalers {
         instances: &[u32],
         estimated_demands: &[f64],
     ) -> Vec<i64> {
+        let interval = sanitize_interval(interval);
         let measured_rate = if entry_rate.is_finite() {
             entry_rate.max(0.0)
         } else {
@@ -227,6 +262,64 @@ mod tests {
         // Zero demand treated as unlimited capacity.
         let rates = chain_rates(10.0, &[1, 1], &[0.0, 0.1]);
         assert_eq!(rates[1], 10.0);
+    }
+
+    #[test]
+    fn chain_rates_degenerate_tiers_do_not_poison_the_chain() {
+        // Regression: a non-finite measured rate used to flow through
+        // `.max(0.0)` untouched, forwarding `inf` to every tier.
+        for bad in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            let rates = chain_rates(bad, &[5, 5], &[0.1, 0.1]);
+            assert!(
+                rates.iter().all(|&r| r == 0.0),
+                "rate {bad} leaked into the chain: {rates:?}"
+            );
+        }
+        // Regression: an `inf` demand used to compute capacity n/inf = 0,
+        // silently zeroing every downstream rate. An invalid demand now
+        // means "no cap from this tier", like zero demand already did.
+        for bad in [f64::INFINITY, f64::NAN, -0.1] {
+            let rates = chain_rates(40.0, &[5, 5, 5], &[0.1, bad, 0.1]);
+            assert!(
+                rates.iter().all(|r| r.is_finite()),
+                "demand {bad} produced non-finite rates: {rates:?}"
+            );
+            assert_eq!(rates[2], 40.0, "demand {bad} starved the data tier");
+        }
+    }
+
+    #[test]
+    fn nominal_demands_are_sanitized_at_construction() {
+        let mut multi = IndependentScalers::new(
+            vec![
+                Box::new(React::default()),
+                Box::new(React::default()),
+                Box::new(React::default()),
+            ],
+            vec![0.059, f64::NAN, -1.0],
+        );
+        // 100 req/s; no estimates, so the (sanitized) nominals drive both
+        // the chain capacities and the per-scaler demand. All deltas must
+        // be sane (finite math end to end; broken tiers look tiny, not
+        // infinite).
+        let deltas = multi.decide(0.0, 60.0, 6000, &[1, 1, 1], &[]);
+        assert_eq!(deltas.len(), 3);
+        assert_eq!(deltas[0], 7, "healthy entry tier sizes as usual");
+        assert!(deltas[1] <= 1 && deltas[2] <= 1, "floor demand ≈ no load");
+    }
+
+    #[test]
+    fn nan_interval_behaves_like_one_second() {
+        let mut bad =
+            IndependentScalers::homogeneous(vec![0.059, 0.1, 0.04], || Box::new(React::default()));
+        let mut good =
+            IndependentScalers::homogeneous(vec![0.059, 0.1, 0.04], || Box::new(React::default()));
+        // Regression: a NaN interval used to become `1e-9`, inflating 100
+        // requests into 1e11 req/s. It now follows the ScalerInput policy
+        // (1 s), making the two calls identical.
+        let a = bad.decide(0.0, f64::NAN, 100, &[1, 1, 1], &[]);
+        let b = good.decide(0.0, 1.0, 100, &[1, 1, 1], &[]);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub const DECISION_PATH_CRATES: &[&str] = &[
     "sim",
     "timeseries",
     "metrics",
+    "conformance",
 ];
 
 /// Individual decision-path modules inside otherwise-exempt crates,

@@ -14,7 +14,8 @@
 //! | 2     | `demand`, `perfmodel` |
 //! | 3     | `scalers`, `sim`, `metrics` |
 //! | 4     | `core` |
-//! | 5     | `bench` |
+//! | 5     | `conformance` |
+//! | 6     | `bench` |
 //!
 //! Only `[dependencies]` edges are checked: dev-dependencies exercise test
 //! scaffolding and may reach sideways. A violating line can be suppressed
@@ -36,7 +37,8 @@ const LAYERS: &[(&str, u8)] = &[
     ("sim", 3),
     ("metrics", 3),
     ("core", 4),
-    ("bench", 5),
+    ("conformance", 5),
+    ("bench", 6),
 ];
 
 fn layer_of(crate_dir: &str) -> Option<u8> {
@@ -178,6 +180,25 @@ mod tests {
         let findings = check_layering("demand", Path::new("m"), &text);
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert!(findings[0].message.contains("`sim`"));
+    }
+
+    #[test]
+    fn conformance_sits_between_core_and_bench() {
+        // The oracles may read the whole decision path...
+        let deps = manifest(
+            "chamulteon.workspace = true\nchamulteon-queueing.workspace = true\nchamulteon-perfmodel.workspace = true\n",
+        );
+        assert!(check_layering("conformance", Path::new("m"), &deps).is_empty());
+        // ...the harness may invoke the oracles...
+        let harness = manifest("chamulteon-conformance.workspace = true\n");
+        assert!(check_layering("bench", Path::new("m"), &harness).is_empty());
+        // ...but the decision path must never depend on its own auditors.
+        assert_eq!(check_layering("core", Path::new("m"), &harness).len(), 1);
+        let upward = manifest("chamulteon-bench.workspace = true\n");
+        assert_eq!(
+            check_layering("conformance", Path::new("m"), &upward).len(),
+            1
+        );
     }
 
     #[test]
