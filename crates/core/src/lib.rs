@@ -50,13 +50,21 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0.0)` deliberately rejects NaN
 #![warn(missing_docs)]
 
+/// Algorithm 1 of the paper: the queueing-theoretic decision logic.
 pub mod algorithm;
+/// Chamulteon configuration.
 pub mod config;
+/// The Chamulteon controller: both cycles, wired together.
 pub mod controller;
+/// Scaling decisions and the conflict resolution of §III-C.
 pub mod decision;
+/// The graceful-degradation ladder for missing or stale inputs.
 pub mod degradation;
+/// FOX — the cost-awareness component (Lesch et al., ICPE 2018; §III-A3).
 pub mod fox;
+/// Nested auto-scaling: planning the VM pool underneath the containers.
 pub mod nested;
+/// Hybrid vertical + horizontal scaling (the paper's first future-work item).
 pub mod vertical;
 
 pub use algorithm::{proactive_decisions, proactive_decisions_cached};

@@ -8,6 +8,7 @@
 
 use crate::event::Event;
 use std::collections::VecDeque;
+// audit:allow(R8): shared trace sink; append-only, ordering restored at report time
 use std::sync::{Arc, Mutex};
 
 /// A sink for traced events.

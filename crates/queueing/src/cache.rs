@@ -31,6 +31,7 @@
 //! sequential path.
 
 use std::collections::HashMap;
+// audit:allow(R8): cache interior mutability; hits return memoized bit-identical values
 use std::sync::Mutex;
 
 use chamulteon_obs::{Counter, MetricsRegistry};

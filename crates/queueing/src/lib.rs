@@ -30,11 +30,17 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0.0)` deliberately rejects NaN
 #![warn(missing_docs)]
 
+/// Quantized-key memoization for the capacity solvers.
 pub mod cache;
+/// Inverse capacity solvers: instances needed for a load and an SLO.
 pub mod capacity;
+/// Erlang-B and Erlang-C formulas.
 pub mod erlang;
+/// Error types for queueing computations.
 pub mod error;
+/// The M/M/n/∞ station model used for every micro-service.
 pub mod mmn;
+/// Open tandem networks of M/M/n stations.
 pub mod network;
 
 pub use cache::{CacheStats, CapacityCache};

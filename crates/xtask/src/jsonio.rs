@@ -1,0 +1,449 @@
+//! JSON output for `xtask audit --json` and baseline diffing for the CI
+//! gate.
+//!
+//! The writer is hand-rolled (no dependencies, by the crate's own policy)
+//! and deliberately boring: fixed key order, sorted records, no
+//! timestamps, `\n` line endings — two consecutive runs over the same
+//! tree produce byte-identical output, which is what lets CI compare
+//! `audit.json` against the committed baseline with a plain equality
+//! check on the diff keys.
+//!
+//! The baseline comparison keys findings on `(rule, file, message)` as a
+//! *multiset*, not on line numbers: editing a file renumbers every
+//! finding below the edit, and a gate that cried wolf on pure line drift
+//! would be deleted within a week. A finding is "new" only when its key
+//! occurs more often in the current run than in the baseline.
+
+use crate::ledger::Suppression;
+use crate::{AuditReport, Finding};
+
+/// Schema identifier embedded in the output; bump on breaking changes.
+pub const SCHEMA: &str = "chamulteon-audit/v1";
+
+/// Serializes a report to the stable JSON schema.
+pub fn report_to_json(report: &AuditReport) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": {},\n", quote(SCHEMA)));
+    out.push_str("  \"counts\": {\n");
+    out.push_str(&format!(
+        "    \"findings\": {},\n    \"ledger\": {}\n  }},\n",
+        report.findings.len(),
+        report.ledger.len()
+    ));
+    out.push_str("  \"findings\": [");
+    write_records(&mut out, &report.findings, write_finding);
+    out.push_str("],\n");
+    out.push_str("  \"ledger\": [");
+    write_records(&mut out, &report.ledger, write_suppression);
+    out.push_str("]\n}\n");
+    out
+}
+
+fn write_records<T>(out: &mut String, records: &[T], write_one: fn(&mut String, &T)) {
+    for (i, record) in records.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    ");
+        write_one(out, record);
+    }
+    if !records.is_empty() {
+        out.push_str("\n  ");
+    }
+}
+
+fn write_finding(out: &mut String, f: &Finding) {
+    out.push_str(&format!(
+        "{{\"rule\": {}, \"name\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+        quote(f.rule.id()),
+        quote(f.rule.name()),
+        quote(&f.file.display().to_string()),
+        f.line,
+        quote(&f.message)
+    ));
+}
+
+fn write_suppression(out: &mut String, s: &Suppression) {
+    out.push_str(&format!(
+        "{{\"rule\": {}, \"file\": {}, \"line\": {}, \"reason\": {}}}",
+        quote(s.rule.id()),
+        quote(&s.file.display().to_string()),
+        s.line,
+        quote(&s.reason)
+    ));
+}
+
+/// JSON string quoting with the mandatory escapes.
+fn quote(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A finding's identity for baseline comparison: `(rule id, file,
+/// message)`. Line numbers are deliberately absent — see the module docs.
+pub type BaselineKey = (String, String, String);
+
+/// The baseline key of one finding.
+pub fn finding_key(f: &Finding) -> BaselineKey {
+    (
+        f.rule.id().to_owned(),
+        f.file.display().to_string(),
+        f.message.clone(),
+    )
+}
+
+/// Parses a baseline file (itself produced by `--write-baseline`) into
+/// its finding keys.
+///
+/// # Errors
+///
+/// Returns a description of the first syntax or schema problem; CI treats
+/// that as an audit error (exit 2), not a regression.
+pub fn parse_baseline(text: &str) -> Result<Vec<BaselineKey>, String> {
+    let value = Parser::new(text).parse()?;
+    let Value::Object(fields) = value else {
+        return Err("baseline root is not an object".to_owned());
+    };
+    let schema = fields.iter().find(|(k, _)| k == "schema");
+    match schema {
+        Some((_, Value::String(s))) if s == SCHEMA => {}
+        Some((_, Value::String(s))) => {
+            return Err(format!("baseline schema `{s}` is not `{SCHEMA}`"));
+        }
+        _ => return Err("baseline has no `schema` string".to_owned()),
+    }
+    let Some((_, Value::Array(findings))) = fields.iter().find(|(k, _)| k == "findings") else {
+        return Err("baseline has no `findings` array".to_owned());
+    };
+    let mut keys = Vec::with_capacity(findings.len());
+    for entry in findings {
+        let Value::Object(fields) = entry else {
+            return Err("baseline finding is not an object".to_owned());
+        };
+        let get = |name: &str| -> Result<String, String> {
+            match fields.iter().find(|(k, _)| k == name) {
+                Some((_, Value::String(s))) => Ok(s.clone()),
+                _ => Err(format!("baseline finding lacks string field `{name}`")),
+            }
+        };
+        keys.push((get("rule")?, get("file")?, get("message")?));
+    }
+    Ok(keys)
+}
+
+/// The findings not covered by the baseline: each `(rule, file, message)`
+/// key may appear in the result only as many times as it *exceeds* its
+/// baseline count.
+pub fn new_findings<'a>(findings: &'a [Finding], baseline: &[BaselineKey]) -> Vec<&'a Finding> {
+    use std::collections::BTreeMap;
+    let mut budget: BTreeMap<&BaselineKey, usize> = BTreeMap::new();
+    for key in baseline {
+        *budget.entry(key).or_insert(0) += 1;
+    }
+    let mut fresh = Vec::new();
+    for finding in findings {
+        let key = finding_key(finding);
+        match budget.get_mut(&key) {
+            Some(count) if *count > 0 => *count -= 1,
+            _ => fresh.push(finding),
+        }
+    }
+    fresh
+}
+
+/// Minimal JSON value for baseline parsing.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+/// Minimal recursive-descent JSON parser: just enough for files this
+/// module itself writes, with positions in error messages.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse(mut self) -> Result<Value, String> {
+        let value = self.value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing content at byte {}", self.pos));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".to_owned()),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Number)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        let start = self.pos;
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(format!("unterminated string at byte {start}")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32)
+                                .ok_or_else(|| {
+                                    format!("invalid \\u escape at byte {}", self.pos)
+                                })?;
+                            out.push(hex);
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("invalid escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input came from &str, so
+                    // boundaries are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| format!("invalid UTF-8 at byte {}", self.pos))?;
+                    let c = rest.chars().next().ok_or("unexpected end of input")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.pos += 1; // `[`
+        let mut items = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.bytes.get(self.pos) == Some(&b']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {}
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.pos += 1; // `{`
+        let mut fields = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.bytes.get(self.pos) == Some(&b'}') {
+                self.pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            if self.bytes.get(self.pos) != Some(&b'"') {
+                return Err(format!("expected object key at byte {}", self.pos));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.bytes.get(self.pos) != Some(&b':') {
+                return Err(format!("expected `:` at byte {}", self.pos));
+            }
+            self.pos += 1;
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {}
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RuleId;
+    use std::path::PathBuf;
+
+    fn finding(rule: RuleId, file: &str, line: usize, message: &str) -> Finding {
+        Finding {
+            rule,
+            file: PathBuf::from(file),
+            line,
+            message: message.to_owned(),
+        }
+    }
+
+    fn sample_report() -> AuditReport {
+        AuditReport {
+            findings: vec![
+                finding(
+                    RuleId::PanicFreedom,
+                    "crates/a/src/lib.rs",
+                    3,
+                    "no \"unwrap\"",
+                ),
+                finding(RuleId::Determinism, "crates/b/src/lib.rs", 9, "hash order"),
+            ],
+            ledger: vec![Suppression {
+                rule: RuleId::Concurrency,
+                file: PathBuf::from("crates/c/src/lib.rs"),
+                line: 4,
+                reason: "pool-internal".to_owned(),
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_own_parser() {
+        let json = report_to_json(&sample_report());
+        let keys = parse_baseline(&json).expect("parse");
+        assert_eq!(
+            keys,
+            vec![
+                (
+                    "R1".to_owned(),
+                    "crates/a/src/lib.rs".to_owned(),
+                    "no \"unwrap\"".to_owned()
+                ),
+                (
+                    "R6".to_owned(),
+                    "crates/b/src/lib.rs".to_owned(),
+                    "hash order".to_owned()
+                ),
+            ]
+        );
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        assert_eq!(
+            report_to_json(&sample_report()),
+            report_to_json(&sample_report())
+        );
+        let empty = report_to_json(&AuditReport::default());
+        assert!(empty.contains("\"findings\": []"), "{empty}");
+        assert!(empty.contains("\"schema\": \"chamulteon-audit/v1\""));
+    }
+
+    #[test]
+    fn baseline_diff_is_a_multiset() {
+        let report = sample_report();
+        let baseline: Vec<BaselineKey> = report.findings.iter().map(finding_key).collect();
+        assert!(new_findings(&report.findings, &baseline).is_empty());
+
+        // A second occurrence of an already-baselined key is new.
+        let mut doubled = report.findings.clone();
+        doubled.push(finding(
+            RuleId::PanicFreedom,
+            "crates/a/src/lib.rs",
+            30,
+            "no \"unwrap\"",
+        ));
+        let fresh = new_findings(&doubled, &baseline);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].line, 30);
+
+        // Line drift alone is not new.
+        let mut drifted = report.findings.clone();
+        drifted[0].line = 300;
+        assert!(new_findings(&drifted, &baseline).is_empty());
+    }
+
+    #[test]
+    fn baseline_schema_mismatch_is_an_error() {
+        assert!(parse_baseline("{}").is_err());
+        assert!(parse_baseline("{\"schema\": \"other/v2\", \"findings\": []}").is_err());
+        assert!(parse_baseline("not json").is_err());
+        let minimal = format!("{{\"schema\": {:?}, \"findings\": []}}", SCHEMA);
+        assert_eq!(parse_baseline(&minimal).expect("ok"), vec![]);
+    }
+}

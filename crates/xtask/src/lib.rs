@@ -3,37 +3,54 @@
 //! Chamulteon is a *controller*: one panic on a degenerate queueing input
 //! (ρ ≥ 1, NaN forecast, zero service rate) kills scaling for every service
 //! in the chain — exactly the failure class the paper's reactive fallback
-//! exists to avoid. This crate enforces repo-specific robustness rules that
-//! `clippy` alone cannot express, with `file:line` diagnostics and a
-//! nonzero exit code on violations:
+//! exists to avoid. And since the incremental-solver work, every speedup is
+//! justified by bit-identity with the reference path, so *nondeterminism*
+//! is a correctness bug too: a hash-ordered float sum or a wall-clock read
+//! in a decision path silently breaks reproducibility. This crate enforces
+//! repo-specific rules that `clippy` alone cannot express, with
+//! `file:line` diagnostics and a nonzero exit code on violations:
 //!
 //! | Rule | Name          | Scope                     | What it rejects |
 //! |------|---------------|---------------------------|-----------------|
 //! | R1   | panic-freedom | decision-path crate `src/` + listed modules | `unwrap()`, `expect(`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
 //! | R2   | nan-safety    | all crate `src/`          | `partial_cmp(..).unwrap()` / `unwrap_or(Ordering::…)` in comparisons |
-//! | R3   | lossy-cast    | `core`, `queueing` `src/` | bare `as` numeric casts in capacity math |
+//! | R3   | lossy-cast    | `core`, `queueing` `src/` | bare `as` numeric casts in capacity math (token-based: sees through line breaks) |
 //! | R4   | layering      | `crates/*/Cargo.toml`     | forbidden dependency edges |
-//! | R5   | doc-coverage  | `core`, `queueing` `src/` | undocumented `pub fn` / `pub struct` |
+//! | R5   | doc-coverage  | `core`, `queueing` `src/` | undocumented `pub fn`/`struct`/`enum`/`trait`/`const`/`type`/`mod` |
+//! | R6   | determinism   | decision path (+ all files for wall clocks) | hash-ordered iteration without normalization, `Instant`/`SystemTime` reads outside the timing whitelist, `std::env`/thread-identity dependence |
+//! | R7   | float-order   | decision path             | f64 reductions over hash iteration; captured float accumulators in `parallel_map` closures |
+//! | R8   | concurrency   | everywhere except `bench::pool` | `std::sync` primitives (minus `Arc`/`Weak`), thread spawning, locks in per-item closures |
+//! | R9   | suppression   | everywhere                | `audit:allow` markers naming no known rule or carrying no justification |
 //!
-//! Code inside `#[cfg(test)]` modules is exempt from R1–R3 and R5. A
+//! Code inside `#[cfg(test)]` modules is exempt from R1–R3 and R5–R8. A
 //! finding can be suppressed — one line at a time, with a justification —
-//! by `// audit:allow(<rule-name>): why` on the offending line or on a
-//! comment line directly above it.
+//! by `audit:allow(<rule>): why` or `audit: allow(<rule>, "why")` in a
+//! comment on the offending line or on a comment line directly above it.
+//! Every well-formed marker lands in the reported suppression ledger; R9
+//! flags malformed ones and is itself unsuppressible.
 //!
 //! The line rules run on a *stripped* view of each file (comments and
 //! string-literal contents blanked, line structure preserved), so a
 //! `panic!` inside a doc comment or an error message never false-positives.
+//! The semantic rules (R3, R6–R8) run on the lossless token stream via
+//! [`scopes::FileContext`], which resolves imports, tracks hash/float
+//! bindings and delimits worker-closure regions.
 
+pub mod jsonio;
+pub mod ledger;
+pub mod lexer;
 pub mod manifest;
 pub mod rules;
+pub mod scopes;
+pub mod semantic;
 pub mod strip;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-/// The decision-path crates R1 (panic-freedom) applies to, by directory
-/// name under `crates/`. `workload` and `bench` are experiment harness
-/// code; `xtask` is this tool.
+/// The decision-path crates R1 (panic-freedom), R6 (determinism) and R7
+/// (float-order) apply to, by directory name under `crates/`. `workload`
+/// and `bench` are experiment harness code; `xtask` is this tool.
 pub const DECISION_PATH_CRATES: &[&str] = &[
     "core",
     "obs",
@@ -65,8 +82,21 @@ pub const CHECKED_CAST_CRATES: &[&str] = &["core", "queueing"];
 /// Crates whose public API must be fully documented (R5).
 pub const DOC_COVERAGE_CRATES: &[&str] = &["core", "queueing"];
 
+/// Modules allowed to read the wall clock (R6), matched by path suffix:
+/// the metrics recorder timestamps observations and the experiment binary
+/// times its own phases — both outside the decision paths whose outputs
+/// must be reproducible.
+pub const TIMING_WHITELIST_MODULES: &[&str] =
+    &["obs/src/metrics.rs", "bench/src/bin/chamulteon-exp.rs"];
+
+/// Modules allowed to use `std::sync` primitives and spawn threads (R8),
+/// matched by path suffix: the deterministic worker pool is the one
+/// audited home for shared-state concurrency — everything else merges
+/// through its input-order result vector.
+pub const CONCURRENCY_WHITELIST_MODULES: &[&str] = &["bench/src/pool.rs"];
+
 /// Identifier of an audit rule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RuleId {
     /// R1: no panicking constructs in decision-path library code.
     PanicFreedom,
@@ -78,19 +108,33 @@ pub enum RuleId {
     Layering,
     /// R5: public API carries doc comments.
     DocCoverage,
+    /// R6: no hash-order, wall-clock, environment or thread-identity
+    /// dependence in decision paths.
+    Determinism,
+    /// R7: no order-sensitive float reductions in decision paths.
+    FloatOrder,
+    /// R8: std::sync primitives confined to the worker pool.
+    Concurrency,
+    /// R9: every `audit:allow` marker names a real rule and carries a
+    /// justification.
+    SuppressionLedger,
 }
 
 impl RuleId {
     /// All rules, in numbering order.
-    pub const ALL: [RuleId; 5] = [
+    pub const ALL: [RuleId; 9] = [
         RuleId::PanicFreedom,
         RuleId::NanSafety,
         RuleId::LossyCast,
         RuleId::Layering,
         RuleId::DocCoverage,
+        RuleId::Determinism,
+        RuleId::FloatOrder,
+        RuleId::Concurrency,
+        RuleId::SuppressionLedger,
     ];
 
-    /// The short id (`"R1"`…`"R5"`).
+    /// The short id (`"R1"`…`"R9"`).
     pub fn id(self) -> &'static str {
         match self {
             RuleId::PanicFreedom => "R1",
@@ -98,6 +142,10 @@ impl RuleId {
             RuleId::LossyCast => "R3",
             RuleId::Layering => "R4",
             RuleId::DocCoverage => "R5",
+            RuleId::Determinism => "R6",
+            RuleId::FloatOrder => "R7",
+            RuleId::Concurrency => "R8",
+            RuleId::SuppressionLedger => "R9",
         }
     }
 
@@ -109,6 +157,10 @@ impl RuleId {
             RuleId::LossyCast => "lossy-cast",
             RuleId::Layering => "layering",
             RuleId::DocCoverage => "doc-coverage",
+            RuleId::Determinism => "determinism",
+            RuleId::FloatOrder => "float-order",
+            RuleId::Concurrency => "concurrency",
+            RuleId::SuppressionLedger => "suppression",
         }
     }
 
@@ -154,6 +206,26 @@ impl fmt::Display for Finding {
     }
 }
 
+/// The audit of one source file: findings plus its slice of the
+/// suppression ledger.
+#[derive(Debug, Default)]
+pub struct FileAudit {
+    /// Violations, sorted by line then rule.
+    pub findings: Vec<Finding>,
+    /// Well-formed `audit:allow` markers, in line order.
+    pub ledger: Vec<ledger::Suppression>,
+}
+
+/// The full workspace audit: every finding and every ledger entry, in
+/// deterministic order.
+#[derive(Debug, Default)]
+pub struct AuditReport {
+    /// Violations, sorted by (file, line, rule, message).
+    pub findings: Vec<Finding>,
+    /// The suppression ledger, sorted by (file, line, rule).
+    pub ledger: Vec<ledger::Suppression>,
+}
+
 /// A problem that prevented the audit itself from running (I/O, malformed
 /// workspace) — distinct from findings, and also a nonzero exit.
 #[derive(Debug)]
@@ -178,14 +250,25 @@ impl AuditError {
     }
 }
 
+/// Runs every rule over the workspace rooted at `root`, returning only the
+/// findings. Thin wrapper over [`run_audit_report`] for callers that do
+/// not need the ledger.
+///
+/// # Errors
+///
+/// Returns [`AuditError`] when the workspace cannot be read.
+pub fn run_audit(root: &Path) -> Result<Vec<Finding>, AuditError> {
+    run_audit_report(root).map(|report| report.findings)
+}
+
 /// Runs every rule over the workspace rooted at `root` (the directory
-/// containing `crates/`). Returns all findings, sorted by file and line.
+/// containing `crates/`), returning findings and the suppression ledger.
 ///
 /// # Errors
 ///
 /// Returns [`AuditError`] when the workspace cannot be read — a missing
 /// `crates/` directory, unreadable files, or I/O failures mid-walk.
-pub fn run_audit(root: &Path) -> Result<Vec<Finding>, AuditError> {
+pub fn run_audit_report(root: &Path) -> Result<AuditReport, AuditError> {
     let crates_dir = root.join("crates");
     if !crates_dir.is_dir() {
         return Err(AuditError::new(format!(
@@ -194,7 +277,7 @@ pub fn run_audit(root: &Path) -> Result<Vec<Finding>, AuditError> {
         )));
     }
 
-    let mut findings = Vec::new();
+    let mut report = AuditReport::default();
     let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
         .map_err(|e| AuditError::new(format!("reading {}: {e}", crates_dir.display())))?
         .filter_map(|entry| entry.ok().map(|e| e.path()))
@@ -208,45 +291,71 @@ pub fn run_audit(root: &Path) -> Result<Vec<Finding>, AuditError> {
             None => continue,
         };
 
-        // R4 runs on the manifest.
+        // R4 and the TOML side of R9 run on the manifest.
         let manifest = crate_dir.join("Cargo.toml");
         if manifest.is_file() {
             let text = read(&manifest)?;
-            findings.extend(manifest::check_layering(
-                &crate_name,
-                &relative(root, &manifest),
-                &text,
-            ));
+            let rel = relative(root, &manifest);
+            report
+                .findings
+                .extend(manifest::check_layering(&crate_name, &rel, &text));
+            let lines: Vec<&str> = text.lines().collect();
+            let (r9, sups) = ledger::scan_file(&rel, &lines, ledger::CommentStyle::Toml);
+            report.findings.extend(r9);
+            report.ledger.extend(sups);
         }
 
-        // Line rules run on src/ only: tests/, benches/ and examples/ are
-        // exempt by construction.
+        // Source rules run on src/ only: tests/, benches/ and examples/
+        // are exempt by construction.
         let src = crate_dir.join("src");
         if src.is_dir() {
             for file in rust_files(&src)? {
                 let text = read(&file)?;
                 let rel = relative(root, &file);
-                findings.extend(audit_source(&crate_name, &rel, &text));
+                let audit = audit_source_full(&crate_name, &rel, &text);
+                report.findings.extend(audit.findings);
+                report.ledger.extend(audit.ledger);
             }
         }
     }
 
-    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    Ok(findings)
+    report.findings.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    report
+        .ledger
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
 }
 
-/// Runs the line rules (R1, R2, R3, R5) over one source file belonging to
-/// `crate_name`, honoring test-region exemptions and `audit:allow`.
+/// Runs the source rules over one file, returning only the findings. Thin
+/// wrapper over [`audit_source_full`].
 pub fn audit_source(crate_name: &str, rel_path: &Path, text: &str) -> Vec<Finding> {
+    audit_source_full(crate_name, rel_path, text).findings
+}
+
+/// Runs the line rules (R1, R2, R5), the semantic rules (R3, R6–R8) and
+/// the ledger scan (R9) over one source file belonging to `crate_name`,
+/// honoring test-region exemptions and `audit:allow` markers.
+pub fn audit_source_full(crate_name: &str, rel_path: &Path, text: &str) -> FileAudit {
     let stripped = strip::strip_source(text);
     let source_lines: Vec<&str> = text.lines().collect();
 
-    let mut findings = Vec::new();
     let decision_path = DECISION_PATH_CRATES.contains(&crate_name)
         || DECISION_PATH_MODULES.iter().any(|m| rel_path.ends_with(m));
-    let checked_casts = CHECKED_CAST_CRATES.contains(&crate_name);
     let doc_coverage = DOC_COVERAGE_CRATES.contains(&crate_name);
+    let app = semantic::Applicability {
+        decision_path,
+        checked_casts: CHECKED_CAST_CRATES.contains(&crate_name),
+        wall_clock_banned: !TIMING_WHITELIST_MODULES
+            .iter()
+            .any(|m| rel_path.ends_with(m)),
+        concurrency_banned: !CONCURRENCY_WHITELIST_MODULES
+            .iter()
+            .any(|m| rel_path.ends_with(m)),
+    };
 
+    let mut findings = Vec::new();
     for (idx, line) in stripped.lines.iter().enumerate() {
         if stripped.in_test_region[idx] {
             continue;
@@ -261,11 +370,6 @@ pub fn audit_source(crate_name: &str, rel_path: &Path, text: &str) -> Vec<Findin
             // the sharper diagnostic only.
             if let Some(f) = rules::check_panic_freedom(line) {
                 line_findings.push((RuleId::PanicFreedom, f));
-            }
-        }
-        if checked_casts {
-            if let Some(f) = rules::check_lossy_cast(line) {
-                line_findings.push((RuleId::LossyCast, f));
             }
         }
         if doc_coverage {
@@ -286,34 +390,65 @@ pub fn audit_source(crate_name: &str, rel_path: &Path, text: &str) -> Vec<Findin
             });
         }
     }
-    findings
+
+    // Semantic rules over the token stream; line-level exemptions apply
+    // the same way as for the line rules.
+    let ctx = scopes::FileContext::analyze(text);
+    for (line, rule, message) in semantic::check_file(&ctx, app) {
+        let idx = line.saturating_sub(1);
+        if stripped.in_test_region.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        if allowed(&source_lines, idx, rule) {
+            continue;
+        }
+        findings.push(Finding {
+            rule,
+            file: rel_path.to_path_buf(),
+            line,
+            message,
+        });
+    }
+
+    // R9 + ledger collection, on the comment-only view so a marker quoted
+    // inside a string literal is not mistaken for a real one. Markers in
+    // doc comments are prose (the audit's own documentation quotes the
+    // syntax), and test regions keep their blanket exemption; R9 findings
+    // are never suppressible.
+    let comment_text = lexer::comment_view(&ctx.tokens);
+    let comment_lines: Vec<&str> = comment_text.lines().collect();
+    let (mut r9, mut sups) =
+        ledger::scan_file(rel_path, &comment_lines, ledger::CommentStyle::Rust);
+    let exempt = |lineno: usize| {
+        let idx = lineno.saturating_sub(1);
+        stripped.doc_comment.get(idx).copied().unwrap_or(false)
+            || stripped.in_test_region.get(idx).copied().unwrap_or(false)
+    };
+    r9.retain(|f| !exempt(f.line));
+    sups.retain(|s| !exempt(s.line));
+    findings.extend(r9);
+
+    findings.sort_by(|a, b| (a.line, a.rule, &a.message).cmp(&(b.line, b.rule, &b.message)));
+    FileAudit {
+        findings,
+        ledger: sups,
+    }
 }
 
 /// Whether a finding of `rule` on 0-based line `idx` is suppressed by an
 /// `audit:allow(<rule>)` marker on that line or on the line directly above.
 pub fn allowed(source_lines: &[&str], idx: usize, rule: RuleId) -> bool {
-    let mut candidates = Vec::with_capacity(2);
+    let style = ledger::CommentStyle::Rust;
     if let Some(line) = source_lines.get(idx) {
-        candidates.push(*line);
+        if ledger::line_allows(line, style, rule) {
+            return true;
+        }
     }
     if idx > 0 {
         if let Some(prev) = source_lines.get(idx - 1) {
             // Only a pure comment line above can carry the marker: an
             // allow trailing some other statement must not leak downward.
-            if prev.trim_start().starts_with("//") {
-                candidates.push(*prev);
-            }
-        }
-    }
-    candidates.iter().any(|line| line_allows(line, rule))
-}
-
-fn line_allows(line: &str, rule: RuleId) -> bool {
-    let mut rest = line;
-    while let Some(pos) = rest.find("audit:allow(") {
-        rest = &rest[pos + "audit:allow(".len()..];
-        if let Some(close) = rest.find(')') {
-            if RuleId::parse(&rest[..close]) == Some(rule) {
+            if prev.trim_start().starts_with("//") && ledger::line_allows(prev, style, rule) {
                 return true;
             }
         }
@@ -363,7 +498,7 @@ mod tests {
             assert_eq!(RuleId::parse(rule.name()), Some(rule));
             assert_eq!(RuleId::parse(&rule.id().to_lowercase()), Some(rule));
         }
-        assert_eq!(RuleId::parse("R9"), None);
+        assert_eq!(RuleId::parse("R10"), None);
         assert_eq!(RuleId::parse("unwrap"), None);
     }
 
@@ -381,6 +516,13 @@ mod tests {
         assert!(!allowed(&lines, 3, RuleId::PanicFreedom));
         // The marker names R1, not R2.
         assert!(!allowed(&lines, 2, RuleId::NanSafety));
+    }
+
+    #[test]
+    fn inline_marker_syntax_suppresses_too() {
+        let lines = ["let a = x.unwrap(); // audit: allow(R1, \"startup only\")"];
+        assert!(allowed(&lines, 0, RuleId::PanicFreedom));
+        assert!(!allowed(&lines, 0, RuleId::NanSafety));
     }
 
     #[test]
@@ -421,5 +563,61 @@ mod tests {
         }
         // Sibling bench files stay exempt.
         assert!(audit_source("bench", Path::new("crates/bench/src/paper.rs"), text).is_empty());
+    }
+
+    #[test]
+    fn semantic_findings_respect_allow_and_test_regions() {
+        let suppressed = "use std::time::Instant;\n\
+                          // audit:allow(R6): coarse staleness probe, not decision input\n\
+                          fn f() { let t = Instant::now(); }\n";
+        let audit = audit_source_full("core", Path::new("crates/core/src/x.rs"), suppressed);
+        assert!(audit.findings.is_empty(), "{:?}", audit.findings);
+
+        let in_tests = "#[cfg(test)]\n\
+                        mod tests {\n\
+                        \x20   fn f() { let t = std::time::Instant::now(); }\n\
+                        }\n";
+        let audit = audit_source_full("core", Path::new("crates/core/src/y.rs"), in_tests);
+        assert!(audit.findings.is_empty(), "{:?}", audit.findings);
+    }
+
+    #[test]
+    fn timing_and_concurrency_whitelists_match_by_suffix() {
+        let clock = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert_eq!(
+            audit_source("obs", Path::new("crates/obs/src/recorder.rs"), clock).len(),
+            1
+        );
+        assert!(audit_source("obs", Path::new("crates/obs/src/metrics.rs"), clock).is_empty());
+
+        let lock = "fn f() { let m = std::sync::Mutex::new(0); }\n";
+        assert_eq!(
+            audit_source("bench", Path::new("crates/bench/src/paper.rs"), lock).len(),
+            1
+        );
+        assert!(audit_source("bench", Path::new("crates/bench/src/pool.rs"), lock).is_empty());
+    }
+
+    #[test]
+    fn ledger_collects_markers_and_r9_is_unsuppressible() {
+        let text = "fn f(x: Option<u32>) -> u32 {\n\
+                    \x20   // audit:allow(R1): fallback would mask the config error\n\
+                    \x20   x.unwrap()\n\
+                    }\n\
+                    // audit:allow(R1) audit:allow(R9): excuses itself\n\
+                    fn g() {}\n";
+        let audit = audit_source_full("core", Path::new("crates/core/src/z.rs"), text);
+        assert_eq!(audit.ledger.len(), 2, "{:?}", audit.ledger);
+        assert_eq!(audit.ledger[0].line, 2);
+        assert_eq!(audit.ledger[0].rule, RuleId::PanicFreedom);
+        // The reasonless R1 marker on line 5 is flagged despite the
+        // adjacent allow(R9) attempt.
+        let r9: Vec<_> = audit
+            .findings
+            .iter()
+            .filter(|f| f.rule == RuleId::SuppressionLedger)
+            .collect();
+        assert_eq!(r9.len(), 1, "{:?}", audit.findings);
+        assert_eq!(r9[0].line, 5);
     }
 }

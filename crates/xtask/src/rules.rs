@@ -1,6 +1,8 @@
-//! The line rules: R1 panic-freedom, R2 NaN-safety, R3 lossy casts,
-//! R5 doc coverage. Each check runs on one stripped line (see
-//! [`crate::strip`]) and returns a diagnostic message on violation.
+//! The line rules: R1 panic-freedom, R2 NaN-safety, R5 doc coverage.
+//! Each check runs on one stripped line (see [`crate::strip`]) and returns
+//! a diagnostic message on violation. (R3 lossy-cast moved to
+//! [`crate::semantic`], where the token stream lets it see casts split
+//! across lines.)
 
 use crate::strip::StrippedSource;
 
@@ -16,7 +18,7 @@ pub fn check_panic_freedom(line: &str) -> Option<String> {
             "`unwrap()` in decision-path code: propagate through the crate error type".to_owned(),
         );
     }
-    if find_method_call(line, ".expect(") {
+    if find_method_call(line, ".expect") {
         return Some(
             "`expect()` in decision-path code: propagate through the crate error type".to_owned(),
         );
@@ -51,48 +53,23 @@ pub fn check_nan_safety(line: &str) -> Option<String> {
     None
 }
 
-/// Cast targets R3 rejects. Casting *to* these from wider or float types
-/// truncates, saturates or loses precision silently.
-const CAST_TARGETS: &[&str] = &[
-    "usize", "u64", "u32", "u16", "u8", "isize", "i64", "i32", "i16", "i8", "f64", "f32",
-];
-
-/// R3 — lossy casts: no bare `as <numeric>` in capacity math. Use
-/// `u64::try_from(..)`, `f64::from(..)` or a checked helper so the
-/// narrowing is explicit and fallible.
-pub fn check_lossy_cast(line: &str) -> Option<String> {
-    let mut rest = line;
-    while let Some(pos) = rest.find(" as ") {
-        let after = &rest[pos + 4..];
-        let target = after.trim_start();
-        for t in CAST_TARGETS {
-            if let Some(after_target) = target.strip_prefix(t) {
-                let boundary = after_target
-                    .chars()
-                    .next()
-                    .is_none_or(|c| !c.is_alphanumeric() && c != '_');
-                if boundary {
-                    return Some(format!(
-                        "bare `as {t}` cast in capacity math: use `try_from`/`from` or a checked \
-                         helper"
-                    ));
-                }
-            }
-        }
-        rest = after;
-    }
-    None
-}
-
-/// R5 — doc coverage: every `pub fn` / `pub struct` (and `pub enum` /
-/// `pub trait`, which the same reasoning covers) carries a doc comment.
-/// Attributes between the docs and the item are skipped.
+/// R5 — doc coverage: every public item head (`pub fn`, `pub struct`,
+/// `pub enum`, `pub trait`, `pub const`, `pub type`, `pub mod`) carries a
+/// doc comment. Attributes between the docs and the item are skipped.
 pub fn check_doc_coverage(stripped: &StrippedSource, idx: usize) -> Option<String> {
     let line = stripped.lines.get(idx)?;
     let trimmed = line.trim_start();
-    let item = ["pub fn ", "pub struct ", "pub enum ", "pub trait "]
-        .iter()
-        .find(|prefix| trimmed.starts_with(**prefix))?;
+    let item = [
+        "pub fn ",
+        "pub struct ",
+        "pub enum ",
+        "pub trait ",
+        "pub const ",
+        "pub type ",
+        "pub mod ",
+    ]
+    .iter()
+    .find(|prefix| trimmed.starts_with(**prefix))?;
 
     let mut j = idx;
     while j > 0 {
@@ -115,12 +92,27 @@ pub fn check_doc_coverage(stripped: &StrippedSource, idx: usize) -> Option<Strin
     ))
 }
 
-/// Whether `line` contains `needle` (starting with `.`) as a method call —
-/// i.e. not followed by more identifier characters, which `.expect(`
-/// guarantees by construction, and not part of a longer method name like
-/// `.expect_err(`.
+/// Whether `line` calls the method named by `needle` (a `.`-prefixed
+/// method name *without* the parenthesis): the match must end at an
+/// identifier boundary — so `.expect` does not match `.expect_err` — and
+/// the next non-whitespace character must open the call's argument list,
+/// so field accesses and path fragments don't count (`.expect (x)` does,
+/// whitespace before the parens is legal Rust).
 fn find_method_call(line: &str, needle: &str) -> bool {
-    line.contains(needle)
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(needle) {
+        let abs = start + pos;
+        let after = &line[abs + needle.len()..];
+        let boundary = after
+            .chars()
+            .next()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        if boundary && after.trim_start().starts_with('(') {
+            return true;
+        }
+        start = abs + needle.len();
+    }
+    false
 }
 
 /// Whether `line` invokes the macro `mac` (name including `!`), with a
@@ -152,6 +144,7 @@ mod tests {
         for bad in [
             "let x = v.last().unwrap();",
             "let y = m.get(&k).expect(\"present\");",
+            "let z = m.get(&k).expect (\"spaced call\");",
             "panic!(\"boom\");",
             "_ => unreachable!(),",
             "todo!()",
@@ -168,11 +161,31 @@ mod tests {
             "let y = opt.unwrap_or_else(Vec::new);",
             "let z = opt.unwrap_or_default();",
             "let e = res.expect_err(\"must fail\");",
+            "let f = res.expected(\"longer name\");",
+            "let g = probe.expectation;",
             "my_todo!()",
             "let p = should_panic_flag;",
         ] {
             assert!(check_panic_freedom(ok).is_none(), "false positive: {ok}");
         }
+    }
+
+    #[test]
+    fn method_call_matching_is_boundary_aware() {
+        // The regression this pins: `find_method_call` once degenerated to
+        // a bare `contains`, so any longer method sharing the prefix —
+        // `.expect_err(` — would have been flagged the moment the
+        // hard-coded needle lost its trailing parenthesis.
+        assert!(find_method_call("r.expect(\"x\")", ".expect"));
+        assert!(find_method_call("r.expect  (\"x\")", ".expect"));
+        assert!(!find_method_call("r.expect_err(\"x\")", ".expect"));
+        assert!(!find_method_call("r.expected(\"x\")", ".expect"));
+        assert!(!find_method_call("r.expect", ".expect"));
+        // Second occurrence still found after a non-call first one.
+        assert!(find_method_call(
+            "a.expect_err(e); b.expect(\"y\")",
+            ".expect"
+        ));
     }
 
     #[test]
@@ -199,17 +212,6 @@ mod tests {
     }
 
     #[test]
-    fn r3_flags_bare_numeric_casts_only() {
-        assert!(check_lossy_cast("let n = x as usize;").is_some());
-        assert!(check_lossy_cast("let n = (rho * cap) as u64;").is_some());
-        assert!(check_lossy_cast("let f = count as f64;").is_some());
-        assert!(check_lossy_cast("let f = f64::from(count);").is_none());
-        assert!(check_lossy_cast("let n = u64::try_from(x)?;").is_none());
-        assert!(check_lossy_cast("use queueing::mmn as mmn_solver;").is_none());
-        assert!(check_lossy_cast("let t = x as usize_like;").is_none());
-    }
-
-    #[test]
     fn r5_requires_doc_comments() {
         let s = strip_source(
             "/// Documented.\npub fn a() {}\n\npub fn b() {}\n#[derive(Debug)]\npub struct S;\n/// Doc.\n#[derive(Debug)]\npub struct T;\n",
@@ -220,5 +222,20 @@ mod tests {
         let sd = check_doc_coverage(&s, 5);
         assert!(sd.is_some_and(|m| m.contains("pub struct S")));
         assert!(check_doc_coverage(&s, 8).is_none()); // T: doc above attr
+    }
+
+    #[test]
+    fn r5_covers_consts_type_aliases_and_modules() {
+        let s = strip_source(
+            "pub const LIMIT: usize = 8;\n\
+             /// Documented.\n\
+             pub const OK: usize = 1;\n\
+             pub type Alias = u32;\n\
+             pub mod helpers;\n",
+        );
+        assert!(check_doc_coverage(&s, 0).is_some_and(|m| m.contains("pub const LIMIT")));
+        assert!(check_doc_coverage(&s, 2).is_none());
+        assert!(check_doc_coverage(&s, 3).is_some_and(|m| m.contains("pub type Alias")));
+        assert!(check_doc_coverage(&s, 4).is_some_and(|m| m.contains("pub mod helpers")));
     }
 }

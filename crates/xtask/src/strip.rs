@@ -1,7 +1,13 @@
-//! Source stripping: a light lexer that blanks comments and string-literal
-//! contents while preserving line structure, plus `#[cfg(test)]` region
-//! detection. Line rules run on the stripped view, so `panic!` inside a doc
-//! comment or an error message never false-positives.
+//! The stripped line view: comments and string-literal contents blanked,
+//! line structure preserved, plus `#[cfg(test)]` region detection.
+//!
+//! Since the token-level lexer landed (see [`crate::lexer`]), this module
+//! is a thin projection over it rather than a second hand-rolled scanner:
+//! the blanking is [`crate::lexer::stripped_view`] over the lossless token
+//! stream, so the line rules and the semantic rules can never disagree
+//! about what is a comment and what is code.
+
+use crate::lexer;
 
 /// A file prepared for line-rule scanning.
 #[derive(Debug)]
@@ -18,7 +24,8 @@ pub struct StrippedSource {
 
 /// Strips `text` and computes the line classifications.
 pub fn strip_source(text: &str) -> StrippedSource {
-    let stripped = strip_to_string(text);
+    let tokens = lexer::lex(text);
+    let stripped = lexer::stripped_view(&tokens);
     let lines: Vec<String> = stripped.split('\n').map(ToOwned::to_owned).collect();
     let doc_comment = text
         .split('\n')
@@ -35,207 +42,10 @@ pub fn strip_source(text: &str) -> StrippedSource {
     }
 }
 
-/// Lexer state for [`strip_to_string`].
-enum State {
-    Code,
-    LineComment,
-    BlockComment(u32),
-    Str,
-    RawStr(u32),
-    CharLit,
-}
-
-/// Replaces comment bodies and string/char-literal contents with spaces.
-/// Newlines are preserved, so line numbers in the output match the input.
-#[allow(clippy::cast_possible_truncation)] // hash counts are tiny
-fn strip_to_string(text: &str) -> String {
-    let mut out = String::with_capacity(text.len());
-    let chars: Vec<char> = text.chars().collect();
-    let mut state = State::Code;
-    let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
-        let next = chars.get(i + 1).copied();
-        match state {
-            State::Code => match c {
-                '/' if next == Some('/') => {
-                    state = State::LineComment;
-                    out.push_str("  ");
-                    i += 2;
-                }
-                '/' if next == Some('*') => {
-                    state = State::BlockComment(1);
-                    out.push_str("  ");
-                    i += 2;
-                }
-                '"' => {
-                    state = State::Str;
-                    out.push('"');
-                    i += 1;
-                }
-                'r' | 'b' if is_raw_string_start(&chars, i) => {
-                    // Consume the prefix (`r`, `br`, `rb`) and hashes up to
-                    // the opening quote.
-                    let mut j = i;
-                    while chars.get(j).is_some_and(|&p| p == 'r' || p == 'b') {
-                        out.push(chars[j]);
-                        j += 1;
-                    }
-                    let mut hashes = 0u32;
-                    while chars.get(j) == Some(&'#') {
-                        out.push('#');
-                        hashes += 1;
-                        j += 1;
-                    }
-                    out.push('"');
-                    i = j + 1;
-                    state = State::RawStr(hashes);
-                }
-                '\'' if is_char_literal_start(&chars, i) => {
-                    state = State::CharLit;
-                    out.push('\'');
-                    i += 1;
-                }
-                c => {
-                    out.push(c);
-                    i += 1;
-                }
-            },
-            State::LineComment => {
-                if c == '\n' {
-                    state = State::Code;
-                    out.push('\n');
-                } else {
-                    out.push(' ');
-                }
-                i += 1;
-            }
-            State::BlockComment(depth) => {
-                if c == '*' && next == Some('/') {
-                    state = if depth == 1 {
-                        State::Code
-                    } else {
-                        State::BlockComment(depth - 1)
-                    };
-                    out.push_str("  ");
-                    i += 2;
-                } else if c == '/' && next == Some('*') {
-                    state = State::BlockComment(depth + 1);
-                    out.push_str("  ");
-                    i += 2;
-                } else {
-                    out.push(if c == '\n' { '\n' } else { ' ' });
-                    i += 1;
-                }
-            }
-            State::Str => match c {
-                '\\' => {
-                    out.push_str("  ");
-                    i += 2;
-                }
-                '"' => {
-                    state = State::Code;
-                    out.push('"');
-                    i += 1;
-                }
-                '\n' => {
-                    out.push('\n');
-                    i += 1;
-                }
-                _ => {
-                    out.push(' ');
-                    i += 1;
-                }
-            },
-            State::RawStr(hashes) => {
-                if c == '"' && closes_raw_string(&chars, i, hashes) {
-                    out.push('"');
-                    for _ in 0..hashes {
-                        out.push('#');
-                    }
-                    i += 1 + hashes as usize;
-                    state = State::Code;
-                } else {
-                    out.push(if c == '\n' { '\n' } else { ' ' });
-                    i += 1;
-                }
-            }
-            State::CharLit => match c {
-                '\\' => {
-                    out.push_str("  ");
-                    i += 2;
-                }
-                '\'' => {
-                    state = State::Code;
-                    out.push('\'');
-                    i += 1;
-                }
-                _ => {
-                    out.push(' ');
-                    i += 1;
-                }
-            },
-        }
-    }
-    out
-}
-
-/// Whether position `i` starts a raw (byte) string literal: `r"`, `r#"`,
-/// `br"`, `rb"` etc. Plain identifiers ending in `r` (`for r in …`) and the
-/// `b'x'` byte-char form must not match.
-fn is_raw_string_start(chars: &[char], i: usize) -> bool {
-    // Reject when the prefix continues an identifier (`solver"…` is not
-    // possible, but `var` in `var"` would otherwise match on its final r).
-    if i > 0 {
-        let prev = chars[i - 1];
-        if prev.is_alphanumeric() || prev == '_' {
-            return false;
-        }
-    }
-    let mut j = i;
-    let mut saw_r = false;
-    // Accept at most one `r` and at most one `b`, in either order.
-    for _ in 0..2 {
-        match chars.get(j) {
-            Some('r') if !saw_r => {
-                saw_r = true;
-                j += 1;
-            }
-            Some('b') if j == i => {
-                j += 1;
-            }
-            _ => break,
-        }
-    }
-    if !saw_r {
-        // `b"…"` is a plain byte string: handled by the normal Str state
-        // via its quote, so no raw handling needed.
-        return false;
-    }
-    while chars.get(j) == Some(&'#') {
-        j += 1;
-    }
-    chars.get(j) == Some(&'"')
-}
-
-/// Whether the `"` at position `i` is followed by `hashes` `#`s.
-fn closes_raw_string(chars: &[char], i: usize, hashes: u32) -> bool {
-    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
-}
-
-/// Whether the `'` at position `i` starts a char literal (as opposed to a
-/// lifetime like `'a` or `'static`).
-fn is_char_literal_start(chars: &[char], i: usize) -> bool {
-    match chars.get(i + 1) {
-        Some('\\') => true,
-        Some(_) => chars.get(i + 2) == Some(&'\''),
-        None => false,
-    }
-}
-
 /// Marks every line belonging to a `#[cfg(test)]` item. The attribute's
 /// item is delimited by its matching braces (a `mod tests { … }` block) or,
-/// for brace-less items, by the first `;` at brace depth zero.
+/// for brace-less items, by the first `;` at brace depth zero. Runs on the
+/// stripped lines, so braces inside literals cannot skew the matching.
 fn mark_test_regions(lines: &[String]) -> Vec<bool> {
     let mut marked = vec![false; lines.len()];
     let mut i = 0;

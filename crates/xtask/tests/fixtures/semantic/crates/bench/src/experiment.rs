@@ -1,0 +1,45 @@
+//! Fixture: R7 float-order seeds in a decision-path bench module —
+//! violating and conforming pairs.
+
+use std::collections::HashMap;
+
+/// Violation: f64 sum over hash-ordered iteration (R7 subsumes the R6
+/// hash finding on this statement).
+fn sum_in_hash_order(m: &HashMap<String, f64>) -> f64 {
+    m.values().sum::<f64>()
+}
+
+/// Violation: float-seeded fold over hash-ordered iteration.
+fn fold_in_hash_order(m: &HashMap<String, f64>) -> f64 {
+    m.values().fold(0.0, |acc, v| acc + v)
+}
+
+/// Violation: captured float accumulator mutated on worker threads.
+fn racy_accumulate(items: &[f64]) -> f64 {
+    let mut total = 0.0;
+    parallel_map(items, |_i, x| total += x);
+    total
+}
+
+/// Conforming: merge through the pool's input-order result vector.
+fn input_order_merge(items: &[f64]) -> f64 {
+    let parts = parallel_map(items, |_i, x| x * 2.0);
+    parts.iter().sum::<f64>()
+}
+
+/// Conforming: the accumulator is closure-local, not captured.
+fn local_accumulate(items: &[f64]) -> Vec<f64> {
+    parallel_map(items, |_i, xs| {
+        let mut acc = 0.0;
+        acc += xs;
+        acc
+    })
+}
+
+/// Conforming: suppressed with a ledger entry.
+fn suppressed_accumulate(items: &[f64]) -> f64 {
+    let mut lower_bound = 0.0;
+    // audit: allow(R7, "fixture pins suppression; the bound is order-insensitive")
+    parallel_map(items, |_i, x| lower_bound += x);
+    lower_bound
+}

@@ -1,0 +1,25 @@
+//! Fixture: the concurrency whitelist — this path suffix is the one
+//! sanctioned home for `std::sync` primitives, so nothing here may be
+//! flagged by R8.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Work-stealing cursor, pool-internal by design.
+fn next_index(cursor: &AtomicUsize) -> usize {
+    cursor.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Slot fill, pool-internal by design.
+fn fill_slot(slot: &Mutex<Option<u32>>, value: u32) {
+    if let Ok(mut guard) = slot.lock() {
+        *guard = Some(value);
+    }
+}
+
+/// Worker spawn, pool-internal by design.
+fn run_workers() {
+    std::thread::scope(|scope| {
+        let _ = scope;
+    });
+}

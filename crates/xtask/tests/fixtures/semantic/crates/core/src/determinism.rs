@@ -1,0 +1,57 @@
+//! Fixture: R6 determinism seeds — violating and conforming pairs.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::time::Instant as Clock;
+
+/// Violation: hash-ordered iteration escapes un-normalized.
+fn keys_in_hash_order(m: &HashMap<String, f64>) -> Vec<String> {
+    m.keys().cloned().collect()
+}
+
+/// Violation: `for` loop body observes hash order.
+fn fold_in_hash_order(s: &HashSet<u32>) -> u32 {
+    let mut acc = 0;
+    for v in s {
+        acc = acc.wrapping_add(*v);
+    }
+    acc
+}
+
+/// Violation: wall-clock read in a decision-path crate.
+fn timestamped() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_secs()
+}
+
+/// Violation: the rename does not hide the clock from the import table.
+fn renamed_clock() -> u64 {
+    Clock::now().elapsed().as_secs()
+}
+
+/// Violation: decisions must not read the process environment.
+fn env_dependent() -> bool {
+    std::env::var("CHAMULTEON_FAST").is_ok()
+}
+
+/// Conforming: collected into an ordered container in the same statement.
+fn keys_sorted(m: &HashMap<String, f64>) -> BTreeSet<String> {
+    m.keys().cloned().collect::<BTreeSet<String>>()
+}
+
+/// Conforming: order-insensitive reduction.
+fn finite_count(m: &HashMap<String, f64>) -> usize {
+    m.values().filter(|v| v.is_finite()).count()
+}
+
+/// Conforming: collect-then-sort normalizes on the next statement.
+fn keys_collect_then_sort(m: &HashMap<String, f64>) -> Vec<String> {
+    let mut v: Vec<String> = m.keys().cloned().collect();
+    v.sort();
+    v
+}
+
+/// Conforming: suppressed with a ledger entry.
+fn suppressed_iteration(m: &HashMap<String, f64>) -> Vec<f64> {
+    // audit:allow(R6): fixture pins suppression; caller sorts before use
+    m.values().cloned().collect()
+}

@@ -1,0 +1,36 @@
+//! Fixture: R9 suppression-ledger seeds — malformed markers (violations)
+//! and well-formed ones (ledger entries).
+
+/// Violation: a reasonless marker. It still suppresses the `unwrap` —
+/// R9 points at the real problem, the missing justification.
+fn reasonless(x: Option<u32>) -> u32 {
+    // audit:allow(R1)
+    x.unwrap()
+}
+
+/// Violation: the marker names no known rule, so it suppresses nothing.
+fn misspelled() {
+    // audit:allow(determinsm): the rule name is misspelled
+}
+
+/// Violation: an empty reason is no reason.
+fn empty_reason() {
+    // audit: allow(R8, "")
+}
+
+/// Conforming: the legacy trailing-reason syntax.
+fn legacy_syntax(x: Option<u32>) -> u32 {
+    // audit:allow(R1): fixture pins the legacy marker syntax
+    x.unwrap()
+}
+
+/// Conforming: the inline quoted-reason syntax.
+fn inline_syntax(x: f64) -> u64 {
+    // audit: allow(R3, "fixture pins the inline marker syntax")
+    x as u64
+}
+
+/// Conforming: prose mentioning the audit is not a marker.
+fn prose_only() {
+    // The audit:allow grammar requires parentheses; this line has none.
+}

@@ -1,0 +1,36 @@
+//! Fixture: R8 concurrency seeds — violating and conforming pairs.
+
+/// Violation: a `std::sync` primitive import outside the pool.
+use std::sync::Mutex;
+/// Conforming: `Arc` is exempt — immutable sharing has no ordering side.
+use std::sync::Arc;
+// audit:allow(R8): fixture pins suppression of a sync import
+use std::sync::Condvar;
+
+/// Violation: inline fully-qualified path, no import to flag.
+fn inline_rwlock() -> u32 {
+    let cell = std::sync::RwLock::new(7);
+    cell.read().map(|v| *v).unwrap_or(0)
+}
+
+/// Violation: thread spawning outside the pool.
+fn rogue_thread() {
+    let handle = std::thread::spawn(|| 2 + 2);
+    let _ = handle.join();
+}
+
+/// Violation: lock acquisition inside a per-item closure.
+fn locks_per_item<M>(items: &[u32], slots: &[M]) {
+    parallel_map(items, |i, _x| slots[i].lock());
+}
+
+/// Conforming: `Arc` use and a lock-free per-item closure.
+fn shares_immutably(x: Arc<u32>, items: &[u32]) -> u32 {
+    parallel_map(items, |_i, v| v + *x)
+}
+
+/// Conforming: the suppressed import above keeps this name resolvable.
+fn uses_suppressed_primitives(m: &Mutex<u32>, c: &Condvar) {
+    // audit:allow(R8): fixture exercises body-side use of a flagged import
+    let _ = (m, c);
+}

@@ -1,0 +1,159 @@
+//! Property tests for the audit lexer: token streams concatenate back to
+//! the exact input (losslessness), and the stripped/comment views preserve
+//! line structure while only ever blanking characters.
+
+// Test code: panics are acceptable here.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use proptest::prelude::*;
+use xtask::lexer::{self, TokenKind};
+
+/// Source fragments grouped by token family. Adjacent fragments may merge
+/// or re-split under lexing (`'a` + `'x'`, `/` + `/`); the round-trip
+/// property must hold regardless, which is exactly what makes it a good
+/// invariant.
+const FRAGMENTS: &[&[&str]] = &[
+    // Identifiers and keywords, including a raw identifier.
+    &[
+        "x", "value", "foo_bar", "HashMap", "loop", "r#match", "_under",
+    ],
+    // Numbers with separators, suffixes, exponents, and radix prefixes.
+    &[
+        "0", "1_000u64", "2.5e-3", "0xff", "3.14f64", "0b1010", "7usize",
+    ],
+    // Punctuation and multi-character operators (lexed char by char).
+    &[
+        "+", "::", ".", "(", ")", "{", "}", ";", "=>", "->", "&&", "#",
+    ],
+    // Whitespace runs.
+    &[" ", "\n", "\t", "  \n\n", " \t "],
+    // String literals: escapes, raw forms, bytes, embedded newlines, and
+    // a quoted marker that must never reach the suppression ledger.
+    &[
+        "\"plain\"",
+        "\"esc \\\" \\n \\\\\"",
+        "r\"raw \\ not an escape\"",
+        "r#\"hash \" inside\"#",
+        "b\"bytes\"",
+        "\"multi\nline\"",
+        "\"// audit:allow(R1): quoted, not a marker\"",
+    ],
+    // Char literals vs lifetimes — the classic lexer ambiguity.
+    &["'x'", "'\\n'", "'\\''", "b'q'", "'a", "'static", "'_"],
+    // Line comments, doc and plain.
+    &[
+        "// plain\n",
+        "/// doc\n",
+        "//! inner\n",
+        "//\n",
+        "//// rule\n",
+    ],
+    // Block comments, including nesting and embedded newlines.
+    &[
+        "/* simple */",
+        "/* nested /* inner */ tail */",
+        "/** doc */",
+        "/*! inner doc */",
+        "/* multi\nline */",
+    ],
+];
+
+fn assemble(pairs: &[(usize, usize)]) -> String {
+    pairs
+        .iter()
+        .map(|&(family, variant)| {
+            let family = FRAGMENTS[family % FRAGMENTS.len()];
+            family[variant % family.len()]
+        })
+        .collect()
+}
+
+/// A view must keep every newline where it was and may otherwise only
+/// replace characters with spaces, never insert, delete, or reorder.
+fn assert_is_blanking(source: &str, view: &str, name: &str) {
+    assert_eq!(
+        source.chars().count(),
+        view.chars().count(),
+        "{name} changed length"
+    );
+    for (i, (s, v)) in source.chars().zip(view.chars()).enumerate() {
+        assert!(
+            v == s || (v == ' ' && s != '\n'),
+            "{name} rewrote char {i}: {s:?} -> {v:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Concatenating the lexed tokens reproduces the input byte for byte.
+    #[test]
+    fn lexing_is_lossless(pairs in prop::collection::vec((0usize..8, 0usize..12), 0..40)) {
+        let source = assemble(&pairs);
+        let tokens = lexer::lex(&source);
+        let rebuilt: String = tokens.iter().map(|t| t.text.as_str()).collect();
+        prop_assert_eq!(&rebuilt, &source, "tokens: {:?}", tokens);
+    }
+
+    /// Both derived views are pure blankings of the source with identical
+    /// line structure, and they partition it: every non-whitespace char
+    /// survives in exactly one of the two views.
+    #[test]
+    fn views_blank_but_never_reshape(pairs in prop::collection::vec((0usize..8, 0usize..12), 0..40)) {
+        let source = assemble(&pairs);
+        let tokens = lexer::lex(&source);
+        let stripped = lexer::stripped_view(&tokens);
+        let comments = lexer::comment_view(&tokens);
+        assert_is_blanking(&source, &stripped, "stripped_view");
+        assert_is_blanking(&source, &comments, "comment_view");
+        for ((s, a), b) in source.chars().zip(stripped.chars()).zip(comments.chars()) {
+            if s != ' ' && s != '\n' && s != '\t' {
+                prop_assert!(
+                    a == ' ' || b == ' ',
+                    "char {:?} kept by both views",
+                    s
+                );
+            }
+        }
+    }
+
+    /// Token line numbers equal one plus the newlines preceding each token,
+    /// so findings always point at the right source line.
+    #[test]
+    fn line_numbers_track_newlines(pairs in prop::collection::vec((0usize..8, 0usize..12), 0..40)) {
+        let source = assemble(&pairs);
+        let mut expected_line = 1usize;
+        for token in lexer::lex(&source) {
+            prop_assert_eq!(token.line, expected_line, "token {:?}", token);
+            expected_line += token.text.matches('\n').count();
+        }
+        prop_assert_eq!(expected_line, 1 + source.matches('\n').count());
+    }
+
+    /// Raw strings swallow backslashes and hash-guarded quotes whole: after
+    /// any prefix that leaves the lexer in a clean state, the `r#"…"#`
+    /// fragment lexes as one string token with the full guarded text.
+    /// (A prefix can legitimately end mid-literal — e.g. `3.14f64` directly
+    /// before `r#"` merges the `r` into the number's suffix and the hash
+    /// quotes desync — so such prefixes are assumed away, not failed.)
+    #[test]
+    fn raw_strings_lex_as_single_tokens(pairs in prop::collection::vec((0usize..8, 0usize..12), 0..20)) {
+        let needle = "r#\"hash \" inside\"#";
+        let prefix = format!("{}\n", assemble(&pairs));
+        let clean = match lexer::lex(&prefix).last() {
+            None => true,
+            Some(t) => t.kind == TokenKind::Whitespace,
+        };
+        prop_assume!(clean);
+        let source = format!("{prefix}{needle}\n");
+        let tokens = lexer::lex(&source);
+        prop_assert!(
+            tokens
+                .iter()
+                .any(|t| t.kind == TokenKind::Str && t.text == needle),
+            "raw string split apart: {:?}",
+            tokens
+        );
+    }
+}
