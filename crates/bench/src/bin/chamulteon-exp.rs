@@ -13,7 +13,7 @@
 //!   chamulteon-exp trace [--setup NAME] [--scaler NAME] [--faults CLASS]
 //!                  [--out FILE.jsonl] [--tail N]
 //!   chamulteon-exp conformance [--seed N] [--cases N] [--replays N]
-//!                  [--arrivals N] [--quick] [--out FILE.json]
+//!                  [--arrivals N] [--crash-points N] [--quick] [--out FILE.json]
 //!
 //! SETUPS:   wikipedia-docker  wikipedia-vm  bibsonomy-small  bibsonomy-large  smoke
 //! SCALERS:  chamulteon  cham-reactive  cham-proactive  cham-fox-ec2
@@ -465,6 +465,9 @@ fn parse_conformance_args(argv: &[String]) -> Result<ConformanceArgs, String> {
     let mut config = ConformanceConfig::default();
     let mut out = None;
     let mut quick = false;
+    // Explicit grid size wins over the `--quick` preset regardless of
+    // flag order, so `--quick --crash-points N` does what it says.
+    let mut crash_points = None;
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -493,6 +496,13 @@ fn parse_conformance_args(argv: &[String]) -> Result<ConformanceArgs, String> {
                     .parse()
                     .map_err(|e| format!("bad --arrivals: {e}"))?
             }
+            "--crash-points" => {
+                crash_points = Some(
+                    value("--crash-points")?
+                        .parse()
+                        .map_err(|e| format!("bad --crash-points: {e}"))?,
+                )
+            }
             "--quick" => quick = true,
             "--out" => out = Some(value("--out")?),
             "--help" | "-h" => return Err(String::new()),
@@ -506,6 +516,9 @@ fn parse_conformance_args(argv: &[String]) -> Result<ConformanceArgs, String> {
             ..ConformanceConfig::quick()
         };
     }
+    if let Some(points) = crash_points {
+        config.recovery_crash_points = points;
+    }
     Ok(ConformanceArgs { config, out })
 }
 
@@ -514,15 +527,17 @@ fn conformance_usage() -> &'static str {
      independent oracles\n\
      \n\
      usage: chamulteon-exp conformance [--seed N] [--cases N] [--replays N]\n\
-            [--arrivals N] [--quick] [--out FILE.json]\n\
+            [--arrivals N] [--crash-points N] [--quick] [--out FILE.json]\n\
      \n\
-     Runs three differential oracles: a brute-force Algorithm 1 grid\n\
+     Runs four differential oracles: a brute-force Algorithm 1 grid\n\
      (bit-level agreement of the naive, exact and cached decision paths),\n\
      a FOX ledger replay (exact agreement on vetoes, lease books and\n\
-     billed instance-seconds), and a discrete-event M/M/n micro-simulator\n\
+     billed instance-seconds), a discrete-event M/M/n micro-simulator\n\
      (Erlang-C measures and capacity answers within batch-means confidence\n\
-     bands). Prints the verdict, optionally writes it as JSON, and exits\n\
-     non-zero on any mismatch. --quick shrinks the grid for CI."
+     bands), and a crash-recovery differential (a controller restored from\n\
+     its encoded snapshot must continue bit-identically to the\n\
+     uninterrupted run). Prints the verdict, optionally writes it as JSON,\n\
+     and exits non-zero on any mismatch. --quick shrinks the grid for CI."
 }
 
 fn conformance_main(argv: &[String]) -> ExitCode {
@@ -538,10 +553,12 @@ fn conformance_main(argv: &[String]) -> ExitCode {
         }
     };
     eprintln!(
-        "conformance: {} Algorithm 1 cases, {} ledger replays, {} arrivals/station, seed {}...",
+        "conformance: {} Algorithm 1 cases, {} ledger replays, {} arrivals/station, \
+         {} crash points, seed {}...",
         args.config.algorithm1_cases,
         args.config.ledger_replays,
         args.config.sim_arrivals,
+        args.config.recovery_crash_points,
         args.config.seed
     );
     let started = Instant::now();
@@ -713,7 +730,9 @@ fn trace_main(argv: &[String]) -> ExitCode {
     let plan = match args.faults.as_deref() {
         None | Some("clean") => None,
         Some(name) => match FaultClass::ALL.iter().find(|c| c.name() == name) {
-            Some(class) => Some(class.plan(spec.seed, spec.trace.duration())),
+            Some(class) => {
+                Some(class.plan(spec.seed, spec.trace.duration(), spec.scaling_interval))
+            }
             None => {
                 eprintln!("error: unknown fault class `{name}`\n\n{}", trace_usage());
                 return ExitCode::FAILURE;

@@ -1,7 +1,8 @@
 //! Uniform driving of the five auto-scalers (plus ablation variants).
 
 use chamulteon::{
-    ChamulteonConfig, ChargingModel, DegradationLog, DegradationReason, Observation, SpikeGate,
+    ChamulteonConfig, ChargingModel, ControllerSnapshot, DegradationLog, DegradationReason,
+    Observation, SpikeGate,
 };
 use chamulteon_demand::{MonitoringSample, RollingDemandEstimator};
 use chamulteon_obs::{Event, EventKind, Obs};
@@ -59,6 +60,20 @@ impl ScalerKind {
             ScalerKind::Reg,
             ScalerKind::React,
         ]
+    }
+}
+
+/// The controller configuration a Chamulteon-family kind runs with;
+/// `None` for the independent baselines (they have no controller whose
+/// snapshot could be restored).
+fn chamulteon_config(kind: ScalerKind) -> Option<ChamulteonConfig> {
+    match kind {
+        ScalerKind::Chamulteon | ScalerKind::ChamulteonFoxEc2 | ScalerKind::ChamulteonFoxGcp => {
+            Some(ChamulteonConfig::default())
+        }
+        ScalerKind::ChamulteonReactiveOnly => Some(ChamulteonConfig::reactive_only()),
+        ScalerKind::ChamulteonProactiveOnly => Some(ChamulteonConfig::proactive_only()),
+        ScalerKind::React | ScalerKind::Adapt | ScalerKind::Hist | ScalerKind::Reg => None,
     }
 }
 
@@ -357,6 +372,42 @@ impl Driver {
         }
     }
 
+    /// The encoded snapshot of the controller's complete state —
+    /// Chamulteon variants only; the independent baselines have no
+    /// checkpoint format and always restart cold.
+    pub(crate) fn snapshot_encoded(&self) -> Option<String> {
+        match self {
+            Driver::Chamulteon(c) => Some(c.snapshot().encode()),
+            Driver::Independent { .. } => None,
+        }
+    }
+
+    /// Rebuilds a crashed driver. When `checkpoint` holds a decodable
+    /// snapshot and `kind` is a Chamulteon variant, the controller is
+    /// restored from it (warm restart — FOX ledger, demand windows and
+    /// forecast state survive); otherwise the replacement starts from
+    /// scratch, with no warmup history (a crash loses the in-memory
+    /// state a live run had accumulated). Returns the new driver and
+    /// whether the restart was warm.
+    pub(crate) fn restart(
+        kind: ScalerKind,
+        model: &ApplicationModel,
+        hist_bucket: f64,
+        obs: Obs,
+        checkpoint: Option<&str>,
+    ) -> (Driver, bool) {
+        if let (Some(config), Some(text)) = (chamulteon_config(kind), checkpoint) {
+            if let Ok(snapshot) = ControllerSnapshot::decode(text) {
+                if let Ok(mut c) = chamulteon::Chamulteon::restore(model.clone(), config, &snapshot)
+                {
+                    c.set_obs(obs);
+                    return (Driver::Chamulteon(Box::new(c)), true);
+                }
+            }
+        }
+        (Self::new_observed(kind, model, hist_bucket, obs), false)
+    }
+
     /// Drains the degraded-decision record accumulated so far.
     pub(crate) fn take_degradation(&mut self) -> DegradationLog {
         match self {
@@ -418,6 +469,71 @@ mod tests {
             assert_eq!(targets.len(), 3, "{kind:?}");
             assert!(targets.iter().all(|&t| t >= 1), "{kind:?}");
         }
+    }
+
+    #[test]
+    fn restart_restores_chamulteon_state_and_is_cold_without_a_checkpoint() {
+        let model = ApplicationModel::paper_benchmark();
+        let stats: Vec<ServiceIntervalStats> = (0..3)
+            .map(|_| ServiceIntervalStats {
+                start: 0.0,
+                duration: 60.0,
+                arrivals: 900,
+                completions: 900,
+                utilization: 0.6,
+                mean_response_time: Some(0.1),
+                instances_end: 2,
+                queue_length_end: 0,
+            })
+            .collect();
+        let mut survivor = Driver::new(ScalerKind::ChamulteonFoxEc2, &model, 600.0);
+        for k in 1..=8 {
+            let _ = survivor.decide(60.0 * f64::from(k), 60.0, &stats, &[2, 2, 2], 0);
+        }
+        let checkpoint = survivor.snapshot_encoded().expect("chamulteon snapshots");
+        // Warm restart: the restored driver carries the FOX ledger and
+        // keeps deciding exactly like the survivor.
+        let (mut warm, was_warm) = Driver::restart(
+            ScalerKind::ChamulteonFoxEc2,
+            &model,
+            600.0,
+            Obs::disabled(),
+            Some(&checkpoint),
+        );
+        assert!(was_warm);
+        assert_eq!(
+            warm.billed_instance_seconds(480.0).map(f64::to_bits),
+            survivor.billed_instance_seconds(480.0).map(f64::to_bits)
+        );
+        for k in 9..=14 {
+            let t = 60.0 * f64::from(k);
+            assert_eq!(
+                warm.decide(t, 60.0, &stats, &[2, 2, 2], 0),
+                survivor.decide(t, 60.0, &stats, &[2, 2, 2], 0),
+                "cycle {k}"
+            );
+        }
+        // Cold restart paths: no checkpoint, garbage, or a baseline kind.
+        let (_, warm) =
+            Driver::restart(ScalerKind::Chamulteon, &model, 600.0, Obs::disabled(), None);
+        assert!(!warm);
+        let (_, warm) = Driver::restart(
+            ScalerKind::Chamulteon,
+            &model,
+            600.0,
+            Obs::disabled(),
+            Some("not a snapshot"),
+        );
+        assert!(!warm);
+        let (react, warm) = Driver::restart(
+            ScalerKind::React,
+            &model,
+            600.0,
+            Obs::disabled(),
+            Some(&checkpoint),
+        );
+        assert!(!warm, "baselines have no checkpoint format");
+        assert!(react.snapshot_encoded().is_none());
     }
 
     #[test]

@@ -11,8 +11,8 @@ use chamulteon_perfmodel::ApplicationModel;
 use chamulteon_queueing::capacity::min_instances_for_utilization;
 use chamulteon_queueing::CapacityCache;
 use chamulteon_sim::{
-    DeploymentProfile, FaultPlan, Simulation, SimulationConfig, SimulationResult, SloPolicy,
-    SupplyChange,
+    DeploymentProfile, FaultPlan, RecoveryPolicy, Simulation, SimulationConfig, SimulationResult,
+    SloPolicy, SupplyChange,
 };
 use chamulteon_workload::LoadTrace;
 
@@ -99,6 +99,30 @@ pub fn run_experiment_with_faults(
     run_experiment_with_faults_cached(spec, kind, fault_plan, retry, &cache)
 }
 
+/// Like [`run_experiment_with_faults`], but with a [`RecoveryPolicy`]
+/// governing how the scaler comes back from injected controller crashes
+/// (`FaultKind::ControllerCrash` windows in the plan): under
+/// [`RecoveryPolicy::Checkpoint`] the harness snapshots the controller
+/// every `cadence` cycles and a crashed controller restores from the
+/// latest checkpoint; under [`RecoveryPolicy::ColdRestart`] the
+/// replacement starts from scratch. Independent baselines have no
+/// checkpoint format and always restart cold. With no controller-crash
+/// windows the outcome is bit-identical to
+/// [`run_experiment_with_faults`]: snapshots are pure reads and no
+/// restart ever happens.
+pub fn run_experiment_recovered(
+    spec: &ExperimentSpec,
+    kind: ScalerKind,
+    fault_plan: Option<FaultPlan>,
+    retry: &RetryPolicy,
+    recovery: RecoveryPolicy,
+) -> FaultedOutcome {
+    let cache = CapacityCache::new();
+    let mut state = init_run(spec, kind, fault_plan);
+    state.recovery = recovery;
+    finalize_run(state, spec, retry, &cache)
+}
+
 /// [`run_experiment_with_faults`] with a trace/metrics sink attached:
 /// every control-loop event (cycle starts, forecasts, conflict
 /// resolutions, per-service decision provenance, actuation outcomes,
@@ -153,6 +177,14 @@ pub(crate) struct RunState {
     /// `interval_count` (or `usize::MAX` after a degraded break) the
     /// measurement loop is done.
     next_k: usize,
+    /// How a controller crash injected by the fault plan is recovered
+    /// from; [`RecoveryPolicy::ColdRestart`] (the default) also means no
+    /// checkpoints are ever taken, keeping crash-free runs bit-identical
+    /// to the pre-recovery harness.
+    recovery: RecoveryPolicy,
+    /// The latest checkpoint: the cycle it was taken after and the
+    /// encoded controller snapshot.
+    checkpoint: Option<(u64, String)>,
 }
 
 /// Number of scaling intervals a spec's measurement loop processes.
@@ -242,6 +274,8 @@ pub(crate) fn init_run_observed(
         harness_log: DegradationLog::new(),
         obs: obs.clone(),
         next_k: 1,
+        recovery: RecoveryPolicy::ColdRestart,
+        checkpoint: None,
     }
 }
 
@@ -260,6 +294,8 @@ pub(crate) fn fork_run(state: &RunState, plan: FaultPlan) -> Option<RunState> {
         harness_log: state.harness_log.clone(),
         obs: state.obs.clone(),
         next_k: state.next_k,
+        recovery: state.recovery,
+        checkpoint: state.checkpoint.clone(),
     })
 }
 
@@ -287,6 +323,42 @@ pub(crate) fn advance_run(
             state.next_k = usize::MAX; // trace ended mid-interval
             return;
         };
+        // An injected controller crash lands at the start of this cycle:
+        // the scaler process dies and its replacement takes over the
+        // decision — restored from the latest checkpoint when one exists,
+        // cold otherwise. The deployment itself keeps running.
+        if state.sim.controller_crash_at(k, t) {
+            let (driver, warm) = Driver::restart(
+                state.kind,
+                &spec.model,
+                spec.hist_bucket,
+                state.obs.clone(),
+                state.checkpoint.as_ref().map(|(_, text)| text.as_str()),
+            );
+            state.driver = driver;
+            let checkpoint_cycle = if warm {
+                state.checkpoint.as_ref().map(|&(cycle, _)| cycle)
+            } else {
+                state.checkpoint = None; // unusable (or absent) checkpoint
+                None
+            };
+            state.obs.metrics().increment("controller.crashes");
+            state.obs.metrics().increment(if warm {
+                "controller.restores.warm"
+            } else {
+                "controller.restores.cold"
+            });
+            state.obs.record_with(|| {
+                Event::cycle(
+                    t,
+                    EventKind::Restore {
+                        cycle: u64::try_from(k).unwrap_or(u64::MAX),
+                        cold: !warm,
+                        checkpoint_cycle,
+                    },
+                )
+            });
+        }
         let provisioned: Vec<u32> = (0..service_count)
             .map(|s| state.sim.provisioned(s))
             .collect();
@@ -382,6 +454,21 @@ pub(crate) fn advance_run(
                         break;
                     }
                 }
+            }
+        }
+        // Checkpoint cadence: after every `cadence`-th cycle the driver's
+        // controller state is snapshotted (a pure read — pinned by the
+        // core snapshot tests), so the next crash restores from here.
+        let every = state.recovery.checkpoint_every();
+        if every > 0 && k.is_multiple_of(every) {
+            if let Some(text) = state.driver.snapshot_encoded() {
+                let bytes = u64::try_from(text.len()).unwrap_or(u64::MAX);
+                let cycle = u64::try_from(k).unwrap_or(u64::MAX);
+                state.obs.metrics().increment("controller.checkpoints");
+                state
+                    .obs
+                    .record_with(|| Event::cycle(t, EventKind::Checkpoint { cycle, bytes }));
+                state.checkpoint = Some((cycle, text));
             }
         }
         state.next_k = k + 1;
@@ -558,6 +645,65 @@ mod tests {
             "violations {}%",
             outcome.report.slo_violations
         );
+    }
+
+    #[test]
+    fn recovered_run_without_crashes_matches_the_plain_runner() {
+        // Checkpointing is a pure read: with no controller-crash windows
+        // the recovered runner is bit-identical to the plain one.
+        let spec = smoke_test();
+        let retry = chamulteon::RetryPolicy::default();
+        let recovered = run_experiment_recovered(
+            &spec,
+            ScalerKind::Chamulteon,
+            None,
+            &retry,
+            chamulteon_sim::RecoveryPolicy::Checkpoint { cadence: 2 },
+        );
+        let plain = run_experiment_with_faults(&spec, ScalerKind::Chamulteon, None, &retry);
+        assert_eq!(recovered.outcome.result, plain.outcome.result);
+        assert_eq!(recovered.outcome.report, plain.outcome.report);
+        assert_eq!(recovered.degradation, plain.degradation);
+    }
+
+    #[test]
+    fn controller_crashes_are_injected_and_recovered() {
+        let spec = smoke_test();
+        let retry = chamulteon::RetryPolicy::default();
+        let plan = crate::robustness::FaultClass::ControllerCrashes.plan(
+            spec.seed,
+            spec.trace.duration(),
+            spec.scaling_interval,
+        );
+        for recovery in [
+            RecoveryPolicy::ColdRestart,
+            RecoveryPolicy::Checkpoint { cadence: 1 },
+        ] {
+            let faulted = run_experiment_recovered(
+                &spec,
+                ScalerKind::Chamulteon,
+                Some(plan.clone()),
+                &retry,
+                recovery,
+            );
+            let crashes = faulted
+                .outcome
+                .result
+                .fault_log
+                .iter()
+                .filter(|r| r.kind.as_code() == "controller_crash")
+                .count();
+            assert_eq!(crashes, 2, "{recovery:?}");
+            // Deterministic in the seed.
+            let again = run_experiment_recovered(
+                &spec,
+                ScalerKind::Chamulteon,
+                Some(plan.clone()),
+                &retry,
+                recovery,
+            );
+            assert_eq!(faulted.outcome.result, again.outcome.result);
+        }
     }
 
     #[test]

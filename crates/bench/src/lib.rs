@@ -54,12 +54,13 @@ pub mod setups;
 
 pub use drivers::ScalerKind;
 pub use experiment::{
-    run_experiment, run_experiment_observed, run_experiment_with_faults, ExperimentOutcome,
-    ExperimentSpec, FaultedOutcome,
+    run_experiment, run_experiment_observed, run_experiment_recovered, run_experiment_with_faults,
+    ExperimentOutcome, ExperimentSpec, FaultedOutcome,
 };
 pub use paper::{run_lineup, run_lineup_seq, run_lineup_with_threads};
 pub use pool::{default_threads, parallel_map};
 pub use robustness::{
     evaluation_grid, evaluation_grid_seq, robustness_lineup, robustness_lineup_seq,
-    robustness_lineup_with_threads, robustness_report, EvaluationGrid, FaultClass,
+    robustness_lineup_with_threads, robustness_report, robustness_report_recovered, EvaluationGrid,
+    FaultClass,
 };

@@ -1,24 +1,25 @@
 //! Fault-class presets and the clean-vs-faulted comparison runner.
 //!
-//! The chaos experiments group the simulator's fault primitives into four
-//! classes matching how real monitoring and actuation pipelines fail:
-//! samples that never arrive (or arrive late), samples that arrive wrong,
-//! scaling commands that fail or complete late, and instances that die
-//! mid-interval. Each class maps to a deterministic [`FaultPlan`] preset
+//! The chaos experiments group the simulator's fault primitives into five
+//! classes matching how real monitoring, actuation and control-plane
+//! pipelines fail: samples that never arrive (or arrive late), samples
+//! that arrive wrong, scaling commands that fail or complete late,
+//! instances that die mid-interval, and the controller process itself
+//! crashing and restarting. Each class maps to a deterministic [`FaultPlan`] preset
 //! covering the middle half of the run, so warm-up and cool-down stay
 //! clean and the faulted window is long enough to matter.
 
 use crate::drivers::ScalerKind;
 use crate::experiment::{
     advance_run, checkpoint_interval, finalize_run, fork_run, init_run, run_experiment,
-    run_experiment_with_faults, run_experiment_with_faults_cached, ExperimentOutcome,
-    ExperimentSpec, FaultedOutcome,
+    run_experiment_recovered, run_experiment_with_faults, run_experiment_with_faults_cached,
+    ExperimentOutcome, ExperimentSpec, FaultedOutcome,
 };
 use crate::pool::{default_threads, parallel_map};
 use chamulteon::RetryPolicy;
 use chamulteon_metrics::{RobustnessReport, ScalerReport};
 use chamulteon_queueing::CapacityCache;
-use chamulteon_sim::{CorruptionMode, FaultPlan};
+use chamulteon_sim::{CorruptionMode, FaultPlan, RecoveryPolicy};
 
 /// One class of failure a scaler must degrade gracefully under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,15 +32,19 @@ pub enum FaultClass {
     ActuationFailures,
     /// Running instances crashing mid-interval.
     InstanceCrashes,
+    /// The controller process crashing mid-run and restarting (cold, or
+    /// from a checkpoint under a [`chamulteon_sim::RecoveryPolicy`]).
+    ControllerCrashes,
 }
 
 impl FaultClass {
     /// Every fault class, for exhaustive chaos sweeps.
-    pub const ALL: [FaultClass; 4] = [
+    pub const ALL: [FaultClass; 5] = [
         FaultClass::DropSamples,
         FaultClass::CorruptSamples,
         FaultClass::ActuationFailures,
         FaultClass::InstanceCrashes,
+        FaultClass::ControllerCrashes,
     ];
 
     /// Stable name used in report rows and table titles.
@@ -49,12 +54,16 @@ impl FaultClass {
             FaultClass::CorruptSamples => "corrupt-samples",
             FaultClass::ActuationFailures => "actuation-failures",
             FaultClass::InstanceCrashes => "instance-crashes",
+            FaultClass::ControllerCrashes => "controller-crashes",
         }
     }
 
     /// The deterministic fault plan for this class over a run of the given
-    /// duration: faults cover the middle half `[0.25·D, 0.75·D]`.
-    pub fn plan(&self, seed: u64, duration: f64) -> FaultPlan {
+    /// duration and scaling interval: faults cover the middle half
+    /// `[0.25·D, 0.75·D]`. The interval fixes which decision cycles the
+    /// controller-crash class lands on (cycle `k` runs at `k·Δ`); the
+    /// other classes ignore it.
+    pub fn plan(&self, seed: u64, duration: f64, interval: f64) -> FaultPlan {
         let start = 0.25 * duration;
         let end = 0.75 * duration;
         let plan = FaultPlan::new(seed);
@@ -76,6 +85,15 @@ impl FaultClass {
                 .fail_actuations(None, start, end, 0.5)
                 .delay_actuations(None, start, end, 0.3, 30.0),
             FaultClass::InstanceCrashes => plan.crash_instances(None, start, end, 0.15, 2),
+            FaultClass::ControllerCrashes => {
+                // Two certain crashes: one 40 % into the run (soon after
+                // the fault windows open, typically mid-billing-interval)
+                // and one at 60 % (after degraded cycles have piled up).
+                let interval = if interval > 0.0 { interval } else { 60.0 };
+                let cycle_at = |frac: f64| ((frac * duration / interval).round() as usize).max(1);
+                plan.crash_controller(cycle_at(0.4), start, end, 1.0)
+                    .crash_controller(cycle_at(0.6), start, end, 1.0)
+            }
         }
     }
 }
@@ -90,8 +108,26 @@ pub fn robustness_report(
     retry: &RetryPolicy,
 ) -> RobustnessReport {
     let clean = run_experiment(spec, kind);
-    let plan = class.plan(spec.seed, spec.trace.duration());
+    let plan = class.plan(spec.seed, spec.trace.duration(), spec.scaling_interval);
     let faulted = run_experiment_with_faults(spec, kind, Some(plan), retry);
+    package_report(kind, class, &clean, &faulted)
+}
+
+/// [`robustness_report`] with an explicit crash-[`RecoveryPolicy`]: under
+/// [`RecoveryPolicy::Checkpoint`] a Chamulteon scaler hit by the
+/// controller-crash class restores from its latest snapshot instead of
+/// restarting cold. For classes without controller crashes the policy
+/// changes nothing but the checkpoint cadence (snapshots are pure reads).
+pub fn robustness_report_recovered(
+    spec: &ExperimentSpec,
+    kind: ScalerKind,
+    class: FaultClass,
+    retry: &RetryPolicy,
+    recovery: RecoveryPolicy,
+) -> RobustnessReport {
+    let clean = run_experiment(spec, kind);
+    let plan = class.plan(spec.seed, spec.trace.duration(), spec.scaling_interval);
+    let faulted = run_experiment_recovered(spec, kind, Some(plan), retry, recovery);
     package_report(kind, class, &clean, &faulted)
 }
 
@@ -238,7 +274,7 @@ fn grid_cell(
     let faulted = FaultClass::ALL
         .iter()
         .map(|class| {
-            let plan = class.plan(spec.seed, duration);
+            let plan = class.plan(spec.seed, duration, spec.scaling_interval);
             match fork_run(&clean, plan.clone()) {
                 Some(state) => finalize_run(state, spec, retry, cache),
                 // Fork preconditions not met (e.g. fault windows opening
@@ -268,7 +304,8 @@ mod tests {
                 "drop-samples",
                 "corrupt-samples",
                 "actuation-failures",
-                "instance-crashes"
+                "instance-crashes",
+                "controller-crashes"
             ]
         );
     }
@@ -276,7 +313,7 @@ mod tests {
     #[test]
     fn plans_cover_the_middle_half() {
         for class in FaultClass::ALL {
-            let plan = class.plan(7, 1000.0);
+            let plan = class.plan(7, 1000.0, 60.0);
             assert!(!plan.windows().is_empty(), "{class:?}");
             for w in plan.windows() {
                 assert_eq!(w.start, 250.0, "{class:?}");
@@ -288,8 +325,8 @@ mod tests {
 
     #[test]
     fn plans_are_deterministic_in_seed() {
-        let a = FaultClass::DropSamples.plan(42, 600.0);
-        let b = FaultClass::DropSamples.plan(42, 600.0);
+        let a = FaultClass::DropSamples.plan(42, 600.0, 60.0);
+        let b = FaultClass::DropSamples.plan(42, 600.0, 60.0);
         assert_eq!(a.seed(), b.seed());
         assert_eq!(a.windows(), b.windows());
     }
@@ -305,7 +342,7 @@ mod tests {
         let mut clean = init_run(&spec, ScalerKind::Chamulteon, None);
         advance_run(&mut clean, &spec, &RetryPolicy::default(), k);
         for class in FaultClass::ALL {
-            let plan = class.plan(spec.seed, spec.trace.duration());
+            let plan = class.plan(spec.seed, spec.trace.duration(), spec.scaling_interval);
             assert!(fork_run(&clean, plan).is_some(), "{class:?}");
         }
     }

@@ -21,7 +21,7 @@ proptest! {
         let retry = RetryPolicy::default();
         let plan = class_idx
             .checked_sub(1)
-            .map(|c| FaultClass::ALL[c].plan(spec.seed, spec.trace.duration()));
+            .map(|c| FaultClass::ALL[c].plan(spec.seed, spec.trace.duration(), spec.scaling_interval));
 
         let plain = run_experiment_with_faults(&spec, ScalerKind::Chamulteon, plan.clone(), &retry);
         let (obs, ring) = Obs::recording(1 << 18);
@@ -71,7 +71,8 @@ proptest! {
 fn instrumented_baseline_is_bit_identical() {
     let spec = smoke_test();
     let retry = RetryPolicy::default();
-    let plan = FaultClass::DropSamples.plan(spec.seed, spec.trace.duration());
+    let plan =
+        FaultClass::DropSamples.plan(spec.seed, spec.trace.duration(), spec.scaling_interval);
     let plain = run_experiment_with_faults(&spec, ScalerKind::Adapt, Some(plan.clone()), &retry);
     let (obs, ring) = Obs::recording(1 << 18);
     let traced = run_experiment_observed(&spec, ScalerKind::Adapt, Some(plan), &retry, &obs);

@@ -13,6 +13,8 @@ pub struct ConformanceConfig {
     pub sim_arrivals: u64,
     /// Width of the micro-simulator's acceptance band, in standard errors.
     pub tolerance_sigmas: f64,
+    /// Number of controller crash points in the recovery-equivalence grid.
+    pub recovery_crash_points: usize,
 }
 
 impl Default for ConformanceConfig {
@@ -23,6 +25,7 @@ impl Default for ConformanceConfig {
             ledger_replays: 60,
             sim_arrivals: 200_000,
             tolerance_sigmas: 4.0,
+            recovery_crash_points: 240,
         }
     }
 }
@@ -37,6 +40,7 @@ impl ConformanceConfig {
             ledger_replays: 20,
             sim_arrivals: 30_000,
             tolerance_sigmas: 5.0,
+            recovery_crash_points: 60,
             ..ConformanceConfig::default()
         }
     }
@@ -53,6 +57,7 @@ mod tests {
         assert!(quick.algorithm1_cases < full.algorithm1_cases);
         assert!(quick.ledger_replays < full.ledger_replays);
         assert!(quick.sim_arrivals < full.sim_arrivals);
+        assert!(quick.recovery_crash_points < full.recovery_crash_points);
         assert_eq!(quick.seed, full.seed);
     }
 }

@@ -4,7 +4,7 @@
 //! capacity walk, chain-rate propagation, and FOX's billing ledger — is
 //! exactly the kind of code whose bugs survive unit tests: every test
 //! that encodes the implementation's own arithmetic re-blesses its
-//! mistakes. This crate cross-checks the spine against three *independent*
+//! mistakes. This crate cross-checks the spine against four *independent*
 //! oracles that share no code (and deliberately no numerical technique)
 //! with the implementation:
 //!
@@ -18,9 +18,13 @@
 //! * [`fox_ledger`] — a replay of randomized scaling-decision logs
 //!   through an independent re-implementation of the FOX policy that
 //!   counts billing intervals instead of rounding, asserting exact
-//!   agreement on vetoes, lease books, and billed instance-seconds.
+//!   agreement on vetoes, lease books, and billed instance-seconds;
+//! * [`recovery`] — a crash-recovery differential: over a seeded grid of
+//!   crash points inside generated controller scenarios, a controller
+//!   restored from its encoded snapshot must continue bit-identically to
+//!   the uninterrupted run (targets, FOX billing, degradation log).
 //!
-//! `chamulteon-exp conformance` runs all three and emits the verdict as
+//! `chamulteon-exp conformance` runs all four and emits the verdict as
 //! JSON (see [`report::ConformanceReport::to_json`]).
 
 #![forbid(unsafe_code)]
@@ -31,6 +35,7 @@ pub mod algorithm1;
 pub mod config;
 pub mod fox_ledger;
 pub mod mmn_sim;
+pub mod recovery;
 pub mod report;
 
 pub use config::ConformanceConfig;
@@ -43,6 +48,7 @@ pub fn run_all(config: &ConformanceConfig) -> ConformanceReport {
             algorithm1::run(config),
             fox_ledger::run(config),
             mmn_sim::run(config),
+            recovery::run(config),
         ],
     }
 }
@@ -54,7 +60,7 @@ mod tests {
     #[test]
     fn quick_run_all_is_clean_and_counts_every_oracle() {
         let report = run_all(&ConformanceConfig::quick());
-        assert_eq!(report.oracles.len(), 3);
+        assert_eq!(report.oracles.len(), 4);
         assert!(report.passed(), "{}", report.to_json());
         assert!(report.total_cases() >= 120, "{}", report.total_cases());
     }

@@ -7,6 +7,9 @@ use crate::config::ChamulteonConfig;
 use crate::decision::{DecisionOrigin, DecisionStore, ScalingDecision};
 use crate::degradation::{DegradationLog, DegradationReason, Observation, SpikeGate};
 use crate::fox::{ChargingModel, Fox};
+use crate::snapshot::{
+    ControllerSnapshot, EstimatorState, ForecastState, FoxState, HistoryState, SnapshotError,
+};
 use chamulteon_demand::{MonitoringSample, RollingDemandEstimator};
 use chamulteon_forecast::{DriftDetector, Forecaster, TelescopeForecaster, TimeSeries};
 use chamulteon_obs::{Event, EventKind, Obs, PhaseTimer, Provenance, Winner};
@@ -191,6 +194,168 @@ impl Chamulteon {
     /// an experiment-level record.
     pub fn take_degradation(&mut self) -> DegradationLog {
         std::mem::take(&mut self.degradation)
+    }
+
+    /// Captures every piece of mutable state that can influence a future
+    /// decision into a [`ControllerSnapshot`] (see [`crate::snapshot`]
+    /// for what is and is not included). Pure read: taking a snapshot
+    /// never changes subsequent behavior.
+    pub fn snapshot(&self) -> ControllerSnapshot {
+        ControllerSnapshot {
+            services: self.model.service_count(),
+            ticks: self.ticks,
+            forecast_generation: self.forecast_generation,
+            forecasts_made: self.forecasts_made,
+            estimators: self
+                .demand_estimators
+                .iter()
+                .map(|e| EstimatorState {
+                    capacity: e.window_capacity(),
+                    smoothing: e.smoothing(),
+                    current: e.current_demand(),
+                    initialized: e.is_initialized(),
+                    window: e.window_samples(),
+                })
+                .collect(),
+            entry_history: self.entry_history.as_ref().map(|h| HistoryState {
+                step: h.step(),
+                start: h.start(),
+                values: h.values().to_vec(),
+            }),
+            active_forecast: self.active_forecast.as_ref().map(|f| ForecastState {
+                made_at: f.made_at,
+                generation: f.generation,
+                trusted: f.trusted,
+                values: f.values.clone(),
+            }),
+            decisions: self.store.proactive().to_vec(),
+            fox: self.fox.as_ref().map(|f| FoxState {
+                model: f.model().clone(),
+                release_window: f.release_window(),
+                billed_released: f.billed_released(),
+                leases: f.lease_books().to_vec(),
+            }),
+            spike_gates: self.spike_gates.iter().map(SpikeGate::state).collect(),
+            last_good_samples: self.last_good_samples.clone(),
+            last_targets: self.last_targets.clone(),
+            degradation: self.degradation.events().to_vec(),
+        }
+    }
+
+    /// Rebuilds a controller from a snapshot: the recovery-equivalence
+    /// contract is that the result makes bit-identical decisions (FOX
+    /// ledger included) to the controller the snapshot was taken from.
+    /// `model` and `config` must be the ones the crashed controller ran
+    /// with — they are deliberately *not* part of the snapshot, so a
+    /// deployment can keep them in configuration management rather than
+    /// in every checkpoint. The capacity cache starts cold (latency, not
+    /// decisions) and the obs bundle starts disabled
+    /// ([`set_obs`](Chamulteon::set_obs) re-attaches a sink).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Inconsistent`] when the snapshot's service count
+    /// or per-service vectors disagree with `model`, or its entry history
+    /// fails validation.
+    pub fn restore(
+        model: ApplicationModel,
+        config: ChamulteonConfig,
+        snapshot: &ControllerSnapshot,
+    ) -> Result<Self, SnapshotError> {
+        let services = model.service_count();
+        if snapshot.services != services {
+            return Err(SnapshotError::Inconsistent {
+                message: format!(
+                    "snapshot of {} services restored into a {services}-service model",
+                    snapshot.services
+                ),
+            });
+        }
+        let per_service = |what: &str, len: usize| -> Result<(), SnapshotError> {
+            if len == services {
+                Ok(())
+            } else {
+                Err(SnapshotError::Inconsistent {
+                    message: format!("{len} {what} records for {services} services"),
+                })
+            }
+        };
+        per_service("estimator", snapshot.estimators.len())?;
+        per_service("spike-gate", snapshot.spike_gates.len())?;
+        per_service("held-sample", snapshot.last_good_samples.len())?;
+        if let Some(fox) = &snapshot.fox {
+            per_service("lease-book", fox.leases.len())?;
+        }
+        if let Some(targets) = &snapshot.last_targets {
+            per_service("last-target", targets.len())?;
+        }
+        for decision in &snapshot.decisions {
+            if decision.service >= services {
+                return Err(SnapshotError::Inconsistent {
+                    message: format!(
+                        "decision for service {} out of range (services: {services})",
+                        decision.service
+                    ),
+                });
+            }
+        }
+        let entry_history = match &snapshot.entry_history {
+            None => None,
+            Some(h) => Some(
+                TimeSeries::with_start(h.step, h.start, h.values.clone()).map_err(|e| {
+                    SnapshotError::Inconsistent {
+                        message: format!("invalid entry history: {e}"),
+                    }
+                })?,
+            ),
+        };
+
+        let mut controller = Chamulteon::new(model, config);
+        controller.demand_estimators = snapshot
+            .estimators
+            .iter()
+            .map(|e| {
+                RollingDemandEstimator::restore(
+                    e.capacity,
+                    e.smoothing,
+                    e.current,
+                    e.initialized,
+                    e.window.clone(),
+                )
+            })
+            .collect();
+        controller.entry_history = entry_history;
+        controller.active_forecast = snapshot.active_forecast.as_ref().map(|f| ActiveForecast {
+            made_at: f.made_at,
+            values: f.values.clone(),
+            generation: f.generation,
+            trusted: f.trusted,
+        });
+        controller.store = DecisionStore::restore(snapshot.decisions.clone());
+        controller.forecast_generation = snapshot.forecast_generation;
+        controller.forecasts_made = snapshot.forecasts_made;
+        controller.fox = snapshot.fox.as_ref().map(|f| {
+            Fox::restore(
+                f.model.clone(),
+                f.release_window,
+                f.leases.clone(),
+                f.billed_released,
+            )
+        });
+        controller.spike_gates = snapshot
+            .spike_gates
+            .iter()
+            .map(|&(last_rate, streak)| SpikeGate::restore(last_rate, streak))
+            .collect();
+        controller.last_good_samples = snapshot.last_good_samples.clone();
+        controller.last_targets = snapshot.last_targets.clone();
+        let mut degradation = DegradationLog::new();
+        for event in &snapshot.degradation {
+            degradation.record(event.time, event.reason);
+        }
+        controller.degradation = degradation;
+        controller.ticks = snapshot.ticks;
+        Ok(controller)
     }
 
     /// Records one degradation rung in the log AND on the obs channel

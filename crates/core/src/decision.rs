@@ -76,6 +76,14 @@ impl DecisionStore {
         &self.proactive
     }
 
+    /// Rebuilds a store from a previously captured decision list,
+    /// preserving the exact vector order (ties between equal generations
+    /// resolve by position, so order is observable state). Used by the
+    /// controller's crash-recovery snapshot.
+    pub(crate) fn restore(proactive: Vec<ScalingDecision>) -> Self {
+        DecisionStore { proactive }
+    }
+
     /// Adds a batch of proactive decisions, applying time resolution:
     /// stored decisions of an *older* generation whose window overlaps a
     /// new decision for the same service are evicted.

@@ -121,6 +121,41 @@ impl DegradationReason {
             _ => None,
         }
     }
+
+    /// The inverse of [`as_code`](Self::as_code) /
+    /// [`service`](Self::service) / [`attempt`](Self::attempt): rebuilds
+    /// a reason from its decomposed parts, rejecting unknown codes and
+    /// per-service codes missing their service. Used when decoding a
+    /// controller snapshot.
+    pub(crate) fn from_parts(
+        code: &str,
+        service: Option<usize>,
+        attempt: Option<u32>,
+    ) -> Option<Self> {
+        match (code, service) {
+            ("sample_quarantined", Some(service)) => {
+                Some(DegradationReason::SampleQuarantined { service })
+            }
+            ("sample_implausible", Some(service)) => {
+                Some(DegradationReason::SampleImplausible { service })
+            }
+            ("sample_held", Some(service)) => Some(DegradationReason::SampleHeld { service }),
+            ("sample_synthesized", Some(service)) => {
+                Some(DegradationReason::SampleSynthesized { service })
+            }
+            ("entry_rate_unusable", None) => Some(DegradationReason::EntryRateUnusable),
+            ("forecast_failed", None) => Some(DegradationReason::ForecastFailed),
+            ("held_last_decision", None) => Some(DegradationReason::HeldLastDecision),
+            ("actuation_retried", Some(service)) => Some(DegradationReason::ActuationRetried {
+                service,
+                attempt: attempt?,
+            }),
+            ("actuation_abandoned", Some(service)) => {
+                Some(DegradationReason::ActuationAbandoned { service })
+            }
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for DegradationReason {
@@ -233,12 +268,33 @@ impl RetryPolicy {
     }
 
     /// The backoff in seconds before retry number `attempt` (0-based):
-    /// `min(base · 2^attempt, cap)`.
+    /// `min(base · 2^attempt, cap)`. Always finite, non-negative and
+    /// monotone non-decreasing in `attempt`, even for a policy whose
+    /// public fields were set directly to NaN/∞/negative values instead
+    /// of going through the sanitizing [`new`](RetryPolicy::new): the
+    /// same field sanitization is applied here, so a degenerate field
+    /// can stall a retry loop at a zero backoff but never poison the
+    /// simulated clock with a non-finite advance.
     pub fn backoff(&self, attempt: u32) -> f64 {
-        // 2^1024 overflows f64; clamping the exponent keeps the result
+        let base = if self.base_backoff.is_finite() {
+            self.base_backoff.max(0.0)
+        } else {
+            0.0
+        };
+        let cap = if self.max_backoff.is_finite() {
+            self.max_backoff.max(0.0)
+        } else {
+            f64::MAX
+        };
+        // 2^1024 overflows f64; clamping the exponent keeps the power
         // finite and the `min` below then applies the real cap.
         let exponent = i32::try_from(attempt.min(1023)).unwrap_or(1023);
-        (self.base_backoff * 2.0_f64.powi(exponent)).min(self.max_backoff)
+        let raw = base * 2.0_f64.powi(exponent);
+        if raw.is_finite() {
+            raw.min(cap)
+        } else {
+            cap
+        }
     }
 
     /// Runs `op` up to [`max_attempts`](RetryPolicy::max_attempts) times,
@@ -342,6 +398,17 @@ impl SpikeGate {
             self.streak += 1;
             false
         }
+    }
+
+    /// The gate's full state — `(last accepted rate, rejection streak)` —
+    /// for the controller's crash-recovery snapshot.
+    pub(crate) fn state(&self) -> (Option<f64>, u32) {
+        (self.last_rate, self.streak)
+    }
+
+    /// Rebuilds a gate from captured state, verbatim.
+    pub(crate) fn restore(last_rate: Option<f64>, streak: u32) -> Self {
+        SpikeGate { last_rate, streak }
     }
 }
 

@@ -111,6 +111,40 @@ impl Fox {
         self.leases.get(service).map(Vec::len).unwrap_or(0)
     }
 
+    /// The release-window fraction of the charging interval.
+    pub(crate) fn release_window(&self) -> f64 {
+        self.release_window
+    }
+
+    /// The per-service lease books: one start time per open lease, in the
+    /// exact internal order (observable via the cheapest-lease selection,
+    /// so snapshots must preserve it verbatim).
+    pub(crate) fn lease_books(&self) -> &[Vec<f64>] {
+        &self.leases
+    }
+
+    /// Instance-seconds already billed for *released* instances.
+    pub(crate) fn billed_released(&self) -> f64 {
+        self.billed_released
+    }
+
+    /// Rebuilds a reviewer from previously captured state, verbatim —
+    /// lease-book order included. Used by the controller's crash-recovery
+    /// snapshot.
+    pub(crate) fn restore(
+        model: ChargingModel,
+        release_window: f64,
+        leases: Vec<Vec<f64>>,
+        billed_released: f64,
+    ) -> Self {
+        Fox {
+            model,
+            release_window,
+            leases,
+            billed_released,
+        }
+    }
+
     /// Reviews a proposed target for `service` at time `now`, given the
     /// currently provisioned count, and returns the (possibly raised)
     /// target: scale-downs are limited to instances whose paid interval is

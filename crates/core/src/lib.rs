@@ -64,6 +64,8 @@ pub mod degradation;
 pub mod fox;
 /// Nested auto-scaling: planning the VM pool underneath the containers.
 pub mod nested;
+/// Crash-recovery snapshots: versioned, byte-stable controller state.
+pub mod snapshot;
 /// Hybrid vertical + horizontal scaling (the paper's first future-work item).
 pub mod vertical;
 
@@ -76,4 +78,5 @@ pub use degradation::{
 };
 pub use fox::{ChargingModel, Fox};
 pub use nested::NestedPlanner;
+pub use snapshot::{ControllerSnapshot, SnapshotError, SNAPSHOT_VERSION};
 pub use vertical::{hybrid_decisions, HybridDecision, InstanceSize, VerticalPolicy};

@@ -1,0 +1,1195 @@
+//! Crash-recovery snapshots of the controller: a versioned, byte-stable,
+//! std-only canonical encoding of every piece of state that can influence
+//! a future scaling decision.
+//!
+//! The controller survives a process crash by periodically capturing a
+//! [`ControllerSnapshot`] ([`Chamulteon::snapshot`]), persisting its
+//! canonical text form ([`ControllerSnapshot::encode`]), and rebuilding an
+//! equivalent controller after the restart
+//! ([`ControllerSnapshot::decode`] + [`Chamulteon::restore`]). The
+//! recovery-equivalence contract — enforced by the `recovery` conformance
+//! oracle — is *bit-identity*: a controller restored from a snapshot
+//! taken at cycle `k` makes exactly the same decisions (exact `f64`
+//! equality, FOX ledger included) from cycle `k + 1` on as the
+//! uninterrupted controller would have.
+//!
+//! # What is captured
+//!
+//! Per-service demand-estimator windows and smoothed estimates, the entry
+//! arrival-rate history, the active forecast and its generation counters,
+//! the proactive decision store (in exact vector order — generation ties
+//! resolve by position), the FOX lease books with open billing intervals
+//! (in exact book order — the cheapest-lease selection observes it),
+//! spike-gate and hold-last state, the 1-based cycle counter, and the
+//! degradation log.
+//!
+//! # What is deliberately *not* captured
+//!
+//! * the **capacity cache** — a memo of pure Algorithm 1 inversions; the
+//!   cached path is pinned bit-identical to the exact path by the
+//!   `algorithm1` conformance oracle, so a cold cache changes latency,
+//!   never a decision;
+//! * the **forecaster** and **drift detector** — stateless beyond their
+//!   configuration, rebuilt from [`ChamulteonConfig`];
+//! * the **obs bundle** — instrumentation never changes a decision
+//!   (pinned by the bit-identity tests); the restored controller starts
+//!   with a disabled bundle and the caller re-attaches its sink.
+//!
+//! # Encoding
+//!
+//! The text form reuses the `chamulteon-obs` JSONL canonicalization
+//! idiom: one flat JSON object per line, keys in a fixed schema order,
+//! finite `f64`s rendered with Rust's shortest-round-trip `Display`
+//! (parse → re-render is the identity), non-finite values as `null`
+//! (read back as NaN), optional fields omitted — never `null` — and a
+//! hand-rolled tokenizer on the way back in, extended here with `f64` /
+//! `u32` arrays for history and lease vectors. The first line is a
+//! header carrying [`SNAPSHOT_VERSION`]; any other version is rejected
+//! with [`SnapshotError::UnsupportedVersion`] instead of being guessed
+//! at. Encoding is byte-stable: `encode ∘ decode ∘ encode` equals
+//! `encode`.
+//!
+//! [`Chamulteon::snapshot`]: crate::controller::Chamulteon::snapshot
+//! [`Chamulteon::restore`]: crate::controller::Chamulteon::restore
+//! [`ChamulteonConfig`]: crate::config::ChamulteonConfig
+
+use crate::decision::{DecisionOrigin, ScalingDecision};
+use crate::degradation::{DegradationEvent, DegradationReason};
+use crate::fox::ChargingModel;
+use chamulteon_demand::MonitoringSample;
+use std::fmt::Write as _;
+
+/// The schema version this build writes and the only one it restores.
+pub const SNAPSHOT_VERSION: u64 = 1;
+
+/// The schema identifier on a snapshot's header line.
+const SNAPSHOT_SCHEMA: &str = "chamulteon-snapshot";
+
+/// Captured per-service demand-estimator state.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct EstimatorState {
+    pub(crate) capacity: usize,
+    pub(crate) smoothing: f64,
+    pub(crate) current: f64,
+    pub(crate) initialized: bool,
+    /// Window samples, oldest first.
+    pub(crate) window: Vec<MonitoringSample>,
+}
+
+/// Captured entry arrival-rate history.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct HistoryState {
+    pub(crate) step: f64,
+    pub(crate) start: f64,
+    pub(crate) values: Vec<f64>,
+}
+
+/// Captured active forecast.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ForecastState {
+    pub(crate) made_at: usize,
+    pub(crate) generation: u64,
+    pub(crate) trusted: bool,
+    pub(crate) values: Vec<f64>,
+}
+
+/// Captured FOX reviewer state, lease books in exact order.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct FoxState {
+    pub(crate) model: ChargingModel,
+    pub(crate) release_window: f64,
+    pub(crate) billed_released: f64,
+    pub(crate) leases: Vec<Vec<f64>>,
+}
+
+/// A complete, decision-equivalent capture of a [`Chamulteon`]
+/// controller's mutable state.
+///
+/// Obtain one with [`Chamulteon::snapshot`], persist it with
+/// [`encode`](ControllerSnapshot::encode), read it back with
+/// [`decode`](ControllerSnapshot::decode) and rebuild the controller with
+/// [`Chamulteon::restore`].
+///
+/// [`Chamulteon`]: crate::controller::Chamulteon
+/// [`Chamulteon::snapshot`]: crate::controller::Chamulteon::snapshot
+/// [`Chamulteon::restore`]: crate::controller::Chamulteon::restore
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerSnapshot {
+    pub(crate) services: usize,
+    pub(crate) ticks: u64,
+    pub(crate) forecast_generation: u64,
+    pub(crate) forecasts_made: u64,
+    pub(crate) estimators: Vec<EstimatorState>,
+    pub(crate) entry_history: Option<HistoryState>,
+    pub(crate) active_forecast: Option<ForecastState>,
+    /// Proactive decision store contents, exact vector order.
+    pub(crate) decisions: Vec<ScalingDecision>,
+    pub(crate) fox: Option<FoxState>,
+    /// Per-service `(last accepted rate, rejection streak)` gate state.
+    pub(crate) spike_gates: Vec<(Option<f64>, u32)>,
+    pub(crate) last_good_samples: Vec<Option<MonitoringSample>>,
+    pub(crate) last_targets: Option<Vec<u32>>,
+    pub(crate) degradation: Vec<DegradationEvent>,
+}
+
+/// Why a snapshot could not be decoded or restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The header declares a schema version this build does not speak.
+    UnsupportedVersion {
+        /// The version found in the header.
+        found: u64,
+    },
+    /// The text is not a well-formed snapshot document.
+    Malformed {
+        /// 1-based line the problem was detected on.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The snapshot disagrees with the model it is being restored into
+    /// (or is internally inconsistent).
+    Inconsistent {
+        /// What disagrees.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::UnsupportedVersion { found } => write!(
+                f,
+                "unsupported snapshot version {found} (this build speaks {SNAPSHOT_VERSION})"
+            ),
+            SnapshotError::Malformed { line, message } => {
+                write!(f, "malformed snapshot at line {line}: {message}")
+            }
+            SnapshotError::Inconsistent { message } => {
+                write!(f, "inconsistent snapshot: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+// --- canonical line writer (obs JSONL idiom + arrays) -------------------
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// One canonical JSON object line: fixed key order, no whitespace,
+/// optional fields omitted.
+struct Line {
+    out: String,
+    first: bool,
+}
+
+impl Line {
+    fn new(kind: &str) -> Self {
+        let mut line = Line {
+            out: String::from("{"),
+            first: true,
+        };
+        line.key("kind");
+        push_json_str(&mut line.out, kind);
+        line
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        push_json_str(&mut self.out, k);
+        self.out.push(':');
+    }
+
+    fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        push_json_str(&mut self.out, v);
+        self
+    }
+
+    fn f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        push_f64(&mut self.out, v);
+        self
+    }
+
+    fn opt_f64(&mut self, k: &str, v: Option<f64>) -> &mut Self {
+        if let Some(v) = v {
+            self.f64(k, v);
+        }
+        self
+    }
+
+    fn u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
+    fn opt_u64(&mut self, k: &str, v: Option<u64>) -> &mut Self {
+        if let Some(v) = v {
+            self.u64(k, v);
+        }
+        self
+    }
+
+    fn usize(&mut self, k: &str, v: usize) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
+    fn u32(&mut self, k: &str, v: u32) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
+    fn opt_u32(&mut self, k: &str, v: Option<u32>) -> &mut Self {
+        if let Some(v) = v {
+            self.u32(k, v);
+        }
+        self
+    }
+
+    fn bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k);
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    fn f64_array(&mut self, k: &str, vs: &[f64]) -> &mut Self {
+        self.key(k);
+        self.out.push('[');
+        for (i, &v) in vs.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            push_f64(&mut self.out, v);
+        }
+        self.out.push(']');
+        self
+    }
+
+    fn u32_array(&mut self, k: &str, vs: &[u32]) -> &mut Self {
+        self.key(k);
+        self.out.push('[');
+        for (i, &v) in vs.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            let _ = write!(self.out, "{v}");
+        }
+        self.out.push(']');
+        self
+    }
+
+    fn emit(mut self, out: &mut String) {
+        self.out.push('}');
+        out.push_str(&self.out);
+        out.push('\n');
+    }
+}
+
+fn sample_line(kind: &str, service: usize, sample: &MonitoringSample) -> Line {
+    let mut line = Line::new(kind);
+    line.usize("service", service)
+        .f64("duration", sample.duration())
+        .u64("arrivals", sample.arrivals())
+        .opt_u64("completions", sample.explicit_completions())
+        .f64("utilization", sample.utilization())
+        .u32("instances", sample.instances())
+        .opt_f64("rt", sample.mean_response_time());
+    line
+}
+
+// --- tokenizer (obs JSONL idiom + arrays) -------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Val {
+    Str(String),
+    /// Numbers keep their raw text; typed getters parse on demand.
+    Num(String),
+    Bool(bool),
+    Null,
+    Arr(Vec<Val>),
+}
+
+struct Tokenizer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl<'a> Tokenizer<'a> {
+    fn new(text: &'a str) -> Self {
+        Tokenizer {
+            chars: text.chars().peekable(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some(' ' | '\t')) {
+            self.chars.next();
+        }
+    }
+
+    fn consume(&mut self, expected: char) -> Result<(), String> {
+        self.skip_ws();
+        match self.chars.next() {
+            Some(c) if c == expected => Ok(()),
+            Some(c) => Err(format!("expected `{expected}`, found `{c}`")),
+            None => Err(format!("expected `{expected}`, found end of line")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.consume('"')?;
+        let mut s = String::new();
+        loop {
+            match self.chars.next() {
+                None => return Err("unterminated string".into()),
+                Some('"') => return Ok(s),
+                Some('\\') => match self.chars.next() {
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some('n') => s.push('\n'),
+                    Some('r') => s.push('\r'),
+                    Some('t') => s.push('\t'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.chars.next().ok_or("truncated \\u escape")?;
+                            code = code * 16 + d.to_digit(16).ok_or("bad \\u escape digit")?;
+                        }
+                        s.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    other => return Err(format!("bad escape: {other:?}")),
+                },
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Val, String> {
+        self.skip_ws();
+        match self.chars.peek() {
+            Some('"') => Ok(Val::Str(self.string()?)),
+            Some('t') => self.literal("true").map(|()| Val::Bool(true)),
+            Some('f') => self.literal("false").map(|()| Val::Bool(false)),
+            Some('n') => self.literal("null").map(|()| Val::Null),
+            Some('[') => {
+                self.chars.next();
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.chars.peek() == Some(&']') {
+                    self.chars.next();
+                    return Ok(Val::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.chars.next() {
+                        Some(',') => {}
+                        Some(']') => return Ok(Val::Arr(items)),
+                        other => return Err(format!("expected `,` or `]`, found {other:?}")),
+                    }
+                }
+            }
+            Some(c) if *c == '-' || c.is_ascii_digit() => {
+                let mut raw = String::new();
+                while let Some(&c) = self.chars.peek() {
+                    if c == '-'
+                        || c == '+'
+                        || c == '.'
+                        || c == 'e'
+                        || c == 'E'
+                        || c.is_ascii_digit()
+                    {
+                        raw.push(c);
+                        self.chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                Ok(Val::Num(raw))
+            }
+            other => Err(format!("unexpected value start: {other:?}")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        for expected in lit.chars() {
+            match self.chars.next() {
+                Some(c) if c == expected => {}
+                other => return Err(format!("bad literal, expected `{lit}`, found {other:?}")),
+            }
+        }
+        Ok(())
+    }
+
+    fn object(&mut self) -> Result<Vec<(String, Val)>, String> {
+        self.consume('{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.chars.peek() == Some(&'}') {
+            self.chars.next();
+            return Ok(pairs);
+        }
+        loop {
+            let key = self.string()?;
+            self.consume(':')?;
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.chars.next() {
+                Some(',') => {}
+                Some('}') => return Ok(pairs),
+                other => return Err(format!("expected `,` or `}}`, found {other:?}")),
+            }
+        }
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.chars.peek().is_none()
+    }
+}
+
+/// Typed field access over one parsed object line.
+struct Fields {
+    pairs: Vec<(String, Val)>,
+}
+
+impl Fields {
+    fn get(&self, key: &str) -> Option<&Val> {
+        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, what: &str) -> Result<T, String> {
+        match self.get(key) {
+            Some(Val::Num(raw)) => raw
+                .parse()
+                .map_err(|_| format!("bad {what} `{key}`: {raw}")),
+            Some(other) => Err(format!("field `{key}` is not a {what}: {other:?}")),
+            None => Err(format!("missing field `{key}`")),
+        }
+    }
+
+    fn req_f64(&self, key: &str) -> Result<f64, String> {
+        match self.get(key) {
+            Some(Val::Null) => Ok(f64::NAN),
+            _ => self.num(key, "number"),
+        }
+    }
+
+    fn opt_f64(&self, key: &str) -> Result<Option<f64>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(Val::Null) => Ok(Some(f64::NAN)),
+            _ => self.num(key, "number").map(Some),
+        }
+    }
+
+    fn req_u64(&self, key: &str) -> Result<u64, String> {
+        self.num(key, "integer")
+    }
+
+    fn opt_u64(&self, key: &str) -> Result<Option<u64>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            _ => self.num(key, "integer").map(Some),
+        }
+    }
+
+    fn req_usize(&self, key: &str) -> Result<usize, String> {
+        self.num(key, "integer")
+    }
+
+    fn opt_usize(&self, key: &str) -> Result<Option<usize>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            _ => self.num(key, "integer").map(Some),
+        }
+    }
+
+    fn req_u32(&self, key: &str) -> Result<u32, String> {
+        self.num(key, "integer")
+    }
+
+    fn opt_u32(&self, key: &str) -> Result<Option<u32>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            _ => self.num(key, "integer").map(Some),
+        }
+    }
+
+    fn req_bool(&self, key: &str) -> Result<bool, String> {
+        match self.get(key) {
+            Some(Val::Bool(b)) => Ok(*b),
+            Some(other) => Err(format!("field `{key}` is not a bool: {other:?}")),
+            None => Err(format!("missing field `{key}`")),
+        }
+    }
+
+    fn req_str(&self, key: &str) -> Result<String, String> {
+        match self.get(key) {
+            Some(Val::Str(s)) => Ok(s.clone()),
+            Some(other) => Err(format!("field `{key}` is not a string: {other:?}")),
+            None => Err(format!("missing field `{key}`")),
+        }
+    }
+
+    fn f64_array(&self, key: &str) -> Result<Vec<f64>, String> {
+        match self.get(key) {
+            Some(Val::Arr(items)) => items
+                .iter()
+                .map(|v| match v {
+                    Val::Null => Ok(f64::NAN),
+                    Val::Num(raw) => raw
+                        .parse()
+                        .map_err(|_| format!("bad number in `{key}`: {raw}")),
+                    other => Err(format!("non-number in `{key}`: {other:?}")),
+                })
+                .collect(),
+            Some(other) => Err(format!("field `{key}` is not an array: {other:?}")),
+            None => Err(format!("missing field `{key}`")),
+        }
+    }
+
+    fn u32_array(&self, key: &str) -> Result<Vec<u32>, String> {
+        match self.get(key) {
+            Some(Val::Arr(items)) => items
+                .iter()
+                .map(|v| match v {
+                    Val::Num(raw) => raw
+                        .parse()
+                        .map_err(|_| format!("bad integer in `{key}`: {raw}")),
+                    other => Err(format!("non-integer in `{key}`: {other:?}")),
+                })
+                .collect(),
+            Some(other) => Err(format!("field `{key}` is not an array: {other:?}")),
+            None => Err(format!("missing field `{key}`")),
+        }
+    }
+
+    fn sample(&self) -> Result<MonitoringSample, String> {
+        let duration = self.req_f64("duration")?;
+        let arrivals = self.req_u64("arrivals")?;
+        let utilization = self.req_f64("utilization")?;
+        let instances = self.req_u32("instances")?;
+        let rt = self.opt_f64("rt")?;
+        let sample = MonitoringSample::new(duration, arrivals, utilization, instances, rt)
+            .map_err(|e| format!("invalid sample: {e}"))?;
+        Ok(match self.opt_u64("completions")? {
+            Some(completions) => sample.with_completions(completions),
+            None => sample,
+        })
+    }
+}
+
+// --- encode / decode ----------------------------------------------------
+
+impl ControllerSnapshot {
+    /// Serializes the snapshot to its canonical text form: one JSON
+    /// object per line, header first, fixed key and section order.
+    /// Byte-stable: decoding and re-encoding reproduces the exact bytes.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        {
+            let mut line = Line::new("header");
+            line.str("schema", SNAPSHOT_SCHEMA)
+                .u64("version", SNAPSHOT_VERSION)
+                .usize("services", self.services)
+                .u64("ticks", self.ticks)
+                .u64("forecast_generation", self.forecast_generation)
+                .u64("forecasts_made", self.forecasts_made);
+            line.emit(&mut out);
+        }
+        for (service, est) in self.estimators.iter().enumerate() {
+            let mut line = Line::new("estimator");
+            line.usize("service", service)
+                .usize("capacity", est.capacity)
+                .f64("smoothing", est.smoothing)
+                .f64("current", est.current)
+                .bool("initialized", est.initialized);
+            line.emit(&mut out);
+            for sample in &est.window {
+                sample_line("window_sample", service, sample).emit(&mut out);
+            }
+        }
+        if let Some(history) = &self.entry_history {
+            let mut line = Line::new("entry_history");
+            line.f64("step", history.step)
+                .f64("start", history.start)
+                .f64_array("values", &history.values);
+            line.emit(&mut out);
+        }
+        if let Some(forecast) = &self.active_forecast {
+            let mut line = Line::new("active_forecast");
+            line.usize("made_at", forecast.made_at)
+                .u64("generation", forecast.generation)
+                .bool("trusted", forecast.trusted)
+                .f64_array("values", &forecast.values);
+            line.emit(&mut out);
+        }
+        for decision in &self.decisions {
+            let mut line = Line::new("decision");
+            line.usize("service", decision.service)
+                .u32("target", decision.target)
+                .f64("start", decision.start)
+                .f64("end", decision.end);
+            if let DecisionOrigin::Proactive {
+                generation,
+                trusted,
+            } = decision.origin
+            {
+                line.u64("generation", generation).bool("trusted", trusted);
+            }
+            line.emit(&mut out);
+        }
+        if let Some(fox) = &self.fox {
+            let mut line = Line::new("fox");
+            line.str("model", &fox.model.name)
+                .f64("interval", fox.model.interval)
+                .f64("minimum", fox.model.minimum)
+                .f64("release_window", fox.release_window)
+                .f64("billed_released", fox.billed_released);
+            line.emit(&mut out);
+            for (service, starts) in fox.leases.iter().enumerate() {
+                let mut line = Line::new("fox_leases");
+                line.usize("service", service).f64_array("starts", starts);
+                line.emit(&mut out);
+            }
+        }
+        for (service, &(last_rate, streak)) in self.spike_gates.iter().enumerate() {
+            let mut line = Line::new("spike_gate");
+            line.usize("service", service)
+                .opt_f64("last_rate", last_rate)
+                .u32("streak", streak);
+            line.emit(&mut out);
+        }
+        for (service, sample) in self.last_good_samples.iter().enumerate() {
+            if let Some(sample) = sample {
+                sample_line("held_sample", service, sample).emit(&mut out);
+            }
+        }
+        if let Some(targets) = &self.last_targets {
+            let mut line = Line::new("last_targets");
+            line.u32_array("targets", targets);
+            line.emit(&mut out);
+        }
+        for event in &self.degradation {
+            let mut line = Line::new("degradation");
+            line.f64("time", event.time)
+                .str("code", event.reason.as_code());
+            if let Some(service) = event.reason.service() {
+                line.usize("service", service);
+            }
+            line.opt_u32("attempt", event.reason.attempt());
+            line.emit(&mut out);
+        }
+        out
+    }
+
+    /// Parses a snapshot from its canonical text form.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::UnsupportedVersion`] when the header declares a
+    /// schema version other than [`SNAPSHOT_VERSION`];
+    /// [`SnapshotError::Malformed`] for anything that is not a
+    /// well-formed snapshot document (bad JSON, unknown record or field
+    /// kinds, missing sections, out-of-range service indices).
+    pub fn decode(text: &str) -> Result<Self, SnapshotError> {
+        let malformed = |line: usize, message: String| SnapshotError::Malformed { line, message };
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty());
+
+        // Header first.
+        let (header_idx, header_line) = lines
+            .next()
+            .ok_or_else(|| malformed(1, "empty snapshot".into()))?;
+        let header = parse_fields(header_line).map_err(|m| malformed(header_idx + 1, m))?;
+        let kind = header
+            .req_str("kind")
+            .map_err(|m| malformed(header_idx + 1, m))?;
+        if kind != "header" {
+            return Err(malformed(
+                header_idx + 1,
+                format!("expected header line, found `{kind}`"),
+            ));
+        }
+        let schema = header
+            .req_str("schema")
+            .map_err(|m| malformed(header_idx + 1, m))?;
+        if schema != SNAPSHOT_SCHEMA {
+            return Err(malformed(
+                header_idx + 1,
+                format!("unknown schema `{schema}`"),
+            ));
+        }
+        let version = header
+            .req_u64("version")
+            .map_err(|m| malformed(header_idx + 1, m))?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion { found: version });
+        }
+        let services = header
+            .req_usize("services")
+            .map_err(|m| malformed(header_idx + 1, m))?;
+
+        let mut snapshot = ControllerSnapshot {
+            services,
+            ticks: header
+                .req_u64("ticks")
+                .map_err(|m| malformed(header_idx + 1, m))?,
+            forecast_generation: header
+                .req_u64("forecast_generation")
+                .map_err(|m| malformed(header_idx + 1, m))?,
+            forecasts_made: header
+                .req_u64("forecasts_made")
+                .map_err(|m| malformed(header_idx + 1, m))?,
+            estimators: Vec::with_capacity(services),
+            entry_history: None,
+            active_forecast: None,
+            decisions: Vec::new(),
+            fox: None,
+            spike_gates: Vec::with_capacity(services),
+            last_good_samples: vec![None; services],
+            last_targets: None,
+            degradation: Vec::new(),
+        };
+
+        for (idx, raw) in lines {
+            let line_no = idx + 1;
+            let fields = parse_fields(raw).map_err(|m| malformed(line_no, m))?;
+            let kind = fields.req_str("kind").map_err(|m| malformed(line_no, m))?;
+            let service_in_range = |fields: &Fields| -> Result<usize, SnapshotError> {
+                let service = fields
+                    .req_usize("service")
+                    .map_err(|m| malformed(line_no, m))?;
+                if service >= services {
+                    return Err(malformed(
+                        line_no,
+                        format!("service {service} out of range (services: {services})"),
+                    ));
+                }
+                Ok(service)
+            };
+            match kind.as_str() {
+                "estimator" => {
+                    let service = service_in_range(&fields)?;
+                    if service != snapshot.estimators.len() {
+                        return Err(malformed(
+                            line_no,
+                            format!(
+                                "estimator for service {service} out of order (expected {})",
+                                snapshot.estimators.len()
+                            ),
+                        ));
+                    }
+                    snapshot.estimators.push(EstimatorState {
+                        capacity: fields
+                            .req_usize("capacity")
+                            .map_err(|m| malformed(line_no, m))?,
+                        smoothing: fields
+                            .req_f64("smoothing")
+                            .map_err(|m| malformed(line_no, m))?,
+                        current: fields
+                            .req_f64("current")
+                            .map_err(|m| malformed(line_no, m))?,
+                        initialized: fields
+                            .req_bool("initialized")
+                            .map_err(|m| malformed(line_no, m))?,
+                        window: Vec::new(),
+                    });
+                }
+                "window_sample" => {
+                    let service = service_in_range(&fields)?;
+                    let sample = fields.sample().map_err(|m| malformed(line_no, m))?;
+                    match snapshot.estimators.get_mut(service) {
+                        Some(est) => est.window.push(sample),
+                        None => {
+                            return Err(malformed(
+                                line_no,
+                                format!("window sample before estimator for service {service}"),
+                            ))
+                        }
+                    }
+                }
+                "entry_history" => {
+                    snapshot.entry_history = Some(HistoryState {
+                        step: fields.req_f64("step").map_err(|m| malformed(line_no, m))?,
+                        start: fields.req_f64("start").map_err(|m| malformed(line_no, m))?,
+                        values: fields
+                            .f64_array("values")
+                            .map_err(|m| malformed(line_no, m))?,
+                    });
+                }
+                "active_forecast" => {
+                    snapshot.active_forecast = Some(ForecastState {
+                        made_at: fields
+                            .req_usize("made_at")
+                            .map_err(|m| malformed(line_no, m))?,
+                        generation: fields
+                            .req_u64("generation")
+                            .map_err(|m| malformed(line_no, m))?,
+                        trusted: fields
+                            .req_bool("trusted")
+                            .map_err(|m| malformed(line_no, m))?,
+                        values: fields
+                            .f64_array("values")
+                            .map_err(|m| malformed(line_no, m))?,
+                    });
+                }
+                "decision" => {
+                    let service = service_in_range(&fields)?;
+                    let generation = fields
+                        .opt_u64("generation")
+                        .map_err(|m| malformed(line_no, m))?;
+                    let origin = match generation {
+                        Some(generation) => DecisionOrigin::Proactive {
+                            generation,
+                            trusted: fields
+                                .req_bool("trusted")
+                                .map_err(|m| malformed(line_no, m))?,
+                        },
+                        None => DecisionOrigin::Reactive,
+                    };
+                    snapshot.decisions.push(ScalingDecision {
+                        service,
+                        target: fields
+                            .req_u32("target")
+                            .map_err(|m| malformed(line_no, m))?,
+                        start: fields.req_f64("start").map_err(|m| malformed(line_no, m))?,
+                        end: fields.req_f64("end").map_err(|m| malformed(line_no, m))?,
+                        origin,
+                    });
+                }
+                "fox" => {
+                    snapshot.fox = Some(FoxState {
+                        model: ChargingModel {
+                            name: fields.req_str("model").map_err(|m| malformed(line_no, m))?,
+                            interval: fields
+                                .req_f64("interval")
+                                .map_err(|m| malformed(line_no, m))?,
+                            minimum: fields
+                                .req_f64("minimum")
+                                .map_err(|m| malformed(line_no, m))?,
+                        },
+                        release_window: fields
+                            .req_f64("release_window")
+                            .map_err(|m| malformed(line_no, m))?,
+                        billed_released: fields
+                            .req_f64("billed_released")
+                            .map_err(|m| malformed(line_no, m))?,
+                        leases: vec![Vec::new(); services],
+                    });
+                }
+                "fox_leases" => {
+                    let service = service_in_range(&fields)?;
+                    let starts = fields
+                        .f64_array("starts")
+                        .map_err(|m| malformed(line_no, m))?;
+                    match snapshot.fox.as_mut() {
+                        Some(fox) => fox.leases[service] = starts,
+                        None => {
+                            return Err(malformed(line_no, "fox_leases before fox".into()));
+                        }
+                    }
+                }
+                "spike_gate" => {
+                    let service = service_in_range(&fields)?;
+                    if service != snapshot.spike_gates.len() {
+                        return Err(malformed(
+                            line_no,
+                            format!(
+                                "spike_gate for service {service} out of order (expected {})",
+                                snapshot.spike_gates.len()
+                            ),
+                        ));
+                    }
+                    snapshot.spike_gates.push((
+                        fields
+                            .opt_f64("last_rate")
+                            .map_err(|m| malformed(line_no, m))?,
+                        fields
+                            .req_u32("streak")
+                            .map_err(|m| malformed(line_no, m))?,
+                    ));
+                }
+                "held_sample" => {
+                    let service = service_in_range(&fields)?;
+                    let sample = fields.sample().map_err(|m| malformed(line_no, m))?;
+                    snapshot.last_good_samples[service] = Some(sample);
+                }
+                "last_targets" => {
+                    snapshot.last_targets = Some(
+                        fields
+                            .u32_array("targets")
+                            .map_err(|m| malformed(line_no, m))?,
+                    );
+                }
+                "degradation" => {
+                    let time = fields.req_f64("time").map_err(|m| malformed(line_no, m))?;
+                    let code = fields.req_str("code").map_err(|m| malformed(line_no, m))?;
+                    let service = fields
+                        .opt_usize("service")
+                        .map_err(|m| malformed(line_no, m))?;
+                    let attempt = fields
+                        .opt_u32("attempt")
+                        .map_err(|m| malformed(line_no, m))?;
+                    let reason = DegradationReason::from_parts(&code, service, attempt)
+                        .ok_or_else(|| {
+                            malformed(line_no, format!("unknown degradation code `{code}`"))
+                        })?;
+                    snapshot.degradation.push(DegradationEvent { time, reason });
+                }
+                other => {
+                    return Err(malformed(line_no, format!("unknown record kind `{other}`")));
+                }
+            }
+        }
+
+        if snapshot.estimators.len() != services {
+            return Err(SnapshotError::Inconsistent {
+                message: format!(
+                    "{} estimator records for {services} services",
+                    snapshot.estimators.len()
+                ),
+            });
+        }
+        if snapshot.spike_gates.len() != services {
+            return Err(SnapshotError::Inconsistent {
+                message: format!(
+                    "{} spike_gate records for {services} services",
+                    snapshot.spike_gates.len()
+                ),
+            });
+        }
+        if let Some(targets) = &snapshot.last_targets {
+            if targets.len() != services {
+                return Err(SnapshotError::Inconsistent {
+                    message: format!("{} last targets for {services} services", targets.len()),
+                });
+            }
+        }
+        Ok(snapshot)
+    }
+}
+
+fn parse_fields(raw: &str) -> Result<Fields, String> {
+    let mut tokenizer = Tokenizer::new(raw);
+    let pairs = tokenizer.object()?;
+    if !tokenizer.at_end() {
+        return Err("trailing characters after object".into());
+    }
+    Ok(Fields { pairs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ChamulteonConfig;
+    use crate::controller::Chamulteon;
+    use crate::degradation::Observation;
+    use chamulteon_perfmodel::ApplicationModel;
+
+    /// One synthetic cycle's observations: a mild sawtooth with a
+    /// monitoring dropout every 9th cycle (so held/degraded state is in
+    /// the snapshot) and a corrupt reading every 13th.
+    fn observations_at(cycle: u64, services: usize) -> Vec<Observation> {
+        (0..services)
+            .map(|s| {
+                if cycle % 9 == 5 {
+                    return Observation::Missing;
+                }
+                let rate = 12.0 + ((cycle + s as u64) % 7) as f64 * 4.0;
+                Observation::Raw {
+                    duration: 60.0,
+                    arrivals: (rate * 60.0).round(),
+                    completions: (rate * 60.0).round(),
+                    utilization: if cycle % 13 == 7 { f64::NAN } else { 0.55 },
+                    instances: 2,
+                    mean_response_time: Some(0.09),
+                }
+            })
+            .collect()
+    }
+
+    fn controller_with_state() -> Chamulteon {
+        let model = ApplicationModel::paper_benchmark();
+        let mut c = Chamulteon::new(model, ChamulteonConfig::default())
+            .with_fox(ChargingModel::gcp_per_minute());
+        let services = c.model().service_count();
+        // Stop at cycle 20: the first forecast lands at cycle 13 and its
+        // proactive decisions survive (unpruned) until cycle 21, so the
+        // snapshot exercises the decision records too.
+        for k in 0..20 {
+            let t = 60.0 * (k + 1) as f64;
+            let _ = c.tick_observed(t, &observations_at(k, services));
+        }
+        c
+    }
+
+    #[test]
+    fn encode_decode_round_trips_and_is_byte_stable() {
+        let snapshot = controller_with_state().snapshot();
+        assert!(snapshot.forecasts_made > 0, "forecast state must be live");
+        assert!(!snapshot.decisions.is_empty(), "decisions must be live");
+        assert!(!snapshot.degradation.is_empty(), "dropouts must be logged");
+        let text = snapshot.encode();
+        let decoded = ControllerSnapshot::decode(&text).expect("decodes");
+        assert_eq!(decoded, snapshot, "decode is the inverse of encode");
+        assert_eq!(decoded.encode(), text, "encoding is byte-stable");
+    }
+
+    #[test]
+    fn restored_controller_continues_bit_identically() {
+        let model = ApplicationModel::paper_benchmark();
+        let config = ChamulteonConfig::default();
+        let services = model.service_count();
+        let mut reference =
+            Chamulteon::new(model.clone(), config.clone()).with_fox(ChargingModel::ec2_hourly());
+        let mut crashed =
+            Chamulteon::new(model.clone(), config.clone()).with_fox(ChargingModel::ec2_hourly());
+        // Crash cycle 23 lands right after the cycle-23 dropout (23 % 9 ==
+        // 5), i.e. immediately after a degraded/held cycle, and 23·60 s is
+        // mid-way through an EC2 billing hour.
+        for k in 0..23 {
+            let t = 60.0 * (k + 1) as f64;
+            let a = reference.tick_observed(t, &observations_at(k, services));
+            let b = crashed.tick_observed(t, &observations_at(k, services));
+            assert_eq!(a, b);
+        }
+        let text = crashed.snapshot().encode();
+        drop(crashed); // the crash
+        let decoded = ControllerSnapshot::decode(&text).expect("decodes");
+        let mut restored = Chamulteon::restore(model, config, &decoded).expect("restores");
+        let mut last = 0.0;
+        for k in 23..60 {
+            let t = 60.0 * (k + 1) as f64;
+            last = t;
+            let a = reference.tick_observed(t, &observations_at(k, services));
+            let b = restored.tick_observed(t, &observations_at(k, services));
+            assert_eq!(a, b, "cycle {k} diverged after restore");
+        }
+        let billed_ref = reference.billed_instance_seconds(last);
+        let billed_restored = restored.billed_instance_seconds(last);
+        assert_eq!(
+            billed_ref.map(f64::to_bits),
+            billed_restored.map(f64::to_bits),
+            "FOX ledgers diverged: {billed_ref:?} vs {billed_restored:?}"
+        );
+        assert_eq!(reference.forecasts_made(), restored.forecasts_made());
+        assert_eq!(
+            reference.degradation().events(),
+            restored.degradation().events()
+        );
+    }
+
+    #[test]
+    fn unknown_versions_are_rejected_explicitly() {
+        let text = controller_with_state().snapshot().encode();
+        let future = text.replacen("\"version\":1", "\"version\":2", 1);
+        assert_eq!(
+            ControllerSnapshot::decode(&future),
+            Err(SnapshotError::UnsupportedVersion { found: 2 })
+        );
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        let good = controller_with_state().snapshot().encode();
+        // Not JSON at all.
+        assert!(matches!(
+            ControllerSnapshot::decode("not json"),
+            Err(SnapshotError::Malformed { .. })
+        ));
+        // Empty document.
+        assert!(matches!(
+            ControllerSnapshot::decode(""),
+            Err(SnapshotError::Malformed { .. })
+        ));
+        // Unknown record kind.
+        let with_junk = format!("{good}{{\"kind\":\"mystery\"}}\n");
+        assert!(matches!(
+            ControllerSnapshot::decode(&with_junk),
+            Err(SnapshotError::Malformed { .. })
+        ));
+        // First line must be the header.
+        let headless: String = good.lines().skip(1).flat_map(|l| [l, "\n"]).collect();
+        assert!(matches!(
+            ControllerSnapshot::decode(&headless),
+            Err(SnapshotError::Malformed { .. })
+        ));
+        // Out-of-range service index.
+        let shifted = good.replacen(
+            "\"kind\":\"estimator\",\"service\":0",
+            "\"kind\":\"estimator\",\"service\":99",
+            1,
+        );
+        assert!(matches!(
+            ControllerSnapshot::decode(&shifted),
+            Err(SnapshotError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_models() {
+        let snapshot = controller_with_state().snapshot();
+        let wrong = chamulteon_perfmodel::ApplicationModelBuilder::new()
+            .service("solo", 0.05, 1, 50, 1)
+            .entry("solo")
+            .build()
+            .expect("valid single-service model");
+        assert!(matches!(
+            Chamulteon::restore(wrong, ChamulteonConfig::default(), &snapshot),
+            Err(SnapshotError::Inconsistent { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_is_a_pure_read() {
+        // Same tick sequence with and without snapshots interleaved.
+        let mut with_snapshots = controller_with_state();
+        let mut without = controller_with_state();
+        let services = with_snapshots.model().service_count();
+        for k in 24..32 {
+            let t = 60.0 * (k + 1) as f64;
+            let _ = with_snapshots.snapshot().encode();
+            let a = with_snapshots.tick_observed(t, &observations_at(k, services));
+            let b = without.tick_observed(t, &observations_at(k, services));
+            assert_eq!(a, b, "snapshotting changed behavior at cycle {k}");
+        }
+    }
+}

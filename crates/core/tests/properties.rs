@@ -11,7 +11,7 @@
 )]
 use chamulteon::{
     proactive_decisions, Chamulteon, ChamulteonConfig, ChargingModel, DecisionOrigin,
-    DecisionStore, Fox, ScalingDecision, VerticalPolicy,
+    DecisionStore, Fox, RetryPolicy, ScalingDecision, VerticalPolicy,
 };
 use chamulteon_demand::MonitoringSample;
 use chamulteon_perfmodel::ApplicationModel;
@@ -178,5 +178,51 @@ proptest! {
             );
         }
         prop_assert!(d.cost_per_hour > 0.0);
+    }
+
+    /// The sanitized backoff sequence is finite, non-negative, capped at
+    /// `max_backoff` and monotone non-decreasing — including attempt
+    /// numbers far past the `2^1023` overflow point and an extreme
+    /// `max_attempts` budget.
+    #[test]
+    fn backoff_sequence_is_monotone_capped_and_finite(
+        max_attempts in 1u32..=u32::MAX,
+        base in -1.0f64..1e305,
+        cap in -1.0f64..1e305,
+        attempt in 0u32..=u32::MAX,
+        step in 1u32..2000,
+    ) {
+        let policy = RetryPolicy::new(max_attempts, base, cap);
+        prop_assert!(policy.max_attempts >= 1);
+        let here = policy.backoff(attempt);
+        let later = policy.backoff(attempt.saturating_add(step));
+        for b in [here, later] {
+            prop_assert!(b.is_finite(), "non-finite backoff: {b}");
+            prop_assert!(b >= 0.0, "negative backoff: {b}");
+            prop_assert!(b <= policy.max_backoff, "{b} above cap {}", policy.max_backoff);
+        }
+        prop_assert!(later >= here, "backoff not monotone: {here} then {later}");
+    }
+
+    /// The backoff guarantees hold even when the public fields are set
+    /// directly to degenerate values (NaN, infinities, negatives) without
+    /// going through the sanitizing constructor.
+    #[test]
+    fn backoff_survives_degenerate_fields(
+        base_pick in 0usize..6,
+        cap_pick in 0usize..6,
+        attempt in 0u32..=u32::MAX,
+    ) {
+        let degenerate = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -3.0, 0.0, 1.0e308];
+        let policy = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_backoff: degenerate[base_pick],
+            max_backoff: degenerate[cap_pick],
+        };
+        let b0 = policy.backoff(attempt);
+        let b1 = policy.backoff(attempt.saturating_add(1));
+        prop_assert!(b0.is_finite() && b0 >= 0.0, "degenerate fields leaked: {b0}");
+        prop_assert!(b1.is_finite() && b1 >= 0.0, "degenerate fields leaked: {b1}");
+        prop_assert!(b1 >= b0);
     }
 }

@@ -132,6 +132,51 @@ impl RollingDemandEstimator {
         self.initialized
     }
 
+    /// The sample window capacity this estimator was built with.
+    pub fn window_capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The EWMA smoothing factor this estimator was built with.
+    pub fn smoothing(&self) -> f64 {
+        self.smoothing
+    }
+
+    /// The samples currently in the rolling window, oldest first.
+    pub fn window_samples(&self) -> Vec<MonitoringSample> {
+        self.window.iter().copied().collect()
+    }
+
+    /// Reconstructs an estimator from externally captured state: the
+    /// Service Demand Law over `capacity` samples smoothed with factor
+    /// `smoothing`, with the window contents, the smoothed estimate and
+    /// the initialization flag restored verbatim — the inverse of
+    /// [`window_samples`](Self::window_samples) /
+    /// [`current_demand`](Self::current_demand), used by the controller's
+    /// crash-recovery snapshot.
+    ///
+    /// Invalid `capacity`/`smoothing` fall back exactly like
+    /// [`RollingDemandEstimator::new`]; `current` is kept bit-for-bit
+    /// when finite and positive (the only values
+    /// [`observe`](Self::observe) can produce) and falls back to the
+    /// `0.1` seed otherwise. Excess samples beyond the capacity are
+    /// dropped from the front, mirroring the rolling eviction.
+    pub fn restore(
+        capacity: usize,
+        smoothing: f64,
+        current: f64,
+        initialized: bool,
+        samples: Vec<MonitoringSample>,
+    ) -> Self {
+        let mut est = Self::new(capacity, smoothing, current);
+        let skip = samples.len().saturating_sub(est.capacity);
+        for sample in samples.into_iter().skip(skip) {
+            est.window.push_back(sample);
+        }
+        est.initialized = initialized;
+        est
+    }
+
     /// Runs the underlying estimator once on the current window without
     /// smoothing — what LibReDE would answer right now.
     ///
@@ -209,6 +254,41 @@ mod tests {
         assert_eq!(est.capacity, 1);
         assert_eq!(est.smoothing, 0.5);
         assert_eq!(est.current_demand(), 0.1);
+    }
+
+    #[test]
+    fn restore_round_trips_state_bit_for_bit() {
+        let mut est = RollingDemandEstimator::new(3, 0.4, 0.2);
+        for arrivals in [1200, 900, 600, 1100, 700] {
+            est.observe(s(arrivals, 0.5, 4));
+        }
+        let mut copy = RollingDemandEstimator::restore(
+            est.window_capacity(),
+            est.smoothing(),
+            est.current_demand(),
+            est.is_initialized(),
+            est.window_samples(),
+        );
+        assert_eq!(
+            copy.current_demand().to_bits(),
+            est.current_demand().to_bits()
+        );
+        assert_eq!(copy.window_samples(), est.window_samples());
+        assert_eq!(copy.is_initialized(), est.is_initialized());
+        // The restored copy must continue identically.
+        est.observe(s(800, 0.6, 3));
+        copy.observe(s(800, 0.6, 3));
+        assert_eq!(
+            copy.current_demand().to_bits(),
+            est.current_demand().to_bits()
+        );
+    }
+
+    #[test]
+    fn restore_drops_excess_samples_from_the_front() {
+        let samples = vec![s(100, 0.5, 4), s(200, 0.5, 4), s(300, 0.5, 4)];
+        let est = RollingDemandEstimator::restore(2, 0.5, 0.1, true, samples.clone());
+        assert_eq!(est.window_samples(), samples[1..].to_vec());
     }
 
     #[test]

@@ -189,6 +189,14 @@ impl MonitoringSample {
         self.completions.unwrap_or(self.arrivals)
     }
 
+    /// The completions count exactly as recorded: `Some` only when it was
+    /// set explicitly via [`with_completions`](Self::with_completions).
+    /// The controller's state snapshot uses this so a restored sample is
+    /// field-for-field identical to the captured one.
+    pub fn explicit_completions(&self) -> Option<u64> {
+        self.completions
+    }
+
     /// Throughput `X = completions / duration` in requests per second.
     pub fn throughput(&self) -> f64 {
         self.completions() as f64 / self.duration

@@ -211,6 +211,24 @@ pub enum EventKind {
     },
     /// The final per-service scaling decision with its full lineage.
     Decision(Provenance),
+    /// The controller's state was checkpointed (snapshot encoded and
+    /// persisted by the harness).
+    Checkpoint {
+        /// Control cycle the snapshot was taken after.
+        cycle: u64,
+        /// Size of the encoded snapshot in bytes.
+        bytes: u64,
+    },
+    /// A crashed controller was restarted.
+    Restore {
+        /// Control cycle at which the replacement controller took over.
+        cycle: u64,
+        /// `true` for a cold restart (no usable checkpoint), `false`
+        /// when state was restored from a snapshot.
+        cold: bool,
+        /// Cycle of the checkpoint restored from, for warm restarts.
+        checkpoint_cycle: Option<u64>,
+    },
 }
 
 impl EventKind {
@@ -227,6 +245,8 @@ impl EventKind {
             EventKind::Actuation { .. } => "actuation",
             EventKind::Fault { .. } => "fault",
             EventKind::Decision(_) => "decision",
+            EventKind::Checkpoint { .. } => "checkpoint",
+            EventKind::Restore { .. } => "restore",
         }
     }
 }
@@ -244,6 +264,8 @@ pub const EVENT_KIND_CODES: &[&str] = &[
     "actuation",
     "fault",
     "decision",
+    "checkpoint",
+    "restore",
 ];
 
 /// One traced record: a timestamp, an optional service index and the
@@ -341,6 +363,15 @@ mod tests {
                 proposed: 3,
                 target: 3,
             }),
+            EventKind::Checkpoint {
+                cycle: 12,
+                bytes: 2048,
+            },
+            EventKind::Restore {
+                cycle: 13,
+                cold: false,
+                checkpoint_cycle: Some(12),
+            },
         ];
         let codes: Vec<&str> = samples.iter().map(EventKind::code).collect();
         assert_eq!(codes, EVENT_KIND_CODES);

@@ -222,6 +222,19 @@ pub fn emit_line(event: &Event) -> String {
             w.u32("proposed", p.proposed);
             w.u32("target", p.target);
         }
+        EventKind::Checkpoint { cycle, bytes } => {
+            w.u64("cycle", *cycle);
+            w.u64("bytes", *bytes);
+        }
+        EventKind::Restore {
+            cycle,
+            cold,
+            checkpoint_cycle,
+        } => {
+            w.u64("cycle", *cycle);
+            w.bool("cold", *cold);
+            w.opt_u64("checkpoint_cycle", *checkpoint_cycle);
+        }
     }
     w.finish()
 }
@@ -552,6 +565,15 @@ pub fn parse_line(line: &str, lineno: usize) -> Result<Event, JsonlError> {
             proposed: fields.req_u32("proposed")?,
             target: fields.req_u32("target")?,
         }),
+        "checkpoint" => EventKind::Checkpoint {
+            cycle: fields.req_u64("cycle")?,
+            bytes: fields.req_u64("bytes")?,
+        },
+        "restore" => EventKind::Restore {
+            cycle: fields.req_u64("cycle")?,
+            cold: fields.req_bool("cold")?,
+            checkpoint_cycle: fields.opt_u64("checkpoint_cycle")?,
+        },
         other => return Err(fields.err(format!("unknown kind `{other}`"))),
     };
     Ok(Event {
@@ -665,6 +687,47 @@ mod tests {
         let line = emit_line(&e);
         assert_eq!(parse_line(&line, 1), Ok(e.clone()));
         assert_eq!(emit_line(&parse_line(&line, 1).unwrap()), line);
+    }
+
+    #[test]
+    fn checkpoint_and_restore_kinds_round_trip() {
+        let checkpoint = Event::cycle(
+            720.0,
+            EventKind::Checkpoint {
+                cycle: 12,
+                bytes: 4096,
+            },
+        );
+        let warm = Event::cycle(
+            780.0,
+            EventKind::Restore {
+                cycle: 13,
+                cold: false,
+                checkpoint_cycle: Some(12),
+            },
+        );
+        let cold = Event::cycle(
+            780.0,
+            EventKind::Restore {
+                cycle: 13,
+                cold: true,
+                checkpoint_cycle: None,
+            },
+        );
+        for e in [&checkpoint, &warm, &cold] {
+            let line = emit_line(e);
+            assert_eq!(parse_line(&line, 1).as_ref(), Ok(e));
+            assert_eq!(emit_line(&parse_line(&line, 1).unwrap()), line);
+        }
+        assert_eq!(
+            emit_line(&checkpoint),
+            "{\"time\":720,\"kind\":\"checkpoint\",\"cycle\":12,\"bytes\":4096}"
+        );
+        let cold_line = emit_line(&cold);
+        assert!(
+            !cold_line.contains("checkpoint_cycle"),
+            "absent checkpoint_cycle must be omitted: {cold_line}"
+        );
     }
 
     #[test]

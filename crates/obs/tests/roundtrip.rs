@@ -85,7 +85,7 @@ fn build_event(
         8 => EventKind::Fault {
             code: format!("fault \"{}\"\n{}", n % 6, small),
         },
-        _ => EventKind::Decision(Provenance {
+        9 => EventKind::Decision(Provenance {
             tick: n,
             measured_rate: rate,
             offered_rate: opt_f64(0, rate * 0.5),
@@ -99,6 +99,15 @@ fn build_event(
             proposed: target,
             target: target.saturating_add(u32::from(flag)),
         }),
+        10 => EventKind::Checkpoint {
+            cycle: n,
+            bytes: n.saturating_mul(3),
+        },
+        _ => EventKind::Restore {
+            cycle: n,
+            cold: flag,
+            checkpoint_cycle: opt_u64(0, n.saturating_sub(1)),
+        },
     };
     if mask & (1 << 8) != 0 {
         Event::service(time, service, kind)
@@ -114,7 +123,7 @@ proptest! {
     /// and the serialized text, for every kind and optional-field mask.
     #[test]
     fn jsonl_round_trip_is_identity(
-        kind_idx in 0usize..10,
+        kind_idx in 0usize..12,
         mask in 0u32..512,
         time in 0.0f64..1.0e7,
         rate in 0.0f64..1.0e5,
@@ -155,7 +164,7 @@ fn has_nan(event: &Event) -> bool {
 fn every_kind_code_appears_in_generated_events() {
     // Deterministic sweep: each kind index maps onto its schema code.
     let mut seen = Vec::new();
-    for kind_idx in 0..10 {
+    for kind_idx in 0..12 {
         let event = build_event(kind_idx, 0x1ff, 1.0, 2.0, 0.5, 42, 3, true);
         seen.push(event.kind.code());
         let line = jsonl::emit_line(&event);

@@ -58,6 +58,40 @@ fn planned_crashes(
     crashes
 }
 
+/// How a crashed controller comes back
+/// ([`FaultKind::ControllerCrash`]).
+///
+/// The policy belongs to the *driver* running the control loop, not to
+/// the simulation itself: the engine only reports crashes via
+/// [`Simulation::controller_crash_at`]; rebuilding the scaler — cold or
+/// from a checkpoint — is the caller's job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// The restarted controller starts from scratch: empty demand
+    /// windows, no forecast, a fresh FOX ledger. This models a scaler
+    /// with no durable state.
+    ColdRestart,
+    /// The controller snapshots its state every `cadence` decision
+    /// cycles and, after a crash, restores from the latest checkpoint.
+    Checkpoint {
+        /// Decision cycles between checkpoints; a cadence of 1 means a
+        /// snapshot after every cycle. Zero is treated as 1.
+        cadence: usize,
+    },
+}
+
+impl RecoveryPolicy {
+    /// The effective cycles-between-checkpoints: `0` for
+    /// [`ColdRestart`](RecoveryPolicy::ColdRestart) (never checkpoints),
+    /// at least `1` otherwise.
+    pub fn checkpoint_every(&self) -> usize {
+        match self {
+            RecoveryPolicy::ColdRestart => 0,
+            RecoveryPolicy::Checkpoint { cadence } => (*cadence).max(1),
+        }
+    }
+}
+
 /// An event in the future-event list. Ordering is by time, then by a
 /// monotonically increasing sequence number so simultaneous events process
 /// in deterministic FIFO order.
@@ -419,6 +453,28 @@ impl Simulation {
             forked.seq = forked.seq.saturating_add(m);
         }
         Ok(forked)
+    }
+
+    /// Consults the fault plan for a controller crash at the start of
+    /// decision cycle `cycle` (wall clock `time`). Returns `true` — and
+    /// logs a [`FaultRecord`] — when the scaler process dies here; the
+    /// driver must then rebuild its controller according to its
+    /// [`RecoveryPolicy`]. The simulated deployment itself is unaffected:
+    /// instances keep serving, only the scaler's memory is lost.
+    pub fn controller_crash_at(&mut self, cycle: usize, time: f64) -> bool {
+        let crashed = self
+            .config
+            .fault_plan
+            .as_ref()
+            .is_some_and(|p| p.controller_crash(cycle, time));
+        if crashed {
+            self.fault_log.push(FaultRecord {
+                time,
+                service: 0,
+                kind: FaultKind::ControllerCrash { at_cycle: cycle },
+            });
+        }
+        crashed
     }
 
     /// Current simulation time in seconds.

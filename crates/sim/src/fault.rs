@@ -80,6 +80,16 @@ pub enum FaultKind {
         /// drain their current request first).
         count: u32,
     },
+    /// The controller process itself crashes at the start of decision
+    /// cycle `at_cycle` and is restarted — either cold or from its latest
+    /// checkpoint, depending on the driver's recovery policy. The
+    /// simulated deployment keeps running; only the scaler's in-memory
+    /// state is lost.
+    ControllerCrash {
+        /// Decision cycle at which the crash lands, in the caller's own
+        /// numbering (the bench harness counts cycles from 1).
+        at_cycle: usize,
+    },
 }
 
 impl FaultKind {
@@ -94,6 +104,7 @@ impl FaultKind {
             FaultKind::ActuationFail => "actuation_fail",
             FaultKind::ActuationDelay { .. } => "actuation_delay",
             FaultKind::InstanceCrash { .. } => "instance_crash",
+            FaultKind::ControllerCrash { .. } => "controller_crash",
         }
     }
 
@@ -144,7 +155,8 @@ pub struct FaultWindow {
 pub struct FaultRecord {
     /// Simulation time at which the fault took effect.
     pub time: f64,
-    /// Service hit (`service_count` denotes the VM pool).
+    /// Service hit (`service_count` denotes the VM pool; controller
+    /// crashes hit every service at once and record service `0`).
     pub service: usize,
     /// What was injected.
     pub kind: FaultKind,
@@ -310,6 +322,19 @@ impl FaultPlan {
         })
     }
 
+    /// Adds a controller-crash window: the scaler process dies at the
+    /// start of decision cycle `at_cycle`, provided that cycle's wall
+    /// clock falls inside `[start, end)` and the seeded roll fires.
+    pub fn crash_controller(self, at_cycle: usize, start: f64, end: f64, probability: f64) -> Self {
+        self.with_window(FaultWindow {
+            service: None,
+            start,
+            end,
+            probability,
+            kind: FaultKind::ControllerCrash { at_cycle },
+        })
+    }
+
     /// Adds an instance-crash window (`count` instances per firing).
     pub fn crash_instances(
         self,
@@ -395,6 +420,19 @@ impl FaultPlan {
                 }
                 _ => None,
             })
+    }
+
+    /// Whether the controller crashes at the start of decision cycle
+    /// `cycle` (whose wall clock is `time`). Like every other query this
+    /// is a pure roll — restarted controllers re-consulting the plan see
+    /// the same schedule. Controller crashes use service slot `0`.
+    pub fn controller_crash(&self, cycle: usize, time: f64) -> bool {
+        self.windows.iter().enumerate().any(|(i, w)| match w.kind {
+            FaultKind::ControllerCrash { at_cycle } => {
+                at_cycle == cycle && self.window_hits(i, w, 4, 0, salt(cycle), time)
+            }
+            _ => false,
+        })
     }
 }
 
@@ -502,6 +540,10 @@ mod tests {
             (FaultKind::ActuationFail, "actuation_fail"),
             (FaultKind::ActuationDelay { extra: 5.0 }, "actuation_delay"),
             (FaultKind::InstanceCrash { count: 1 }, "instance_crash"),
+            (
+                FaultKind::ControllerCrash { at_cycle: 9 },
+                "controller_crash",
+            ),
         ];
         for (kind, code) in kinds {
             assert_eq!(kind.as_code(), code);
@@ -515,6 +557,24 @@ mod tests {
             assert_eq!(mode.as_code(), code);
             assert_eq!(mode.to_string(), code);
         }
+    }
+
+    #[test]
+    fn controller_crashes_gate_by_cycle_and_time() {
+        let p = FaultPlan::new(9)
+            .crash_controller(12, 600.0, 1200.0, 1.0)
+            .crash_controller(40, 0.0, 100.0, 0.0);
+        // Fires exactly at its cycle, inside its window.
+        assert!(p.controller_crash(12, 720.0));
+        assert!(!p.controller_crash(12, 1200.0), "window end is exclusive");
+        assert!(!p.controller_crash(11, 720.0), "wrong cycle");
+        assert!(!p.controller_crash(40, 50.0), "probability 0 never fires");
+        // Deterministic: the same query always answers the same.
+        assert!(p.controller_crash(12, 720.0));
+        // A controller-crash plan never leaks into the other queries.
+        assert_eq!(p.monitor_fault(0, 12, 720.0), None);
+        assert_eq!(p.actuation_fault(0, 12, 720.0), None);
+        assert_eq!(p.crash_fault(0, 12, 720.0), None);
     }
 
     #[test]

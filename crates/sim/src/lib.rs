@@ -57,7 +57,7 @@ pub mod nested;
 pub mod stats;
 
 pub use config::{DeploymentProfile, SimulationConfig, SloPolicy};
-pub use engine::Simulation;
+pub use engine::{RecoveryPolicy, Simulation};
 pub use error::SimError;
 pub use fault::{CorruptionMode, FaultKind, FaultPlan, FaultRecord, FaultWindow};
 pub use nested::VmPoolConfig;

@@ -64,16 +64,21 @@ pub const DECISION_PATH_CRATES: &[&str] = &[
     "conformance",
 ];
 
-/// Individual decision-path modules inside otherwise-exempt crates,
-/// matched by path suffix: the bench harness is mostly layer-4 plumbing,
-/// but its measurement loop executes scaling decisions — under injected
-/// faults — so the fault-path files carry the same panic-freedom bar R1
-/// applies to the decision-path crates.
+/// Individual decision-path modules matched by path suffix. The bench
+/// harness is mostly layer-4 plumbing, but its measurement loop executes
+/// scaling decisions — under injected faults — so the fault-path files
+/// carry the same panic-freedom bar R1 applies to the decision-path
+/// crates. The snapshot codec and the recovery oracle are listed even
+/// though their crates are already covered by [`DECISION_PATH_CRATES`]:
+/// crash recovery runs exactly when the system is least healthy, so
+/// these pins survive any future re-layering of the crate list.
 pub const DECISION_PATH_MODULES: &[&str] = &[
     "bench/src/drivers.rs",
     "bench/src/experiment.rs",
     "bench/src/pool.rs",
     "bench/src/robustness.rs",
+    "conformance/src/recovery.rs",
+    "core/src/snapshot.rs",
 ];
 
 /// Crates whose capacity math must use checked conversions (R3).

@@ -1,15 +1,19 @@
 //! Chaos tests: the scaling loop under injected faults.
 //!
-//! Each test drives the Wikipedia Docker scenario with one of the four
+//! Each test drives the Wikipedia Docker scenario with one of the five
 //! fault classes enabled and checks the contract of the degradation
 //! ladder: zero panics, every degraded decision logged, the SLO penalty
 //! bounded relative to the fault-free run, and Chamulteon degrading no
-//! worse than the competing auto-scalers fed the same faulted inputs.
+//! worse than the competing auto-scalers fed the same faulted inputs —
+//! including when the controller process itself is crashed mid-run.
 
 use chamulteon::RetryPolicy;
-use chamulteon_bench::robustness::{robustness_lineup, robustness_report, FaultClass};
+use chamulteon_bench::robustness::{
+    robustness_lineup, robustness_report, robustness_report_recovered, FaultClass,
+};
 use chamulteon_bench::setups::wikipedia_docker;
 use chamulteon_bench::{run_experiment, run_experiment_with_faults, ScalerKind};
+use chamulteon_sim::RecoveryPolicy;
 
 /// Slack on competitor comparisons, in percentage points of SLO
 /// violations: simulator noise can move either side by a little.
@@ -29,10 +33,11 @@ fn chamulteon_survives_every_fault_class() {
             "{class:?}: SLO violations not a percentage: {}",
             r.faulted_slo_violations
         );
-        // Monitoring and actuation faults must engage the ladder (crash
-        // faults act on the plant, not the controller, so no rung is
-        // required there).
-        if class != FaultClass::InstanceCrashes {
+        // Monitoring and actuation faults must engage the ladder.
+        // Instance crashes act on the plant, not the controller, and a
+        // controller crash kills the process outright rather than feeding
+        // it bad inputs, so no rung is required for either.
+        if class != FaultClass::InstanceCrashes && class != FaultClass::ControllerCrashes {
             assert!(
                 r.degraded_decisions > 0,
                 "{class:?}: faults injected but no degraded decision logged"
@@ -76,7 +81,8 @@ fn chamulteon_degrades_no_worse_than_competitors() {
 fn identical_fault_seeds_reproduce_identical_schedules() {
     let spec = wikipedia_docker();
     let retry = RetryPolicy::default();
-    let plan = FaultClass::DropSamples.plan(spec.seed, spec.trace.duration());
+    let plan =
+        FaultClass::DropSamples.plan(spec.seed, spec.trace.duration(), spec.scaling_interval);
     let a = run_experiment_with_faults(&spec, ScalerKind::Chamulteon, Some(plan.clone()), &retry);
     let b = run_experiment_with_faults(&spec, ScalerKind::Chamulteon, Some(plan), &retry);
     assert!(
@@ -125,4 +131,47 @@ fn crash_faults_are_recorded_and_absorbed() {
     // replacement instance-hours — but the run completes and stays sane.
     assert!(r.faulted_instance_hours > 0.0);
     assert!(r.faulted_slo_violations <= 100.0);
+}
+
+#[test]
+fn checkpointed_chamulteon_survives_controller_crashes_no_worse_than_baselines() {
+    // The crash-safety claim of the checkpoint/restore subsystem: under an
+    // identical controller-crash plan, Chamulteon restoring from its
+    // latest snapshot degrades no worse than the stateless baselines —
+    // which lose nothing in a crash because they carry no learned state —
+    // and the whole comparison is reproducible from the seed alone.
+    let spec = wikipedia_docker();
+    let retry = RetryPolicy::default();
+    let recovery = RecoveryPolicy::Checkpoint { cadence: 5 };
+    let cham = robustness_report_recovered(
+        &spec,
+        ScalerKind::Chamulteon,
+        FaultClass::ControllerCrashes,
+        &retry,
+        recovery,
+    );
+    assert!(cham.faults_injected > 0, "no controller crashes injected");
+    for kind in [
+        ScalerKind::React,
+        ScalerKind::Adapt,
+        ScalerKind::Hist,
+        ScalerKind::Reg,
+    ] {
+        let other = robustness_report(&spec, kind, FaultClass::ControllerCrashes, &retry);
+        assert!(
+            cham.slo_delta() <= other.slo_delta() + COMPARISON_SLACK,
+            "chamulteon degraded by {:+.1} SLO points under crashes, {} only by {:+.1}",
+            cham.slo_delta(),
+            other.scaler,
+            other.slo_delta()
+        );
+    }
+    let again = robustness_report_recovered(
+        &spec,
+        ScalerKind::Chamulteon,
+        FaultClass::ControllerCrashes,
+        &retry,
+        recovery,
+    );
+    assert_eq!(cham, again, "crash recovery run not seed-reproducible");
 }
