@@ -1,0 +1,389 @@
+//! Graph-scale decision runners: one full proactive cycle at 10 / 100 /
+//! 1000 services, legacy-vs-optimized-vs-sharded.
+//!
+//! The paper evaluates a 3-tier chain; ROADMAP item 2 asks what a decision
+//! cycle costs on production-sized graphs. This module provides the three
+//! comparable decision paths the `graph-scale` bench subcommand times:
+//!
+//! * [`proactive_decisions_legacy`] — the pre-arena implementation kept as
+//!   the **sequential baseline**: it re-runs Kahn's algorithm on every
+//!   call, walks the nested-`Vec` graph, and answers every capacity solve
+//!   with an individual locked cache lookup (exactly the seed shape of
+//!   `core::algorithm`).
+//! * `chamulteon::algorithm::proactive_decisions_cached` — the optimized
+//!   path: precompiled arena order, per-stage solve batches answered by
+//!   hoisted corner evaluation.
+//! * [`proactive_decisions_sharded`] — the optimized path with each
+//!   stage's solve batch sharded across
+//!   [`parallel_map`](crate::pool::parallel_map) worker threads and merged
+//!   back in index order.
+//!
+//! All three produce **bit-identical targets** for the same inputs: they
+//! walk the same canonical topological order, accumulate forwarded rates
+//! in the same sequence, and answer every solve at the same quantized
+//! bucket corner (the legacy path through the memo map, the optimized
+//! paths by evaluating the closed form at that corner directly — a memo
+//! entry is exactly that evaluation). The bench binary asserts this
+//! agreement at runtime on every measured configuration;
+//! [`decisions_agree`] is the non-panicking check it uses.
+//!
+//! This module is decision-path code (xtask `DECISION_PATH_MODULES`): it
+//! is panic-free and clock-free — all timing lives in the
+//! `chamulteon-exp` binary, the only module allowed to read `Instant`.
+
+use crate::pool::parallel_map;
+use chamulteon::algorithm::{proactive_decisions_cached, proactive_decisions_staged, SizingCell};
+use chamulteon::ChamulteonConfig;
+use chamulteon_perfmodel::ApplicationModel;
+use chamulteon_queueing::CapacityCache;
+
+/// Minimum number of solve cells in a stage before
+/// [`proactive_decisions_sharded`] fans the batch out to worker threads.
+///
+/// The utilization solver is closed-form (~tens of nanoseconds per cell),
+/// so a scoped-thread dispatch only pays for itself on very wide stages;
+/// below this width the sharded path degrades to the plain batched call.
+/// The machinery matters for pluggable solvers that are actually expensive
+/// (Erlang response-time quantiles), and the threshold keeps the fast
+/// solver honest instead of hiding thread-spawn overhead in the results.
+pub const SHARD_MIN_CELLS: usize = 256;
+
+/// The seed implementation of Algorithm 1's cached decision pass, kept as
+/// the benchmark's sequential baseline: re-sorts the graph topologically
+/// **on every call**, walks the nested adjacency lists, and issues one
+/// locked cache lookup per sized service. Bit-identical to
+/// `proactive_decisions_cached` — the canonical order and the memoized
+/// solver answers are the same — it just does strictly more bookkeeping
+/// per call.
+pub fn proactive_decisions_legacy(
+    cache: &CapacityCache,
+    model: &ApplicationModel,
+    forecast_entry_rate: f64,
+    estimated_demands: &[f64],
+    current_instances: &[u32],
+    config: &ChamulteonConfig,
+) -> Vec<u32> {
+    let n = model.service_count();
+    let demands: Vec<f64> = (0..n)
+        .map(|i| {
+            estimated_demands
+                .get(i)
+                .copied()
+                .filter(|d| d.is_finite() && *d > 0.0)
+                .unwrap_or_else(|| model.service(i).nominal_demand())
+        })
+        .collect();
+    let mut targets: Vec<u32> = (0..n)
+        .map(|i| {
+            current_instances
+                .get(i)
+                .copied()
+                .unwrap_or_else(|| model.service(i).initial_instances())
+                .max(1)
+        })
+        .collect();
+    // The legacy cost being measured: a fresh Kahn sort per decision call.
+    let order = model
+        .graph()
+        .topological_order()
+        .unwrap_or_else(|| (0..n).collect());
+    let mut offered = vec![0.0; n];
+    if let Some(slot) = offered.get_mut(model.entry()) {
+        *slot = forecast_entry_rate.max(0.0);
+    }
+    for &node in &order {
+        let spec = model.service(node);
+        let current = targets[node].max(1);
+        let rate = offered[node].max(0.0);
+        let demand = demands[node].max(0.0);
+        let rho = rate * demand / f64::from(current);
+        let desired = if rho >= config.rho_upper || rho < config.rho_lower {
+            cache.min_instances_for_utilization(rate, demand, config.rho_target)
+        } else {
+            current
+        };
+        targets[node] = desired.clamp(spec.min_instances(), spec.max_instances());
+        let capacity = f64::from(targets[node]) / demands[node];
+        let completed = offered[node].min(capacity);
+        for &(to, multiplicity) in model.graph().calls_from(node) {
+            offered[to] += completed * multiplicity;
+        }
+    }
+    if config.backpressure_enabled {
+        legacy_backpressure(
+            cache,
+            model,
+            forecast_entry_rate,
+            &demands,
+            &mut targets,
+            config,
+        );
+    }
+    targets
+}
+
+/// The seed backpressure epilogue: recomputes visit ratios from the graph
+/// on every call (the optimized path reads them from the arena cache).
+fn legacy_backpressure(
+    cache: &CapacityCache,
+    model: &ApplicationModel,
+    entry_rate: f64,
+    demands: &[f64],
+    targets: &mut [u32],
+    config: &ChamulteonConfig,
+) {
+    let ratios = model.graph().visit_ratios(model.entry());
+    let mut achievable = entry_rate.max(0.0);
+    let mut bottlenecked = false;
+    for (i, spec) in model.services().iter().enumerate() {
+        if ratios[i] <= 0.0 {
+            continue;
+        }
+        let offered_local = entry_rate.max(0.0) * ratios[i];
+        let max_capacity = f64::from(spec.max_instances()) / demands[i];
+        if targets[i] == spec.max_instances() && offered_local > max_capacity * config.rho_upper {
+            achievable = achievable.min(max_capacity * config.rho_target / ratios[i]);
+            bottlenecked = true;
+        }
+    }
+    if !bottlenecked || achievable >= entry_rate {
+        return;
+    }
+    for (i, spec) in model.services().iter().enumerate() {
+        let local = achievable * ratios[i];
+        let current = targets[i].max(1);
+        let rho = local.max(0.0) * demands[i].max(0.0) / f64::from(current);
+        let desired = if rho >= config.rho_upper || rho < config.rho_lower {
+            cache.min_instances_for_utilization(
+                local.max(0.0),
+                demands[i].max(0.0),
+                config.rho_target,
+            )
+        } else {
+            current
+        };
+        let resized = desired.clamp(spec.min_instances(), spec.max_instances());
+        targets[i] = targets[i].min(resized.max(spec.min_instances()));
+    }
+}
+
+/// The staged decision pass with each stage's solve batch sharded across
+/// up to `threads` worker threads.
+///
+/// Stages below [`SHARD_MIN_CELLS`] unique cells (or `threads <= 1`) run
+/// as a single batched cache call. Wider stages are split into
+/// `threads` contiguous chunks solved concurrently via
+/// [`parallel_map`](crate::pool::parallel_map), whose results come back
+/// **in input order** — so the flattened answer vector is exactly what the
+/// single-threaded batch would return, and the targets stay bit-identical
+/// to both sequential paths regardless of thread scheduling: each solve is
+/// a pure corner evaluation of its cell, with no shared state at all.
+pub fn proactive_decisions_sharded(
+    cache: &CapacityCache,
+    model: &ApplicationModel,
+    forecast_entry_rate: f64,
+    estimated_demands: &[f64],
+    current_instances: &[u32],
+    config: &ChamulteonConfig,
+    threads: usize,
+) -> Vec<u32> {
+    let corner = cache.utilization_corner_solver(config.rho_target);
+    proactive_decisions_staged(
+        model,
+        forecast_entry_rate,
+        estimated_demands,
+        current_instances,
+        config,
+        &mut |cells: &[SizingCell], solved: &mut Vec<u32>| {
+            if threads > 1 && cells.len() >= SHARD_MIN_CELLS {
+                let chunk_len = cells.len().div_ceil(threads).max(1);
+                let chunks: Vec<&[SizingCell]> = cells.chunks(chunk_len).collect();
+                let answered: Vec<Vec<u32>> = parallel_map(&chunks, threads, |_, part| {
+                    part.iter()
+                        .map(|c| corner.solve(c.arrival_rate, c.service_demand))
+                        .collect()
+                });
+                solved.clear();
+                solved.extend(answered.into_iter().flatten());
+            } else {
+                solved.clear();
+                solved.reserve(cells.len());
+                solved.extend(
+                    cells
+                        .iter()
+                        .map(|c| corner.solve(c.arrival_rate, c.service_demand)),
+                );
+            }
+        },
+    )
+}
+
+/// Which decision implementation a cycle run drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CyclePath {
+    /// [`proactive_decisions_legacy`]: per-call re-sort, per-service
+    /// locked lookups.
+    Legacy,
+    /// `proactive_decisions_cached`: arena order, per-stage batched
+    /// corner evaluation.
+    Batched,
+    /// [`proactive_decisions_sharded`] with the given worker count.
+    Sharded(usize),
+}
+
+impl CyclePath {
+    /// Stable lowercase label for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CyclePath::Legacy => "legacy",
+            CyclePath::Batched => "batched",
+            CyclePath::Sharded(_) => "sharded",
+        }
+    }
+}
+
+/// Runs one full proactive cycle — the controller's forecast-horizon loop:
+/// each step takes the previous step's targets as the current deployment
+/// and decides for the next forecast rate — and returns the final targets.
+///
+/// Demand estimates are left to the model's nominal values (the fallback
+/// both decision paths share), and the deployment starts from each
+/// service's initial instance count, so a cycle is a pure function of
+/// `(model, entry_rates, config)` plus the cache contents.
+pub fn run_proactive_cycle_path(
+    cache: &CapacityCache,
+    model: &ApplicationModel,
+    entry_rates: &[f64],
+    config: &ChamulteonConfig,
+    path: CyclePath,
+) -> Vec<u32> {
+    let mut current: Vec<u32> = model
+        .services()
+        .iter()
+        .map(chamulteon_perfmodel::ServiceSpec::initial_instances)
+        .collect();
+    for &rate in entry_rates {
+        current = match path {
+            CyclePath::Legacy => {
+                proactive_decisions_legacy(cache, model, rate, &[], &current, config)
+            }
+            CyclePath::Batched => {
+                proactive_decisions_cached(cache, model, rate, &[], &current, config)
+            }
+            CyclePath::Sharded(threads) => {
+                proactive_decisions_sharded(cache, model, rate, &[], &current, config, threads)
+            }
+        };
+    }
+    current
+}
+
+/// The deterministic forecast-rate schedule the graph-scale bench drives
+/// through one cycle: a ramp from 70% to 130% of `base` over `horizon`
+/// steps, so each step re-sizes (the rates move enough to leave the hold
+/// band) and the cycle exercises the solve path, not just the band check.
+pub fn cycle_rates(base: f64, horizon: usize) -> Vec<f64> {
+    let span = horizon.max(1);
+    (0..horizon)
+        .map(|step| {
+            let fraction = to_f64(step) / to_f64(span);
+            base * (0.7 + 0.6 * fraction)
+        })
+        .collect()
+}
+
+/// `usize → f64` for small step counts, without a bare cast on the
+/// decision path.
+fn to_f64(x: usize) -> f64 {
+    u32::try_from(x).map(f64::from).unwrap_or(f64::MAX)
+}
+
+/// Non-panicking bit-identity check between two decision vectors — the
+/// runtime assertion the bench binary reports (and fails its exit code
+/// on) instead of panicking inside decision-path code.
+pub fn decisions_agree(a: &[u32], b: &[u32]) -> bool {
+    a == b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chamulteon_perfmodel::{topology, TopologyFamily};
+
+    fn config() -> ChamulteonConfig {
+        ChamulteonConfig::default()
+    }
+
+    #[test]
+    fn legacy_matches_optimized_on_paper_benchmark() {
+        let model = ApplicationModel::paper_benchmark();
+        let cache = CapacityCache::new();
+        for &rate in &[0.0, 33.9, 100.0, 999.0] {
+            let legacy =
+                proactive_decisions_legacy(&cache, &model, rate, &[], &[1, 1, 1], &config());
+            let batched =
+                proactive_decisions_cached(&cache, &model, rate, &[], &[1, 1, 1], &config());
+            assert_eq!(legacy, batched, "rate {rate}");
+        }
+    }
+
+    #[test]
+    fn all_three_paths_agree_across_families() {
+        for family in TopologyFamily::ALL {
+            let model = topology::model(family, 60, 11).expect("valid model");
+            let cache = CapacityCache::new();
+            let rates = cycle_rates(400.0, 6);
+            let legacy =
+                run_proactive_cycle_path(&cache, &model, &rates, &config(), CyclePath::Legacy);
+            let batched =
+                run_proactive_cycle_path(&cache, &model, &rates, &config(), CyclePath::Batched);
+            let sharded =
+                run_proactive_cycle_path(&cache, &model, &rates, &config(), CyclePath::Sharded(4));
+            assert!(decisions_agree(&legacy, &batched), "{}", family.name());
+            assert!(decisions_agree(&batched, &sharded), "{}", family.name());
+        }
+    }
+
+    #[test]
+    fn sharded_forces_wide_batches_through_the_pool() {
+        // A graph wide enough that some stage's pending-solve batch
+        // exceeds SHARD_MIN_CELLS and genuinely fans out; either way the
+        // result must match the batched path bit for bit.
+        let model = topology::model(TopologyFamily::ScaleFree, 600, 5).expect("valid model");
+        let cache_a = CapacityCache::new();
+        let cache_b = CapacityCache::new();
+        let batched = proactive_decisions_cached(&cache_a, &model, 5000.0, &[], &[], &config());
+        let sharded = proactive_decisions_sharded(&cache_b, &model, 5000.0, &[], &[], &config(), 4);
+        assert_eq!(batched, sharded);
+    }
+
+    #[test]
+    fn cycle_rates_ramp_and_length() {
+        let rates = cycle_rates(100.0, 12);
+        assert_eq!(rates.len(), 12);
+        assert!((rates[0] - 70.0).abs() < 1e-9);
+        assert!(rates.last().copied().unwrap_or(0.0) > rates[0]);
+    }
+
+    #[test]
+    fn backpressure_paths_agree() {
+        // A capped mid-tier forces the backpressure epilogue in both
+        // implementations.
+        let model = chamulteon_perfmodel::ApplicationModelBuilder::new()
+            .service("ui", 0.059, 1, 500, 1)
+            .service("validation", 0.1, 1, 500, 1)
+            .service("data", 0.04, 1, 3, 1)
+            .call("ui", "validation", 1.0)
+            .call("validation", "data", 1.0)
+            .entry("ui")
+            .build()
+            .expect("valid model");
+        let cfg = ChamulteonConfig::with_backpressure();
+        let cache = CapacityCache::new();
+        let legacy = proactive_decisions_legacy(&cache, &model, 1000.0, &[], &[1, 1, 1], &cfg);
+        let batched = proactive_decisions_cached(&cache, &model, 1000.0, &[], &[1, 1, 1], &cfg);
+        let sharded = proactive_decisions_sharded(&cache, &model, 1000.0, &[], &[1, 1, 1], &cfg, 4);
+        assert_eq!(legacy, batched);
+        assert_eq!(batched, sharded);
+    }
+}

@@ -33,8 +33,8 @@
 // The bench crate is the experiment harness (layer 5). Casts size small
 // loop/display counts from bounded trace durations; `expect` is allowed
 // only in the table/setup plumbing — the measurement loop itself
-// (`drivers`, `experiment`, `robustness`) is decision-path code and kept
-// panic-free, enforced by `xtask audit` rule R1.
+// (`drivers`, `experiment`, `robustness`, `graph_scale`) is decision-path
+// code and kept panic-free, enforced by `xtask audit` rule R1.
 #![allow(
     clippy::expect_used,
     clippy::cast_possible_truncation,
@@ -47,6 +47,7 @@
 
 pub mod drivers;
 pub mod experiment;
+pub mod graph_scale;
 pub mod paper;
 pub mod pool;
 pub mod robustness;
@@ -56,6 +57,9 @@ pub use drivers::ScalerKind;
 pub use experiment::{
     run_experiment, run_experiment_observed, run_experiment_recovered, run_experiment_with_faults,
     ExperimentOutcome, ExperimentSpec, FaultedOutcome,
+};
+pub use graph_scale::{
+    proactive_decisions_legacy, proactive_decisions_sharded, run_proactive_cycle_path, CyclePath,
 };
 pub use paper::{run_lineup, run_lineup_seq, run_lineup_with_threads};
 pub use pool::{default_threads, parallel_map};

@@ -19,10 +19,10 @@ use crate::config::ConformanceConfig;
 use crate::report::OracleReport;
 use chamulteon::algorithm::{proactive_decisions, proactive_decisions_cached};
 use chamulteon::ChamulteonConfig;
-use chamulteon_perfmodel::{ApplicationModel, ApplicationModelBuilder};
+use chamulteon_perfmodel::{ApplicationModel, ApplicationModelBuilder, TopologyFamily};
 use chamulteon_queueing::CapacityCache;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 /// The paper's while-loop, literally: grow `n` from 1 until the
 /// utilization `ρ = λ·D/n` no longer exceeds the target, honoring the
@@ -117,32 +117,48 @@ struct Case {
     config: ChamulteonConfig,
 }
 
-/// Draws one case: a 1–5 service index-topological DAG (chain spine plus
-/// random skip edges), random demands/bounds/current counts, a valid
-/// `ρ_lower < ρ_target < ρ_upper` band, and an entry rate that every few
-/// cases is crafted to land `λ·D/ρ_target` exactly on an integer — the
+/// Draws one case. Half the grid uses the original ad-hoc shape (a 1–5
+/// service chain spine plus random skip edges); the other half draws one
+/// of the perfmodel [`TopologyFamily`] generators (chain, fan, diamond,
+/// scale-free) at 2–8 services, so every structural family the graph-scale
+/// work targets is oracle-covered. Both kinds are index-topological by
+/// construction, which is what lets [`oracle_decisions`] walk plain index
+/// order. The rest of the case is random demands/bounds/current counts, a
+/// valid `ρ_lower < ρ_target < ρ_upper` band, and an entry rate that every
+/// few cases is crafted to land `λ·D/ρ_target` exactly on an integer — the
 /// float boundary where a naive search and a `ceil` most easily diverge.
 fn generate_case(rng: &mut StdRng) -> Option<Case> {
-    let services = rng.gen_range(1..=5usize);
-    let mut builder = ApplicationModelBuilder::new();
-    let mut demands = Vec::with_capacity(services);
-    for i in 0..services {
-        let demand = rng.gen_range(0.01..0.4);
-        demands.push(demand);
-        let max = rng.gen_range(50..=400u32);
-        let initial = rng.gen_range(1..=10u32);
-        builder = builder.service(format!("s{i}"), demand, 1, max, initial);
-    }
-    // Chain spine keeps every service reachable; skip edges add fan-out.
-    for i in 1..services {
-        let multiplicity = [0.5, 1.0, 1.0, 1.5, 2.0][rng.gen_range(0..5usize)];
-        builder = builder.call(format!("s{}", i - 1), format!("s{i}"), multiplicity);
-        if i >= 2 && rng.gen_bool(0.3) {
-            let from = rng.gen_range(0..i - 1);
-            builder = builder.call(format!("s{from}"), format!("s{i}"), 0.5);
+    let model = if rng.gen_bool(0.5) {
+        let family = TopologyFamily::ALL[rng.gen_range(0..TopologyFamily::ALL.len())];
+        let n = rng.gen_range(2..=8usize);
+        let topology_seed = rng.next_u64();
+        chamulteon_perfmodel::topology::model(family, n, topology_seed).ok()?
+    } else {
+        let services = rng.gen_range(1..=5usize);
+        let mut builder = ApplicationModelBuilder::new();
+        for i in 0..services {
+            let demand = rng.gen_range(0.01..0.4);
+            let max = rng.gen_range(50..=400u32);
+            let initial = rng.gen_range(1..=10u32);
+            builder = builder.service(format!("s{i}"), demand, 1, max, initial);
         }
-    }
-    let model = builder.entry("s0").build().ok()?;
+        // Chain spine keeps every service reachable; skip edges add fan-out.
+        for i in 1..services {
+            let multiplicity = [0.5, 1.0, 1.0, 1.5, 2.0][rng.gen_range(0..5usize)];
+            builder = builder.call(format!("s{}", i - 1), format!("s{i}"), multiplicity);
+            if i >= 2 && rng.gen_bool(0.3) {
+                let from = rng.gen_range(0..i - 1);
+                builder = builder.call(format!("s{from}"), format!("s{i}"), 0.5);
+            }
+        }
+        builder.entry("s0").build().ok()?
+    };
+    let services = model.service_count();
+    let demands: Vec<f64> = model
+        .services()
+        .iter()
+        .map(chamulteon_perfmodel::ServiceSpec::nominal_demand)
+        .collect();
 
     let rho_target = rng.gen_range(0.35..0.9);
     let config = ChamulteonConfig {

@@ -21,7 +21,7 @@ pub fn size_service(
     config: &ChamulteonConfig,
 ) -> u32 {
     size_service_with(
-        &min_instances_for_utilization,
+        &mut |rate, demand, rho| min_instances_for_utilization(rate, demand, rho),
         arrival_rate,
         service_demand,
         current,
@@ -45,7 +45,7 @@ pub fn size_service_cached(
     config: &ChamulteonConfig,
 ) -> u32 {
     size_service_with(
-        &|rate, demand, rho| cache.min_instances_for_utilization(rate, demand, rho),
+        &mut |rate, demand, rho| cache.min_instances_for_utilization(rate, demand, rho),
         arrival_rate,
         service_demand,
         current,
@@ -58,7 +58,7 @@ pub fn size_service_cached(
 /// The shared sizing logic; `solve(λ, D, ρ_target)` answers the
 /// utilization inversion (exactly or through a cache).
 fn size_service_with(
-    solve: &dyn Fn(f64, f64, f64) -> u32,
+    solve: &mut dyn FnMut(f64, f64, f64) -> u32,
     arrival_rate: f64,
     service_demand: f64,
     current: u32,
@@ -104,7 +104,7 @@ pub fn proactive_decisions(
     config: &ChamulteonConfig,
 ) -> Vec<u32> {
     proactive_decisions_with(
-        &min_instances_for_utilization,
+        &mut |rate, demand, rho| min_instances_for_utilization(rate, demand, rho),
         model,
         forecast_entry_rate,
         estimated_demands,
@@ -121,6 +121,20 @@ pub fn proactive_decisions(
 /// is absorbed by the solver's own 1e-9 integer snap, so the decision per
 /// tick is the same while repeated sizing queries across the forecast
 /// horizon become hash lookups.
+///
+/// Internally this runs the staged pass
+/// ([`proactive_decisions_staged`]): per arena stage, the capacity solves
+/// are collected in stage order and answered through
+/// the cache's hoisted [`UtilizationCornerSolver`] — the quantized bucket
+/// corner evaluated in closed form directly, since for the utilization
+/// inversion the memo probe costs more than the solve it would save. The
+/// solver is built once per pass (target sanitized and quantized up
+/// front) and the solve loop is monomorphized into the stage walk, so a
+/// singleton stage pays a handful of inlined float ops per solve. Targets
+/// are bit-identical to the sequential per-service memoized path (a
+/// Utilization memo entry is exactly that corner evaluation, and the
+/// solver is pure); only the lock, hash and map-growth traffic
+/// disappears.
 pub fn proactive_decisions_cached(
     cache: &CapacityCache,
     model: &ApplicationModel,
@@ -129,15 +143,258 @@ pub fn proactive_decisions_cached(
     current_instances: &[u32],
     config: &ChamulteonConfig,
 ) -> Vec<u32> {
-    proactive_decisions_with(
-        &|rate, demand, rho| cache.min_instances_for_utilization(rate, demand, rho),
+    let corner = cache.utilization_corner_solver(config.rho_target);
+    proactive_decisions_staged(
         model,
         forecast_entry_rate,
         estimated_demands,
         current_instances,
         config,
-        &mut |_, _| {},
+        &mut |cells: &[SizingCell], solved: &mut Vec<u32>| {
+            solved.clear();
+            solved.reserve(cells.len());
+            solved.extend(
+                cells
+                    .iter()
+                    .map(|c| corner.solve(c.arrival_rate, c.service_demand)),
+            );
+        },
     )
+}
+
+/// One capacity-solve request of the staged decision pass: an
+/// offered arrival rate and a service demand to size for (the utilization
+/// target comes from the shared config). Inputs are already clamped
+/// non-negative, exactly as [`size_service`] passes them to its solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizingCell {
+    /// The offered (predecessor-forwarded) arrival rate, ≥ 0.
+    pub arrival_rate: f64,
+    /// The estimated service demand in seconds, ≥ 0.
+    pub service_demand: f64,
+}
+
+/// The hold-band decision of [`size_service`] —
+/// `ρ ≥ ρ_upper || ρ < ρ_lower` with `ρ = load / current` — computed
+/// without the division in the common case.
+///
+/// The division only exists to compare against the two thresholds, so the
+/// comparisons are first attempted multiplicatively against guard-banded
+/// products `ρ_bound · current`: one rounded multiplication and one
+/// rounded division each introduce at most 1 ulp of relative error, so a
+/// 16-ulp guard band is conservatively wide — any `load` beyond it is
+/// provably on the same side under both formulations. Only a `load`
+/// inside the ~16-ulp borderline region (or a degenerate configuration:
+/// non-positive, non-finite, or extreme-magnitude thresholds, where the
+/// relative-error argument breaks down) falls back to the exact division.
+/// The returned decision is therefore **bit-identical** to the division
+/// form for every input; an `fdiv` per service per tick is simply skipped
+/// almost always.
+#[inline]
+fn outside_hold_band(load: f64, current: f64, rho_upper: f64, rho_lower: f64) -> bool {
+    // One-sided guard factors, exactly representable.
+    const UP: f64 = 1.0 + 16.0 * f64::EPSILON;
+    const DOWN: f64 = 1.0 - 16.0 * f64::EPSILON;
+    let hi = rho_upper * current;
+    let lo = rho_lower * current;
+    // The relative-error bound needs both products comfortably inside the
+    // normal range; `current` is at least 1 and at most 2^32, so for sane
+    // utilization bounds this guard always passes.
+    if hi > 1e-300 && hi < 1e300 && (lo == 0.0 || (lo > 1e-300 && lo < 1e300)) {
+        if load >= hi * UP || (lo > 0.0 && load < lo * DOWN) {
+            return true; // provably ρ ≥ upper, or provably ρ < lower
+        }
+        // `lo == 0.0` holds trivially: ρ = load/current ≥ 0 = ρ_lower.
+        if load <= hi * DOWN && (lo == 0.0 || load >= lo * UP) {
+            return false; // provably inside the band
+        }
+    }
+    let rho = load / current;
+    rho >= rho_upper || rho < rho_lower
+}
+
+/// The staged decision pass: Algorithm 1 restructured around the model's
+/// arena so a caller can answer each stage's capacity solves however it
+/// likes — batched through one cache lock ([`proactive_decisions_cached`])
+/// or sharded across worker threads (the bench crate's graph-scale
+/// runner).
+///
+/// Per arena stage (a maximal prefix of the canonical topological order
+/// whose services don't call each other):
+///
+/// 1. every stage service is hold-band checked against its offered rate
+///    (services inside the band keep their clamped current count and issue
+///    no solve),
+/// 2. the remaining services' `(rate, demand)` queries are collected into
+///    a list of [`SizingCell`]s in stage order — duplicates included: the
+///    walk does not dedupe, because a solver cheap enough to batch (the
+///    corner evaluation) costs less per query than sorting the keys
+///    would, and the memoized batch entry point dedupes for free through
+///    the memo itself (the first occurrence misses, the rest hit under
+///    the same lock),
+/// 3. `run_batch(cells, solved)` answers them into a reused output buffer
+///    (one raw instance count per cell, in order; a short fill degrades
+///    to a count of 1),
+/// 4. each pending service gets its cell's answer clamped into its own
+///    `[min, max]` bounds (cells and pending services correspond by
+///    position),
+/// 5. the stage's completed rates are forwarded along the graph
+///    **sequentially in canonical order**, so every float accumulation
+///    into a downstream service's offered rate happens in exactly the
+///    order the sequential pass uses.
+///
+/// Because stages partition the canonical order, and no service's offered
+/// rate is read before all its predecessors have forwarded (predecessors
+/// always sit in earlier stages), the returned targets are bit-identical
+/// to [`proactive_decisions`] with the same solver — regardless of how
+/// `run_batch` schedules the solves internally. Backpressure remains a
+/// sequential epilogue, issuing singleton batches in service-index order.
+pub fn proactive_decisions_staged<F>(
+    model: &ApplicationModel,
+    forecast_entry_rate: f64,
+    estimated_demands: &[f64],
+    current_instances: &[u32],
+    config: &ChamulteonConfig,
+    run_batch: &mut F,
+) -> Vec<u32>
+where
+    F: FnMut(&[SizingCell], &mut Vec<u32>) + ?Sized,
+{
+    let arena = model.arena();
+    let n = arena.node_count();
+    // With no estimates at all, the sanitized demand vector IS the
+    // arena's nominal-demand cache (every entry finite and positive by
+    // construction) — borrow it instead of copying 1000 floats per call.
+    let demands_storage: Vec<f64>;
+    let demands: &[f64] = if estimated_demands.is_empty() {
+        arena.nominal_demands()
+    } else {
+        demands_storage = (0..n)
+            .map(|i| {
+                estimated_demands
+                    .get(i)
+                    .copied()
+                    .filter(|d| d.is_finite() && *d > 0.0)
+                    .unwrap_or_else(|| arena.nominal_demand(i))
+            })
+            .collect();
+        &demands_storage
+    };
+    let mut targets: Vec<u32> = (0..n)
+        .map(|i| {
+            current_instances
+                .get(i)
+                .copied()
+                .unwrap_or_else(|| arena.initial_instances(i))
+                .max(1)
+        })
+        .collect();
+    let mut offered = vec![0.0; n];
+    if n > 0 {
+        offered[arena.entry()] = forecast_entry_rate.max(0.0);
+    }
+
+    let mut pending: Vec<usize> = Vec::new();
+    let mut cells: Vec<SizingCell> = Vec::new();
+    let mut solved: Vec<u32> = Vec::new();
+    for stage in 0..arena.stage_count() {
+        if let &[node] = arena.stage(stage) {
+            // Singleton-stage fast path — every stage of a chain-like
+            // graph: band-check, solve and forward inline, no pending
+            // list, nothing to scatter. Identical operations in identical
+            // order to the general path below.
+            let current = targets[node].max(1);
+            let rate = offered[node].max(0.0);
+            let demand = demands[node].max(0.0);
+            let desired = if outside_hold_band(
+                rate * demand,
+                f64::from(current),
+                config.rho_upper,
+                config.rho_lower,
+            ) {
+                cells.clear();
+                cells.push(SizingCell {
+                    arrival_rate: rate,
+                    service_demand: demand,
+                });
+                run_batch(&cells, &mut solved);
+                solved.first().copied().unwrap_or(1)
+            } else {
+                current
+            };
+            targets[node] = desired.clamp(arena.min_instances(node), arena.max_instances(node));
+            let capacity = f64::from(targets[node]) / demands[node];
+            let completed = offered[node].min(capacity);
+            for (to, multiplicity) in arena.calls_from(node) {
+                offered[to] += completed * multiplicity;
+            }
+            continue;
+        }
+        // 1) Hold-band check, mirroring `size_service` exactly; pending
+        //    services collect their sizing queries in stage order.
+        pending.clear();
+        cells.clear();
+        for &node in arena.stage(stage) {
+            let current = targets[node].max(1);
+            let rate = offered[node].max(0.0);
+            let demand = demands[node].max(0.0);
+            if outside_hold_band(
+                rate * demand,
+                f64::from(current),
+                config.rho_upper,
+                config.rho_lower,
+            ) {
+                pending.push(node);
+                cells.push(SizingCell {
+                    arrival_rate: rate,
+                    service_demand: demand,
+                });
+            } else {
+                targets[node] = current.clamp(arena.min_instances(node), arena.max_instances(node));
+            }
+        }
+        if !pending.is_empty() {
+            // 2) Answer the queries (one cell per pending service).
+            run_batch(&cells, &mut solved);
+            // 3) Scatter each answer back by position and clamp.
+            for (idx, &node) in pending.iter().enumerate() {
+                let desired = solved.get(idx).copied().unwrap_or(1);
+                targets[node] = desired.clamp(arena.min_instances(node), arena.max_instances(node));
+            }
+        }
+        // 5) Forward completed rates sequentially in canonical order.
+        for &node in arena.stage(stage) {
+            let capacity = f64::from(targets[node]) / demands[node];
+            let completed = offered[node].min(capacity);
+            for (to, multiplicity) in arena.calls_from(node) {
+                offered[to] += completed * multiplicity;
+            }
+        }
+    }
+
+    if config.backpressure_enabled {
+        // Sequential epilogue: singleton batches in service-index order
+        // issue exactly the lookups the per-service path would.
+        let mut solve_one = |rate: f64, demand: f64, _rho: f64| {
+            run_batch(
+                &[SizingCell {
+                    arrival_rate: rate,
+                    service_demand: demand,
+                }],
+                &mut solved,
+            );
+            solved.first().copied().unwrap_or(1)
+        };
+        apply_backpressure(
+            &mut solve_one,
+            model,
+            forecast_entry_rate,
+            demands,
+            &mut targets,
+            config,
+        );
+    }
+    targets
 }
 
 /// Per-service sizing context captured by
@@ -174,7 +431,7 @@ pub fn proactive_decisions_cached_traced(
     // the single-threaded decision pass; under concurrent cache sharing
     // the flag is best-effort, the target is exact either way).
     let last_hit: std::cell::Cell<Option<bool>> = std::cell::Cell::new(None);
-    let solve = |rate: f64, demand: f64, rho: f64| {
+    let mut solve = |rate: f64, demand: f64, rho: f64| {
         let before = cache.stats();
         let result = cache.min_instances_for_utilization(rate, demand, rho);
         let after = cache.stats();
@@ -192,7 +449,7 @@ pub fn proactive_decisions_cached_traced(
         cache_hit: vec![None; n],
     };
     let targets = proactive_decisions_with(
-        &solve,
+        &mut solve,
         model,
         forecast_entry_rate,
         estimated_demands,
@@ -217,7 +474,7 @@ pub fn proactive_decisions_cached_traced(
 /// trace reflects the primary coordinated pass).
 #[allow(clippy::too_many_arguments)]
 fn proactive_decisions_with(
-    solve: &dyn Fn(f64, f64, f64) -> u32,
+    solve: &mut dyn FnMut(f64, f64, f64) -> u32,
     model: &ApplicationModel,
     forecast_entry_rate: f64,
     estimated_demands: &[f64],
@@ -225,14 +482,15 @@ fn proactive_decisions_with(
     config: &ChamulteonConfig,
     observe: &mut dyn FnMut(usize, f64),
 ) -> Vec<u32> {
-    let n = model.service_count();
+    let arena = model.arena();
+    let n = arena.node_count();
     let demands: Vec<f64> = (0..n)
         .map(|i| {
             estimated_demands
                 .get(i)
                 .copied()
                 .filter(|d| d.is_finite() && *d > 0.0)
-                .unwrap_or_else(|| model.service(i).nominal_demand())
+                .unwrap_or_else(|| arena.nominal_demand(i))
         })
         .collect();
     let mut targets: Vec<u32> = (0..n)
@@ -240,37 +498,33 @@ fn proactive_decisions_with(
             current_instances
                 .get(i)
                 .copied()
-                .unwrap_or_else(|| model.service(i).initial_instances())
+                .unwrap_or_else(|| arena.initial_instances(i))
                 .max(1)
         })
         .collect();
 
-    // Walk the invocation graph in topological order, sizing each service
-    // for the rate its *already-sized* predecessors forward. A validated
-    // model is acyclic; should a cycle ever slip through, fall back to
-    // index order so every service is still sized.
-    let order = model
-        .graph()
-        .topological_order()
-        .unwrap_or_else(|| (0..n).collect());
+    // Walk the invocation graph in the arena's precomputed canonical
+    // topological order, sizing each service for the rate its
+    // *already-sized* predecessors forward.
     let mut offered = vec![0.0; n];
-    offered[model.entry()] = forecast_entry_rate.max(0.0);
-    for &node in &order {
-        let spec = model.service(node);
+    if n > 0 {
+        offered[arena.entry()] = forecast_entry_rate.max(0.0);
+    }
+    for &node in arena.topo_order() {
         targets[node] = size_service_with(
             solve,
             offered[node],
             demands[node],
             targets[node],
-            spec.min_instances(),
-            spec.max_instances(),
+            arena.min_instances(node),
+            arena.max_instances(node),
             config,
         );
         observe(node, offered[node]);
         // Forward at most what the newly sized deployment can complete.
         let capacity = f64::from(targets[node]) / demands[node];
         let completed = offered[node].min(capacity);
-        for &(to, multiplicity) in model.graph().calls_from(node) {
+        for (to, multiplicity) in arena.calls_from(node) {
             offered[to] += completed * multiplicity;
         }
     }
@@ -297,27 +551,28 @@ fn proactive_decisions_with(
 ///
 /// A no-op when no service is capped below its offered load.
 fn apply_backpressure(
-    solve: &dyn Fn(f64, f64, f64) -> u32,
+    solve: &mut dyn FnMut(f64, f64, f64) -> u32,
     model: &ApplicationModel,
     entry_rate: f64,
     demands: &[f64],
     targets: &mut [u32],
     config: &ChamulteonConfig,
 ) {
-    let ratios = model.visit_ratios();
+    let arena = model.arena();
+    let ratios = arena.visit_ratios();
     // Achievable external rate per service: its saturated max capacity
     // translated back to external-request units.
     let mut achievable = entry_rate.max(0.0);
     let mut bottlenecked = false;
-    for (i, spec) in model.services().iter().enumerate() {
+    for i in 0..arena.node_count() {
         if ratios[i] <= 0.0 {
             continue;
         }
         let offered_local = entry_rate.max(0.0) * ratios[i];
-        let max_capacity = f64::from(spec.max_instances()) / demands[i];
+        let max_capacity = f64::from(arena.max_instances(i)) / demands[i];
         // Only a service that is *pinned at its maximum* and still short
         // exerts backpressure; anything below max can be scaled instead.
-        if targets[i] == spec.max_instances() && offered_local > max_capacity * config.rho_upper {
+        if targets[i] == arena.max_instances(i) && offered_local > max_capacity * config.rho_upper {
             achievable = achievable.min(max_capacity * config.rho_target / ratios[i]);
             bottlenecked = true;
         }
@@ -327,18 +582,18 @@ fn apply_backpressure(
     }
     // Re-size everything for the achievable rate (the bottleneck itself
     // stays at max).
-    for (i, spec) in model.services().iter().enumerate() {
+    for i in 0..arena.node_count() {
         let local = achievable * ratios[i];
         let resized = size_service_with(
             solve,
             local,
             demands[i],
             targets[i],
-            spec.min_instances(),
-            spec.max_instances(),
+            arena.min_instances(i),
+            arena.max_instances(i),
             config,
         );
-        targets[i] = targets[i].min(resized.max(spec.min_instances()));
+        targets[i] = targets[i].min(resized.max(arena.min_instances(i)));
     }
 }
 
@@ -527,8 +782,9 @@ mod tests {
             );
             assert_eq!(exact, cached, "rate {rate}");
         }
-        // The second sweep is answered from the memo.
-        let misses_after_first_sweep = cache.stats().misses;
+        // The batched pass answers by corner evaluation: no memo traffic
+        // at all, so repeating the sweep still issues zero lookups.
+        assert_eq!(cache.stats(), chamulteon_queueing::CacheStats::default());
         for &rate in &[0.0, 1.0, 33.9, 100.0, 123.456, 999.0] {
             let _ = proactive_decisions_cached(
                 &cache,
@@ -539,7 +795,7 @@ mod tests {
                 &config(),
             );
         }
-        assert_eq!(cache.stats().misses, misses_after_first_sweep);
+        assert_eq!(cache.stats().misses, 0);
     }
 
     #[test]
@@ -570,8 +826,12 @@ mod tests {
             // The entry's offered rate is the forecast rate itself.
             assert_eq!(trace.offered[model.entry()], rate.max(0.0));
         }
-        // Counters agree: tracing issues exactly the same lookups.
-        assert_eq!(cache.stats(), shadow.stats());
+        // The plain batched path answers by corner evaluation and issues
+        // no memo lookups; the traced path deliberately routes through the
+        // memoized single-query entry so its per-service hit/miss
+        // provenance stays meaningful.
+        assert_eq!(cache.stats(), chamulteon_queueing::CacheStats::default());
+        assert!(shadow.stats().misses > 0);
 
         // First solve of a fresh cache is a miss; repeating it is a hit.
         let fresh = chamulteon_queueing::CapacityCache::new();

@@ -69,7 +69,9 @@ pub mod snapshot;
 /// Hybrid vertical + horizontal scaling (the paper's first future-work item).
 pub mod vertical;
 
-pub use algorithm::{proactive_decisions, proactive_decisions_cached};
+pub use algorithm::{
+    proactive_decisions, proactive_decisions_cached, proactive_decisions_staged, SizingCell,
+};
 pub use config::ChamulteonConfig;
 pub use controller::Chamulteon;
 pub use decision::{DecisionOrigin, DecisionStore, ScalingDecision};

@@ -83,7 +83,7 @@ impl ApplicationModelBuilder {
     /// # Errors
     ///
     /// Propagates all validation errors of [`ServiceSpec::new`],
-    /// [`InvocationGraph::add_call`] and [`ApplicationModel::new`], plus
+    /// [`InvocationGraph::from_edges`] and [`ApplicationModel::new`], plus
     /// [`ModelError::UnknownService`] for call or entry names that were
     /// never declared.
     pub fn build(self) -> Result<ApplicationModel, ModelError> {
@@ -108,10 +108,13 @@ impl ApplicationModelBuilder {
                     name: name.to_owned(),
                 })
         };
-        let mut graph = InvocationGraph::new(specs.len());
+        let mut edges = Vec::with_capacity(self.calls.len());
         for (from, to, m) in &self.calls {
-            graph.add_call(index_of(from)?, index_of(to)?, *m)?;
+            edges.push((index_of(from)?, index_of(to)?, *m));
         }
+        // Bulk construction: one acyclicity check for the whole edge set
+        // instead of per-edge re-validation.
+        let graph = InvocationGraph::from_edges(specs.len(), edges)?;
         let entry = match &self.entry {
             Some(name) => index_of(name)?,
             None => 0,

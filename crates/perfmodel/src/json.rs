@@ -422,11 +422,11 @@ pub(crate) fn decode_model(text: &str) -> Result<ApplicationModel, ModelError> {
 
     let graph_fields = as_obj(get(root, "graph")?, "graph")?;
     let service_count = as_usize(get(graph_fields, "service_count")?, "service_count")?;
-    let mut graph = InvocationGraph::new(service_count);
     let edges = as_arr(get(graph_fields, "edges")?, "edges")?;
     if edges.len() != service_count {
         return Err(parse_error("`edges` length must equal `service_count`"));
     }
+    let mut edge_list = Vec::new();
     for (from, outs) in edges.iter().enumerate() {
         for edge in as_arr(outs, "edges[from]")? {
             let pair = as_arr(edge, "edge")?;
@@ -435,11 +435,15 @@ pub(crate) fn decode_model(text: &str) -> Result<ApplicationModel, ModelError> {
             }
             let to = as_usize(&pair[0], "edge target")?;
             let mult = as_f64(&pair[1], "edge multiplicity")?;
-            graph
-                .add_call(from, to, mult)
-                .map_err(|e| parse_error(format!("edge {from} -> {to}: {e}")))?;
+            edge_list.push((from, to, mult));
         }
     }
+    // Bulk construction: per-edge field validation plus a single
+    // acyclicity check for the whole document.
+    let graph = InvocationGraph::from_edges(service_count, edge_list).map_err(|e| match e {
+        ModelError::CyclicInvocation => ModelError::CyclicInvocation,
+        other => parse_error(format!("graph: {other}")),
+    })?;
 
     let entry = as_usize(get(root, "entry")?, "entry")?;
     // Final structural validation (duplicate names, entry range, acyclicity).

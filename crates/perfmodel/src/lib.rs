@@ -37,15 +37,19 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0.0)` deliberately rejects NaN
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod builder;
 pub mod error;
 pub mod graph;
 mod json;
 pub mod model;
 pub mod service;
+pub mod topology;
 
+pub use arena::ModelArena;
 pub use builder::ApplicationModelBuilder;
 pub use error::ModelError;
 pub use graph::InvocationGraph;
 pub use model::ApplicationModel;
 pub use service::ServiceSpec;
+pub use topology::TopologyFamily;

@@ -1,5 +1,6 @@
 //! The complete application model: services + invocation graph + entry.
 
+use crate::arena::ModelArena;
 use crate::error::ModelError;
 use crate::graph::InvocationGraph;
 use crate::service::ServiceSpec;
@@ -9,11 +10,17 @@ use crate::service::ServiceSpec;
 ///
 /// Construct with [`ApplicationModelBuilder`](crate::ApplicationModelBuilder)
 /// or deserialize from JSON via [`ApplicationModel::from_json`].
+///
+/// Validation compiles the model into a [`ModelArena`] — precomputed
+/// canonical topological order, CSR edge arrays, cached visit ratios and a
+/// stage partition — so every hot-path walk (propagation, sizing,
+/// backpressure) is allocation-free and never re-sorts the graph.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ApplicationModel {
     services: Vec<ServiceSpec>,
     graph: InvocationGraph,
     entry: usize,
+    arena: ModelArena,
 }
 
 impl ApplicationModel {
@@ -35,13 +42,16 @@ impl ApplicationModel {
         if services.is_empty() {
             return Err(ModelError::Empty);
         }
-        for (i, a) in services.iter().enumerate() {
-            for b in &services[i + 1..] {
-                if a.name() == b.name() {
-                    return Err(ModelError::DuplicateService {
-                        name: a.name().to_owned(),
-                    });
-                }
+        // Sort-based duplicate detection: O(n log n) on index permutations
+        // instead of the former all-pairs scan, which dominated validation
+        // time at a thousand services.
+        let mut by_name: Vec<usize> = (0..services.len()).collect();
+        by_name.sort_unstable_by(|&a, &b| services[a].name().cmp(services[b].name()));
+        for pair in by_name.windows(2) {
+            if services[pair[0]].name() == services[pair[1]].name() {
+                return Err(ModelError::DuplicateService {
+                    name: services[pair[0]].name().to_owned(),
+                });
             }
         }
         if entry >= services.len() {
@@ -54,13 +64,16 @@ impl ApplicationModel {
                 name: format!("graph size {}", graph.service_count()),
             });
         }
-        if graph.topological_order().is_none() {
+        let Some(arena) = ModelArena::compile(&services, &graph, entry) else {
+            // The size/entry checks above passed, so the only way compile
+            // can fail is a cyclic graph.
             return Err(ModelError::CyclicInvocation);
-        }
+        };
         Ok(ApplicationModel {
             services,
             graph,
             entry,
+            arena,
         })
     }
 
@@ -109,6 +122,12 @@ impl ApplicationModel {
         &self.graph
     }
 
+    /// The compiled arena form of this model (precomputed topological
+    /// order, CSR edges, cached visit ratios, stage partition).
+    pub fn arena(&self) -> &ModelArena {
+        &self.arena
+    }
+
     /// Index of the user-facing (entry) service.
     pub fn entry(&self) -> usize {
         self.entry
@@ -120,9 +139,10 @@ impl ApplicationModel {
     }
 
     /// Visit ratios per external request (see
-    /// [`InvocationGraph::visit_ratios`]).
+    /// [`InvocationGraph::visit_ratios`]) — served from the arena's cache,
+    /// no recomputation.
     pub fn visit_ratios(&self) -> Vec<f64> {
-        self.graph.visit_ratios(self.entry)
+        self.arena.visit_ratios().to_vec()
     }
 
     /// Propagates an external arrival rate through the invocation graph
@@ -143,33 +163,26 @@ impl ApplicationModel {
         instances: &[u32],
         demands: &[f64],
     ) -> Vec<f64> {
-        let n = self.services.len();
-        let mut offered = vec![0.0; n];
-        let mut completed = vec![0.0; n];
-        offered[self.entry] = entry_rate.max(0.0);
-        // A validated model is acyclic; fall back to index order if a
-        // cycle ever slips through so every service is still estimated.
-        let order = self
-            .graph
-            .topological_order()
-            .unwrap_or_else(|| (0..n).collect());
-        for &node in &order {
-            let inst = instances
-                .get(node)
-                .copied()
-                .unwrap_or_else(|| self.services[node].initial_instances());
-            let demand = demands
-                .get(node)
-                .copied()
-                .filter(|d| d.is_finite() && *d > 0.0)
-                .unwrap_or_else(|| self.services[node].nominal_demand());
-            let capacity = f64::from(inst) / demand;
-            completed[node] = offered[node].min(capacity);
-            for &(to, m) in self.graph.calls_from(node) {
-                offered[to] += completed[node] * m;
-            }
-        }
+        let mut offered = Vec::new();
+        self.arena
+            .propagate_arrivals_into(entry_rate, instances, demands, &mut offered);
         offered
+    }
+
+    /// Allocation-free variant of
+    /// [`propagate_arrivals`](ApplicationModel::propagate_arrivals): writes
+    /// the offered rates into a caller-owned buffer (cleared and resized to
+    /// the service count). Bit-identical results; use this in per-cycle hot
+    /// loops.
+    pub fn propagate_arrivals_into(
+        &self,
+        entry_rate: f64,
+        instances: &[u32],
+        demands: &[f64],
+        offered: &mut Vec<f64>,
+    ) {
+        self.arena
+            .propagate_arrivals_into(entry_rate, instances, demands, offered);
     }
 
     /// Serializes the model to pretty JSON — the on-disk format standing in

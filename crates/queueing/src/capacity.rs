@@ -54,6 +54,7 @@ pub fn saturating_f64_to_u32(value: f64) -> u32 {
 /// // An idle service still needs one instance.
 /// assert_eq!(min_instances_for_utilization(0.0, 0.1, 0.8), 1);
 /// ```
+#[inline]
 pub fn min_instances_for_utilization(
     arrival_rate: f64,
     service_demand: f64,

@@ -43,7 +43,7 @@ pub mod mmn;
 /// Open tandem networks of M/M/n stations.
 pub mod network;
 
-pub use cache::{CacheStats, CapacityCache};
+pub use cache::{CacheStats, CapacityCache, UtilizationCornerSolver};
 pub use capacity::{
     max_arrival_rate_for_utilization, min_instances_for_response_time,
     min_instances_for_response_time_quantile, min_instances_for_utilization,

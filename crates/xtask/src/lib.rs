@@ -75,10 +75,13 @@ pub const DECISION_PATH_CRATES: &[&str] = &[
 pub const DECISION_PATH_MODULES: &[&str] = &[
     "bench/src/drivers.rs",
     "bench/src/experiment.rs",
+    "bench/src/graph_scale.rs",
     "bench/src/pool.rs",
     "bench/src/robustness.rs",
     "conformance/src/recovery.rs",
     "core/src/snapshot.rs",
+    "perfmodel/src/arena.rs",
+    "perfmodel/src/topology.rs",
 ];
 
 /// Crates whose capacity math must use checked conversions (R3).
