@@ -12,6 +12,8 @@
 //!                  [--out FILE.json] [--quick]
 //!   chamulteon-exp graph-scale [--sizes N,N,..] [--iters N] [--threads N]
 //!                  [--horizon N] [--seed N] [--out FILE.json] [--quick]
+//!   chamulteon-exp des-scale [--duration SECONDS] [--seed N]
+//!                  [--out FILE.json] [--quick]
 //!   chamulteon-exp trace [--setup NAME] [--scaler NAME] [--faults CLASS]
 //!                  [--out FILE.jsonl] [--tail N]
 //!   chamulteon-exp conformance [--seed N] [--cases N] [--replays N]
@@ -44,8 +46,9 @@ use chamulteon_bench::graph_scale::{
 };
 use chamulteon_bench::setups;
 use chamulteon_bench::{
-    default_threads, evaluation_grid, evaluation_grid_seq, run_experiment, run_experiment_observed,
-    ExperimentSpec, FaultClass, ScalerKind,
+    default_threads, des_scale, evaluation_grid, evaluation_grid_seq, run_des_scale_case,
+    run_experiment, run_experiment_observed, DesScaleMeasures, ExperimentSpec, FaultClass,
+    ScalerKind,
 };
 use chamulteon_conformance::{self as conformance, ConformanceConfig};
 use chamulteon_metrics::{render_table, DEMAND_QUANTILE};
@@ -165,7 +168,8 @@ fn usage() -> &'static str {
      \n\
      See also: chamulteon-exp trace --help (decision-provenance JSONL traces),\n\
      chamulteon-exp bench --help (solver/grid timings),\n\
-     chamulteon-exp graph-scale --help (thousand-service cycle timings) and\n\
+     chamulteon-exp graph-scale --help (thousand-service cycle timings),\n\
+     chamulteon-exp des-scale --help (event-core pure-DES vs hybrid timings) and\n\
      chamulteon-exp conformance --help (differential-oracle verdict)."
 }
 
@@ -767,6 +771,218 @@ fn graph_scale_main(argv: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+// --- `des-scale` subcommand ---------------------------------------------
+
+struct DesScaleArgs {
+    seed: u64,
+    duration: f64,
+    out: String,
+}
+
+fn parse_des_scale_args(argv: &[String]) -> Result<DesScaleArgs, String> {
+    let mut args = DesScaleArgs {
+        seed: 7,
+        duration: 300.0,
+        out: "BENCH_5.json".to_owned(),
+    };
+    // Explicit duration wins over the `--quick` preset regardless of
+    // flag order.
+    let mut duration = None;
+    let mut quick = false;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {name} requires a value"))
+        };
+        match flag.as_str() {
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--duration" => {
+                duration = Some(
+                    value("--duration")?
+                        .parse::<f64>()
+                        .map_err(|e| format!("bad --duration: {e}"))?,
+                )
+            }
+            "--out" => args.out = value("--out")?,
+            "--quick" => quick = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown des-scale flag `{other}`")),
+        }
+    }
+    args.duration = duration.unwrap_or(if quick { 60.0 } else { 300.0 });
+    if !(args.duration > 0.0) {
+        return Err("--duration needs a positive number of seconds".to_owned());
+    }
+    Ok(args)
+}
+
+fn des_scale_usage() -> &'static str {
+    "chamulteon-exp des-scale — event-driven core at production load, pure DES vs hybrid\n\
+     \n\
+     usage: chamulteon-exp des-scale [--duration SECONDS] [--seed N]\n\
+            [--out FILE.json] [--quick]\n\
+     \n\
+     Runs the synthetic Wikipedia day (scaled to 10k/100k/1M req/s peak and\n\
+     compressed to --duration so the pure-request-level run stays tractable)\n\
+     through the event-driven core twice per load: once with every request a\n\
+     simulated entity, once with the hybrid fluid switch armed. Then runs the\n\
+     headline configuration — the full uncompressed 86 400 s day at 1M req/s\n\
+     peak — in hybrid mode, which a pure request-level simulation cannot\n\
+     touch. Reports wall-clock, events processed, events/s, the speedup per\n\
+     row, and checks the conservation identity sent = completed + in-flight\n\
+     on every run. Writes BENCH_5.json.\n\
+     --quick compresses the comparison day to 60 s for CI."
+}
+
+/// Times one des-scale case; returns the measures plus wall seconds.
+fn time_des_case(case: &chamulteon_bench::DesScaleCase) -> Option<(DesScaleMeasures, f64)> {
+    let started = Instant::now();
+    let measures = run_des_scale_case(case)?;
+    Some((measures, started.elapsed().as_secs_f64()))
+}
+
+fn json_des_run(m: &DesScaleMeasures, wall_s: f64, indent: &str) -> String {
+    let events_per_sec = m.events as f64 / wall_s.max(1e-9);
+    format!(
+        "{indent}{{\n\
+         {indent}  \"wall_ms\": {:.3},\n\
+         {indent}  \"events\": {},\n\
+         {indent}  \"events_per_sec\": {:.0},\n\
+         {indent}  \"regime_switches\": {},\n\
+         {indent}  \"sent\": {},\n\
+         {indent}  \"completed\": {},\n\
+         {indent}  \"in_flight\": {},\n\
+         {indent}  \"mean_response_s\": {:.6},\n\
+         {indent}  \"slo_violation_percent\": {:.3},\n\
+         {indent}  \"conserved\": {}\n\
+         {indent}}}",
+        wall_s * 1e3,
+        m.events,
+        events_per_sec,
+        m.regime_switches,
+        m.sent,
+        m.completed,
+        m.in_flight,
+        m.mean_response,
+        m.slo_violation_percent,
+        m.conserved,
+    )
+}
+
+fn des_scale_main(argv: &[String]) -> ExitCode {
+    let args = match parse_des_scale_args(argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", des_scale_usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{}", des_scale_usage());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let metrics = MetricsRegistry::new();
+    let mut broken = false;
+    let mut row_blocks = Vec::new();
+    eprintln!(
+        "des-scale: Wikipedia day compressed to {:.0} s, seed {}",
+        args.duration, args.seed
+    );
+    println!(
+        "  {:<8} {:>14} {:>14} {:>15} {:>15} {:>9}",
+        "peak", "pure wall ms", "hybrid wall ms", "pure events", "hybrid events", "speedup"
+    );
+    for (pure_case, hybrid_case) in des_scale::comparison_cases(args.seed, args.duration) {
+        let label = pure_case.label.clone();
+        eprintln!("  running {label} pure ...");
+        let Some((pure, pure_wall)) = time_des_case(&pure_case) else {
+            eprintln!("error: {label} pure run failed to build");
+            return ExitCode::FAILURE;
+        };
+        eprintln!("  running {label} hybrid ...");
+        let Some((hybrid, hybrid_wall)) = time_des_case(&hybrid_case) else {
+            eprintln!("error: {label} hybrid run failed to build");
+            return ExitCode::FAILURE;
+        };
+        broken |= !pure.conserved || !hybrid.conserved;
+        let speedup = pure_wall / hybrid_wall.max(1e-9);
+        println!(
+            "  {:<8} {:>14.1} {:>14.1} {:>15} {:>15} {:>8.1}x",
+            label,
+            pure_wall * 1e3,
+            hybrid_wall * 1e3,
+            pure.events,
+            hybrid.events,
+            speedup
+        );
+        metrics.set_gauge(&format!("des_scale.{label}.pure_wall_ms"), pure_wall * 1e3);
+        metrics.set_gauge(
+            &format!("des_scale.{label}.hybrid_wall_ms"),
+            hybrid_wall * 1e3,
+        );
+        metrics.set_gauge(&format!("des_scale.{label}.speedup"), speedup);
+        row_blocks.push(format!(
+            "    {{\n      \"label\": \"{}\",\n      \"peak_rps\": {},\n      \"duration_s\": {},\n      \"speedup_hybrid_vs_pure\": {:.3},\n      \"pure\":\n{},\n      \"hybrid\":\n{}\n    }}",
+            label,
+            pure_case.peak,
+            pure_case.duration,
+            speedup,
+            json_des_run(&pure, pure_wall, "      "),
+            json_des_run(&hybrid, hybrid_wall, "      "),
+        ));
+    }
+
+    let headline_case = des_scale::headline_case(args.seed);
+    eprintln!("  running 1M-day headline (full 86 400 s, hybrid) ...");
+    let Some((headline, headline_wall)) = time_des_case(&headline_case) else {
+        eprintln!("error: headline run failed to build");
+        return ExitCode::FAILURE;
+    };
+    broken |= !headline.conserved;
+    println!(
+        "  1M req/s full day, hybrid: {:.1} ms wall, {} events, {} switches, {} requests completed",
+        headline_wall * 1e3,
+        headline.events,
+        headline.regime_switches,
+        headline.completed
+    );
+    metrics.set_gauge("des_scale.headline.wall_ms", headline_wall * 1e3);
+    metrics.set_gauge("des_scale.headline.completed", headline.completed as f64);
+
+    println!("metrics:");
+    for line in metrics.snapshot().lines() {
+        println!("  {line}");
+    }
+    if broken {
+        eprintln!("error: a run violated the conservation identity sent = completed + in-flight");
+        return ExitCode::FAILURE;
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"des-scale: event-driven core, pure DES vs hybrid fluid\",\n  \"seed\": {},\n  \"compare_duration_s\": {},\n  \"rows\": [\n{}\n  ],\n  \"headline\": {{\n    \"label\": \"{}\",\n    \"peak_rps\": {},\n    \"duration_s\": {},\n    \"run\":\n{}\n  }}\n}}\n",
+        args.seed,
+        args.duration,
+        row_blocks.join(",\n"),
+        headline_case.label,
+        headline_case.peak,
+        headline_case.duration,
+        json_des_run(&headline, headline_wall, "    "),
+    );
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("error: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", args.out);
+    ExitCode::SUCCESS
+}
+
 // --- `conformance` subcommand -------------------------------------------
 
 struct ConformanceArgs {
@@ -1148,6 +1364,9 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("graph-scale") {
         return graph_scale_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("des-scale") {
+        return des_scale_main(&argv[1..]);
     }
     if argv.first().map(String::as_str) == Some("trace") {
         return trace_main(&argv[1..]);

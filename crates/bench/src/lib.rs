@@ -45,6 +45,7 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0.0)` deliberately rejects NaN
 #![warn(missing_docs)]
 
+pub mod des_scale;
 pub mod drivers;
 pub mod experiment;
 pub mod graph_scale;
@@ -53,10 +54,12 @@ pub mod pool;
 pub mod robustness;
 pub mod setups;
 
+pub use des_scale::{run_des_scale_case, DesScaleCase, DesScaleMeasures};
 pub use drivers::ScalerKind;
 pub use experiment::{
-    run_experiment, run_experiment_observed, run_experiment_recovered, run_experiment_with_faults,
-    ExperimentOutcome, ExperimentSpec, FaultedOutcome,
+    run_experiment, run_experiment_observed, run_experiment_on, run_experiment_recovered,
+    run_experiment_with_faults, CoreKind, ExperimentOutcome, ExperimentSpec, FaultedOutcome,
+    SimCore,
 };
 pub use graph_scale::{
     proactive_decisions_legacy, proactive_decisions_sharded, run_proactive_cycle_path, CyclePath,

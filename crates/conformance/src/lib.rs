@@ -4,7 +4,7 @@
 //! capacity walk, chain-rate propagation, and FOX's billing ledger — is
 //! exactly the kind of code whose bugs survive unit tests: every test
 //! that encodes the implementation's own arithmetic re-blesses its
-//! mistakes. This crate cross-checks the spine against four *independent*
+//! mistakes. This crate cross-checks the spine against five *independent*
 //! oracles that share no code (and deliberately no numerical technique)
 //! with the implementation:
 //!
@@ -22,9 +22,14 @@
 //! * [`recovery`] — a crash-recovery differential: over a seeded grid of
 //!   crash points inside generated controller scenarios, a controller
 //!   restored from its encoded snapshot must continue bit-identically to
-//!   the uninterrupted run (targets, FOX billing, degradation log).
+//!   the uninterrupted run (targets, FOX billing, degradation log);
+//! * [`des_core`] — a statistical differential for the event-driven
+//!   simulation core: the DES's measured waiting times, queue lengths and
+//!   utilizations must sit inside the micro-simulator's batch-means
+//!   confidence bands, and the hybrid fluid regime must reproduce the
+//!   analytic M/M/n response-time law while conserving requests exactly.
 //!
-//! `chamulteon-exp conformance` runs all four and emits the verdict as
+//! `chamulteon-exp conformance` runs all five and emits the verdict as
 //! JSON (see [`report::ConformanceReport::to_json`]).
 
 #![forbid(unsafe_code)]
@@ -33,6 +38,7 @@
 
 pub mod algorithm1;
 pub mod config;
+pub mod des_core;
 pub mod fox_ledger;
 pub mod mmn_sim;
 pub mod recovery;
@@ -49,6 +55,7 @@ pub fn run_all(config: &ConformanceConfig) -> ConformanceReport {
             fox_ledger::run(config),
             mmn_sim::run(config),
             recovery::run(config),
+            des_core::run(config),
         ],
     }
 }
@@ -60,7 +67,7 @@ mod tests {
     #[test]
     fn quick_run_all_is_clean_and_counts_every_oracle() {
         let report = run_all(&ConformanceConfig::quick());
-        assert_eq!(report.oracles.len(), 4);
+        assert_eq!(report.oracles.len(), 5);
         assert!(report.passed(), "{}", report.to_json());
         assert!(report.total_cases() >= 120, "{}", report.total_cases());
     }

@@ -112,6 +112,73 @@ impl SloPolicy {
     }
 }
 
+/// Knobs of the hybrid fluid regime of the event-driven core
+/// ([`crate::des::DesSimulation`]): when a service's *offered load* (its
+/// deterministic trace-driven arrival rate × service demand, in Erlangs)
+/// crosses `threshold_erlangs`, the event core stops simulating that
+/// service per-request and switches to an analytic M/M/n fluid
+/// approximation; it switches back only once the offered load falls below
+/// `hysteresis_ratio × threshold_erlangs`, so a load hovering at the
+/// threshold cannot make the regime ping-pong every evaluation.
+///
+/// The fixed-step engine ([`crate::Simulation`]) ignores this field
+/// entirely, which is what keeps the two cores drop-in interchangeable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HybridConfig {
+    /// Offered load (Erlangs) above which a service turns fluid.
+    pub threshold_erlangs: f64,
+    /// Fraction of the threshold the offered load must fall below before a
+    /// fluid service turns discrete again, in `(0, 1]`.
+    pub hysteresis_ratio: f64,
+    /// Analytic sojourn samples drawn per monitoring interval to classify
+    /// fluid-mode completions against the SLO.
+    pub tail_samples: u32,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig {
+            // 32 busy servers of offered load: far past the regime where
+            // individual tails matter, and small enough that the paper's
+            // heavy-traffic scenarios all run fluid.
+            threshold_erlangs: 32.0,
+            hysteresis_ratio: 0.5,
+            tail_samples: 256,
+        }
+    }
+}
+
+impl HybridConfig {
+    /// Creates a config, sanitizing degenerate inputs: a non-finite or
+    /// non-positive threshold, ratio, or sample count falls back to the
+    /// default; the ratio is clamped into `(0, 1]`.
+    pub fn new(threshold_erlangs: f64, hysteresis_ratio: f64, tail_samples: u32) -> Self {
+        let d = HybridConfig::default();
+        HybridConfig {
+            threshold_erlangs: if threshold_erlangs.is_finite() && threshold_erlangs > 0.0 {
+                threshold_erlangs
+            } else {
+                d.threshold_erlangs
+            },
+            hysteresis_ratio: if hysteresis_ratio.is_finite() && hysteresis_ratio > 0.0 {
+                hysteresis_ratio.min(1.0)
+            } else {
+                d.hysteresis_ratio
+            },
+            tail_samples: if tail_samples == 0 {
+                d.tail_samples
+            } else {
+                tail_samples
+            },
+        }
+    }
+
+    /// The offered load below which a fluid service turns discrete again.
+    pub fn lower_threshold(&self) -> f64 {
+        self.threshold_erlangs * self.hysteresis_ratio
+    }
+}
+
 /// Global simulation knobs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimulationConfig {
@@ -128,6 +195,10 @@ pub struct SimulationConfig {
     pub vm_pool: Option<crate::nested::VmPoolConfig>,
     /// Optional deterministic fault injection (see [`crate::fault`]).
     pub fault_plan: Option<crate::fault::FaultPlan>,
+    /// Optional hybrid fluid regime of the event-driven core; `None` keeps
+    /// [`crate::des::DesSimulation`] pure-DES. Ignored by the fixed-step
+    /// engine.
+    pub hybrid: Option<HybridConfig>,
 }
 
 impl SimulationConfig {
@@ -141,6 +212,7 @@ impl SimulationConfig {
             seed,
             vm_pool: None,
             fault_plan: None,
+            hybrid: None,
         }
     }
 
@@ -156,6 +228,13 @@ impl SimulationConfig {
     /// actuations, and crashes instances as the plan dictates.
     pub fn with_fault_plan(mut self, plan: crate::fault::FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Enables the hybrid fluid regime of the event-driven core
+    /// ([`crate::des::DesSimulation`]); the fixed-step engine ignores it.
+    pub fn with_hybrid(mut self, hybrid: HybridConfig) -> Self {
+        self.hybrid = Some(hybrid);
         self
     }
 
@@ -208,6 +287,19 @@ mod tests {
         assert_eq!(slo, SloPolicy::default());
         let slo = SloPolicy::new(1.0, f64::NAN);
         assert_eq!(slo.toleration_factor, 4.0);
+    }
+
+    #[test]
+    fn hybrid_config_sanitizes_degenerate_inputs() {
+        let d = HybridConfig::default();
+        assert_eq!(HybridConfig::new(f64::NAN, -1.0, 0), d);
+        assert_eq!(HybridConfig::new(-5.0, f64::INFINITY, 0), d);
+        let h = HybridConfig::new(100.0, 2.0, 16);
+        assert_eq!(h.threshold_erlangs, 100.0);
+        assert_eq!(h.hysteresis_ratio, 1.0); // clamped into (0, 1]
+        assert_eq!(h.tail_samples, 16);
+        let h = HybridConfig::new(64.0, 0.25, 8);
+        assert!((h.lower_threshold() - 16.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,38 @@
+//! The event-driven simulation core with a hybrid fluid regime.
+//!
+//! This module is the second simulation core of the crate, next to the
+//! fixed-surface [`crate::Simulation`]. It exposes the *same* observable
+//! surface — [`crate::ObservedSample`], [`crate::SimulationResult`],
+//! [`crate::FaultPlan`] — so the bench drivers, the degradation ladder and
+//! the robustness grid run unmodified on either core, but it is built for
+//! offered loads three orders of magnitude past what per-request
+//! simulation can sustain:
+//!
+//! * [`event`] — a binary heap of timestamped, *cancellable* events with a
+//!   monotonically increasing sequence number breaking equal-time ties, so
+//!   the event order (and therefore every random draw) is stable in the
+//!   seed alone.
+//! * [`station`] — per-service FIFO/M/M/n stations that run in one of two
+//!   regimes: *discrete* (every request is an entity generating
+//!   arrival/completion events) or *fluid* (the queue is an analytic
+//!   M/M/n approximation: mean-drift mass updates plus Erlang-C tail
+//!   synthesis from `chamulteon-queueing`).
+//! * [`fluid`] — the piecewise-exact mean-drift integrator and the
+//!   analytic sojourn sampler behind the fluid regime.
+//! * [`engine`] — [`DesSimulation`], the core itself, including the
+//!   hysteretic hybrid switch ([`crate::HybridConfig`]) that moves a
+//!   station between the regimes as its offered load crosses the
+//!   threshold, conserving in-flight requests bit-exactly across every
+//!   transition (`sent == completed + in_flight` is an integer identity
+//!   at all times).
+//!
+//! See DESIGN.md §15 for the event taxonomy, the cancellation mechanism,
+//! the switch criterion and the conservation argument.
+
+pub(crate) mod event;
+pub(crate) mod fluid;
+pub(crate) mod station;
+
+mod engine;
+
+pub use engine::DesSimulation;

@@ -4,7 +4,9 @@ use crate::config::SimulationConfig;
 use crate::error::SimError;
 use crate::fault::{FaultKind, FaultPlan, FaultRecord};
 use crate::nested::VmPoolState;
-use crate::stats::{ObservedSample, ServiceIntervalStats, SimulationResult, SupplyChange};
+use crate::stats::{
+    second_index, ObservedSample, ServiceIntervalStats, SimulationResult, SupplyChange,
+};
 use chamulteon_perfmodel::ApplicationModel;
 use chamulteon_workload::{LoadTrace, PoissonArrivals};
 use rand::rngs::StdRng;
@@ -12,28 +14,18 @@ use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
-/// Second-granularity bucket index for a simulation time, saturating at
-/// the bounds (negative and NaN times map to 0).
-#[allow(
-    clippy::cast_possible_truncation,
-    clippy::cast_sign_loss,
-    clippy::cast_precision_loss
-)]
-fn second_index(time: f64) -> usize {
-    if time.is_nan() || time <= 0.0 {
-        0
-    } else if time >= usize::MAX as f64 {
-        usize::MAX
-    } else {
-        time as usize
-    }
-}
-
 /// Every instance crash a fault plan dictates over a run, in schedule
 /// order: one roll per (monitoring interval, service), firing
-/// mid-interval. Shared between construction-time scheduling and the
-/// checkpoint fork so both walk the identical query sequence.
-fn planned_crashes(
+/// mid-interval. Shared between construction-time scheduling, the
+/// checkpoint fork, and the event-driven core (`crate::des`) so all three
+/// walk the identical query sequence.
+///
+/// Interval starts are derived as `k · interval` rather than accumulated
+/// with `start += interval`: repeated addition drifts by an ulp every few
+/// thousand steps, so on long runs the accumulated schedule would diverge
+/// from the derived one and crash times would depend on the duration.
+#[allow(clippy::cast_precision_loss)] // k stays far below 2^52 intervals
+pub(crate) fn planned_crashes(
     plan: &FaultPlan,
     interval: f64,
     duration: f64,
@@ -43,16 +35,18 @@ fn planned_crashes(
         return Vec::new();
     }
     let mut crashes: Vec<(f64, usize, u32)> = Vec::new();
-    let mut start = 0.0;
     let mut k = 0usize;
-    while start + interval <= duration + 1e-9 {
+    loop {
+        let start = k as f64 * interval;
+        if !(start + interval <= duration + 1e-9) {
+            break;
+        }
         let mid = start + interval / 2.0;
         for service in 0..service_count {
             if let Some(count) = plan.crash_fault(service, k, mid) {
                 crashes.push((mid, service, count));
             }
         }
-        start += interval;
         k += 1;
     }
     crashes
@@ -1295,6 +1289,23 @@ mod tests {
             scratch.set_supply(2, 4).unwrap();
             let scratch = scratch.run_to_end();
             assert_eq!(forked, scratch, "plan {plan:?}");
+        }
+    }
+
+    #[test]
+    fn planned_crash_schedule_is_duration_independent() {
+        // A week-long window with a non-representable interval: the
+        // schedule of the longer run must extend the shorter one exactly,
+        // and every crash must sit exactly mid-interval — both fail when
+        // interval starts are accumulated instead of derived.
+        let plan = FaultPlan::new(3).crash_instances(None, 0.0, 2_000_000.0, 0.02, 1);
+        let short = planned_crashes(&plan, 61.3, 200_000.0, 3);
+        let long = planned_crashes(&plan, 61.3, 1_900_000.0, 3);
+        assert!(!short.is_empty());
+        assert_eq!(&long[..short.len()], &short[..]);
+        for &(time, _, _) in &long {
+            let k = (time / 61.3).floor();
+            assert_eq!(time, k * 61.3 + 61.3 / 2.0);
         }
     }
 

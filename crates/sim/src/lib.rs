@@ -50,13 +50,15 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod des;
 pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod nested;
 pub mod stats;
 
-pub use config::{DeploymentProfile, SimulationConfig, SloPolicy};
+pub use config::{DeploymentProfile, HybridConfig, SimulationConfig, SloPolicy};
+pub use des::DesSimulation;
 pub use engine::{RecoveryPolicy, Simulation};
 pub use error::SimError;
 pub use fault::{CorruptionMode, FaultKind, FaultPlan, FaultRecord, FaultWindow};

@@ -2,6 +2,28 @@
 
 use crate::fault::{CorruptionMode, FaultRecord};
 
+/// Second-granularity bucket index for a simulation time, saturating at
+/// the bounds: NaN and non-positive times map to bucket 0, times at or
+/// beyond `usize::MAX` seconds map to `usize::MAX`.
+///
+/// Both simulation cores (`engine` and `des`) index their per-second
+/// request accounting through this one helper so the bucketing rules can
+/// never drift apart.
+#[allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
+pub fn second_index(time: f64) -> usize {
+    if time.is_nan() || time <= 0.0 {
+        0
+    } else if time >= usize::MAX as f64 {
+        usize::MAX
+    } else {
+        time as usize
+    }
+}
+
 /// Per-service statistics aggregated over one monitoring interval — exactly
 /// the inputs the paper feeds every auto-scaler (§IV-C): "the accumulated
 /// number of requests during the last interval, … and the number of
@@ -284,6 +306,27 @@ mod tests {
         // Degenerate spike factors are neutralized.
         let flat = clean.corrupted(CorruptionMode::Spike { factor: f64::NAN });
         assert_eq!(flat.arrivals, 600.0);
+    }
+
+    #[test]
+    fn second_index_saturates_at_the_bounds() {
+        // NaN and non-positive times land in bucket 0.
+        assert_eq!(second_index(f64::NAN), 0);
+        assert_eq!(second_index(f64::NEG_INFINITY), 0);
+        assert_eq!(second_index(-1.0), 0);
+        assert_eq!(second_index(-0.0), 0);
+        assert_eq!(second_index(0.0), 0);
+        // Ordinary times truncate toward zero.
+        assert_eq!(second_index(0.999), 0);
+        assert_eq!(second_index(1.0), 1);
+        assert_eq!(second_index(86_399.5), 86_399);
+        // Huge and infinite times saturate instead of wrapping.
+        assert_eq!(second_index(f64::INFINITY), usize::MAX);
+        assert_eq!(second_index(1e300), usize::MAX);
+        #[allow(clippy::cast_precision_loss)]
+        let max = usize::MAX as f64;
+        assert_eq!(second_index(max), usize::MAX);
+        assert_eq!(second_index(max * 2.0), usize::MAX);
     }
 
     #[test]

@@ -30,6 +30,12 @@ pub struct PoissonArrivals {
     rates: Vec<f64>,
     duration: f64,
     now: f64,
+    /// Monotone lower bound on the current segment index. Guards against
+    /// a float pathology with fractional steps: `(idx + 1) · step / step`
+    /// can floor back to `idx`, so deriving the segment from `now` alone
+    /// after a jump to the boundary could re-enter the segment just left
+    /// and never advance.
+    segment: usize,
     rng: StdRng,
 }
 
@@ -41,8 +47,28 @@ impl PoissonArrivals {
             rates: trace.rates().to_vec(),
             duration: trace.duration(),
             now: 0.0,
+            segment: 0,
             rng: StdRng::seed_from_u64(seed),
         }
+    }
+
+    /// Creates the arrival process resumed mid-trace: the first arrival is
+    /// drawn after `start` (clamped into `[0, duration]`, NaN treated as
+    /// `0`) instead of after time zero.
+    ///
+    /// Because the exponential is memoryless, a process started at `start`
+    /// with a fresh seed is distributed exactly like the tail of a process
+    /// that ran from zero — this is what lets the hybrid simulation core
+    /// re-materialize its arrival stream in O(1) when it leaves the fluid
+    /// regime, instead of fast-forwarding through every skipped draw.
+    pub fn starting_at(trace: &LoadTrace, seed: u64, start: f64) -> Self {
+        let mut arrivals = PoissonArrivals::new(trace, seed);
+        arrivals.now = if start.is_nan() {
+            0.0
+        } else {
+            start.clamp(0.0, arrivals.duration)
+        };
+        arrivals
     }
 
     /// Samples an exponential inter-arrival gap at `rate` req/s via inverse
@@ -54,7 +80,9 @@ impl PoissonArrivals {
     }
 
     fn rate_index(&self, t: f64) -> usize {
-        crate::convert::usize_from_f64(t / self.step).min(self.rates.len() - 1)
+        crate::convert::usize_from_f64(t / self.step)
+            .max(self.segment)
+            .min(self.rates.len() - 1)
     }
 }
 
@@ -72,6 +100,7 @@ impl Iterator for PoissonArrivals {
             if rate <= 0.0 {
                 // Skip the silent segment entirely.
                 self.now = segment_end;
+                self.segment = idx + 1;
                 continue;
             }
             let gap = self.exp_gap(rate);
@@ -83,6 +112,7 @@ impl Iterator for PoissonArrivals {
             // The draw overshot this segment: restart from the boundary.
             // (Memorylessness of the exponential makes this exact.)
             self.now = segment_end;
+            self.segment = idx + 1;
         }
     }
 }
@@ -103,6 +133,22 @@ mod tests {
         let c: Vec<f64> = PoissonArrivals::new(&t, 10).collect();
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fractional_steps_always_terminate() {
+        // Regression: with a fractional step, `(idx + 1)·step / step` can
+        // floor back to `idx`, so a draw that overshot a segment boundary
+        // used to re-enter the segment it just left and spin forever.
+        // 60/86 400-compressed steps are exactly the shape that triggered
+        // it.
+        let step = 60.0 * 60.0 / 86_400.0;
+        let rates: Vec<f64> = (0..1440).map(|i| 50.0 + (i % 7) as f64 * 40.0).collect();
+        let t = trace(step, rates);
+        let times: Vec<f64> = PoissonArrivals::new(&t, 3).collect();
+        assert!(times.len() > 3000, "{}", times.len());
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+        assert!(times.iter().all(|&x| x >= 0.0 && x < t.duration()));
     }
 
     #[test]
@@ -137,6 +183,24 @@ mod tests {
     fn zero_trace_produces_nothing() {
         let t = trace(10.0, vec![0.0, 0.0, 0.0]);
         assert_eq!(PoissonArrivals::new(&t, 1).count(), 0);
+    }
+
+    #[test]
+    fn starting_at_resumes_mid_trace() {
+        let t = trace(50.0, vec![100.0, 100.0]);
+        let times: Vec<f64> = PoissonArrivals::starting_at(&t, 7, 60.0).collect();
+        assert!(!times.is_empty());
+        assert!(times.iter().all(|&x| x >= 60.0 && x < t.duration()));
+        // ~4000 arrivals over the remaining 40 s; Poisson sd ≈ 63.
+        assert!((3_600..4_400).contains(&times.len()), "{}", times.len());
+        // Degenerate starts are sanitized.
+        assert_eq!(
+            PoissonArrivals::starting_at(&t, 7, f64::INFINITY).count(),
+            0
+        );
+        let from_nan: Vec<f64> = PoissonArrivals::starting_at(&t, 7, f64::NAN).collect();
+        let from_zero: Vec<f64> = PoissonArrivals::new(&t, 7).collect();
+        assert_eq!(from_nan, from_zero);
     }
 
     #[test]

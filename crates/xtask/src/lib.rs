@@ -71,8 +71,13 @@ pub const DECISION_PATH_CRATES: &[&str] = &[
 /// crates. The snapshot codec and the recovery oracle are listed even
 /// though their crates are already covered by [`DECISION_PATH_CRATES`]:
 /// crash recovery runs exactly when the system is least healthy, so
-/// these pins survive any future re-layering of the crate list.
+/// these pins survive any future re-layering of the crate list. The
+/// event-driven core (`sim/src/des/`) and its scale runner are pinned
+/// for the same reason: the hybrid regime switch executes inside the
+/// measurement loop, and its conservation accounting must hold at loads
+/// where a panic would discard hours of simulated time.
 pub const DECISION_PATH_MODULES: &[&str] = &[
+    "bench/src/des_scale.rs",
     "bench/src/drivers.rs",
     "bench/src/experiment.rs",
     "bench/src/graph_scale.rs",
@@ -82,6 +87,10 @@ pub const DECISION_PATH_MODULES: &[&str] = &[
     "core/src/snapshot.rs",
     "perfmodel/src/arena.rs",
     "perfmodel/src/topology.rs",
+    "sim/src/des/engine.rs",
+    "sim/src/des/event.rs",
+    "sim/src/des/fluid.rs",
+    "sim/src/des/station.rs",
 ];
 
 /// Crates whose capacity math must use checked conversions (R3).
