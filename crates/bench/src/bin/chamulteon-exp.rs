@@ -18,6 +18,8 @@
 //!                  [--out FILE.jsonl] [--tail N]
 //!   chamulteon-exp conformance [--seed N] [--cases N] [--replays N]
 //!                  [--arrivals N] [--crash-points N] [--quick] [--out FILE.json]
+//!   chamulteon-exp multi-tenant [--tenants N] [--policy NAME] [--budget N]
+//!                  [--charging ec2|gcp] [--seed N] [--quick] [--out FILE.json]
 //!
 //! SETUPS:   wikipedia-docker  wikipedia-vm  bibsonomy-small  bibsonomy-large  smoke
 //! SCALERS:  chamulteon  cham-reactive  cham-proactive  cham-fox-ec2
@@ -39,16 +41,17 @@
     clippy::cast_sign_loss,
     clippy::cast_precision_loss
 )]
+#![allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0.0)` deliberately rejects NaN
 
-use chamulteon::{ChamulteonConfig, RetryPolicy};
+use chamulteon::{ArbitrationPolicy, ChamulteonConfig, ChargingModel, RetryPolicy};
 use chamulteon_bench::graph_scale::{
     cycle_rates, decisions_agree, run_proactive_cycle_path, CyclePath,
 };
 use chamulteon_bench::setups;
 use chamulteon_bench::{
     default_threads, des_scale, evaluation_grid, evaluation_grid_seq, run_des_scale_case,
-    run_experiment, run_experiment_observed, DesScaleMeasures, ExperimentSpec, FaultClass,
-    ScalerKind,
+    run_experiment, run_experiment_observed, run_multi_tenant, DesScaleMeasures, ExperimentSpec,
+    FaultClass, MultiTenantSpec, ScalerKind,
 };
 use chamulteon_conformance::{self as conformance, ConformanceConfig};
 use chamulteon_metrics::{render_table, DEMAND_QUANTILE};
@@ -169,8 +172,9 @@ fn usage() -> &'static str {
      See also: chamulteon-exp trace --help (decision-provenance JSONL traces),\n\
      chamulteon-exp bench --help (solver/grid timings),\n\
      chamulteon-exp graph-scale --help (thousand-service cycle timings),\n\
-     chamulteon-exp des-scale --help (event-core pure-DES vs hybrid timings) and\n\
-     chamulteon-exp conformance --help (differential-oracle verdict)."
+     chamulteon-exp des-scale --help (event-core pure-DES vs hybrid timings),\n\
+     chamulteon-exp conformance --help (differential-oracle verdict) and\n\
+     chamulteon-exp multi-tenant --help (shared-budget cluster arbitration)."
 }
 
 // --- `bench` subcommand -------------------------------------------------
@@ -1128,6 +1132,147 @@ fn conformance_main(argv: &[String]) -> ExitCode {
     }
 }
 
+// --- `multi-tenant` subcommand ------------------------------------------
+
+struct MultiTenantArgs {
+    spec: MultiTenantSpec,
+    out: Option<String>,
+}
+
+fn parse_multi_tenant_args(argv: &[String]) -> Result<MultiTenantArgs, String> {
+    let mut quick = false;
+    let mut policy = ArbitrationPolicy::WeightedFairShare;
+    let mut tenants = None;
+    let mut budget = None;
+    let mut charging = None;
+    let mut seed = None;
+    let mut out = None;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {name} requires a value"))
+        };
+        match flag.as_str() {
+            "--policy" => {
+                let name = value("--policy")?;
+                policy = ArbitrationPolicy::from_name(&name)
+                    .ok_or_else(|| format!("unknown policy `{name}`"))?;
+            }
+            "--tenants" => {
+                tenants = Some(
+                    value("--tenants")?
+                        .parse()
+                        .map_err(|e| format!("bad --tenants: {e}"))?,
+                )
+            }
+            "--budget" => {
+                budget = Some(
+                    value("--budget")?
+                        .parse()
+                        .map_err(|e| format!("bad --budget: {e}"))?,
+                )
+            }
+            "--charging" => {
+                charging = Some(match value("--charging")?.as_str() {
+                    "ec2" => ChargingModel::ec2_hourly(),
+                    "gcp" => ChargingModel::gcp_per_minute(),
+                    other => return Err(format!("unknown charging model `{other}` (ec2|gcp)")),
+                })
+            }
+            "--seed" => {
+                seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("bad --seed: {e}"))?,
+                )
+            }
+            "--quick" => quick = true,
+            "--out" => out = Some(value("--out")?),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown multi-tenant flag `{other}`")),
+        }
+    }
+    let mut spec = if quick {
+        MultiTenantSpec::smoke(policy)
+    } else {
+        MultiTenantSpec::standard(policy)
+    };
+    if let Some(n) = tenants {
+        spec.tenants = n;
+    }
+    if let Some(b) = budget {
+        spec.budget = b;
+    }
+    if let Some(model) = charging {
+        spec.charging = model;
+    }
+    if let Some(s) = seed {
+        spec.seed = s;
+    }
+    Ok(MultiTenantArgs { spec, out })
+}
+
+fn multi_tenant_usage() -> &'static str {
+    "chamulteon-exp multi-tenant — K coordinated controllers sharing one\n\
+     cluster budget through the arbiter and its warm pool\n\
+     \n\
+     usage: chamulteon-exp multi-tenant [--tenants N] [--policy NAME]\n\
+            [--budget N] [--charging ec2|gcp] [--seed N] [--quick]\n\
+            [--out FILE.json]\n\
+     \n\
+     Runs K Chamulteon controllers over phase-offset diurnal traces, each\n\
+     submitting its aggregated scale-up/-down to a shared cluster arbiter\n\
+     every interval. Prints the per-tenant table (grants, warm transfers,\n\
+     origin-attributed billing, SLO) and the cluster summary; optionally\n\
+     writes the outcome as JSON. --quick runs the 10-minute CI smoke\n\
+     scenario instead of the one-hour standard one.\n\
+     \n\
+     policies: strict-priority  fair-share  cost-greedy"
+}
+
+fn multi_tenant_main(argv: &[String]) -> ExitCode {
+    let args = match parse_multi_tenant_args(argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", multi_tenant_usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{}", multi_tenant_usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "multi-tenant: {} tenants, policy {}, budget {}, {:.0} s simulated...",
+        args.spec.tenants,
+        args.spec.policy.name(),
+        args.spec.budget,
+        args.spec.duration
+    );
+    let started = Instant::now();
+    let outcome = run_multi_tenant(&args.spec, &Obs::disabled());
+    let elapsed = started.elapsed().as_secs_f64();
+    print!("{}", outcome.render());
+    println!("({elapsed:.1} s wall)");
+    if outcome.peak_in_use > outcome.budget {
+        eprintln!(
+            "error: budget invariant violated: peak in-use {} > budget {}",
+            outcome.peak_in_use, outcome.budget
+        );
+        return ExitCode::FAILURE;
+    }
+    if let Some(out) = &args.out {
+        if let Err(e) = std::fs::write(out, outcome.to_json()) {
+            eprintln!("error: cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {out}");
+    }
+    ExitCode::SUCCESS
+}
+
 // --- `trace` subcommand -------------------------------------------------
 
 struct TraceArgs {
@@ -1373,6 +1518,9 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("conformance") {
         return conformance_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("multi-tenant") {
+        return multi_tenant_main(&argv[1..]);
     }
     let args = match parse_args() {
         Ok(a) => a,

@@ -49,6 +49,7 @@ pub mod des_scale;
 pub mod drivers;
 pub mod experiment;
 pub mod graph_scale;
+pub mod multi_tenant;
 pub mod paper;
 pub mod pool;
 pub mod robustness;
@@ -64,6 +65,7 @@ pub use experiment::{
 pub use graph_scale::{
     proactive_decisions_legacy, proactive_decisions_sharded, run_proactive_cycle_path, CyclePath,
 };
+pub use multi_tenant::{run_multi_tenant, MultiTenantOutcome, MultiTenantSpec, TenantReport};
 pub use paper::{run_lineup, run_lineup_seq, run_lineup_with_threads};
 pub use pool::{default_threads, parallel_map};
 pub use robustness::{

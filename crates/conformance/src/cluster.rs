@@ -1,0 +1,681 @@
+//! Cluster-arbitration oracle: multi-tenant budget and ledger replay.
+//!
+//! Generates randomized multi-tenant arbitration histories — charging
+//! model, policy, budget, 2–4 tenants, and per-cycle proposal sets whose
+//! time advances mix exact interval multiples, half-intervals, zero
+//! (same-instant cycles) and float drift, and whose weights/gains include
+//! the degenerate values (`0`, `NaN`, `∞`) the sanitizers must neutralize
+//! — and checks each history two independent ways:
+//!
+//! 1. **Differential replay.** The same history runs through
+//!    [`ClusterArbiter`] and through a from-scratch re-implementation
+//!    that keeps its books with plain selection loops, allocates one
+//!    instance at a time for *every* policy (strict priority included),
+//!    and bills by [counting intervals](crate::fox_ledger::naive_billed_duration)
+//!    instead of `ceil`. Verdicts, per-tenant running counts, warm-pool
+//!    sizes, and the final per-tenant billed ledgers must agree — the
+//!    ledgers bit-exactly (billed durations are integer multiples of the
+//!    charging interval, so float sums are exact).
+//! 2. **Event-log replay.** The arbiter's raw [`ClusterEvent`] log is
+//!    replayed by a bookkeeper that knows nothing of policies: it just
+//!    moves leases between `running`/`warm` and asserts the budget
+//!    invariant `running + warm ≤ budget` after *every single event*,
+//!    then re-derives the per-tenant ledgers (transferred leases billed
+//!    to their origin) and compares them bit-exactly against
+//!    [`ClusterArbiter::billed_instance_seconds`].
+
+use crate::config::ConformanceConfig;
+use crate::fox_ledger::naive_billed_duration;
+use crate::report::OracleReport;
+use chamulteon::{
+    ArbitrationPolicy, ChargingModel, ClusterArbiter, ClusterEvent, TenantId, TenantProposal,
+    TenantVerdict,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Paid time remaining under the counting billing rule, never negative.
+fn naive_remaining(model: &ChargingModel, start: f64, now: f64) -> f64 {
+    let elapsed = (now - start).max(0.0);
+    (naive_billed_duration(model, elapsed) - elapsed).max(0.0)
+}
+
+/// Weight sanitizer mirror: positive and finite, else 1.
+fn weight_of(proposal: &TenantProposal) -> f64 {
+    if proposal.weight.is_finite() && proposal.weight > 0.0 {
+        proposal.weight
+    } else {
+        1.0
+    }
+}
+
+/// Gain sanitizer mirror: non-negative and finite, else 0.
+fn gain_of(proposal: &TenantProposal) -> f64 {
+    if proposal.slo_gain.is_finite() && proposal.slo_gain > 0.0 {
+        proposal.slo_gain
+    } else {
+        0.0
+    }
+}
+
+/// Independent re-implementation of the cluster arbiter: plain selection
+/// loops, one-instance-at-a-time allocation for every policy, counting
+/// billing. Shares no code with [`ClusterArbiter`] beyond the public
+/// proposal/verdict types it must produce.
+struct NaiveCluster {
+    model: ChargingModel,
+    policy: ArbitrationPolicy,
+    budget: u32,
+    /// Per-tenant running leases as `(start, origin)`.
+    running: Vec<Vec<(f64, TenantId)>>,
+    /// Warm pool as `(start, origin, paid_until)`.
+    warm: Vec<(f64, TenantId, f64)>,
+    /// Per-tenant billed seconds of closed leases.
+    billed: Vec<f64>,
+}
+
+impl NaiveCluster {
+    fn new(model: ChargingModel, policy: ArbitrationPolicy, budget: u32, tenants: usize) -> Self {
+        NaiveCluster {
+            model,
+            policy,
+            budget,
+            running: vec![Vec::new(); tenants],
+            warm: Vec::new(),
+            billed: vec![0.0; tenants],
+        }
+    }
+
+    fn ensure(&mut self, tenant: TenantId) {
+        if tenant >= self.running.len() {
+            self.running.resize(tenant + 1, Vec::new());
+        }
+        if tenant >= self.billed.len() {
+            self.billed.resize(tenant + 1, 0.0);
+        }
+    }
+
+    fn held(&self, tenant: TenantId) -> u32 {
+        let count = self.running.get(tenant).map_or(0, Vec::len);
+        u32::try_from(count).unwrap_or(u32::MAX)
+    }
+
+    fn total_running(&self) -> u32 {
+        let count: usize = self.running.iter().map(Vec::len).sum();
+        u32::try_from(count).unwrap_or(u32::MAX)
+    }
+
+    /// Index of `tenant`'s cheapest lease: least remaining paid time,
+    /// ties to the earliest start, then the lowest origin.
+    fn cheapest(&self, tenant: TenantId, now: f64) -> Option<usize> {
+        let book = self.running.get(tenant)?;
+        let mut best: Option<(usize, f64, f64, TenantId)> = None;
+        for (i, &(start, origin)) in book.iter().enumerate() {
+            let remaining = naive_remaining(&self.model, start, now);
+            let better = match best {
+                None => true,
+                Some((_, r, s, o)) => {
+                    remaining < r || (remaining == r && (start < s || (start == s && origin < o)))
+                }
+            };
+            if better {
+                best = Some((i, remaining, start, origin));
+            }
+        }
+        best.map(|(i, _, _, _)| i)
+    }
+
+    /// Index of the warm lease worth drawing first: most paid time left,
+    /// ties to the earliest start, then the lowest origin.
+    fn warmest(&self, now: f64) -> Option<usize> {
+        let mut best: Option<(usize, f64, f64, TenantId)> = None;
+        for (i, &(start, origin, paid_until)) in self.warm.iter().enumerate() {
+            let left = paid_until - now;
+            let better = match best {
+                None => true,
+                Some((_, l, s, o)) => {
+                    left > l || (left == l && (start < s || (start == s && origin < o)))
+                }
+            };
+            if better {
+                best = Some((i, left, start, origin));
+            }
+        }
+        best.map(|(i, _, _, _)| i)
+    }
+
+    /// One-at-a-time allocation. Strict priority degenerates to the same
+    /// sequence as the implementation's sort-then-fill because its rank
+    /// ignores how much a proposal has already been granted.
+    fn pick_grant(
+        &self,
+        proposals: &[TenantProposal],
+        want: &[u32],
+        granted: &[u32],
+    ) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, p) in proposals.iter().enumerate() {
+            if want.get(i).copied().unwrap_or(0) == 0 {
+                continue;
+            }
+            let Some(b) = best else {
+                best = Some(i);
+                continue;
+            };
+            let q = &proposals[b];
+            let better = match self.policy {
+                ArbitrationPolicy::StrictPriority => {
+                    let (wi, wb) = (weight_of(p), weight_of(q));
+                    wi > wb || (wi == wb && p.tenant < q.tenant)
+                }
+                ArbitrationPolicy::WeightedFairShare => {
+                    let ki = f64::from(granted[i]) / weight_of(p);
+                    let kb = f64::from(granted[b]) / weight_of(q);
+                    let (wi, wb) = (weight_of(p), weight_of(q));
+                    ki < kb || (ki == kb && (wi > wb || (wi == wb && p.tenant < q.tenant)))
+                }
+                ArbitrationPolicy::CostGreedy => {
+                    let gi = gain_of(p) / f64::from(granted[i] + 1);
+                    let gb = gain_of(q) / f64::from(granted[b] + 1);
+                    gi > gb || (gi == gb && p.tenant < q.tenant)
+                }
+            };
+            if better {
+                best = Some(i);
+            }
+        }
+        best
+    }
+
+    /// Replays one arbitration cycle; mirrors the contract, not the code.
+    fn arbitrate(&mut self, now: f64, proposals: &[TenantProposal]) -> Vec<TenantVerdict> {
+        for p in proposals {
+            self.ensure(p.tenant);
+        }
+        // Expire overdue warm leases, billing each origin its paid window.
+        let mut i = 0;
+        while i < self.warm.len() {
+            let (start, origin, paid_until) = self.warm[i];
+            if paid_until <= now {
+                self.warm.remove(i);
+                self.ensure(origin);
+                self.billed[origin] += naive_billed_duration(&self.model, paid_until - start);
+            } else {
+                i += 1;
+            }
+        }
+
+        let mut verdicts: Vec<TenantVerdict> = proposals
+            .iter()
+            .map(|p| TenantVerdict {
+                tenant: p.tenant,
+                requested: p.desired,
+                granted: 0,
+                drawn_warm: 0,
+                opened_cold: 0,
+                deposited: 0,
+                closed: 0,
+            })
+            .collect();
+
+        // Releases first: close inside the release window, park warm else.
+        let window = 0.1 * self.model.interval;
+        for (p, verdict) in proposals.iter().zip(verdicts.iter_mut()) {
+            while self.held(p.tenant) > p.desired {
+                let Some(index) = self.cheapest(p.tenant, now) else {
+                    break;
+                };
+                let (start, origin) = self.running[p.tenant].remove(index);
+                if naive_remaining(&self.model, start, now) <= window {
+                    self.ensure(origin);
+                    self.billed[origin] += naive_billed_duration(&self.model, now - start);
+                    verdict.closed += 1;
+                } else {
+                    let paid_until = start + naive_billed_duration(&self.model, now - start);
+                    self.warm.push((start, origin, paid_until));
+                    verdict.deposited += 1;
+                }
+            }
+        }
+
+        // Grants: one instance at a time, warm pool before cold leases.
+        let mut want: Vec<u32> = proposals
+            .iter()
+            .map(|p| p.desired.saturating_sub(self.held(p.tenant)))
+            .collect();
+        let mut granted: Vec<u32> = vec![0; proposals.len()];
+        let mut left = self.budget.saturating_sub(self.total_running());
+        while left > 0 {
+            let Some(index) = self.pick_grant(proposals, &want, &granted) else {
+                break;
+            };
+            let tenant = proposals[index].tenant;
+            if let Some(w) = self.warmest(now) {
+                let (start, origin, _) = self.warm.remove(w);
+                self.ensure(tenant);
+                self.running[tenant].push((start, origin));
+                verdicts[index].drawn_warm += 1;
+            } else {
+                self.ensure(tenant);
+                self.running[tenant].push((now, tenant));
+                verdicts[index].opened_cold += 1;
+            }
+            want[index] -= 1;
+            granted[index] += 1;
+            left -= 1;
+        }
+
+        for verdict in &mut verdicts {
+            verdict.granted = self.held(verdict.tenant);
+        }
+        verdicts
+    }
+
+    /// Per-tenant billed instance-seconds as of `now`: closed leases plus
+    /// accrued running leases plus fixed warm-lease paid windows.
+    fn billed_instance_seconds(&self, tenant: TenantId, now: f64) -> f64 {
+        let mut total = self.billed.get(tenant).copied().unwrap_or(0.0);
+        for &(start, origin) in self.running.iter().flatten() {
+            if origin == tenant {
+                total += naive_billed_duration(&self.model, now - start);
+            }
+        }
+        for &(start, origin, paid_until) in &self.warm {
+            if origin == tenant {
+                total += naive_billed_duration(&self.model, paid_until - start);
+            }
+        }
+        total
+    }
+}
+
+/// Policy-blind replay of a raw event log: moves leases between the
+/// running set and the warm pool, asserts the budget invariant after
+/// every event, and re-derives the per-tenant ledgers at `final_time`.
+fn replay_events(
+    model: &ChargingModel,
+    budget: u32,
+    tenants: usize,
+    events: &[ClusterEvent],
+    final_time: f64,
+) -> Result<Vec<f64>, String> {
+    let mut running: Vec<(f64, TenantId)> = Vec::new();
+    let mut warm: Vec<(f64, TenantId, f64)> = Vec::new();
+    let mut billed = vec![0.0f64; tenants];
+    let bill = |billed: &mut Vec<f64>, origin: TenantId, amount: f64| {
+        if origin >= billed.len() {
+            billed.resize(origin + 1, 0.0);
+        }
+        billed[origin] += amount;
+    };
+    for (index, event) in events.iter().enumerate() {
+        match *event {
+            ClusterEvent::Open { time, tenant } => {
+                running.push((time, tenant));
+            }
+            ClusterEvent::Draw {
+                tenant,
+                start,
+                origin,
+                ..
+            } => {
+                let Some(pos) = warm.iter().position(|&(s, o, _)| s == start && o == origin) else {
+                    return Err(format!(
+                        "event {index}: draw of ({start}, {origin}) not in warm pool"
+                    ));
+                };
+                warm.remove(pos);
+                let _ = tenant;
+                running.push((start, origin));
+            }
+            ClusterEvent::Deposit {
+                time,
+                start,
+                origin,
+                ..
+            } => {
+                let Some(pos) = running.iter().position(|&(s, o)| s == start && o == origin) else {
+                    return Err(format!(
+                        "event {index}: deposit of ({start}, {origin}) not running"
+                    ));
+                };
+                running.remove(pos);
+                let paid_until = start + naive_billed_duration(model, time - start);
+                warm.push((start, origin, paid_until));
+            }
+            ClusterEvent::Close {
+                time,
+                start,
+                origin,
+                ..
+            } => {
+                let Some(pos) = running.iter().position(|&(s, o)| s == start && o == origin) else {
+                    return Err(format!(
+                        "event {index}: close of ({start}, {origin}) not running"
+                    ));
+                };
+                running.remove(pos);
+                bill(
+                    &mut billed,
+                    origin,
+                    naive_billed_duration(model, time - start),
+                );
+            }
+            ClusterEvent::Expire {
+                start,
+                paid_until,
+                origin,
+                ..
+            } => {
+                let Some(pos) = warm
+                    .iter()
+                    .position(|&(s, o, p)| s == start && o == origin && p == paid_until)
+                else {
+                    return Err(format!(
+                        "event {index}: expiry of ({start}, {origin}, {paid_until}) not warm"
+                    ));
+                };
+                warm.remove(pos);
+                bill(
+                    &mut billed,
+                    origin,
+                    naive_billed_duration(model, paid_until - start),
+                );
+            }
+        }
+        if running.len() + warm.len() > usize::try_from(budget).unwrap_or(usize::MAX) {
+            return Err(format!(
+                "event {index} ({event:?}): {} running + {} warm exceeds budget {budget}",
+                running.len(),
+                warm.len()
+            ));
+        }
+    }
+    for &(start, origin) in &running {
+        bill(
+            &mut billed,
+            origin,
+            naive_billed_duration(model, final_time - start),
+        );
+    }
+    for &(start, origin, paid_until) in &warm {
+        bill(
+            &mut billed,
+            origin,
+            naive_billed_duration(model, paid_until - start),
+        );
+    }
+    billed.resize(billed.len().max(tenants), 0.0);
+    Ok(billed)
+}
+
+/// One generated arbitration cycle.
+struct Cycle {
+    now: f64,
+    proposals: Vec<TenantProposal>,
+}
+
+/// Scenario parameters plus the full cycle history.
+struct Scenario {
+    model: ChargingModel,
+    policy: ArbitrationPolicy,
+    budget: u32,
+    tenants: usize,
+    cycles: Vec<Cycle>,
+}
+
+/// Draws one multi-tenant history. Weights and gains deliberately include
+/// the degenerate values the sanitizers must map to 1 and 0.
+fn generate_scenario(rng: &mut StdRng) -> Scenario {
+    let model = if rng.gen_bool(0.5) {
+        ChargingModel::ec2_hourly()
+    } else {
+        ChargingModel::gcp_per_minute()
+    };
+    let policy = match rng.gen_range(0..3u32) {
+        0 => ArbitrationPolicy::StrictPriority,
+        1 => ArbitrationPolicy::WeightedFairShare,
+        _ => ArbitrationPolicy::CostGreedy,
+    };
+    let budget = rng.gen_range(2..=10u32);
+    let tenants = rng.gen_range(2..=4usize);
+    let cycle_count = rng.gen_range(8..=25usize);
+    // A drifted epoch exercises the float-boundary snap in the billing.
+    let mut now = if rng.gen_bool(0.5) { 0.0 } else { 0.1 };
+    let mut cycles = Vec::with_capacity(cycle_count);
+    for _ in 0..cycle_count {
+        now += match rng.gen_range(0..6u32) {
+            0 => model.interval,
+            1 => 2.0 * model.interval,
+            2 => model.interval / 2.0,
+            3 => model.minimum,
+            4 => 0.0,
+            _ => rng.gen_range(0.3..1.7) * model.interval,
+        };
+        let mut proposals = Vec::new();
+        for tenant in 0..tenants {
+            // Most cycles every tenant proposes; sometimes one sits out
+            // (its leases ride through the cycle untouched).
+            if rng.gen_bool(0.85) {
+                let weight = match rng.gen_range(0..6u32) {
+                    0 => 1.0,
+                    1 => 2.0,
+                    2 => 0.5,
+                    3 => f64::from(rng.gen_range(1..10u32)),
+                    4 => 0.0,
+                    _ => f64::NAN,
+                };
+                let slo_gain = match rng.gen_range(0..5u32) {
+                    0..=2 => f64::from(rng.gen_range(0..50u32)) / 10.0,
+                    3 => -1.0,
+                    _ => f64::INFINITY,
+                };
+                proposals.push(TenantProposal {
+                    tenant,
+                    desired: rng.gen_range(0..=8u32),
+                    weight,
+                    slo_gain,
+                });
+            }
+        }
+        cycles.push(Cycle { now, proposals });
+    }
+    Scenario {
+        model,
+        policy,
+        budget,
+        tenants,
+        cycles,
+    }
+}
+
+/// Runs the cluster differential over `config.cluster_cases` generated
+/// histories: per-cycle verdict/book agreement with the naive arbiter,
+/// the per-event budget invariant, and bit-exact per-tenant ledgers from
+/// both the naive replay and the event-log replay.
+pub fn run(config: &ConformanceConfig) -> OracleReport {
+    let mut report = OracleReport::new("cluster-arbiter");
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xC1A5_7E12);
+    for case in 0..config.cluster_cases {
+        report.count_case();
+        let scenario = generate_scenario(&mut rng);
+        let mut arbiter = ClusterArbiter::new(
+            scenario.model.clone(),
+            scenario.policy,
+            scenario.budget,
+            scenario.tenants,
+        );
+        let mut naive = NaiveCluster::new(
+            scenario.model.clone(),
+            scenario.policy,
+            scenario.budget,
+            scenario.tenants,
+        );
+        let mut log: Vec<ClusterEvent> = Vec::new();
+        let mut last_now = 0.0;
+        let mut clean = true;
+        for (cycle_index, cycle) in scenario.cycles.iter().enumerate() {
+            let impl_verdicts = arbiter.arbitrate(cycle.now, &cycle.proposals);
+            let naive_verdicts = naive.arbitrate(cycle.now, &cycle.proposals);
+            log.extend(arbiter.take_events());
+            last_now = cycle.now;
+            if impl_verdicts != naive_verdicts {
+                report.mismatch(format!(
+                    "case {case} cycle {cycle_index} ({}, {}): verdicts diverge: \
+                     impl {impl_verdicts:?}, naive {naive_verdicts:?}",
+                    scenario.model.name,
+                    scenario.policy.name()
+                ));
+                clean = false;
+                break;
+            }
+            if arbiter.in_use() > arbiter.budget() {
+                report.mismatch(format!(
+                    "case {case} cycle {cycle_index}: {} in use exceeds budget {}",
+                    arbiter.in_use(),
+                    arbiter.budget()
+                ));
+                clean = false;
+                break;
+            }
+            if arbiter.warm_count() != u32::try_from(naive.warm.len()).unwrap_or(u32::MAX) {
+                report.mismatch(format!(
+                    "case {case} cycle {cycle_index}: impl warm pool {} vs naive {}",
+                    arbiter.warm_count(),
+                    naive.warm.len()
+                ));
+                clean = false;
+                break;
+            }
+            for tenant in 0..scenario.tenants {
+                if arbiter.running(tenant) != naive.held(tenant) {
+                    report.mismatch(format!(
+                        "case {case} cycle {cycle_index}: tenant {tenant} runs {} \
+                         (impl) vs {} (naive)",
+                        arbiter.running(tenant),
+                        naive.held(tenant)
+                    ));
+                    clean = false;
+                    break;
+                }
+            }
+            if !clean {
+                break;
+            }
+        }
+        if !clean {
+            continue;
+        }
+        // Final ledgers: naive replay must agree bit-exactly.
+        for tenant in 0..scenario.tenants {
+            let impl_billed = arbiter.billed_instance_seconds(tenant, last_now);
+            let naive_billed = naive.billed_instance_seconds(tenant, last_now);
+            if impl_billed.to_bits() != naive_billed.to_bits() {
+                report.mismatch(format!(
+                    "case {case}: tenant {tenant} ledger {impl_billed} s (impl) \
+                     vs {naive_billed} s (naive)"
+                ));
+                clean = false;
+            }
+        }
+        if !clean {
+            continue;
+        }
+        // Event-log replay: budget invariant at every event, then the
+        // same bit-exact ledger agreement from the raw provenance alone.
+        match replay_events(
+            &scenario.model,
+            scenario.budget,
+            scenario.tenants,
+            &log,
+            last_now,
+        ) {
+            Ok(replayed) => {
+                for tenant in 0..scenario.tenants {
+                    let impl_billed = arbiter.billed_instance_seconds(tenant, last_now);
+                    let from_log = replayed.get(tenant).copied().unwrap_or(0.0);
+                    if impl_billed.to_bits() != from_log.to_bits() {
+                        report.mismatch(format!(
+                            "case {case}: tenant {tenant} ledger {impl_billed} s (impl) \
+                             vs {from_log} s (event-log replay)"
+                        ));
+                    }
+                }
+            }
+            Err(message) => {
+                report.mismatch(format!("case {case}: event log replay failed: {message}"));
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proposal(tenant: TenantId, desired: u32, weight: f64, gain: f64) -> TenantProposal {
+        TenantProposal {
+            tenant,
+            desired,
+            weight,
+            slo_gain: gain,
+        }
+    }
+
+    #[test]
+    fn naive_agrees_on_the_warm_transfer_scenario() {
+        // Mirror of cluster::tests::still_paid_release_parks_warm_...
+        let model = ChargingModel::ec2_hourly();
+        let mut arbiter =
+            ClusterArbiter::new(model.clone(), ArbitrationPolicy::StrictPriority, 10, 2);
+        let mut naive = NaiveCluster::new(model, ArbitrationPolicy::StrictPriority, 10, 2);
+        let script = [
+            (0.0, vec![proposal(0, 3, 1.0, 0.0)]),
+            (600.0, vec![proposal(0, 1, 1.0, 0.0)]),
+            (1200.0, vec![proposal(1, 3, 1.0, 0.0)]),
+        ];
+        for (now, proposals) in script {
+            assert_eq!(
+                arbiter.arbitrate(now, &proposals),
+                naive.arbitrate(now, &proposals),
+                "t={now}"
+            );
+        }
+        for tenant in 0..2 {
+            assert_eq!(
+                arbiter.billed_instance_seconds(tenant, 1800.0).to_bits(),
+                naive.billed_instance_seconds(tenant, 1800.0).to_bits(),
+                "tenant {tenant}"
+            );
+        }
+    }
+
+    #[test]
+    fn event_replay_rejects_an_over_budget_log() {
+        let model = ChargingModel::ec2_hourly();
+        let log = vec![
+            ClusterEvent::Open {
+                time: 0.0,
+                tenant: 0,
+            },
+            ClusterEvent::Open {
+                time: 0.0,
+                tenant: 0,
+            },
+        ];
+        assert!(replay_events(&model, 1, 1, &log, 100.0).is_err());
+        assert!(replay_events(&model, 2, 1, &log, 100.0).is_ok());
+    }
+
+    #[test]
+    fn small_scenario_batch_is_clean() {
+        let config = ConformanceConfig {
+            cluster_cases: 25,
+            ..ConformanceConfig::quick()
+        };
+        let report = run(&config);
+        assert_eq!(report.cases, 25);
+        assert!(report.passed(), "{:?}", report.mismatches);
+    }
+}

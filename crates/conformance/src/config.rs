@@ -15,6 +15,8 @@ pub struct ConformanceConfig {
     pub tolerance_sigmas: f64,
     /// Number of controller crash points in the recovery-equivalence grid.
     pub recovery_crash_points: usize,
+    /// Number of generated multi-tenant cluster arbitration histories.
+    pub cluster_cases: usize,
 }
 
 impl Default for ConformanceConfig {
@@ -26,6 +28,7 @@ impl Default for ConformanceConfig {
             sim_arrivals: 200_000,
             tolerance_sigmas: 4.0,
             recovery_crash_points: 240,
+            cluster_cases: 240,
         }
     }
 }
@@ -41,6 +44,7 @@ impl ConformanceConfig {
             sim_arrivals: 30_000,
             tolerance_sigmas: 5.0,
             recovery_crash_points: 60,
+            cluster_cases: 60,
             ..ConformanceConfig::default()
         }
     }
@@ -58,6 +62,7 @@ mod tests {
         assert!(quick.ledger_replays < full.ledger_replays);
         assert!(quick.sim_arrivals < full.sim_arrivals);
         assert!(quick.recovery_crash_points < full.recovery_crash_points);
+        assert!(quick.cluster_cases < full.cluster_cases);
         assert_eq!(quick.seed, full.seed);
     }
 }

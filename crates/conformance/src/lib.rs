@@ -4,7 +4,7 @@
 //! capacity walk, chain-rate propagation, and FOX's billing ledger — is
 //! exactly the kind of code whose bugs survive unit tests: every test
 //! that encodes the implementation's own arithmetic re-blesses its
-//! mistakes. This crate cross-checks the spine against five *independent*
+//! mistakes. This crate cross-checks the spine against six *independent*
 //! oracles that share no code (and deliberately no numerical technique)
 //! with the implementation:
 //!
@@ -27,9 +27,15 @@
 //!   simulation core: the DES's measured waiting times, queue lengths and
 //!   utilizations must sit inside the micro-simulator's batch-means
 //!   confidence bands, and the hybrid fluid regime must reproduce the
-//!   analytic M/M/n response-time law while conserving requests exactly.
+//!   analytic M/M/n response-time law while conserving requests exactly;
+//! * [`cluster`] — a multi-tenant arbitration differential: randomized
+//!   arbitration histories replayed through an independent naive arbiter
+//!   (selection loops, counting billing) and through a policy-blind
+//!   replay of the raw event log, asserting verdict agreement, the
+//!   budget invariant at every event, and bit-exact per-tenant billed
+//!   ledgers with warm-pool transfers attributed to their origin.
 //!
-//! `chamulteon-exp conformance` runs all five and emits the verdict as
+//! `chamulteon-exp conformance` runs all six and emits the verdict as
 //! JSON (see [`report::ConformanceReport::to_json`]).
 
 #![forbid(unsafe_code)]
@@ -37,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod algorithm1;
+pub mod cluster;
 pub mod config;
 pub mod des_core;
 pub mod fox_ledger;
@@ -56,6 +63,7 @@ pub fn run_all(config: &ConformanceConfig) -> ConformanceReport {
             mmn_sim::run(config),
             recovery::run(config),
             des_core::run(config),
+            cluster::run(config),
         ],
     }
 }
@@ -67,7 +75,7 @@ mod tests {
     #[test]
     fn quick_run_all_is_clean_and_counts_every_oracle() {
         let report = run_all(&ConformanceConfig::quick());
-        assert_eq!(report.oracles.len(), 5);
+        assert_eq!(report.oracles.len(), 6);
         assert!(report.passed(), "{}", report.to_json());
         assert!(report.total_cases() >= 120, "{}", report.total_cases());
     }

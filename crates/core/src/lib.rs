@@ -52,6 +52,8 @@
 
 /// Algorithm 1 of the paper: the queueing-theoretic decision logic.
 pub mod algorithm;
+/// Multi-tenant cluster arbitration with a FOX-aware warm pool.
+pub mod cluster;
 /// Chamulteon configuration.
 pub mod config;
 /// The Chamulteon controller: both cycles, wired together.
@@ -71,6 +73,10 @@ pub mod vertical;
 
 pub use algorithm::{
     proactive_decisions, proactive_decisions_cached, proactive_decisions_staged, SizingCell,
+};
+pub use cluster::{
+    ArbitrationPolicy, ClusterArbiter, ClusterEvent, ClusterSnapshotError, TenantId, TenantLease,
+    TenantProposal, TenantVerdict, WarmLease, CLUSTER_SNAPSHOT_VERSION,
 };
 pub use config::ChamulteonConfig;
 pub use controller::Chamulteon;

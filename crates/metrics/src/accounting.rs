@@ -23,13 +23,22 @@ pub fn instance_seconds(supply: &StepFn, horizon: f64) -> f64 {
 
 /// The number of supply *changes* within `[0, horizon)` — scaling
 /// adaptations actually executed. The initial placement at `t = 0` does
-/// not count.
+/// not count, and neither does a change point that re-asserts the value
+/// already in effect (a hold cycle re-writing the same supply is not an
+/// adaptation).
 pub fn adaptations(supply: &StepFn, horizon: f64) -> usize {
-    supply
-        .points()
-        .iter()
-        .filter(|(t, _)| *t > 0.0 && *t < horizon)
-        .count()
+    let points = supply.points();
+    // Before the first change point the function already takes the first
+    // value, so a first point at t > 0 is never a change either.
+    let mut effective = points.first().map(|p| p.1);
+    let mut count = 0;
+    for &(t, v) in points {
+        if t > 0.0 && t < horizon && effective != Some(v) {
+            count += 1;
+        }
+        effective = Some(v);
+    }
+    count
 }
 
 /// Adaptations per simulated hour — comparable across experiment
@@ -73,6 +82,21 @@ mod tests {
         assert_eq!(adaptations(&supply, 100.0), 3);
         // Changes at or past the horizon are not counted.
         assert_eq!(adaptations(&supply, 50.0), 2);
+    }
+
+    #[test]
+    fn adaptations_skip_value_preserving_points() {
+        // The point at t = 10 re-asserts the value already in effect; only
+        // the change at t = 20 is a real adaptation.
+        let supply = StepFn::new(vec![(0.0, 1), (10.0, 1), (20.0, 2)]);
+        assert_eq!(adaptations(&supply, 100.0), 1);
+        // A first point at t > 0 takes the value already in effect before
+        // it (right-continuous extension), so it is not a change either.
+        let late_start = StepFn::new(vec![(30.0, 5), (60.0, 7)]);
+        assert_eq!(adaptations(&late_start, 100.0), 1);
+        // Alternating holds: 1,1,2,2,1 has two changes.
+        let holds = StepFn::new(vec![(0.0, 1), (5.0, 1), (10.0, 2), (15.0, 2), (20.0, 1)]);
+        assert_eq!(adaptations(&holds, 100.0), 2);
     }
 
     #[test]

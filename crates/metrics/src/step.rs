@@ -45,16 +45,19 @@ impl StepFn {
     }
 
     /// The value at time `t`.
+    ///
+    /// Binary search over the sorted change points: `idx` is the number of
+    /// points with `time <= t`, so the governing point is `idx - 1` (the
+    /// function is right-continuous). Before the first point — including a
+    /// NaN query, for which no comparison holds — the first value applies.
     pub fn value_at(&self, t: f64) -> u32 {
-        let mut value = self.points.first().map(|p| p.1).unwrap_or(0);
-        for &(time, v) in &self.points {
-            if time <= t {
-                value = v;
-            } else {
-                break;
-            }
-        }
-        value
+        let idx = self.points.partition_point(|p| p.0 <= t);
+        let governing = if idx == 0 {
+            self.points.first()
+        } else {
+            self.points.get(idx - 1)
+        };
+        governing.map(|p| p.1).unwrap_or(0)
     }
 
     /// All change times of `self` and `other` within `[0, horizon)`,

@@ -88,6 +88,44 @@ impl std::fmt::Display for ActuationOutcome {
     }
 }
 
+/// How a lease moved across the cross-tenant warm pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarmAction {
+    /// A still-paid release parked the lease in the warm pool.
+    Deposit,
+    /// A scale-up drew the lease out of the warm pool.
+    Draw,
+    /// The lease's paid window ran out undrawn; it was terminated.
+    Expire,
+}
+
+impl WarmAction {
+    /// Stable snake_case code used in the JSONL schema.
+    pub fn as_code(&self) -> &'static str {
+        match self {
+            WarmAction::Deposit => "deposit",
+            WarmAction::Draw => "draw",
+            WarmAction::Expire => "expire",
+        }
+    }
+
+    /// Parses a [`WarmAction::as_code`] code.
+    pub fn parse(code: &str) -> Option<WarmAction> {
+        Some(match code {
+            "deposit" => WarmAction::Deposit,
+            "draw" => WarmAction::Draw,
+            "expire" => WarmAction::Expire,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for WarmAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_code())
+    }
+}
+
 /// The full input lineage of one scaling decision — emitted once per
 /// service per control cycle, so every target the controller returns can
 /// be traced back to what it was computed from.
@@ -229,6 +267,44 @@ pub enum EventKind {
         /// Cycle of the checkpoint restored from, for warm restarts.
         checkpoint_cycle: Option<u64>,
     },
+    /// One tenant's verdict from a multi-tenant cluster arbitration cycle.
+    Arbitration {
+        /// The tenant this verdict applies to.
+        tenant: u32,
+        /// Stable policy name (`ArbitrationPolicy::name`).
+        policy: String,
+        /// The desired total the tenant asked for.
+        requested: u32,
+        /// The total the arbiter granted (the target actually applied).
+        granted: u32,
+        /// Instances satisfied from the warm pool this cycle.
+        drawn_warm: u32,
+        /// Fresh (cold) leases opened this cycle.
+        opened_cold: u32,
+        /// Still-paid releases parked into the warm pool this cycle.
+        deposited: u32,
+        /// Releases closed outright this cycle.
+        closed: u32,
+        /// Cluster budget consumption (running + warm) after the cycle.
+        in_use: u32,
+        /// The cluster's global instance budget.
+        budget: u32,
+    },
+    /// A lease crossed the warm pool; provenance names the origin tenant
+    /// its billed seconds stay attributed to.
+    WarmTransfer {
+        /// What happened to the lease.
+        action: WarmAction,
+        /// Tenant on the acting side (depositor or drawer); `None` for
+        /// expiries, which happen to the pool itself.
+        tenant: Option<u32>,
+        /// Tenant billed for the lease — the original lessee.
+        origin: u32,
+        /// Original lease start time (preserved across transfers).
+        start: f64,
+        /// End of the already-paid window, for expiries.
+        paid_until: Option<f64>,
+    },
 }
 
 impl EventKind {
@@ -247,6 +323,8 @@ impl EventKind {
             EventKind::Decision(_) => "decision",
             EventKind::Checkpoint { .. } => "checkpoint",
             EventKind::Restore { .. } => "restore",
+            EventKind::Arbitration { .. } => "arbitration",
+            EventKind::WarmTransfer { .. } => "warm_transfer",
         }
     }
 }
@@ -266,6 +344,8 @@ pub const EVENT_KIND_CODES: &[&str] = &[
     "decision",
     "checkpoint",
     "restore",
+    "arbitration",
+    "warm_transfer",
 ];
 
 /// One traced record: a timestamp, an optional service index and the
@@ -372,6 +452,25 @@ mod tests {
                 cold: false,
                 checkpoint_cycle: Some(12),
             },
+            EventKind::Arbitration {
+                tenant: 0,
+                policy: "fair-share".to_owned(),
+                requested: 5,
+                granted: 3,
+                drawn_warm: 1,
+                opened_cold: 2,
+                deposited: 0,
+                closed: 0,
+                in_use: 6,
+                budget: 8,
+            },
+            EventKind::WarmTransfer {
+                action: WarmAction::Draw,
+                tenant: Some(1),
+                origin: 0,
+                start: 0.0,
+                paid_until: None,
+            },
         ];
         let codes: Vec<&str> = samples.iter().map(EventKind::code).collect();
         assert_eq!(codes, EVENT_KIND_CODES);
@@ -391,7 +490,12 @@ mod tests {
             assert_eq!(ActuationOutcome::parse(o.as_code()), Some(o));
             assert_eq!(o.to_string(), o.as_code());
         }
+        for a in [WarmAction::Deposit, WarmAction::Draw, WarmAction::Expire] {
+            assert_eq!(WarmAction::parse(a.as_code()), Some(a));
+            assert_eq!(a.to_string(), a.as_code());
+        }
         assert_eq!(Winner::parse("nope"), None);
         assert_eq!(ActuationOutcome::parse("nope"), None);
+        assert_eq!(WarmAction::parse("nope"), None);
     }
 }

@@ -12,7 +12,7 @@
 //! (string, number, `true`/`false`/`null` values — no nesting), with
 //! arbitrary whitespace between tokens.
 
-use crate::event::{ActuationOutcome, Event, EventKind, Provenance, Winner};
+use crate::event::{ActuationOutcome, Event, EventKind, Provenance, WarmAction, Winner};
 use std::fmt::Write as _;
 
 /// A parse failure, locating the offending line (1-based).
@@ -234,6 +234,42 @@ pub fn emit_line(event: &Event) -> String {
             w.u64("cycle", *cycle);
             w.bool("cold", *cold);
             w.opt_u64("checkpoint_cycle", *checkpoint_cycle);
+        }
+        EventKind::Arbitration {
+            tenant,
+            policy,
+            requested,
+            granted,
+            drawn_warm,
+            opened_cold,
+            deposited,
+            closed,
+            in_use,
+            budget,
+        } => {
+            w.u32("tenant", *tenant);
+            w.str("policy", policy);
+            w.u32("requested", *requested);
+            w.u32("granted", *granted);
+            w.u32("drawn_warm", *drawn_warm);
+            w.u32("opened_cold", *opened_cold);
+            w.u32("deposited", *deposited);
+            w.u32("closed", *closed);
+            w.u32("in_use", *in_use);
+            w.u32("budget", *budget);
+        }
+        EventKind::WarmTransfer {
+            action,
+            tenant,
+            origin,
+            start,
+            paid_until,
+        } => {
+            w.str("action", action.as_code());
+            w.opt_u32("tenant", *tenant);
+            w.u32("origin", *origin);
+            w.f64("start", *start);
+            w.opt_f64("paid_until", *paid_until);
         }
     }
     w.finish()
@@ -574,6 +610,29 @@ pub fn parse_line(line: &str, lineno: usize) -> Result<Event, JsonlError> {
             cold: fields.req_bool("cold")?,
             checkpoint_cycle: fields.opt_u64("checkpoint_cycle")?,
         },
+        "arbitration" => EventKind::Arbitration {
+            tenant: fields.req_u32("tenant")?,
+            policy: fields.req_str("policy")?.to_owned(),
+            requested: fields.req_u32("requested")?,
+            granted: fields.req_u32("granted")?,
+            drawn_warm: fields.req_u32("drawn_warm")?,
+            opened_cold: fields.req_u32("opened_cold")?,
+            deposited: fields.req_u32("deposited")?,
+            closed: fields.req_u32("closed")?,
+            in_use: fields.req_u32("in_use")?,
+            budget: fields.req_u32("budget")?,
+        },
+        "warm_transfer" => EventKind::WarmTransfer {
+            action: {
+                let code = fields.req_str("action")?;
+                WarmAction::parse(code)
+                    .ok_or_else(|| fields.err(format!("unknown warm action `{code}`")))?
+            },
+            tenant: fields.opt_u32("tenant")?,
+            origin: fields.req_u32("origin")?,
+            start: fields.req_f64("start")?,
+            paid_until: fields.opt_f64("paid_until")?,
+        },
         other => return Err(fields.err(format!("unknown kind `{other}`"))),
     };
     Ok(Event {
@@ -728,6 +787,56 @@ mod tests {
             !cold_line.contains("checkpoint_cycle"),
             "absent checkpoint_cycle must be omitted: {cold_line}"
         );
+    }
+
+    #[test]
+    fn arbitration_and_warm_transfer_kinds_round_trip() {
+        let verdict = Event::cycle(
+            3600.0,
+            EventKind::Arbitration {
+                tenant: 2,
+                policy: "cost-greedy".to_owned(),
+                requested: 6,
+                granted: 4,
+                drawn_warm: 1,
+                opened_cold: 3,
+                deposited: 0,
+                closed: 0,
+                in_use: 7,
+                budget: 8,
+            },
+        );
+        let draw = Event::cycle(
+            3600.0,
+            EventKind::WarmTransfer {
+                action: WarmAction::Draw,
+                tenant: Some(2),
+                origin: 0,
+                start: 600.0,
+                paid_until: None,
+            },
+        );
+        let expire = Event::cycle(
+            7200.0,
+            EventKind::WarmTransfer {
+                action: WarmAction::Expire,
+                tenant: None,
+                origin: 1,
+                start: 600.0,
+                paid_until: Some(4200.0),
+            },
+        );
+        for e in [&verdict, &draw, &expire] {
+            let line = emit_line(e);
+            assert_eq!(parse_line(&line, 1).as_ref(), Ok(e));
+            assert_eq!(emit_line(&parse_line(&line, 1).unwrap()), line);
+        }
+        let expire_line = emit_line(&expire);
+        assert!(
+            !expire_line.contains("\"tenant\""),
+            "expiry has no acting tenant: {expire_line}"
+        );
+        assert!(expire_line.contains("\"paid_until\":4200"), "{expire_line}");
     }
 
     #[test]

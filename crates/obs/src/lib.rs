@@ -28,7 +28,9 @@ pub mod jsonl;
 pub mod metrics;
 pub mod recorder;
 
-pub use event::{ActuationOutcome, Event, EventKind, Provenance, Winner, EVENT_KIND_CODES};
+pub use event::{
+    ActuationOutcome, Event, EventKind, Provenance, WarmAction, Winner, EVENT_KIND_CODES,
+};
 pub use jsonl::JsonlError;
 pub use metrics::{Counter, Histogram, MetricsRegistry, PhaseTimer, DISABLED_METRICS};
 pub use recorder::{NoopRecorder, Recorder, RecorderHandle, RingRecorder};

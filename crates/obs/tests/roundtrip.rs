@@ -6,7 +6,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
 use chamulteon_obs::{
-    jsonl, ActuationOutcome, Event, EventKind, Provenance, Winner, EVENT_KIND_CODES,
+    jsonl, ActuationOutcome, Event, EventKind, Provenance, WarmAction, Winner, EVENT_KIND_CODES,
 };
 use proptest::prelude::*;
 
@@ -103,10 +103,37 @@ fn build_event(
             cycle: n,
             bytes: n.saturating_mul(3),
         },
-        _ => EventKind::Restore {
+        11 => EventKind::Restore {
             cycle: n,
             cold: flag,
             checkpoint_cycle: opt_u64(0, n.saturating_sub(1)),
+        },
+        12 => EventKind::Arbitration {
+            tenant: target % 5,
+            policy: match mask % 3 {
+                0 => "strict-priority".to_owned(),
+                1 => "fair-share".to_owned(),
+                _ => "cost-greedy".to_owned(),
+            },
+            requested: target,
+            granted: target / 2,
+            drawn_warm: target % 3,
+            opened_cold: target % 4,
+            deposited: target % 2,
+            closed: target % 5,
+            in_use: target.saturating_add(1),
+            budget: target.saturating_add(2),
+        },
+        _ => EventKind::WarmTransfer {
+            action: match mask % 3 {
+                0 => WarmAction::Deposit,
+                1 => WarmAction::Draw,
+                _ => WarmAction::Expire,
+            },
+            tenant: opt_u32(0, target % 5),
+            origin: target % 7,
+            start: time * 0.5,
+            paid_until: opt_f64(1, time * 0.75),
         },
     };
     if mask & (1 << 8) != 0 {
@@ -123,7 +150,7 @@ proptest! {
     /// and the serialized text, for every kind and optional-field mask.
     #[test]
     fn jsonl_round_trip_is_identity(
-        kind_idx in 0usize..12,
+        kind_idx in 0usize..14,
         mask in 0u32..512,
         time in 0.0f64..1.0e7,
         rate in 0.0f64..1.0e5,
@@ -164,7 +191,7 @@ fn has_nan(event: &Event) -> bool {
 fn every_kind_code_appears_in_generated_events() {
     // Deterministic sweep: each kind index maps onto its schema code.
     let mut seen = Vec::new();
-    for kind_idx in 0..12 {
+    for kind_idx in 0..14 {
         let event = build_event(kind_idx, 0x1ff, 1.0, 2.0, 0.5, 42, 3, true);
         seen.push(event.kind.code());
         let line = jsonl::emit_line(&event);

@@ -122,6 +122,11 @@ impl LoadTrace {
     /// Resamples the trace onto a different step by averaging (when
     /// coarsening) or repeating (when refining) samples.
     ///
+    /// When the duration is not an exact multiple of `new_step`, a partial
+    /// final window captures the trace tail; its mass is spread over the
+    /// full synthetic window, so total load mass (`mean_rate × duration`)
+    /// is conserved rather than truncated.
+    ///
     /// # Errors
     ///
     /// Returns [`WorkloadError::InvalidStep`] for a non-positive step.
@@ -130,21 +135,42 @@ impl LoadTrace {
             return Err(WorkloadError::InvalidStep { step: new_step });
         }
         let duration = self.duration();
-        let count = crate::convert::usize_from_f64((duration / new_step).round()).max(1);
+        // Ceil so the tail is kept; snap near-integral ratios first so
+        // float noise (e.g. 3.0000000000000004) does not fabricate an
+        // empty extra window.
+        let ratio = duration / new_step;
+        let windows = if (ratio - ratio.round()).abs() < 1e-9 {
+            ratio.round()
+        } else {
+            ratio.ceil()
+        };
+        let count = crate::convert::usize_from_f64(windows).max(1);
         let mut rates = Vec::with_capacity(count);
         for i in 0..count {
             let lo = i as f64 * new_step;
             let hi = (lo + new_step).min(duration);
             // Average the original piecewise-constant function over [lo, hi).
+            // The segment index advances monotonically instead of being
+            // re-derived from `t`: for non-dyadic steps, `(idx+1)*step / step`
+            // can floor back to `idx` and a re-derived index never moves.
             let mut acc = 0.0;
             let mut t = lo;
+            let mut idx = crate::convert::usize_from_f64(lo / self.step).min(self.rates.len() - 1);
             while t < hi - 1e-12 {
-                let idx = crate::convert::usize_from_f64(t / self.step).min(self.rates.len() - 1);
                 let seg_end = ((idx + 1) as f64 * self.step).min(hi);
-                acc += self.rates[idx] * (seg_end - t);
-                t = seg_end;
+                if seg_end > t {
+                    acc += self.rates[idx] * (seg_end - t);
+                    t = seg_end;
+                }
+                if seg_end >= hi || idx + 1 >= self.rates.len() {
+                    break;
+                }
+                idx += 1;
             }
-            rates.push(acc / (hi - lo).max(1e-12));
+            // Divide by the full window length (not the clamped span): a
+            // partial tail window dilutes its mass over the whole window,
+            // which is exactly what conserves total mass.
+            rates.push(acc / new_step);
         }
         LoadTrace::new(new_step, rates)
     }
@@ -300,6 +326,30 @@ mod tests {
         let t = trace(vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0]);
         let r = t.resample(90.0).unwrap();
         assert!((r.mean_rate() - t.mean_rate()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resample_keeps_tail_mass() {
+        // 10 s of trace at step 4.9 used to round to 2 windows (9.8 s),
+        // dropping the tail. Ceil keeps a partial third window and the
+        // total load mass is conserved.
+        let t = LoadTrace::new(1.0, vec![5.0; 10]).unwrap();
+        let r = t.resample(4.9).unwrap();
+        assert_eq!(r.len(), 3);
+        let mass_before = t.mean_rate() * t.duration();
+        let mass_after = r.mean_rate() * r.duration();
+        assert!((mass_after - mass_before).abs() < 1e-9 * mass_before.max(1.0));
+    }
+
+    #[test]
+    fn resample_near_integral_ratio_has_no_ghost_window() {
+        // 3 × 0.1 s resampled at 0.1 s: duration / new_step is 3 up to
+        // float noise; the snap must not fabricate a fourth window.
+        let t = LoadTrace::new(0.1, vec![1.0, 2.0, 3.0]).unwrap();
+        let r = t.resample(0.1).unwrap();
+        assert_eq!(r.len(), 3);
+        assert!((r.rates()[0] - 1.0).abs() < 1e-9);
+        assert!((r.rates()[2] - 3.0).abs() < 1e-9);
     }
 
     #[test]

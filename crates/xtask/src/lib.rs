@@ -75,15 +75,21 @@ pub const DECISION_PATH_CRATES: &[&str] = &[
 /// event-driven core (`sim/src/des/`) and its scale runner are pinned
 /// for the same reason: the hybrid regime switch executes inside the
 /// measurement loop, and its conservation accounting must hold at loads
-/// where a panic would discard hours of simulated time.
+/// where a panic would discard hours of simulated time. The cluster
+/// arbiter, its conformance oracle and the multi-tenant loop join the
+/// list because they hold the shared budget and the cross-tenant billing
+/// ledger: a panic there takes down every tenant at once.
 pub const DECISION_PATH_MODULES: &[&str] = &[
     "bench/src/des_scale.rs",
     "bench/src/drivers.rs",
     "bench/src/experiment.rs",
     "bench/src/graph_scale.rs",
+    "bench/src/multi_tenant.rs",
     "bench/src/pool.rs",
     "bench/src/robustness.rs",
+    "conformance/src/cluster.rs",
     "conformance/src/recovery.rs",
+    "core/src/cluster.rs",
     "core/src/snapshot.rs",
     "perfmodel/src/arena.rs",
     "perfmodel/src/topology.rs",
